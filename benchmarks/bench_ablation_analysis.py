@@ -1,0 +1,67 @@
+"""ABL-ANALYSIS: ablation of the end-of-iteration analysis (§3.3).
+
+"The synchronization step should not be started if a significant portion
+of the log remains to be propagated because it involves latching of
+tables."  The analysis threshold trades extra unlatched propagation
+iterations against the size of the final *latched* propagation.
+
+Sweeps the remaining-records threshold and reports the latched work at
+synchronization and the number of iterations run -- the latch must shrink
+as the threshold tightens.
+"""
+
+import pytest
+
+from repro.sim import RunSettings, run_once
+from repro.sim.experiments import clients_for_workload
+from repro.transform.analysis import RemainingRecordsPolicy
+
+from benchmarks.harness import (
+    n_max_for,
+    print_series,
+    run_benchmark,
+    save_results,
+    seed_list,
+    split_builder,
+)
+
+THRESHOLDS = (4, 64, 1024)
+
+
+def measure():
+    rows = []
+    base_builder = split_builder(0.2)
+    n_max = n_max_for(base_builder, "abl-analysis")
+    n_clients = clients_for_workload(n_max, 75)
+    for threshold in THRESHOLDS:
+        latch_units = []
+        iterations = []
+        for seed in seed_list():
+            builder = split_builder(0.2, tf_kwargs={
+                "policy": RemainingRecordsPolicy(max_remaining=threshold)})
+            run = run_once(builder, RunSettings(
+                n_clients=n_clients, priority=0.2, window_ms=10**18,
+                stop_after_window=False, t_max_ms=8000.0, seed=seed))
+            stats = run.info["tf_stats"]
+            latch_units.append(stats["sync_latch_units"])
+            iterations.append(stats["iterations"])
+        n = len(latch_units)
+        rows.append((threshold, sum(latch_units) / n,
+                     sum(iterations) / n))
+    return rows
+
+
+def bench_ablation_analysis(benchmark, capsys):
+    rows = run_benchmark(benchmark, measure)
+    lines = print_series(
+        "Analysis-threshold ablation: latched work at synchronization",
+        "paper §3.3: don't synchronize with a significant backlog",
+        ["max remaining", "latch units", "iterations"],
+        rows, capsys)
+    save_results("ablation_analysis", lines)
+    by_threshold = {t: latch for t, latch, _ in rows}
+    # A looser threshold may not reduce the latch below the tight one.
+    assert by_threshold[4] <= by_threshold[1024] + 8
+    # The latch stays bounded by the threshold plus the records generated
+    # during the final propagation itself.
+    assert by_threshold[4] < 64

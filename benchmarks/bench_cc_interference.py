@@ -1,0 +1,62 @@
+"""TXT-CC: Section 6 -- "Tests on concistency checking during split
+transformations ... show very similar results to those presented in
+Figures 4(a) and 4(b)."
+
+Runs the split with ``check_consistency=True`` (C/U flags maintained, the
+consistency checker interleaved with propagation) and compares its
+population-phase interference against the plain split's.
+"""
+
+import pytest
+
+from repro.sim import RunSettings
+from repro.transform.base import Phase
+
+from benchmarks.harness import (
+    averaged_relative,
+    n_max_for,
+    print_series,
+    run_benchmark,
+    save_results,
+    split_builder,
+    workload_points,
+)
+
+PRIORITY = 0.05
+
+
+def sweep():
+    points = workload_points((50, 75, 100))
+    settings = RunSettings(measure_phase=Phase.POPULATING,
+                           priority=PRIORITY, window_ms=150.0,
+                           warmup_ms=20.0)
+    series = {}
+    for name, builder in (
+            ("plain", split_builder(0.2)),
+            ("with CC", split_builder(
+                0.2, tf_kwargs={"check_consistency": True}))):
+        n_max = n_max_for(builder, f"cc-{name}")
+        series[name] = [
+            (pct, *averaged_relative(builder, pct, n_max, settings))
+            for pct in points
+        ]
+    return series
+
+
+def bench_cc_interference(benchmark, capsys):
+    series = run_benchmark(benchmark, sweep)
+    all_lines = []
+    for name, rows in series.items():
+        lines = print_series(
+            f"Split population interference, {name}",
+            "paper: CC results 'very similar' to Figures 4(a)/(b)",
+            ["workload %", "rel throughput", "rel response"],
+            rows, capsys)
+        all_lines.extend(lines)
+    save_results("cc_interference", all_lines)
+
+    plain = {pct: thr for pct, thr, _ in series["plain"]}
+    with_cc = {pct: thr for pct, thr, _ in series["with CC"]}
+    for pct in plain:
+        assert abs(plain[pct] - with_cc[pct]) < 0.06, \
+            f"CC interference diverges from plain split at {pct}%"

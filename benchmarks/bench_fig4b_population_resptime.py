@@ -1,0 +1,59 @@
+"""FIG4B: Figure 4(b) -- interference on response time by initial population.
+
+Paper: relative response time of user transactions rises from ~1.05 at low
+workload toward ~1.25-1.30 near saturation (with larger run-to-run
+variation than the throughput series).  The reproduced series must rise
+with workload; our closed-loop model yields smaller absolute inflation
+(see EXPERIMENTS.md for the discussion).
+"""
+
+import pytest
+
+from repro.sim import RunSettings
+from repro.transform.base import Phase
+
+from benchmarks.harness import (
+    PAPER,
+    averaged_relative,
+    n_max_for,
+    print_series,
+    run_benchmark,
+    save_results,
+    split_builder,
+    workload_points,
+)
+
+PRIORITY = 0.05
+
+
+def sweep():
+    builder = split_builder(source_fraction=0.2)
+    n_max = n_max_for(builder, "fig4a")  # shares fig4a's calibration
+    settings = RunSettings(measure_phase=Phase.POPULATING,
+                           priority=PRIORITY, window_ms=150.0,
+                           warmup_ms=20.0)
+    rows = []
+    for pct in workload_points((40, 50, 60, 70, 80, 90, 100)):
+        rel_thr, rel_rt = averaged_relative(builder, pct, n_max, settings)
+        rows.append((pct, rel_rt, rel_thr))
+    return rows
+
+
+def bench_fig4b_population_resptime(benchmark, capsys):
+    rows = run_benchmark(benchmark, sweep)
+    lines = print_series(
+        "Figure 4(b): relative response time during initial population "
+        f"(split, 20% updates on T, priority {PRIORITY})",
+        PAPER["fig4b"],
+        ["workload %", "rel response", "rel throughput"],
+        rows, capsys)
+    save_results("fig4b", lines)
+    benchmark.extra_info["series"] = [
+        {"workload": pct, "rel_response": rt} for pct, rt, _ in rows]
+
+    by_pct = {pct: rt for pct, rt, _ in rows}
+    low = min(p for p in by_pct)
+    assert by_pct[100] > 1.0, "no response-time inflation at saturation"
+    assert by_pct[100] >= by_pct[low] - 0.01, \
+        "response interference should grow with workload"
+    assert by_pct[100] < 1.5, "response inflation implausibly large"

@@ -1,0 +1,79 @@
+"""FIG4D: Figure 4(d) -- completion time and interference vs priority.
+
+Paper: at 75% workload, "both the time needed to propagate log and the
+interference to throughput responds to the same changes in priority.  ...
+The transformation will never finish if the priority is set too low."
+
+The reproduced sweep must show (a) completion time decreasing roughly
+hyperbolically in priority, (b) a divergence threshold below which the
+transformation never completes within the time budget, and (c)
+interference increasing with priority.  The absolute threshold differs
+from the paper's ~0.5% because the relative cost of propagating one log
+record differs (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.sim import RunSettings, run_once
+from repro.sim.experiments import clients_for_workload
+
+from benchmarks.harness import (
+    PAPER,
+    n_max_for,
+    print_series,
+    run_benchmark,
+    save_results,
+    split_builder,
+)
+
+PRIORITIES = (0.01, 0.03, 0.05, 0.08, 0.12, 0.20, 0.30)
+T_MAX_MS = 6000.0
+
+
+def sweep():
+    builder = split_builder(source_fraction=0.2)
+    n_max = n_max_for(builder, "fig4d")
+    n_clients = clients_for_workload(n_max, 75)
+    base = run_once(builder, RunSettings(
+        n_clients=n_clients, with_transformation=False, window_ms=300.0))
+    rows = []
+    for priority in PRIORITIES:
+        run = run_once(builder, RunSettings(
+            n_clients=n_clients, priority=priority, window_ms=10**18,
+            stop_after_window=False, t_max_ms=T_MAX_MS))
+        completion = run.completion_time
+        interference = run.throughput / base.throughput \
+            if base.throughput else 0.0
+        rows.append((priority,
+                     completion if completion is not None else
+                     float("inf"),
+                     interference))
+    return rows
+
+
+def bench_fig4d_priority_sweep(benchmark, capsys):
+    rows = run_benchmark(benchmark, sweep)
+    lines = print_series(
+        "Figure 4(d): completion time (ms) and relative throughput vs "
+        "transformation priority, 75% workload (split, 20% updates on T)",
+        PAPER["fig4d"],
+        ["priority", "completion ms", "rel throughput"],
+        rows, capsys)
+    save_results("fig4d", lines)
+    completion = {p: c for p, c, _ in rows}
+    interference = {p: i for p, _, i in rows}
+    benchmark.extra_info["divergence_below"] = max(
+        (p for p in PRIORITIES if completion[p] == float("inf")),
+        default=0.0)
+
+    # (a) completion time decreases with priority among finishers.
+    finished = [p for p in PRIORITIES if completion[p] != float("inf")]
+    assert len(finished) >= 3
+    assert all(completion[a] >= completion[b] * 0.9
+               for a, b in zip(finished, finished[1:]))
+    # (b) too-low priority never completes (the divergence).
+    assert completion[PRIORITIES[0]] == float("inf"), \
+        "expected divergence at the lowest priority"
+    # (c) interference grows with priority.
+    assert interference[PRIORITIES[-1]] < interference[finished[0]], \
+        "interference should grow with priority"

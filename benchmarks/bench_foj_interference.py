@@ -1,0 +1,62 @@
+"""TXT-FOJ: Section 6 -- "Tests on ... initial population of FOJ
+transformations show very similar results" and "the same effect is
+observed on log propagation for FOJ on both throughput and response time."
+
+Re-runs the FIG4A mechanics with a full outer join transformation
+(50 000 x 20 000 rows at full scale) and checks the series lands in the
+same band as the split series.
+"""
+
+import pytest
+
+from repro.sim import RunSettings
+from repro.transform.base import Phase
+
+from benchmarks.harness import (
+    averaged_relative,
+    foj_builder,
+    n_max_for,
+    print_series,
+    run_benchmark,
+    save_results,
+    split_builder,
+    workload_points,
+)
+
+PRIORITY = 0.05
+
+
+def sweep():
+    points = workload_points((50, 75, 100))
+    settings = RunSettings(measure_phase=Phase.POPULATING,
+                           priority=PRIORITY, window_ms=150.0,
+                           warmup_ms=20.0)
+    series = {}
+    for name, builder in (("foj", foj_builder(0.2)),
+                          ("split", split_builder(0.2))):
+        n_max = n_max_for(builder, f"foj-cmp-{name}")
+        series[name] = [
+            (pct, *averaged_relative(builder, pct, n_max, settings))
+            for pct in points
+        ]
+    return series
+
+
+def bench_foj_interference(benchmark, capsys):
+    series = run_benchmark(benchmark, sweep)
+    all_lines = []
+    for name, rows in series.items():
+        lines = print_series(
+            f"Population interference, {name.upper()} transformation",
+            "paper: FOJ results 'very similar' to the split's",
+            ["workload %", "rel throughput", "rel response"],
+            rows, capsys)
+        all_lines.extend(lines)
+    save_results("foj_interference", all_lines)
+
+    foj = {pct: thr for pct, thr, _ in series["foj"]}
+    split_ = {pct: thr for pct, thr, _ in series["split"]}
+    for pct in foj:
+        assert abs(foj[pct] - split_[pct]) < 0.06, \
+            f"FOJ and split interference diverge at {pct}%"
+        assert foj[pct] > 0.85

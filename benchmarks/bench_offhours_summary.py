@@ -1,0 +1,54 @@
+"""TXT-OFFHOURS: Section 6's operational guidance, checked numerically.
+
+"If executed during off-hours, say at 50% workload, the observed
+interference should be acceptable on both throughput (< 2%) and response
+time (< 9%).  During normal usage, say at 70% workload, the interference
+on throughput is still acceptable at approximately 2.5%."
+"""
+
+import pytest
+
+from repro.sim import RunSettings
+from repro.transform.base import Phase
+
+from benchmarks.harness import (
+    PAPER,
+    averaged_relative,
+    n_max_for,
+    print_series,
+    run_benchmark,
+    save_results,
+    split_builder,
+)
+
+PRIORITY = 0.05
+
+
+def measure():
+    builder = split_builder(source_fraction=0.2)
+    n_max = n_max_for(builder, "offhours")
+    settings = RunSettings(measure_phase=Phase.POPULATING,
+                           priority=PRIORITY, window_ms=200.0,
+                           warmup_ms=20.0)
+    rows = []
+    for pct in (50, 70):
+        rel_thr, rel_rt = averaged_relative(builder, pct, n_max, settings,
+                                            seeds=range(3))
+        rows.append((pct, (1 - rel_thr) * 100, (rel_rt - 1) * 100))
+    return rows
+
+
+def bench_offhours_summary(benchmark, capsys):
+    rows = run_benchmark(benchmark, measure)
+    lines = print_series(
+        "Off-hours operating point: interference in percent",
+        PAPER["offhours"],
+        ["workload %", "thr loss %", "resp gain %"],
+        rows, capsys)
+    save_results("offhours", lines)
+    by_pct = {pct: (thr_loss, rt_gain) for pct, thr_loss, rt_gain in rows}
+
+    # Paper bounds with slack for the model's noise floor.
+    assert by_pct[50][0] < 4.0, "50% workload throughput loss too high"
+    assert by_pct[50][1] < 9.0, "50% workload response inflation too high"
+    assert by_pct[70][0] < 6.0, "70% workload throughput loss too high"

@@ -1,0 +1,75 @@
+"""BASE-TRIG: Section 2.1 -- the trigger-based (Ronström) comparison.
+
+"The extra workload incurred with using triggers to update MVs is
+significant...  With our method, there is no need for the transformed
+table to be consistent with the old table before the very end of the
+transformation," so maintenance work never runs inside user transactions.
+
+Compares the response time of user transactions during the change under
+the log-propagation method vs. the trigger-based method at a high source
+update fraction (where trigger work per transaction is largest).
+"""
+
+import pytest
+
+from repro.baselines import RonstromTransformation
+from repro.sim import RunSettings, run_once
+from repro.sim.experiments import Scenario, clients_for_workload
+
+from benchmarks.harness import (
+    seed_list,
+    n_max_for,
+    print_series,
+    run_benchmark,
+    save_results,
+    split_builder,
+)
+
+FRACTION = 0.8  # most updates hit the source: trigger-heavy
+
+
+def ronstrom_builder(seed):
+    scenario = split_builder(FRACTION)(seed)
+    spec = scenario.tf_factory().spec
+
+    def factory():
+        return RonstromTransformation(scenario.db, spec)
+
+    return Scenario(scenario.db, scenario.workload, factory,
+                    scenario.source_tables)
+
+
+def measure():
+    online = split_builder(FRACTION)
+    n_max = n_max_for(online, "base-trig")
+    n_clients = clients_for_workload(n_max, 75)
+    rows = []
+    for name, builder in (("log propagation", online),
+                          ("trigger-based", ronstrom_builder)):
+        responses = []
+        for seed in seed_list():
+            run = run_once(builder, RunSettings(
+                n_clients=n_clients, priority=0.25, window_ms=10**18,
+                stop_after_window=False, t_max_ms=8000.0, seed=seed))
+            responses.append(run.mean_response)
+        base = run_once(online, RunSettings(
+            n_clients=n_clients, with_transformation=False,
+            window_ms=200.0))
+        mean = sum(responses) / len(responses)
+        rows.append((name, mean, mean / base.mean_response))
+    return rows
+
+
+def bench_ronstrom_baseline(benchmark, capsys):
+    rows = run_benchmark(benchmark, measure)
+    lines = print_series(
+        "User response time during the change: log propagation vs "
+        f"triggers ({int(FRACTION * 100)}% updates on the source)",
+        "paper Section 2.1: trigger overhead lands inside user txns",
+        ["method", "mean resp ms", "rel to no-change"],
+        rows, capsys)
+    save_results("ronstrom_baseline", lines)
+    online_resp = rows[0][1]
+    trigger_resp = rows[1][1]
+    assert trigger_resp > online_resp, \
+        "trigger-based method should inflate user response time more"

@@ -1,0 +1,141 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Each ``bench_*.py`` file regenerates one table/figure of the paper's
+evaluation (Section 6) -- see the experiment index in DESIGN.md.  The
+benchmarks print the same series the paper plots (relative throughput /
+response time vs. workload, completion time vs. priority, ...) next to the
+paper's reported ranges, and record the measured numbers both in the
+pytest-benchmark ``extra_info`` and under ``benchmarks/results/``.
+
+Knobs (environment variables):
+
+* ``REPRO_SCALE`` / ``REPRO_FULL_SCALE`` -- table sizes (see
+  :func:`repro.sim.scale_factor`); default is 10x smaller than the paper.
+* ``REPRO_BENCH_SEEDS`` -- seeds averaged per data point (default 2).
+* ``REPRO_BENCH_FAST`` -- set to 1 to measure fewer workload points.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim import (
+    RelativeResult,
+    RunSettings,
+    ServerConfig,
+    build_foj_scenario,
+    build_split_scenario,
+    calibrate_max_workload,
+    clients_for_workload,
+    keep_up_priority,
+    run_once,
+    run_relative,
+)
+from repro.transform.analysis import FixedIterationsPolicy
+from repro.transform.base import Phase
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Paper-reported ranges (Section 6 text + Figure 4 reading).
+PAPER = {
+    "fig4a": "relative throughput 0.94-0.99, decreasing with workload",
+    "fig4b": "relative response time 1.05-1.30, increasing with workload",
+    "fig4c": "80%-update mix interferes more than 20% at every workload",
+    "fig4d": "completion time ~ 1/priority, divergence below a threshold;"
+             " interference grows with priority",
+    "sync": "non-blocking-abort synchronization latch < 1 ms",
+    "offhours": "at 50% load: <2% throughput, <9% response;"
+                " at 70%: ~2.5% throughput",
+}
+
+
+def seed_list() -> List[int]:
+    """Seeds to average per data point."""
+    return list(range(int(os.environ.get("REPRO_BENCH_SEEDS", "2"))))
+
+
+def workload_points(full: Sequence[float] = (50, 60, 70, 80, 90, 100)
+                    ) -> List[float]:
+    """Workload percentages to sweep (trimmed in fast mode)."""
+    if os.environ.get("REPRO_BENCH_FAST", "").strip() in ("1", "true"):
+        return [50, 75, 100]
+    return list(full)
+
+
+def averaged_relative(builder: Callable, pct: float, n_max: int,
+                      settings: RunSettings,
+                      seeds: Optional[Iterable[int]] = None
+                      ) -> Tuple[float, float]:
+    """Seed-averaged (relative throughput, relative response) at ``pct``."""
+    throughputs, responses = [], []
+    for seed in (seed_list() if seeds is None else seeds):
+        rel = run_relative(builder, pct, n_max,
+                           replace(settings, seed=seed))
+        throughputs.append(rel.relative_throughput)
+        responses.append(rel.relative_response)
+    n = len(throughputs)
+    return sum(throughputs) / n, sum(responses) / n
+
+
+def split_builder(source_fraction: float = 0.2,
+                  tf_kwargs: Optional[dict] = None) -> Callable:
+    """Scenario builder for the paper's split setup."""
+    def build(seed: int):
+        return build_split_scenario(seed, source_fraction=source_fraction,
+                                    tf_kwargs=tf_kwargs)
+    return build
+
+
+def foj_builder(source_fraction: float = 0.2,
+                tf_kwargs: Optional[dict] = None) -> Callable:
+    """Scenario builder for the paper's FOJ setup."""
+    def build(seed: int):
+        return build_foj_scenario(seed, source_fraction=source_fraction,
+                                  tf_kwargs=tf_kwargs)
+    return build
+
+
+def propagation_builder(source_fraction: float) -> Callable:
+    """Split scenario whose transformation never synchronizes (for
+    steady-state propagation measurements, Figure 4(c))."""
+    return split_builder(source_fraction,
+                         tf_kwargs={"policy": FixedIterationsPolicy(10**9)})
+
+
+def n_max_for(builder: Callable, key: str) -> int:
+    """Cached 100%-workload calibration for a scenario."""
+    return calibrate_max_workload(builder, cache_key=key)
+
+
+def print_series(title: str, paper_note: str,
+                 header: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 capsys=None) -> List[str]:
+    """Print a result table (visibly, even under pytest capture)."""
+    lines = [f"\n=== {title} ===", f"paper: {paper_note}",
+             " | ".join(f"{h:>14}" for h in header)]
+    for row in rows:
+        lines.append(" | ".join(
+            f"{v:14.4f}" if isinstance(v, float) else f"{str(v):>14}"
+            for v in row))
+    text = "\n".join(lines)
+    if capsys is not None:
+        with capsys.disabled():
+            print(text)
+    else:
+        print(text)
+    return lines
+
+
+def save_results(name: str, lines: List[str]) -> None:
+    """Persist a benchmark's printed table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text("\n".join(lines) + "\n")
+
+
+def run_benchmark(benchmark, fn: Callable[[], object]):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Compare the three ways to change a schema, under load.
+
+Uses the performance simulator (the evaluation substrate of the
+reproduction, see DESIGN.md) to run the same split transformation at a
+75%-loaded server three ways:
+
+* **online, log-based** (the paper's method, non-blocking abort sync);
+* **blocking INSERT INTO ... SELECT** (paper Section 1's strawman);
+* **trigger-based** (Ronström's method, paper Section 2.1).
+
+Prints, for each: how long user access to the source table was blocked,
+the mean and worst user response times during the change, and how long
+the change took.
+
+Run:  python examples/online_vs_offline.py          (takes ~10 s)
+"""
+
+from repro.baselines import BlockingTransformation, RonstromTransformation
+from repro.sim import (
+    RunSettings,
+    Scenario,
+    build_split_scenario,
+    calibrate_max_workload,
+    clients_for_workload,
+    run_once,
+)
+
+
+def with_factory(base_scenario_builder, make):
+    """Wrap a scenario builder, swapping in a different transformation."""
+    def build(seed):
+        scenario = base_scenario_builder(seed)
+        spec = scenario.tf_factory().spec
+        return Scenario(scenario.db, scenario.workload,
+                        lambda: make(scenario.db, spec),
+                        scenario.source_tables)
+    return build
+
+
+def main() -> None:
+    builder = lambda seed: build_split_scenario(seed, source_fraction=0.2)
+    n_max = calibrate_max_workload(builder, cache_key="example-cmp")
+    n_clients = clients_for_workload(n_max, 75)
+    print(f"calibrated 100% workload = {n_max} clients; running at 75% "
+          f"({n_clients} clients)\n")
+
+    base = run_once(builder, RunSettings(
+        n_clients=n_clients, with_transformation=False, window_ms=200.0))
+    print(f"no change in progress : throughput {base.throughput:6.3f} "
+          f"txn/ms, mean response {base.mean_response:5.3f} ms")
+
+    methods = [
+        ("online log-based", builder, 0.2),
+        ("blocking select  ",
+         with_factory(builder, BlockingTransformation), 0.5),
+        ("trigger-based    ",
+         with_factory(builder, RonstromTransformation), 0.2),
+    ]
+    print(f"\n{'method':18} | {'blocked ms':>10} | {'mean resp':>9} | "
+          f"{'worst resp':>10} | {'duration ms':>11}")
+    for name, scenario_builder, priority in methods:
+        run = run_once(scenario_builder, RunSettings(
+            n_clients=n_clients, priority=priority, window_ms=500.0,
+            stop_after_window=False, t_max_ms=8000.0))
+        print(f"{name:18} | {run.blocked_time:10.2f} | "
+              f"{run.mean_response:9.3f} | "
+              f"{run.info['max_response']:10.2f} | "
+              f"{(run.completion_time or float('nan')):11.1f}")
+
+    print("\nReading: the online method never blocks beyond its "
+          "sub-millisecond latch;")
+    print("the blocking method stalls every source access for the whole "
+          "copy; the")
+    print("trigger method doesn't block but inflates every transaction "
+          "that touches")
+    print("the source table (the maintenance work runs inside it).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""repro: Online, Non-blocking Relational Schema Changes.
+
+A faithful, self-contained reproduction of Løland & Hvasshovd,
+*Online, Non-blocking Relational Schema Changes* (EDBT 2006): a
+main-memory relational engine with ARIES-style logging and strict 2PL,
+and on top of it the paper's log-redo-based framework for performing
+full outer join and vertical split schema transformations without
+blocking concurrent user transactions.
+
+Quickstart::
+
+    from repro import Database, Session, TableSchema
+    from repro import FojSpec, FojTransformation
+
+    db = Database()
+    db.create_table(TableSchema("R", ["a", "b", "c"], primary_key=["a"]))
+    db.create_table(TableSchema("S", ["c", "d", "e"], primary_key=["c"]))
+    with Session(db) as s:
+        s.insert("R", {"a": 1, "b": "x", "c": 10})
+        s.insert("S", {"c": 10, "d": "d1", "e": "e1"})
+
+    spec = FojSpec.derive(db.table("R").schema, db.table("S").schema,
+                          target_name="T", join_attr_r="c", join_attr_s="c")
+    FojTransformation(db, spec).run()
+    print(db.table("T").row_count)
+
+See ``examples/`` for concurrent-workload scenarios and ``benchmarks/``
+for the reproduction of the paper's evaluation (Figure 4).
+"""
+
+from repro.common.errors import (
+    DeadlockError,
+    DuplicateKeyError,
+    InconsistentDataError,
+    LockWaitError,
+    NoSuchRowError,
+    NoSuchTableError,
+    ReproError,
+    SchemaError,
+    TransactionAbortedError,
+    TransformationAbortedError,
+    TransformationError,
+)
+from repro.engine import (
+    Database,
+    FuzzyScan,
+    Session,
+    bulk_load,
+    fuzzy_copy,
+    restart,
+)
+from repro.relational import (
+    FojSpec,
+    SplitSpec,
+    full_outer_join,
+    rows_equal,
+    split,
+)
+from repro.storage import (
+    Attribute,
+    FunctionalDependency,
+    TableSchema,
+)
+from repro.transform import (
+    FixedIterationsPolicy,
+    FojTransformation,
+    Many2ManyFojTransformation,
+    MaterializedFojView,
+    MergeSpec,
+    MergeTransformation,
+    PartitionSpec,
+    PartitionTransformation,
+    Phase,
+    RemainingRecordsPolicy,
+    SplitTransformation,
+    SyncStrategy,
+    add_attribute,
+    remove_attribute,
+    rename_attribute,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "Database",
+    "DeadlockError",
+    "DuplicateKeyError",
+    "FixedIterationsPolicy",
+    "FojSpec",
+    "FojTransformation",
+    "FunctionalDependency",
+    "FuzzyScan",
+    "InconsistentDataError",
+    "LockWaitError",
+    "Many2ManyFojTransformation",
+    "MaterializedFojView",
+    "MergeSpec",
+    "MergeTransformation",
+    "NoSuchRowError",
+    "NoSuchTableError",
+    "PartitionSpec",
+    "PartitionTransformation",
+    "Phase",
+    "RemainingRecordsPolicy",
+    "ReproError",
+    "SchemaError",
+    "Session",
+    "SplitSpec",
+    "SplitTransformation",
+    "SyncStrategy",
+    "TableSchema",
+    "TransactionAbortedError",
+    "TransformationAbortedError",
+    "TransformationError",
+    "add_attribute",
+    "bulk_load",
+    "full_outer_join",
+    "fuzzy_copy",
+    "remove_attribute",
+    "rename_attribute",
+    "restart",
+    "rows_equal",
+    "split",
+    "__version__",
+]

@@ -1,0 +1,9 @@
+"""Comparison baselines: blocking insert-into-select and trigger-based."""
+
+from repro.baselines.blocking import BlockingTransformation
+from repro.baselines.ronstrom import RonstromTransformation
+
+__all__ = [
+    "BlockingTransformation",
+    "RonstromTransformation",
+]

@@ -1,0 +1,186 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause.  The hierarchy is
+deliberately flat: one subclass per failure *category* (schema, storage,
+concurrency, transaction, transformation, recovery), with a handful of leaf
+classes for conditions callers commonly need to distinguish (deadlock,
+lock-wait, doomed transaction, data inconsistency).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+# ---------------------------------------------------------------------------
+# Schema / catalog errors
+# ---------------------------------------------------------------------------
+
+
+class SchemaError(ReproError):
+    """A table schema is malformed (bad attribute set, bad key, ...)."""
+
+
+class NoSuchTableError(SchemaError):
+    """An operation referenced a table that is not in the catalog."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"no such table: {name!r}")
+        self.table_name = name
+
+
+class DuplicateTableError(SchemaError):
+    """``CREATE TABLE`` collided with an existing table name."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"table already exists: {name!r}")
+        self.table_name = name
+
+
+class NoSuchIndexError(SchemaError):
+    """An operation referenced an index that does not exist on the table."""
+
+
+# ---------------------------------------------------------------------------
+# Storage errors
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for record-level storage failures."""
+
+
+class DuplicateKeyError(StorageError):
+    """An insert violated a unique (primary or candidate key) index."""
+
+    def __init__(self, table: str, key: tuple) -> None:
+        super().__init__(f"duplicate key {key!r} in table {table!r}")
+        self.table_name = table
+        self.key = key
+
+
+class NoSuchRowError(StorageError):
+    """A point operation addressed a primary key that is not present."""
+
+    def __init__(self, table: str, key: tuple) -> None:
+        super().__init__(f"no row with key {key!r} in table {table!r}")
+        self.table_name = table
+        self.key = key
+
+
+class ConstraintViolationError(StorageError):
+    """A declared constraint (e.g. NOT NULL) was violated by a write."""
+
+
+# ---------------------------------------------------------------------------
+# Concurrency errors
+# ---------------------------------------------------------------------------
+
+
+class ConcurrencyError(ReproError):
+    """Base class for lock-manager related failures."""
+
+
+class LockWaitError(ConcurrencyError):
+    """The requested lock or latch could not be granted immediately.
+
+    This is *not* a fatal error: the request has been enqueued (for locks) or
+    the waiter registered (for latches), and the caller must retry the same
+    operation once it is woken.  The simulator uses this exception to park
+    clients; the convenience :class:`~repro.engine.session.Session` treats it
+    as fatal because a single-threaded caller can never be woken.
+    """
+
+    def __init__(self, resource: object, txn_id: int) -> None:
+        super().__init__(f"transaction {txn_id} must wait for {resource!r}")
+        self.resource = resource
+        self.txn_id = txn_id
+
+
+class DeadlockError(ConcurrencyError):
+    """Granting the request would close a cycle in the wait-for graph.
+
+    The request has been withdrawn; the caller is expected to abort the
+    victim transaction and (optionally) retry it from the beginning.
+    """
+
+    def __init__(self, txn_id: int, cycle: tuple) -> None:
+        super().__init__(f"deadlock: transaction {txn_id} in cycle {cycle!r}")
+        self.txn_id = txn_id
+        self.cycle = cycle
+
+
+# ---------------------------------------------------------------------------
+# Transaction errors
+# ---------------------------------------------------------------------------
+
+
+class TransactionError(ReproError):
+    """Base class for transaction life-cycle violations."""
+
+
+class TransactionAbortedError(TransactionError):
+    """The transaction has been (or must now be) aborted.
+
+    Raised when an operation is attempted on a transaction that was doomed by
+    a non-blocking-abort synchronization, aborted as a deadlock victim, or
+    otherwise rolled back.
+    """
+
+    def __init__(self, txn_id: int, reason: str = "") -> None:
+        msg = f"transaction {txn_id} aborted"
+        if reason:
+            msg += f": {reason}"
+        super().__init__(msg)
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class TransactionStateError(TransactionError):
+    """An operation was attempted in an illegal transaction state."""
+
+
+# ---------------------------------------------------------------------------
+# Transformation errors
+# ---------------------------------------------------------------------------
+
+
+class TransformationError(ReproError):
+    """Base class for schema-transformation failures."""
+
+
+class TransformationAbortedError(TransformationError):
+    """The transformation was aborted (by the DBA or by policy)."""
+
+
+class TransformationStateError(TransformationError):
+    """A transformation step was invoked in the wrong phase."""
+
+
+class InconsistentDataError(TransformationError):
+    """A split transformation found a functional-dependency violation.
+
+    Section 5.1 (Example 1) of the paper: if two source rows share a split
+    value but disagree on the dependent attributes, the split cannot decide
+    which version is correct, and the transformation cannot complete until a
+    user transaction repairs the data.
+    """
+
+    def __init__(self, split_values: tuple) -> None:
+        super().__init__(
+            "source table is inconsistent for split value(s) "
+            f"{split_values!r}; repair the data before synchronizing"
+        )
+        self.split_values = split_values
+
+
+# ---------------------------------------------------------------------------
+# Recovery errors
+# ---------------------------------------------------------------------------
+
+
+class RecoveryError(ReproError):
+    """ARIES restart recovery could not complete."""

@@ -1,0 +1,32 @@
+"""Concurrency control: lock modes, lock manager, transactions."""
+
+from repro.concurrency.lock_manager import LockManager, LockRequest
+from repro.concurrency.locks import (
+    LockMode,
+    LockOrigin,
+    compatible,
+    figure2_compatible,
+    record_resource,
+    standard_compatible,
+    table_resource,
+)
+from repro.concurrency.transactions import (
+    Transaction,
+    TransactionManager,
+    TxnState,
+)
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "LockOrigin",
+    "LockRequest",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+    "compatible",
+    "figure2_compatible",
+    "record_resource",
+    "standard_compatible",
+    "table_resource",
+]

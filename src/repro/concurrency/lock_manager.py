@@ -1,0 +1,388 @@
+"""Lock manager: record/table locks, wait queues, deadlock detection, latches.
+
+The manager is synchronous and single-threaded (the reproduced prototype
+interleaves transactions at operation granularity).  A request that cannot
+be granted is *enqueued* and :class:`~repro.common.errors.LockWaitError` is
+raised; the caller parks the transaction and retries the same operation once
+:meth:`LockManager.release_all` (or an unlatch) reports the transaction as
+woken.  Retrying re-enters :meth:`acquire`, which recognizes the granted
+queued request.
+
+Deadlocks are detected eagerly at enqueue time with a wait-for-graph cycle
+check; the requester is the victim and its request is withdrawn.
+
+Table **latches** model the short exclusive pauses the transformation
+framework takes during synchronization (Section 3.4): while a table is
+latched, every record operation on it waits.  Latches are not owned by
+transactions and are not subject to deadlock detection (they are held for
+one bounded final propagation only).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.common.errors import DeadlockError, LockWaitError
+from repro.concurrency.locks import (
+    LockMode,
+    LockOrigin,
+    compatible,
+)
+
+
+@dataclass
+class LockRequest:
+    """One transaction's (granted or waiting) claim on a resource."""
+
+    txn_id: int
+    mode: LockMode
+    origin: LockOrigin = LockOrigin.NATIVE
+    granted: bool = False
+
+
+class _ResourceState:
+    """Granted set and FIFO wait queue for one resource."""
+
+    __slots__ = ("granted", "waiting")
+
+    def __init__(self) -> None:
+        self.granted: List[LockRequest] = []
+        self.waiting: Deque[LockRequest] = deque()
+
+    def granted_for(self, txn_id: int) -> Optional[LockRequest]:
+        for request in self.granted:
+            if request.txn_id == txn_id:
+                return request
+        return None
+
+    def waiting_for(self, txn_id: int) -> Optional[LockRequest]:
+        for request in self.waiting:
+            if request.txn_id == txn_id:
+                return request
+        return None
+
+    def empty(self) -> bool:
+        return not self.granted and not self.waiting
+
+
+class LockManager:
+    """All locks and latches of one database."""
+
+    def __init__(self) -> None:
+        self._resources: Dict[tuple, _ResourceState] = {}
+        self._txn_resources: Dict[int, Set[tuple]] = {}
+        #: Resources on which a transaction has an ungranted queued
+        #: request.  Must be purged on release_all: a request left behind
+        #: by an aborted transaction would later be granted to a dead
+        #: owner and starve every subsequent waiter.
+        self._txn_waiting: Dict[int, Set[tuple]] = {}
+        self._latches: Dict[str, str] = {}
+        self._latch_waiters: Dict[str, List[int]] = {}
+        #: Statistics: total waits, deadlocks (read by the simulator).
+        self.wait_count = 0
+        self.deadlock_count = 0
+
+    # -- lock acquisition ------------------------------------------------------
+
+    def acquire(self, txn_id: int, resource: tuple, mode: LockMode,
+                origin: LockOrigin = LockOrigin.NATIVE) -> None:
+        """Acquire (or wait for) ``mode`` on ``resource`` for ``txn_id``.
+
+        Returns normally once the lock is held.  If the lock cannot be
+        granted now, the request is enqueued and :class:`LockWaitError` is
+        raised; a retry after wake-up finds the granted request and returns.
+        Raises :class:`DeadlockError` (withdrawing the request) if waiting
+        would close a wait-for cycle.
+        """
+        state = self._resources.get(resource)
+        if state is None:
+            state = self._resources[resource] = _ResourceState()
+
+        own = state.granted_for(txn_id)
+        if own is not None:
+            if own.mode.covers(mode):
+                return
+            # Upgrade to the join of the held and requested modes.
+            upgraded = own.mode.join(mode)
+            others = [g for g in state.granted if g.txn_id != txn_id]
+            if all(compatible(g.mode, g.origin, upgraded, origin)
+                   for g in others):
+                own.mode = upgraded
+                own.origin = origin if origin.is_source else own.origin
+                return
+            waiter = state.waiting_for(txn_id)
+            if waiter is None:
+                waiter = LockRequest(txn_id, upgraded, origin)
+                state.waiting.appendleft(waiter)  # upgrades queue-jump
+                self._remember_waiting(txn_id, resource)
+            self._check_deadlock(txn_id, resource)
+            self.wait_count += 1
+            raise LockWaitError(resource, txn_id)
+
+        waiter = state.waiting_for(txn_id)
+        if waiter is not None:
+            if waiter.granted:
+                state.waiting.remove(waiter)
+                state.granted.append(waiter)
+                self._remember(txn_id, resource)
+                return
+            self._check_deadlock(txn_id, resource)
+            raise LockWaitError(resource, txn_id)
+
+        if self._grantable(state, mode, origin, txn_id):
+            state.granted.append(LockRequest(txn_id, mode, origin, True))
+            self._remember(txn_id, resource)
+            return
+
+        state.waiting.append(LockRequest(txn_id, mode, origin))
+        self._remember_waiting(txn_id, resource)
+        try:
+            self._check_deadlock(txn_id, resource)
+        except DeadlockError:
+            self._withdraw(state, txn_id)
+            self._forget_waiting(txn_id, resource)
+            raise
+        self.wait_count += 1
+        raise LockWaitError(resource, txn_id)
+
+    def try_acquire(self, txn_id: int, resource: tuple, mode: LockMode,
+                    origin: LockOrigin = LockOrigin.NATIVE) -> bool:
+        """Acquire without waiting; return False instead of enqueueing."""
+        state = self._resources.get(resource)
+        if state is None:
+            state = self._resources[resource] = _ResourceState()
+        own = state.granted_for(txn_id)
+        if own is not None and own.mode.covers(mode):
+            return True
+        if own is None and self._grantable(state, mode, origin, txn_id):
+            state.granted.append(LockRequest(txn_id, mode, origin, True))
+            self._remember(txn_id, resource)
+            return True
+        if own is not None:
+            upgraded = own.mode.join(mode)
+            others = [g for g in state.granted if g.txn_id != txn_id]
+            if all(compatible(g.mode, g.origin, upgraded, origin)
+                   for g in others):
+                own.mode = upgraded
+                return True
+        return False
+
+    def grant_direct(self, txn_id: int, resource: tuple, mode: LockMode,
+                     origin: LockOrigin) -> None:
+        """Install a lock without compatibility checking.
+
+        Used by the synchronization step to *materialize* the locks the
+        propagator maintained on the transformed tables during the
+        transformation (Section 3.3: "they are ignored for now").  By
+        construction, only mutually compatible source-origin locks are ever
+        materialized, and no native lock can exist yet because the
+        transformed table was not publicly visible.
+        """
+        state = self._resources.get(resource)
+        if state is None:
+            state = self._resources[resource] = _ResourceState()
+        own = state.granted_for(txn_id)
+        if own is not None:
+            own.mode = own.mode.join(mode)
+            own.origin = origin
+            return
+        state.granted.append(LockRequest(txn_id, mode, origin, True))
+        self._remember(txn_id, resource)
+
+    def _grantable(self, state: _ResourceState, mode: LockMode,
+                   origin: LockOrigin, txn_id: int) -> bool:
+        if any(not compatible(g.mode, g.origin, mode, origin)
+               for g in state.granted if g.txn_id != txn_id):
+            return False
+        # FIFO fairness: do not overtake existing waiters with a
+        # conflicting request.
+        for waiter in state.waiting:
+            if not compatible(waiter.mode, waiter.origin, mode, origin):
+                return False
+        return True
+
+    def _remember(self, txn_id: int, resource: tuple) -> None:
+        self._txn_resources.setdefault(txn_id, set()).add(resource)
+        self._forget_waiting(txn_id, resource)
+
+    def _remember_waiting(self, txn_id: int, resource: tuple) -> None:
+        self._txn_waiting.setdefault(txn_id, set()).add(resource)
+
+    def _forget_waiting(self, txn_id: int, resource: tuple) -> None:
+        waiting = self._txn_waiting.get(txn_id)
+        if waiting is not None:
+            waiting.discard(resource)
+            if not waiting:
+                del self._txn_waiting[txn_id]
+
+    def _withdraw(self, state: _ResourceState, txn_id: int) -> None:
+        waiter = state.waiting_for(txn_id)
+        if waiter is not None:
+            state.waiting.remove(waiter)
+
+    # -- release ------------------------------------------------------------------
+
+    def release(self, txn_id: int, resource: tuple) -> List[int]:
+        """Release one lock; returns ids of transactions woken by grants."""
+        state = self._resources.get(resource)
+        if state is None:
+            return []
+        own = state.granted_for(txn_id)
+        if own is not None:
+            state.granted.remove(own)
+        else:
+            self._withdraw(state, txn_id)
+            self._forget_waiting(txn_id, resource)
+        held = self._txn_resources.get(txn_id)
+        if held is not None:
+            held.discard(resource)
+        woken = self._promote(resource, state)
+        if state.empty():
+            self._resources.pop(resource, None)
+        return woken
+
+    def release_all(self, txn_id: int) -> List[int]:
+        """Release every lock of a transaction (end of strict 2PL).
+
+        Returns the ids of transactions whose queued requests became
+        granted; the caller (simulator or session driver) re-schedules them.
+        """
+        resources = self._txn_resources.pop(txn_id, set())
+        resources |= self._txn_waiting.pop(txn_id, set())
+        woken: List[int] = []
+        for resource in list(resources):
+            state = self._resources.get(resource)
+            if state is None:
+                continue
+            own = state.granted_for(txn_id)
+            if own is not None:
+                state.granted.remove(own)
+            self._withdraw(state, txn_id)
+            woken.extend(self._promote(resource, state))
+            if state.empty():
+                self._resources.pop(resource, None)
+        return woken
+
+    def _promote(self, resource: tuple, state: _ResourceState) -> List[int]:
+        """Grant queued requests now compatible, FIFO; return woken txns."""
+        woken: List[int] = []
+        changed = True
+        while changed:
+            changed = False
+            for waiter in list(state.waiting):
+                if all(compatible(g.mode, g.origin, waiter.mode,
+                                  waiter.origin)
+                       for g in state.granted
+                       if g.txn_id != waiter.txn_id):
+                    state.waiting.remove(waiter)
+                    own = state.granted_for(waiter.txn_id)
+                    if own is not None:
+                        own.mode = own.mode.join(waiter.mode)
+                    else:
+                        waiter.granted = True
+                        state.granted.append(waiter)
+                        self._remember(waiter.txn_id, resource)
+                    woken.append(waiter.txn_id)
+                    changed = True
+                else:
+                    break  # strict FIFO beyond the first blocked waiter
+        return woken
+
+    # -- introspection ----------------------------------------------------------------
+
+    def holders(self, resource: tuple) -> List[LockRequest]:
+        """Granted requests on a resource."""
+        state = self._resources.get(resource)
+        return list(state.granted) if state else []
+
+    def holds(self, txn_id: int, resource: tuple,
+              mode: Optional[LockMode] = None) -> bool:
+        """Whether the transaction holds (at least) ``mode`` on resource."""
+        state = self._resources.get(resource)
+        if state is None:
+            return False
+        own = state.granted_for(txn_id)
+        if own is None:
+            return False
+        return True if mode is None else own.mode.covers(mode)
+
+    def locks_of(self, txn_id: int) -> Set[tuple]:
+        """Resources on which the transaction holds locks."""
+        return set(self._txn_resources.get(txn_id, set()))
+
+    def waiting_txns(self) -> Set[int]:
+        """Ids of transactions with a queued (ungranted) request."""
+        result: Set[int] = set()
+        for state in self._resources.values():
+            for waiter in state.waiting:
+                if not waiter.granted:
+                    result.add(waiter.txn_id)
+        return result
+
+    # -- deadlock detection ------------------------------------------------------------
+
+    def _check_deadlock(self, txn_id: int, resource: tuple) -> None:
+        """Raise :class:`DeadlockError` if ``txn_id`` waiting closes a cycle."""
+        graph = self._wait_for_graph()
+        # DFS from txn_id looking for a path back to txn_id.
+        stack: List[Tuple[int, Tuple[int, ...]]] = [(txn_id, (txn_id,))]
+        seen: Set[int] = set()
+        while stack:
+            node, path = stack.pop()
+            for successor in graph.get(node, ()):  # holders node waits for
+                if successor == txn_id:
+                    self.deadlock_count += 1
+                    raise DeadlockError(txn_id, path)
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append((successor, path + (successor,)))
+
+    def _wait_for_graph(self) -> Dict[int, Set[int]]:
+        graph: Dict[int, Set[int]] = {}
+        for state in self._resources.values():
+            ahead: List[LockRequest] = list(state.granted)
+            for waiter in state.waiting:
+                if waiter.granted:
+                    ahead.append(waiter)
+                    continue
+                blockers = {
+                    other.txn_id
+                    for other in ahead
+                    if other.txn_id != waiter.txn_id
+                    and not compatible(other.mode, other.origin,
+                                       waiter.mode, waiter.origin)
+                }
+                if blockers:
+                    graph.setdefault(waiter.txn_id, set()).update(blockers)
+                ahead.append(waiter)
+        return graph
+
+    # -- table latches -----------------------------------------------------------------
+
+    def latch_table(self, table: str, owner: str) -> None:
+        """Take the exclusive table latch (transformation sync only)."""
+        current = self._latches.get(table)
+        if current is not None and current != owner:
+            raise LockWaitError(("latch", table), -1)
+        self._latches[table] = owner
+
+    def unlatch_table(self, table: str, owner: str) -> List[int]:
+        """Drop the latch; returns transaction ids waiting on it."""
+        if self._latches.get(table) == owner:
+            del self._latches[table]
+        return self._latch_waiters.pop(table, [])
+
+    def is_latched(self, table: str) -> bool:
+        """Whether the table is currently latched."""
+        return table in self._latches
+
+    def check_latch(self, table: str, txn_id: int) -> None:
+        """Raise :class:`LockWaitError` (and register the waiter) if latched."""
+        if table in self._latches:
+            waiters = self._latch_waiters.setdefault(table, [])
+            if txn_id not in waiters:
+                waiters.append(txn_id)
+            self.wait_count += 1
+            raise LockWaitError(("latch", table), txn_id)

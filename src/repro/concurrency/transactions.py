@@ -1,0 +1,157 @@
+"""Transactions and the active-transaction table.
+
+The transaction manager tracks life-cycle state and the per-transaction
+bookkeeping the rest of the system needs:
+
+* the **undo chain** head (``last_lsn``) and ``first_lsn``, used by rollback
+  and by the transformation framework: the begin fuzzy mark embeds the
+  identifiers of active transactions, and log propagation starts from "the
+  oldest log record of any transaction that was active when the first fuzzy
+  mark was written" (Section 3.3);
+* the set of **tables touched**, used by the synchronization strategies to
+  decide which transactions must drain (blocking commit), be aborted
+  (non-blocking abort) or be tracked to completion (non-blocking commit);
+* a **doomed** marker: a doomed transaction's next operation raises
+  :class:`~repro.common.errors.TransactionAbortedError`, which triggers its
+  rollback -- this is how non-blocking abort "forces" old transactions to
+  abort without ripping state out from under them mid-operation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.common.errors import TransactionStateError
+from repro.wal.records import NULL_LSN
+
+
+class TxnState(Enum):
+    """Life-cycle state of a transaction."""
+
+    ACTIVE = "active"
+    ROLLING_BACK = "rolling_back"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """A single transaction's control block."""
+
+    __slots__ = (
+        "txn_id", "state", "first_lsn", "last_lsn", "tables_touched",
+        "doomed", "doom_reason", "start_time",
+    )
+
+    def __init__(self, txn_id: int, start_time: float = 0.0) -> None:
+        self.txn_id = txn_id
+        self.state = TxnState.ACTIVE
+        self.first_lsn = NULL_LSN
+        self.last_lsn = NULL_LSN
+        self.tables_touched: Set[str] = set()
+        self.doomed = False
+        self.doom_reason = ""
+        self.start_time = start_time
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the transaction can still execute operations."""
+        return self.state is TxnState.ACTIVE
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether the transaction has reached a terminal state."""
+        return self.state in (TxnState.COMMITTED, TxnState.ABORTED)
+
+    def note_record(self, lsn: int) -> None:
+        """Record a newly appended log record in the undo chain."""
+        if self.first_lsn == NULL_LSN:
+            self.first_lsn = lsn
+        self.last_lsn = lsn
+
+    def doom(self, reason: str) -> None:
+        """Mark the transaction for forced abort at its next operation."""
+        if not self.is_finished:
+            self.doomed = True
+            self.doom_reason = reason
+
+    def __repr__(self) -> str:
+        flags = " doomed" if self.doomed else ""
+        return f"Txn({self.txn_id}, {self.state.value}{flags})"
+
+
+class TransactionManager:
+    """Allocates transaction ids and tracks all transaction control blocks."""
+
+    def __init__(self) -> None:
+        self._next_id = 1
+        self._txns: Dict[int, Transaction] = {}
+
+    def begin(self, start_time: float = 0.0) -> Transaction:
+        """Create a new active transaction."""
+        txn = Transaction(self._next_id, start_time)
+        self._next_id += 1
+        self._txns[txn.txn_id] = txn
+        return txn
+
+    def get(self, txn_id: int) -> Transaction:
+        """Control block by id."""
+        try:
+            return self._txns[txn_id]
+        except KeyError:
+            raise TransactionStateError(f"unknown transaction {txn_id}") \
+                from None
+
+    def exists(self, txn_id: int) -> bool:
+        """Whether the id is known (active or finished)."""
+        return txn_id in self._txns
+
+    # -- active-transaction-table queries -------------------------------------
+
+    def active_txns(self) -> List[Transaction]:
+        """All transactions not yet in a terminal state."""
+        return [t for t in self._txns.values() if not t.is_finished]
+
+    def active_ids(self) -> List[int]:
+        """Ids of all non-terminal transactions, ascending."""
+        return sorted(t.txn_id for t in self.active_txns())
+
+    def active_on(self, tables: Iterable[str]) -> List[Transaction]:
+        """Active transactions that have touched any of ``tables``.
+
+        This is the subset of the active-transaction table that a begin
+        fuzzy mark embeds (Section 3.2: "the transaction identifiers of all
+        transactions that are active on the source tables").
+        """
+        table_set = set(tables)
+        return [
+            t for t in self.active_txns()
+            if t.tables_touched & table_set
+        ]
+
+    def oldest_first_lsn(self, txn_ids: Iterable[int]) -> int:
+        """Smallest ``first_lsn`` among the given transactions.
+
+        Returns ``NULL_LSN`` if none of them has logged anything -- the
+        propagation start point then falls back to the fuzzy mark itself.
+        """
+        lsns = [
+            self._txns[i].first_lsn
+            for i in txn_ids
+            if i in self._txns and self._txns[i].first_lsn != NULL_LSN
+        ]
+        return min(lsns) if lsns else NULL_LSN
+
+    def doom_transactions(self, txn_ids: Iterable[int], reason: str) -> None:
+        """Doom every listed transaction (non-blocking abort sync)."""
+        for txn_id in txn_ids:
+            txn = self._txns.get(txn_id)
+            if txn is not None:
+                txn.doom(reason)
+
+    def forget_finished(self, keep_last: int = 1000) -> None:
+        """Garbage-collect old terminal control blocks (long simulations)."""
+        finished = [i for i, t in self._txns.items() if t.is_finished]
+        if len(finished) > keep_last:
+            for txn_id in sorted(finished)[:-keep_last]:
+                del self._txns[txn_id]

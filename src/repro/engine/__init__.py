@@ -1,0 +1,17 @@
+"""Execution engine: database facade, sessions, fuzzy scans, recovery."""
+
+from repro.engine.database import Database
+from repro.engine.fuzzy import FuzzyScan, apply_log_with_lsn_guard, fuzzy_copy
+from repro.engine.recovery import register_rebuilder, restart
+from repro.engine.session import Session, bulk_load
+
+__all__ = [
+    "Database",
+    "FuzzyScan",
+    "Session",
+    "apply_log_with_lsn_guard",
+    "bulk_load",
+    "fuzzy_copy",
+    "register_rebuilder",
+    "restart",
+]

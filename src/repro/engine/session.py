@@ -1,0 +1,83 @@
+"""Ergonomic single-threaded sessions over :class:`Database`.
+
+A :class:`Session` wraps one transaction in a context manager::
+
+    with Session(db) as s:
+        s.insert("customer", {"id": 1, "name": "Peter"})
+        s.update("customer", (1,), {"name": "Petra"})
+    # committed here; rolled back if the block raised
+
+Sessions are for tests, examples and scripts -- single-threaded callers for
+whom a lock wait can never resolve.  The interleaved multi-client execution
+the paper evaluates is driven by :mod:`repro.sim` instead, which handles
+:class:`~repro.common.errors.LockWaitError` by parking clients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.concurrency.transactions import Transaction
+from repro.engine.database import Database
+
+
+class Session:
+    """One transaction bound to a database, with auto commit/rollback."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.txn: Optional[Transaction] = None
+
+    # -- context management -----------------------------------------------
+
+    def __enter__(self) -> "Session":
+        self.txn = self.db.begin()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self.txn is not None
+        if exc_type is None:
+            self.db.commit(self.txn)
+        elif not self.txn.is_finished:
+            self.db.abort(self.txn)
+        self.txn = None
+        return False
+
+    # -- operations ----------------------------------------------------------
+
+    def _require_txn(self) -> Transaction:
+        if self.txn is None:
+            raise RuntimeError("session used outside its `with` block")
+        return self.txn
+
+    def insert(self, table: str, values: Mapping[str, object]) -> Tuple:
+        """Insert a row; returns its primary key."""
+        return self.db.insert(self._require_txn(), table, values)
+
+    def delete(self, table: str, key: Tuple) -> None:
+        """Delete a row by primary key."""
+        self.db.delete(self._require_txn(), table, key)
+
+    def update(self, table: str, key: Tuple,
+               changes: Mapping[str, object]) -> None:
+        """Update non-key attributes of a row."""
+        self.db.update(self._require_txn(), table, key, changes)
+
+    def read(self, table: str, key: Tuple) -> Optional[Dict[str, object]]:
+        """Read a row under a shared lock."""
+        return self.db.read(self._require_txn(), table, key)
+
+    def read_index(self, table: str, index: str,
+                   key: Tuple) -> List[Dict[str, object]]:
+        """Read all rows matching an index key."""
+        return self.db.read_index(self._require_txn(), table, index, key)
+
+
+def bulk_load(db: Database, table: str,
+              rows: List[Mapping[str, object]],
+              batch_size: int = 1000) -> None:
+    """Load many rows in committed batches (test/benchmark fixture helper)."""
+    for start in range(0, len(rows), batch_size):
+        with Session(db) as s:
+            for values in rows[start:start + batch_size]:
+                s.insert(table, values)

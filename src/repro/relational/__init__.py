@@ -1,0 +1,18 @@
+"""Relational operator specifications and oracle evaluations."""
+
+from repro.relational.operators import (
+    full_outer_join,
+    normalize_rows,
+    rows_equal,
+    split,
+)
+from repro.relational.spec import FojSpec, SplitSpec
+
+__all__ = [
+    "FojSpec",
+    "SplitSpec",
+    "full_outer_join",
+    "normalize_rows",
+    "rows_equal",
+    "split",
+]

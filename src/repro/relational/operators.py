@@ -1,0 +1,132 @@
+"""Reference (oracle) evaluation of the FOJ and split operators.
+
+These functions compute the operators on *consistent snapshots* of plain
+row dictionaries.  They serve three roles:
+
+* the **initial population** step applies them to the fuzzily read source
+  buffers (Section 3.2: "the transformation operator is applied and the
+  result ... is inserted into the transformed tables");
+* restart **recovery** recomputes published tables at a swap point;
+* the **test suite** uses them as the convergence oracle for Theorem 1:
+  after final propagation, the transformed tables must equal the operator
+  applied to the final source state.
+
+NULL join values follow SQL semantics: they never match, so a row with a
+NULL join attribute is joined with the opposite NULL record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.common.errors import InconsistentDataError
+from repro.relational.spec import FojSpec, SplitSpec
+
+RowDict = Dict[str, object]
+
+
+def full_outer_join(spec: FojSpec, r_rows: Iterable[RowDict],
+                    s_rows: Iterable[RowDict]) -> List[RowDict]:
+    """Full outer join of two row collections per ``spec``.
+
+    Rows without a join match on the opposite side are joined with the
+    R-/S- NULL record, exactly as in the paper's Figure 1.  Works for both
+    one-to-many and many-to-many data (the operator itself is agnostic;
+    only the propagation rules differ).
+    """
+    s_by_join: Dict[object, List[RowDict]] = {}
+    for s in s_rows:
+        value = s.get(spec.join_attr_s)
+        s_by_join.setdefault(value, []).append(s)
+
+    result: List[RowDict] = []
+    matched_s: set = set()
+    for r in r_rows:
+        value = r.get(spec.join_attr_r)
+        matches = s_by_join.get(value, []) if value is not None else []
+        if matches:
+            matched_s.add(value)
+            for s in matches:
+                row = spec.r_part(r)
+                row.update(spec.s_part(s))
+                result.append(row)
+        else:
+            row = spec.r_part(r)
+            row.update(spec.null_s_part())
+            result.append(row)
+
+    for value, group in s_by_join.items():
+        # NULL join values on the S side never match anything, so those
+        # rows are always unmatched; non-NULL values are unmatched only if
+        # no R row joined them.
+        if value is not None and value in matched_s:
+            continue
+        for s in group:
+            row = spec.null_r_part()
+            row[spec.join_column] = value
+            row.update(spec.s_part(s))
+            result.append(row)
+    return result
+
+
+def split(spec: SplitSpec, t_rows: Iterable[RowDict],
+          strict: bool = True) -> Tuple[List[RowDict], List[RowDict],
+                                        Dict[Tuple, int], List[Tuple]]:
+    """Vertical split of a row collection per ``spec``.
+
+    Returns ``(r_rows, s_rows, counters, inconsistent)`` where ``counters``
+    maps each split value to the number of contributing source rows (the
+    paper's duplicate counter, after Gupta et al.) and ``inconsistent``
+    lists split values whose contributors disagree on the dependent
+    attributes (the paper's Example 1).
+
+    Args:
+        spec: The split specification.
+        t_rows: Source rows.
+        strict: If true, raise :class:`InconsistentDataError` when any
+            split value is inconsistent (split of consistent data,
+            Section 5.2); if false, return them for the consistency
+            checker to deal with (Section 5.3) -- the S image of an
+            inconsistent value is taken from its first contributor.
+    """
+    r_rows: List[RowDict] = []
+    s_by_value: Dict[Tuple, RowDict] = {}
+    counters: Dict[Tuple, int] = {}
+    inconsistent: List[Tuple] = []
+
+    for t in t_rows:
+        r_rows.append(spec.r_part(t))
+        value = spec.split_value(t)
+        if value[0] is None:
+            # The split attribute must identify an S record (candidate key
+            # of S, Section 5): NULL can never do that.
+            raise InconsistentDataError((value,))
+        s_image = spec.s_part(t)
+        existing = s_by_value.get(value)
+        if existing is None:
+            s_by_value[value] = s_image
+            counters[value] = 1
+        else:
+            counters[value] += 1
+            if existing != s_image and value not in inconsistent:
+                inconsistent.append(value)
+
+    if strict and inconsistent:
+        raise InconsistentDataError(tuple(sorted(inconsistent)))
+    return r_rows, list(s_by_value.values()), counters, inconsistent
+
+
+def normalize_rows(rows: Iterable[RowDict]) -> List[Tuple]:
+    """Canonical multiset form of row dicts, for order-insensitive compare.
+
+    Each row becomes a tuple of (attr, value) pairs sorted by attribute
+    name; the list is sorted by string rendering so heterogeneous value
+    types do not break comparison.
+    """
+    canon = [tuple(sorted(r.items(), key=lambda kv: kv[0])) for r in rows]
+    return sorted(canon, key=repr)
+
+
+def rows_equal(a: Iterable[RowDict], b: Iterable[RowDict]) -> bool:
+    """Whether two row collections are equal as multisets."""
+    return normalize_rows(a) == normalize_rows(b)

@@ -1,0 +1,275 @@
+"""Declarative specifications of the FOJ and split operators.
+
+A spec captures everything needed to (a) derive the transformed tables'
+schemas, (b) evaluate the operator on consistent data (the oracle in
+:mod:`repro.relational.operators`), and (c) drive the propagation rules.
+Specs are plain frozen value objects shared by the transformation
+framework, the baselines, the recovery rebuilders and the test oracles.
+
+Naming conventions follow the paper (Sections 4-5): a full outer join
+transforms source tables *R* and *S* into *T* on a join attribute; a split
+transforms *T* into *R* and *S* on a split attribute.  The join/split
+attribute appears **once** in the joined table, named after R's join
+attribute (as in the paper's Figure 1, where R.c joins S.c into T.c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.common.errors import SchemaError
+from repro.storage.schema import TableSchema
+
+
+@dataclass(frozen=True)
+class FojSpec:
+    """Specification of a full outer join transformation (Section 4).
+
+    Attributes:
+        target_name: Name of the transformed table T (its internal name
+            during the transformation; it may be published under another
+            name at synchronization).
+        r_name: Name of source table R (whose key becomes T's key in the
+            one-to-many case).
+        s_name: Name of source table S (whose join attribute is unique in
+            the one-to-many case).
+        join_attr_r: R's join attribute.
+        join_attr_s: S's join attribute.
+        r_attrs: Attributes of R included in T (must contain R's key and
+            the join attribute).  They keep their R names in T.
+        s_attrs: Attributes of S included in T, *excluding* S's join
+            attribute (represented in T by the shared join column).
+        s_key: Attributes identifying an S record, as named **in T**: S's
+            candidate-key attributes, with the join attribute spelled as
+            the join column.  Section 3.1 requires a candidate key of each
+            source table in the transformed table.
+        r_key: Attributes identifying an R record in T (R's primary key).
+        many_to_many: ``True`` when S's join attribute is not unique; T's
+            key is then (r_key + s_key) and the modified rules of
+            Section 4.2's sketch apply.
+    """
+
+    target_name: str
+    r_name: str
+    s_name: str
+    join_attr_r: str
+    join_attr_s: str
+    r_attrs: Tuple[str, ...]
+    s_attrs: Tuple[str, ...]
+    r_key: Tuple[str, ...]
+    s_key: Tuple[str, ...]
+    many_to_many: bool = False
+
+    @property
+    def join_column(self) -> str:
+        """Name of the shared join column in T (R's join attribute name)."""
+        return self.join_attr_r
+
+    @property
+    def target_key(self) -> Tuple[str, ...]:
+        """Primary key of T: R's key, or R-key + S-key for many-to-many."""
+        if self.many_to_many:
+            return tuple(self.r_key) + tuple(
+                a for a in self.s_key if a not in self.r_key)
+        return tuple(self.r_key)
+
+    @property
+    def target_columns(self) -> Tuple[str, ...]:
+        """All columns of T, R side first."""
+        return tuple(self.r_attrs) + tuple(self.s_attrs)
+
+    @staticmethod
+    def derive(r_schema: TableSchema, s_schema: TableSchema,
+               target_name: str, join_attr_r: str, join_attr_s: str,
+               r_attrs: Optional[Sequence[str]] = None,
+               s_attrs: Optional[Sequence[str]] = None,
+               many_to_many: bool = False) -> "FojSpec":
+        """Build a spec from source schemas with sensible defaults.
+
+        Defaults include *all* attributes of both sources.  Validates the
+        paper's preparation-step requirements (Section 3.1): T must carry a
+        candidate key of each source plus the join attributes.
+        """
+        if not r_schema.has_attribute(join_attr_r):
+            raise SchemaError(f"{r_schema.name!r} has no {join_attr_r!r}")
+        if not s_schema.has_attribute(join_attr_s):
+            raise SchemaError(f"{s_schema.name!r} has no {join_attr_s!r}")
+
+        r_cols = tuple(r_attrs) if r_attrs is not None \
+            else r_schema.attribute_names
+        if join_attr_r not in r_cols:
+            r_cols = r_cols + (join_attr_r,)
+        for col in r_schema.primary_key:
+            if col not in r_cols:
+                raise SchemaError(
+                    f"T must include R's key attribute {col!r} (Section 3.1)")
+
+        s_cols = tuple(s_attrs) if s_attrs is not None else tuple(
+            a for a in s_schema.attribute_names if a != join_attr_s)
+        s_cols = tuple(a for a in s_cols if a != join_attr_s)
+
+        overlap = set(r_cols) & set(s_cols)
+        if overlap:
+            raise SchemaError(
+                f"attributes {sorted(overlap)} exist in both sources; "
+                "project or rename before joining")
+
+        # S's identifying attributes as named in T.
+        s_key_in_t = []
+        for col in s_schema.primary_key:
+            if col == join_attr_s:
+                s_key_in_t.append(join_attr_r)
+            elif col in s_cols:
+                s_key_in_t.append(col)
+            else:
+                raise SchemaError(
+                    f"T must include S's key attribute {col!r} (Section 3.1)")
+
+        return FojSpec(
+            target_name=target_name,
+            r_name=r_schema.name,
+            s_name=s_schema.name,
+            join_attr_r=join_attr_r,
+            join_attr_s=join_attr_s,
+            r_attrs=r_cols,
+            s_attrs=s_cols,
+            r_key=r_schema.primary_key,
+            s_key=tuple(s_key_in_t),
+            many_to_many=many_to_many,
+        )
+
+    def target_schema(self) -> TableSchema:
+        """Schema of the transformed table T."""
+        return TableSchema(self.target_name, list(self.target_columns),
+                           primary_key=self.target_key)
+
+    # -- row plumbing ----------------------------------------------------------
+
+    def r_part(self, r_values: Dict[str, object]) -> Dict[str, object]:
+        """Project an R row onto its T columns."""
+        return {a: r_values.get(a) for a in self.r_attrs}
+
+    def s_part(self, s_values: Dict[str, object]) -> Dict[str, object]:
+        """Project an S row onto its T columns (join value excluded)."""
+        return {a: s_values.get(a) for a in self.s_attrs}
+
+    def null_r_part(self) -> Dict[str, object]:
+        """The ``rnull`` record: all R-side columns NULL (Section 4.1)."""
+        return {a: None for a in self.r_attrs}
+
+    def null_s_part(self) -> Dict[str, object]:
+        """The ``snull`` record: all S-side columns NULL (Section 4.1)."""
+        return {a: None for a in self.s_attrs}
+
+    def s_part_of_t(self, t_values: Dict[str, object]) -> Dict[str, object]:
+        """Extract the S-side columns from an existing T row."""
+        return {a: t_values.get(a) for a in self.s_attrs}
+
+    def r_part_of_t(self, t_values: Dict[str, object]) -> Dict[str, object]:
+        """Extract the R-side columns from an existing T row."""
+        return {a: t_values.get(a) for a in self.r_attrs}
+
+
+@dataclass(frozen=True)
+class SplitSpec:
+    """Specification of a vertical split transformation (Section 5).
+
+    Attributes:
+        source_name: Name of the source table T.
+        r_name: Name of the first target table R (keeps T's primary key).
+        s_name: Name of the second target table S (keyed by the split
+            attribute).
+        split_attr: The attribute T is split on.  It appears in both R (as
+            the link to S) and S (as its key).  The paper requires it to be
+            a candidate key of S; for readability it is S's primary key
+            here, as in the paper's presentation.
+        r_attrs: Attributes of T going to R (must include T's key and the
+            split attribute).
+        s_attrs: Attributes of T going to S (must include the split
+            attribute).
+        r_key: R's primary key (= T's primary key).
+    """
+
+    source_name: str
+    r_name: str
+    s_name: str
+    split_attr: str
+    r_attrs: Tuple[str, ...]
+    s_attrs: Tuple[str, ...]
+    r_key: Tuple[str, ...]
+
+    @property
+    def s_key(self) -> Tuple[str, ...]:
+        """S's primary key: the split attribute."""
+        return (self.split_attr,)
+
+    @property
+    def s_dependent_attrs(self) -> Tuple[str, ...]:
+        """S attributes functionally determined by the split attribute."""
+        return tuple(a for a in self.s_attrs if a != self.split_attr)
+
+    @staticmethod
+    def derive(t_schema: TableSchema, r_name: str, s_name: str,
+               split_attr: str,
+               s_attrs: Sequence[str],
+               r_attrs: Optional[Sequence[str]] = None) -> "SplitSpec":
+        """Build a spec from the source schema.
+
+        ``s_attrs`` lists the columns moving to S (the split attribute is
+        added if omitted); ``r_attrs`` defaults to everything else plus the
+        key and the split attribute.
+        """
+        if not t_schema.has_attribute(split_attr):
+            raise SchemaError(f"{t_schema.name!r} has no {split_attr!r}")
+        s_cols = tuple(s_attrs)
+        if split_attr not in s_cols:
+            s_cols = (split_attr,) + s_cols
+        for col in s_cols:
+            if not t_schema.has_attribute(col):
+                raise SchemaError(f"{t_schema.name!r} has no {col!r}")
+        if r_attrs is None:
+            r_cols = tuple(
+                a for a in t_schema.attribute_names
+                if a == split_attr or a not in s_cols)
+        else:
+            r_cols = tuple(r_attrs)
+            if split_attr not in r_cols:
+                r_cols = r_cols + (split_attr,)
+        for col in t_schema.primary_key:
+            if col not in r_cols:
+                raise SchemaError(
+                    f"R must include T's key attribute {col!r} (Section 3.1)")
+        return SplitSpec(
+            source_name=t_schema.name,
+            r_name=r_name,
+            s_name=s_name,
+            split_attr=split_attr,
+            r_attrs=r_cols,
+            s_attrs=s_cols,
+            r_key=t_schema.primary_key,
+        )
+
+    def r_schema(self) -> TableSchema:
+        """Schema of target table R."""
+        return TableSchema(self.r_name, list(self.r_attrs),
+                           primary_key=self.r_key)
+
+    def s_schema(self) -> TableSchema:
+        """Schema of target table S."""
+        return TableSchema(self.s_name, list(self.s_attrs),
+                           primary_key=self.s_key)
+
+    # -- row plumbing -------------------------------------------------------------
+
+    def r_part(self, t_values: Dict[str, object]) -> Dict[str, object]:
+        """Project a T row onto R's columns."""
+        return {a: t_values.get(a) for a in self.r_attrs}
+
+    def s_part(self, t_values: Dict[str, object]) -> Dict[str, object]:
+        """Project a T row onto S's columns."""
+        return {a: t_values.get(a) for a in self.s_attrs}
+
+    def split_value(self, values: Dict[str, object]) -> Tuple:
+        """The split-attribute key tuple of a row image."""
+        return (values.get(self.split_attr),)

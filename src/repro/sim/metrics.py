@@ -1,0 +1,127 @@
+"""Throughput and response-time collection.
+
+The paper reports *relative* throughput and response time: performance
+during the schema change divided by performance without it, at the same
+workload.  The collector therefore measures absolute numbers over an
+explicit window; :mod:`repro.sim.experiments` pairs a baseline run with a
+treatment run and forms the ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class MetricsCollector:
+    """Records transaction completions inside a measurement window."""
+
+    def __init__(self) -> None:
+        self.window_start: Optional[float] = None
+        self.window_end: Optional[float] = None
+        self._responses: List[float] = []
+        self.committed = 0
+        self.aborted = 0
+        self.deadlocks = 0
+        self.total_committed = 0
+
+    # -- window control -----------------------------------------------------
+
+    def open_window(self, now: float) -> None:
+        """Start measuring; transactions *started* after this count."""
+        if self.window_start is None:
+            self.window_start = now
+
+    def close_window(self, now: float) -> None:
+        """Stop measuring."""
+        if self.window_start is not None and self.window_end is None:
+            self.window_end = now
+
+    @property
+    def window_open(self) -> bool:
+        """Whether a window is currently collecting."""
+        return self.window_start is not None and self.window_end is None
+
+    def window_length(self) -> float:
+        """Length of the (closed) measurement window."""
+        if self.window_start is None or self.window_end is None:
+            return 0.0
+        return self.window_end - self.window_start
+
+    # -- recording --------------------------------------------------------------
+
+    def record_txn(self, start: float, end: float) -> None:
+        """One committed transaction (client-observed start/end times).
+
+        Every completion inside the window counts toward throughput;
+        response times are only recorded for transactions that started
+        inside it (so in-flight warmup transactions do not skew them).
+        """
+        self.total_committed += 1
+        if self.window_open:
+            self.committed += 1
+            if start >= self.window_start:
+                self._responses.append(end - start)
+
+    def record_abort(self, deadlock: bool = False) -> None:
+        """One aborted transaction attempt."""
+        if self.window_open:
+            self.aborted += 1
+            if deadlock:
+                self.deadlocks += 1
+
+    # -- results ------------------------------------------------------------------
+
+    def throughput(self) -> float:
+        """Committed transactions per millisecond inside the window."""
+        length = self.window_length()
+        return self.committed / length if length > 0 else 0.0
+
+    def mean_response(self) -> float:
+        """Mean response time (ms) of window transactions."""
+        if not self._responses:
+            return 0.0
+        return sum(self._responses) / len(self._responses)
+
+    def percentile_response(self, pct: float) -> float:
+        """Response-time percentile (ms) of window transactions."""
+        if not self._responses:
+            return 0.0
+        ordered = sorted(self._responses)
+        index = min(len(ordered) - 1,
+                    max(0, int(round(pct / 100.0 * (len(ordered) - 1)))))
+        return ordered[index]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    throughput: float
+    mean_response: float
+    p95_response: float
+    committed: int
+    aborted: int
+    #: Whether/when the background transformation completed (virtual ms
+    #: from its attachment); ``None`` if it never finished.
+    completion_time: Optional[float] = None
+    #: Total virtual time the source tables spent latched/blocked.
+    blocked_time: float = 0.0
+    #: Extra details (phase the window measured, priority used, ...).
+    info: dict = field(default_factory=dict)
+
+
+@dataclass
+class RelativeResult:
+    """Treatment-over-baseline ratios, the paper's reporting unit."""
+
+    workload_pct: float
+    relative_throughput: float
+    relative_response: float
+    baseline: RunResult
+    treatment: RunResult
+
+    def __str__(self) -> str:
+        return (f"workload {self.workload_pct:5.1f}%: "
+                f"rel-throughput {self.relative_throughput:.4f}, "
+                f"rel-response {self.relative_response:.4f}")

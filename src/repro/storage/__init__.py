@@ -1,0 +1,19 @@
+"""Storage layer: schemas, rows, hash indexes, heap tables and the catalog."""
+
+from repro.storage.catalog import Catalog
+from repro.storage.index import HashIndex, index_key
+from repro.storage.row import Row
+from repro.storage.schema import Attribute, FunctionalDependency, TableSchema
+from repro.storage.table import PRIMARY_INDEX, Table
+
+__all__ = [
+    "Attribute",
+    "Catalog",
+    "FunctionalDependency",
+    "HashIndex",
+    "PRIMARY_INDEX",
+    "Row",
+    "Table",
+    "TableSchema",
+    "index_key",
+]

@@ -1,0 +1,170 @@
+"""The schema catalog: name -> table mapping plus visibility states.
+
+Besides ordinary create/drop/rename, the catalog supports what the
+synchronization step of the transformation framework needs (Section 3.4):
+
+* **atomic swaps** -- in one step, source tables disappear under their
+  public names and transformed tables appear under theirs;
+* **zombie tables** -- with the two *non-blocking* synchronization
+  strategies, transactions that were active on the source tables keep
+  running (until aborted, or to completion with non-blocking commit) after
+  the swap.  Their tables are moved to a hidden *zombie* namespace that only
+  those old transactions can still resolve;
+* **blocked tables** -- the *blocking commit* strategy blocks new
+  transactions from the involved tables while draining old ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.common.errors import (
+    DuplicateTableError,
+    NoSuchTableError,
+    SchemaError,
+)
+from repro.storage.schema import TableSchema
+from repro.storage.table import Table
+
+
+class Catalog:
+    """All tables of a database, by name."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._zombies: Dict[str, Table] = {}
+        self._blocked: Set[str] = set()
+
+    # -- basic DDL -------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create an empty table from ``schema`` and register it."""
+        if schema.name in self._tables or schema.name in self._zombies:
+            raise DuplicateTableError(schema.name)
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def add_table(self, table: Table) -> None:
+        """Register an already-built table object under its current name."""
+        if table.name in self._tables or table.name in self._zombies:
+            raise DuplicateTableError(table.name)
+        self._tables[table.name] = table
+
+    def drop_table(self, name: str) -> Table:
+        """Remove a table; returns the detached object."""
+        table = self._tables.pop(name, None)
+        if table is None:
+            raise NoSuchTableError(name)
+        self._blocked.discard(name)
+        return table
+
+    def rename_table(self, old: str, new: str) -> Table:
+        """Rename a visible table."""
+        if new in self._tables or new in self._zombies:
+            raise DuplicateTableError(new)
+        table = self.get(old)
+        del self._tables[old]
+        table.rename(new)
+        self._tables[new] = table
+        return table
+
+    # -- lookup -------------------------------------------------------------------
+
+    def get(self, name: str) -> Table:
+        """Visible table by name."""
+        table = self._tables.get(name)
+        if table is None:
+            raise NoSuchTableError(name)
+        return table
+
+    def get_any(self, name: str) -> Table:
+        """Table by name, searching zombies too (old-transaction access)."""
+        table = self._tables.get(name)
+        if table is None:
+            table = self._zombies.get(name)
+        if table is None:
+            raise NoSuchTableError(name)
+        return table
+
+    def exists(self, name: str) -> bool:
+        """Whether a visible table with this name exists."""
+        return name in self._tables
+
+    def is_zombie(self, name: str) -> bool:
+        """Whether this name refers to a zombie (post-swap source) table."""
+        return name in self._zombies
+
+    def table_names(self) -> List[str]:
+        """Sorted names of all visible tables."""
+        return sorted(self._tables)
+
+    def zombie_names(self) -> List[str]:
+        """Sorted names of all zombie tables."""
+        return sorted(self._zombies)
+
+    # -- blocking (blocking-commit synchronization) ----------------------------------
+
+    def block(self, names: Iterable[str]) -> None:
+        """Mark tables as blocked for *new* transactions."""
+        for name in names:
+            if name not in self._tables:
+                raise NoSuchTableError(name)
+            self._blocked.add(name)
+
+    def unblock(self, names: Iterable[str]) -> None:
+        """Lift the blocked mark."""
+        for name in names:
+            self._blocked.discard(name)
+
+    def is_blocked(self, name: str) -> bool:
+        """Whether the table currently rejects new transactions."""
+        return name in self._blocked
+
+    # -- transformation swap ------------------------------------------------------------
+
+    def swap(self, retire: Iterable[str], publish: Dict[str, Table],
+             keep_zombies: bool) -> None:
+        """Atomically retire source tables and publish transformed ones.
+
+        Args:
+            retire: Names of the source tables to remove from the visible
+                namespace.
+            publish: Mapping of public name to (already populated)
+                transformed table; each table is renamed to its public name.
+            keep_zombies: If true, retired tables stay reachable through
+                :meth:`get_any` for transactions that were already active on
+                them (non-blocking strategies); if false they are dropped
+                outright (blocking commit, where no such transaction exists).
+        """
+        retire_list = list(retire)
+        for name in retire_list:
+            if name not in self._tables:
+                raise NoSuchTableError(name)
+        for public, table in publish.items():
+            existing = self._tables.get(public)
+            if existing is not None and existing is not table \
+                    and public not in retire_list:
+                raise DuplicateTableError(public)
+        for name in retire_list:
+            table = self._tables.pop(name)
+            self._blocked.discard(name)
+            if keep_zombies:
+                self._zombies[name] = table
+        for public, table in publish.items():
+            if table.name != public:
+                # The table was built under an internal working name;
+                # publish it under its public one.
+                self._tables.pop(table.name, None)
+                table.rename(public)
+            self._tables[public] = table
+
+    def drop_zombie(self, name: str) -> None:
+        """Discard a zombie table once no old transaction can touch it."""
+        self._zombies.pop(name, None)
+
+    def __repr__(self) -> str:
+        names = ", ".join(self.table_names())
+        zombies = ", ".join(self.zombie_names())
+        extra = f" zombies=[{zombies}]" if zombies else ""
+        return f"Catalog([{names}]{extra})"

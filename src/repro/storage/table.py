@@ -1,0 +1,273 @@
+"""Heap tables: rowid-addressed row storage with maintained hash indexes.
+
+A table stores rows in a dict keyed by rowid (insertion-ordered, which gives
+scans a stable physical order and lets rows inserted *during* a fuzzy scan
+appear behind the cursor).  A unique primary index over the schema's
+primary-key attributes is always maintained; secondary indexes can be added
+at any time and are backfilled from existing rows.
+
+All methods here are *physical*: no locking, no logging, no transaction
+awareness.  The execution engine (:mod:`repro.engine.database`) layers
+locking and WAL on top for user transactions; the transformation framework
+calls these methods directly when redoing the log onto transformed tables,
+because redo is not a user transaction (Section 3.3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.errors import (
+    DuplicateKeyError,
+    NoSuchIndexError,
+    NoSuchRowError,
+    SchemaError,
+)
+from repro.storage.index import HashIndex, index_key
+from repro.storage.row import Row
+from repro.storage.schema import TableSchema
+from repro.wal.records import NULL_LSN
+
+#: Name of the always-present unique index over the primary-key attributes.
+PRIMARY_INDEX = "__primary__"
+
+
+class Table:
+    """A stored table: schema + rows + indexes.
+
+    Args:
+        schema: The table's schema.  A unique primary index over
+            ``schema.primary_key`` is created immediately.
+    """
+
+    _uid_counter = 0
+
+    def __init__(self, schema: TableSchema) -> None:
+        Table._uid_counter += 1
+        #: Stable physical identity, independent of renames; lock-manager
+        #: resources are keyed by uid so locks survive the catalog swap.
+        self.uid: int = Table._uid_counter
+        self.schema = schema
+        self.rows: Dict[int, Row] = {}
+        self.indexes: Dict[str, HashIndex] = {}
+        self._primary = HashIndex(
+            PRIMARY_INDEX, schema.primary_key, unique=True,
+            table_name=schema.name,
+        )
+        self.indexes[PRIMARY_INDEX] = self._primary
+        for i, ck in enumerate(schema.candidate_keys):
+            self.create_index(f"__ck{i}__", ck, unique=True)
+
+    # -- naming ---------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Current table name (tracks catalog renames via the schema)."""
+        return self.schema.name
+
+    def rename(self, new_name: str) -> None:
+        """Rename the table (schema object is replaced)."""
+        self.schema = self.schema.rename(new_name)
+        for index in self.indexes.values():
+            index.table_name = new_name
+
+    # -- index management -------------------------------------------------------
+
+    def create_index(self, name: str, attrs: Sequence[str],
+                     unique: bool = False) -> HashIndex:
+        """Create and backfill a hash index over ``attrs``."""
+        if name in self.indexes:
+            raise SchemaError(f"index {name!r} already exists on {self.name!r}")
+        for attr in attrs:
+            if not self.schema.has_attribute(attr):
+                raise SchemaError(
+                    f"cannot index missing attribute {attr!r} on {self.name!r}"
+                )
+        index = HashIndex(name, tuple(attrs), unique, table_name=self.name)
+        for row in self.rows.values():
+            index.insert(row.values, row.rowid)
+        self.indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        """Remove a secondary index."""
+        if name == PRIMARY_INDEX:
+            raise SchemaError("cannot drop the primary index")
+        if name not in self.indexes:
+            raise NoSuchIndexError(f"no index {name!r} on {self.name!r}")
+        del self.indexes[name]
+
+    def index(self, name: str) -> HashIndex:
+        """Return an index by name."""
+        try:
+            return self.indexes[name]
+        except KeyError:
+            raise NoSuchIndexError(
+                f"no index {name!r} on {self.name!r}"
+            ) from None
+
+    # -- physical row operations -----------------------------------------------
+
+    def insert_row(self, values: Dict[str, object], lsn: int = NULL_LSN,
+                   meta: Optional[Dict[str, object]] = None) -> Row:
+        """Insert a new row; returns it.
+
+        The values mapping is normalized against the schema (missing
+        attributes become NULL).  Unique-index violations raise
+        :class:`DuplicateKeyError` before any index is modified.
+        """
+        normalized = self.schema.normalize(values)
+        row = Row(normalized, lsn=lsn, meta=meta)
+        for index in self.indexes.values():
+            if index.unique:
+                key = index_key(normalized, index.attrs)
+                if key is not None and index.contains(key):
+                    raise DuplicateKeyError(self.name, key)
+        self.rows[row.rowid] = row
+        for index in self.indexes.values():
+            index.insert(row.values, row.rowid)
+        return row
+
+    def delete_rowid(self, rowid: int) -> Row:
+        """Delete a row by physical id; returns the removed row."""
+        row = self.rows.pop(rowid, None)
+        if row is None:
+            raise NoSuchRowError(self.name, (rowid,))
+        for index in self.indexes.values():
+            index.remove(row.values, row.rowid)
+        return row
+
+    def update_rowid(self, rowid: int, changes: Dict[str, object],
+                     lsn: Optional[int] = None) -> Row:
+        """Apply ``changes`` to a row in place, re-indexing as needed.
+
+        Unlike the engine-level update, this physical operation *does* allow
+        key attributes to change: the transformation framework morphs rows
+        (e.g. a FOJ NULL record acquiring an R part).  Unique violations on
+        the new image raise before anything is modified.
+        """
+        row = self.rows.get(rowid)
+        if row is None:
+            raise NoSuchRowError(self.name, (rowid,))
+        old_values = dict(row.values)
+        new_values = dict(old_values)
+        for attr, value in changes.items():
+            if not self.schema.has_attribute(attr):
+                raise SchemaError(
+                    f"unknown attribute {attr!r} for table {self.name!r}"
+                )
+            new_values[attr] = value
+        for index in self.indexes.values():
+            if not index.unique:
+                continue
+            old_key = index_key(old_values, index.attrs)
+            new_key = index_key(new_values, index.attrs)
+            if new_key is not None and new_key != old_key:
+                existing = index.lookup(new_key)
+                if existing and existing != [rowid]:
+                    raise DuplicateKeyError(self.name, new_key)
+        row.values.update(changes)
+        for index in self.indexes.values():
+            index.update(old_values, row.values, rowid)
+        if lsn is not None:
+            row.lsn = lsn
+        return row
+
+    def drop_attributes(self, names: Sequence[str]) -> None:
+        """Remove columns from the table in place.
+
+        Used by the rename-based split synchronization (paper Section 5.2,
+        alternative strategy): the attributes that moved to S "are removed
+        first", then T is renamed to R.  Primary-key columns cannot be
+        dropped; indexes referencing a dropped column are dropped with it.
+        """
+        drop_set = set(names)
+        if not drop_set:
+            return
+        missing = [n for n in drop_set if not self.schema.has_attribute(n)]
+        if missing:
+            raise SchemaError(
+                f"cannot drop missing attributes {missing} from "
+                f"{self.name!r}")
+        in_key = drop_set & set(self.schema.primary_key)
+        if in_key:
+            raise SchemaError(
+                f"cannot drop primary-key attributes {sorted(in_key)} "
+                f"from {self.name!r}")
+        for index_name in list(self.indexes):
+            index = self.indexes[index_name]
+            if drop_set & set(index.attrs):
+                del self.indexes[index_name]
+        keep = [a for a in self.schema.attributes
+                if a.name not in drop_set]
+        self.schema = TableSchema(self.schema.name, keep,
+                                  self.schema.primary_key)
+        for row in self.rows.values():
+            for name in drop_set:
+                row.values.pop(name, None)
+
+    # -- logical (key-based) access ----------------------------------------------
+
+    def get(self, key: Tuple) -> Optional[Row]:
+        """Row with the given primary-key tuple, or ``None``."""
+        rowid = self._primary.lookup_one(tuple(key))
+        return None if rowid is None else self.rows[rowid]
+
+    def require(self, key: Tuple) -> Row:
+        """Row with the given primary key; raises if absent."""
+        row = self.get(key)
+        if row is None:
+            raise NoSuchRowError(self.name, tuple(key))
+        return row
+
+    def contains_key(self, key: Tuple) -> bool:
+        """Whether a row with this primary key exists."""
+        return self._primary.contains(tuple(key))
+
+    def delete_key(self, key: Tuple) -> Row:
+        """Delete the row with the given primary key."""
+        return self.delete_rowid(self.require(key).rowid)
+
+    def update_key(self, key: Tuple, changes: Dict[str, object],
+                   lsn: Optional[int] = None) -> Row:
+        """Update the row with the given primary key."""
+        return self.update_rowid(self.require(key).rowid, changes, lsn)
+
+    def lookup(self, index_name: str, key: Tuple) -> List[Row]:
+        """Rows matching ``key`` in the named index, in rowid order."""
+        index = self.index(index_name)
+        return [self.rows[rid] for rid in index.lookup(tuple(key))]
+
+    # -- scans ---------------------------------------------------------------------
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate over live rows in physical (insertion) order.
+
+        The iteration tolerates concurrent inserts/deletes between ``next``
+        calls by materializing the rowid list at call time; rows inserted
+        after the call starts are *not* seen (fuzzy scans re-materialize per
+        chunk instead -- see :mod:`repro.engine.fuzzy`).
+        """
+        for rowid in list(self.rows):
+            row = self.rows.get(rowid)
+            if row is not None:
+                yield row
+
+    def select(self, predicate: Optional[Callable[[Row], bool]] = None
+               ) -> List[Row]:
+        """Materialized scan, optionally filtered."""
+        if predicate is None:
+            return list(self.scan())
+        return [row for row in self.scan() if predicate(row)]
+
+    @property
+    def row_count(self) -> int:
+        """Number of live rows."""
+        return len(self.rows)
+
+    def max_rowid(self) -> int:
+        """Largest live rowid (0 when empty); fuzzy-scan cursor bound."""
+        return max(self.rows) if self.rows else 0
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {self.row_count} rows)"

@@ -1,0 +1,193 @@
+"""The non-blocking schema transformation framework.
+
+Importing this package also registers the recovery rebuilders for the
+``"foj"``, ``"foj_m2m"`` and ``"split"`` transformation kinds, so ARIES
+restart can recompute published tables at a completed swap point (see
+:mod:`repro.engine.recovery`).
+"""
+
+from typing import Dict, Tuple
+
+from repro.engine.database import Database
+from repro.engine.recovery import register_rebuilder
+from repro.storage.table import Table
+from repro.transform.analysis import (
+    Decision,
+    EstimatedTimePolicy,
+    FixedIterationsPolicy,
+    IterationReport,
+    PropagationPolicy,
+    RemainingRecordsPolicy,
+)
+from repro.transform.base import (
+    Phase,
+    PropagatedLockTable,
+    RuleEngine,
+    StepReport,
+    SyncStrategy,
+    Transformation,
+    proxy_owner,
+)
+from repro.transform.consistency import ConsistencyChecker
+from repro.transform.foj import (
+    FojRuleEngine,
+    FojTransformation,
+    build_foj_table,
+    create_foj_target,
+    populate_foj_target,
+)
+from repro.transform.foj_m2m import (
+    Many2ManyFojRuleEngine,
+    Many2ManyFojTransformation,
+    build_m2m_table,
+)
+from repro.transform.partition import (
+    MergeRuleEngine,
+    MergeSpec,
+    MergeTransformation,
+    PartitionRuleEngine,
+    PartitionSpec,
+    PartitionTransformation,
+    merge_rows,
+    partition_rows,
+)
+from repro.transform.simple import (
+    add_attribute,
+    remove_attribute,
+    rename_attribute,
+)
+from repro.transform.split import (
+    SplitRuleEngine,
+    SplitTransformation,
+    build_split_tables,
+    populate_split_targets,
+)
+from repro.transform.sync import LockMirror, build_sync_executor
+from repro.transform.view import MaterializedFojView, PublishKeepSync
+from repro.wal.records import TransformSwapRecord, data_change_of
+
+
+class _RecoveryPropagator:
+    """Feeds post-swap log records through a rule engine during restart."""
+
+    def __init__(self, engine: RuleEngine) -> None:
+        self.engine = engine
+
+    def apply(self, record) -> None:
+        """Apply one log record if it changes a source table."""
+        change = data_change_of(record)
+        if change is not None and \
+                change.table in self.engine.source_tables:
+            self.engine.apply(change, record.lsn)
+
+
+def _rebuild_foj(db: Database, record: TransformSwapRecord
+                 ) -> Tuple[Dict[str, Table], _RecoveryPropagator]:
+    spec = record.params["spec"]
+    r_rows = [dict(r.values) for r in db.catalog.get(spec.r_name).scan()]
+    s_rows = [dict(r.values) for r in db.catalog.get(spec.s_name).scan()]
+    table = build_foj_table(spec)
+    populate_foj_target(table, spec, r_rows, s_rows)
+    engine = FojRuleEngine(db, spec, table)
+    return {spec.target_name: table}, _RecoveryPropagator(engine)
+
+
+def _rebuild_foj_m2m(db: Database, record: TransformSwapRecord
+                     ) -> Tuple[Dict[str, Table], _RecoveryPropagator]:
+    spec = record.params["spec"]
+    r_rows = [dict(r.values) for r in db.catalog.get(spec.r_name).scan()]
+    s_rows = [dict(r.values) for r in db.catalog.get(spec.s_name).scan()]
+    table = build_m2m_table(spec)
+    populate_foj_target(table, spec, r_rows, s_rows)
+    engine = Many2ManyFojRuleEngine(db, spec, table)
+    return {spec.target_name: table}, _RecoveryPropagator(engine)
+
+
+def _rebuild_split(db: Database, record: TransformSwapRecord
+                   ) -> Tuple[Dict[str, Table], _RecoveryPropagator]:
+    spec = record.params["spec"]
+    source = db.catalog.get(spec.source_name)
+    rows = [r for r in source.scan()]
+    r_table, s_table = build_split_tables(spec)
+    populate_split_targets(
+        r_table, s_table, spec,
+        [dict(r.values) for r in rows], [r.lsn for r in rows])
+    engine = SplitRuleEngine(
+        db, spec, r_table, s_table,
+        check_consistency=bool(record.params.get("check_consistency")),
+        transform_id=record.transform_id)
+    return ({spec.r_name: r_table, spec.s_name: s_table},
+            _RecoveryPropagator(engine))
+
+
+def _rebuild_partition(db: Database, record: TransformSwapRecord
+                       ) -> Tuple[Dict[str, Table], _RecoveryPropagator]:
+    spec = record.params["spec"]
+    source = db.catalog.get(spec.source_name)
+    a_table = Table(source.schema.rename(spec.a_name))
+    b_table = Table(source.schema.rename(spec.b_name))
+    for row in source.scan():
+        side = a_table if spec.predicate(row.values) else b_table
+        side.insert_row(dict(row.values), lsn=row.lsn)
+    engine = PartitionRuleEngine(db, spec, a_table, b_table)
+    return ({spec.a_name: a_table, spec.b_name: b_table},
+            _RecoveryPropagator(engine))
+
+
+def _rebuild_merge(db: Database, record: TransformSwapRecord
+                   ) -> Tuple[Dict[str, Table], _RecoveryPropagator]:
+    spec = record.params["spec"]
+    a = db.catalog.get(spec.a_name)
+    b = db.catalog.get(spec.b_name)
+    target = Table(a.schema.rename(spec.target_name))
+    for source in (a, b):
+        for row in source.scan():
+            target.insert_row(dict(row.values), lsn=row.lsn)
+    engine = MergeRuleEngine(db, spec, target)
+    return {spec.target_name: target}, _RecoveryPropagator(engine)
+
+
+register_rebuilder("foj", _rebuild_foj)
+register_rebuilder("foj_m2m", _rebuild_foj_m2m)
+register_rebuilder("split", _rebuild_split)
+register_rebuilder("partition", _rebuild_partition)
+register_rebuilder("merge", _rebuild_merge)
+register_rebuilder("mv_foj", _rebuild_foj)  # the view rebuilds like a join
+
+__all__ = [
+    "ConsistencyChecker",
+    "Decision",
+    "EstimatedTimePolicy",
+    "FixedIterationsPolicy",
+    "FojRuleEngine",
+    "FojTransformation",
+    "IterationReport",
+    "LockMirror",
+    "Many2ManyFojRuleEngine",
+    "Many2ManyFojTransformation",
+    "MaterializedFojView",
+    "MergeRuleEngine",
+    "MergeSpec",
+    "MergeTransformation",
+    "PartitionRuleEngine",
+    "PartitionSpec",
+    "PartitionTransformation",
+    "Phase",
+    "PropagatedLockTable",
+    "PropagationPolicy",
+    "PublishKeepSync",
+    "RemainingRecordsPolicy",
+    "RuleEngine",
+    "SplitRuleEngine",
+    "SplitTransformation",
+    "StepReport",
+    "SyncStrategy",
+    "Transformation",
+    "add_attribute",
+    "build_sync_executor",
+    "merge_rows",
+    "partition_rows",
+    "proxy_owner",
+    "remove_attribute",
+    "rename_attribute",
+]

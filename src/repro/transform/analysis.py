@@ -1,0 +1,130 @@
+"""End-of-iteration analysis: iterate again, synchronize, or give up.
+
+Section 3.3 of the paper: "Each log propagation iteration therefore ends
+with an analysis of the remaining work.  Based on the analysis, either
+another log propagation iteration or the synchronization step is started.
+The analysis could be based on, e.g. the time used to complete the current
+iteration, a count of the remaining log records to be propagated, or an
+estimated remaining propagation time.  If more log records are produced
+than the propagator is able to process, the synchronization is never
+started.  If this is the case, the transformation should either be aborted
+or get higher priority."
+
+All three suggested analyses are provided; the remaining-record count is
+the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+
+class Decision(Enum):
+    """Outcome of the end-of-iteration analysis."""
+
+    ITERATE = "iterate"
+    SYNCHRONIZE = "synchronize"
+    #: The propagator is not keeping up: log is produced faster than it is
+    #: consumed.  The caller should abort the transformation or raise its
+    #: priority (the simulator's Figure 4(d) sweep exercises exactly this).
+    STALLED = "stalled"
+
+
+@dataclass
+class IterationReport:
+    """Facts about one completed log-propagation iteration."""
+
+    iteration: int
+    records_propagated: int
+    remaining_records: int
+    units_used: int
+
+
+class PropagationPolicy:
+    """Base class: decide after each iteration what to do next."""
+
+    def decide(self, report: IterationReport) -> Decision:
+        """Return the next action given the iteration's report."""
+        raise NotImplementedError
+
+
+class RemainingRecordsPolicy(PropagationPolicy):
+    """Synchronize when few enough records remain (the default analysis).
+
+    The synchronization step latches the source tables for one final
+    propagation; it "should not be started if a significant portion of the
+    log remains to be propagated" (Section 3.3).  A stall is declared when
+    the remaining count fails to shrink for ``patience`` consecutive
+    iterations.
+
+    Args:
+        max_remaining: Synchronize once at most this many records remain.
+        patience: Number of consecutive non-shrinking iterations tolerated
+            before declaring a stall.
+    """
+
+    def __init__(self, max_remaining: int = 64, patience: int = 8) -> None:
+        if max_remaining < 0:
+            raise ValueError("max_remaining must be >= 0")
+        self.max_remaining = max_remaining
+        self.patience = patience
+        self._history: List[int] = []
+
+    def decide(self, report: IterationReport) -> Decision:
+        if report.remaining_records <= self.max_remaining:
+            return Decision.SYNCHRONIZE
+        self._history.append(report.remaining_records)
+        recent = self._history[-self.patience:]
+        if len(recent) == self.patience and \
+                all(recent[i] >= recent[i - 1] for i in range(1, len(recent))):
+            return Decision.STALLED
+        return Decision.ITERATE
+
+
+class EstimatedTimePolicy(PropagationPolicy):
+    """Synchronize when the estimated remaining propagation time is short.
+
+    Estimates the propagator's record throughput from the last iteration
+    (units per record as a proxy for time) and synchronizes when the
+    projected catch-up time falls under a threshold.
+
+    Args:
+        max_estimated_units: Synchronize when remaining * units-per-record
+            is at most this.
+        patience: Stall patience, as in :class:`RemainingRecordsPolicy`.
+    """
+
+    def __init__(self, max_estimated_units: int = 256,
+                 patience: int = 8) -> None:
+        self.max_estimated_units = max_estimated_units
+        self.patience = patience
+        self._history: List[int] = []
+
+    def decide(self, report: IterationReport) -> Decision:
+        per_record = (report.units_used / report.records_propagated
+                      if report.records_propagated else 1.0)
+        estimate = report.remaining_records * per_record
+        if estimate <= self.max_estimated_units:
+            return Decision.SYNCHRONIZE
+        self._history.append(report.remaining_records)
+        recent = self._history[-self.patience:]
+        if len(recent) == self.patience and \
+                all(recent[i] >= recent[i - 1] for i in range(1, len(recent))):
+            return Decision.STALLED
+        return Decision.ITERATE
+
+
+class FixedIterationsPolicy(PropagationPolicy):
+    """Synchronize after a fixed number of iterations (tests/benchmarks)."""
+
+    def __init__(self, iterations: int = 1) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.iterations = iterations
+
+    def decide(self, report: IterationReport) -> Decision:
+        if report.iteration >= self.iterations:
+            return Decision.SYNCHRONIZE
+        return Decision.ITERATE

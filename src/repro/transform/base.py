@@ -1,0 +1,558 @@
+"""The four-step non-blocking transformation framework (Section 3).
+
+:class:`Transformation` is the state machine every concrete transformation
+(FOJ, split) plugs into.  It owns the phases:
+
+1. **preparation** -- create the transformed tables (marked *transient* in
+   the log: they are rebuilt or discarded at restart), their indices and
+   constraints (Section 3.1);
+2. **initial population** -- write the begin fuzzy mark embedding the
+   active transactions on the source tables, fuzzily read the sources, and
+   insert the operator result (Section 3.2);
+3. **log propagation** -- redo the log tail onto the transformed tables in
+   bounded iterations, each ending with an analysis that either starts
+   another iteration or moves to synchronization (Section 3.3).  The
+   propagator also maintains the *propagated lock table*: for every redone
+   operation, an entry recording that the owning transaction logically
+   holds the affected transformed records -- "the locks ... are only needed
+   when user transactions access both source and transformed tables, i.e.
+   during synchronization, [so] they are ignored for now";
+4. **synchronization** -- one of the three strategies of Section 3.4,
+   implemented in :mod:`repro.transform.sync`, followed (for the
+   non-blocking strategies) by a **background** phase in which propagation
+   continues while old transactions live.
+
+The whole machine is driven through :meth:`Transformation.step`, which
+performs a bounded amount of work (measured in *units*: one row scanned or
+inserted, or one log record examined) and returns.  This is what lets the
+transformation "run as a low priority background process" in the simulator
+and what a DBA thread would call in a real deployment.  :meth:`run` drives
+it to completion for single-threaded use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import (
+    TransformationAbortedError,
+    TransformationStateError,
+)
+from repro.concurrency.locks import LockMode, LockOrigin, record_resource
+from repro.engine.database import Database
+from repro.engine.fuzzy import FuzzyScan
+from repro.storage.table import Table
+from repro.transform.analysis import (
+    Decision,
+    IterationReport,
+    PropagationPolicy,
+    RemainingRecordsPolicy,
+)
+from repro.wal.records import (
+    NULL_LSN,
+    EndRecord,
+    FuzzyMarkRecord,
+    LogRecord,
+    data_change_of,
+)
+
+_transform_counter = itertools.count(1)
+
+
+class Phase(Enum):
+    """Life-cycle phase of a transformation."""
+
+    CREATED = "created"
+    PREPARED = "prepared"
+    POPULATING = "populating"
+    PROPAGATING = "propagating"
+    SYNCHRONIZING = "synchronizing"
+    #: Post-swap: propagation continues while old transactions are alive
+    #: (non-blocking strategies only).
+    BACKGROUND = "background"
+    DONE = "done"
+    ABORTED = "aborted"
+
+
+class SyncStrategy(Enum):
+    """The three synchronization strategies of Section 3.4."""
+
+    BLOCKING_COMMIT = "blocking_commit"
+    NONBLOCKING_ABORT = "nonblocking_abort"
+    NONBLOCKING_COMMIT = "nonblocking_commit"
+
+
+@dataclass
+class StepReport:
+    """Result of one :meth:`Transformation.step` call."""
+
+    phase: Phase
+    units: int
+    done: bool
+    #: Set when the analysis declared the propagator stalled (the log grows
+    #: faster than it is consumed); the caller should abort or raise the
+    #: transformation's priority (Section 3.3).
+    stalled: bool = False
+    info: Dict[str, object] = field(default_factory=dict)
+
+
+class PropagatedLockTable:
+    """Locks the propagator maintains on transformed-table records.
+
+    During population and propagation these are bookkeeping only (the
+    paper: "they are ignored for now"); the synchronization step
+    *materializes* the entries of still-active transactions into the real
+    lock manager under per-transaction proxy owners, so they are released
+    exactly when the propagator processes the owner's end record -- not
+    when the transaction itself ends, because the transaction's effects
+    reach the transformed tables only through propagation.
+    """
+
+    def __init__(self) -> None:
+        self._by_txn: Dict[int, Set[Tuple]] = {}
+
+    def note(self, txn_id: int, table_uid: int, key: Tuple) -> None:
+        """Record that ``txn_id`` logically holds the transformed record."""
+        if txn_id == 0:
+            return
+        resource = record_resource(table_uid, key)
+        self._by_txn.setdefault(txn_id, set()).add(resource)
+
+    def release_txn(self, txn_id: int) -> Set[Tuple]:
+        """Drop and return all entries of a finished transaction."""
+        return self._by_txn.pop(txn_id, set())
+
+    def resources_of(self, txn_id: int) -> Set[Tuple]:
+        """Entries currently recorded for a transaction."""
+        return set(self._by_txn.get(txn_id, set()))
+
+    def txn_ids(self) -> List[int]:
+        """Transactions with at least one recorded entry."""
+        return sorted(self._by_txn)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_txn.values())
+
+
+#: Proxy lock-owner id for a transaction's propagated locks.  Kept disjoint
+#: from real transaction ids (which are positive).
+def proxy_owner(txn_id: int) -> int:
+    """Lock-manager owner id holding transaction ``txn_id``'s mirrored locks."""
+    return -txn_id
+
+
+class RuleEngine:
+    """Interface of the operator-specific log-propagation rules.
+
+    Concrete engines (:mod:`repro.transform.foj`,
+    :mod:`repro.transform.split`, ...) implement the paper's numbered rules.
+    ``apply`` returns the list of transformed-table records the operation
+    touched, as ``(table, key)`` pairs, which the framework feeds into the
+    propagated lock table.
+    """
+
+    #: Names of the source tables whose log records this engine consumes.
+    source_tables: Tuple[str, ...] = ()
+
+    def apply(self, change: LogRecord,
+              lsn: int) -> List[Tuple[Table, Tuple]]:
+        """Apply one data-change record; returns touched target records.
+
+        Args:
+            change: The data change (CLRs arrive unwrapped: the embedded
+                compensating action).
+            lsn: LSN of the enclosing log record -- the state identifier
+                the split rules stamp onto target rows.  The FOJ rules
+                ignore it (Section 4.2: joined rows have no valid state
+                identifier).
+        """
+        raise NotImplementedError
+
+    def handle_marker(self, record: LogRecord) -> None:
+        """Consume a non-data record (CC marks etc.); default: ignore."""
+
+    def targets_of_source_lock(self, table_name: str,
+                               key: Tuple) -> List[Tuple[Table, Tuple]]:
+        """Transformed records corresponding to a locked source record."""
+        raise NotImplementedError
+
+    def sources_of_target_lock(self, table_name: str,
+                               key: Tuple) -> List[Tuple[Table, Tuple]]:
+        """Source records corresponding to a locked transformed record."""
+        raise NotImplementedError
+
+
+class Transformation:
+    """Abstract base of the non-blocking schema transformations.
+
+    Args:
+        db: The database to transform.
+        transform_id: Stable identifier used in fuzzy marks and latches;
+            generated when omitted.
+        policy: End-of-iteration analysis policy (default: remaining-record
+            count with the paper's "few records left" criterion).
+        sync_strategy: Which Section 3.4 strategy :meth:`step` enters once
+            the policy decides to synchronize.
+        population_chunk: Rows per fuzzy-scan chunk.
+
+    Subclass contract -- implement:
+
+    * :meth:`_create_targets` -- build target tables + indexes, return them
+      keyed by their *public* (post-swap) names;
+    * :meth:`_population_step` -- perform up to ``budget`` units of initial
+      population; return ``(units_done, finished)``;
+    * :meth:`_build_rule_engine` -- the operator's :class:`RuleEngine`;
+    * :attr:`source_tables` / :meth:`_swap_params`.
+    """
+
+    #: Transformation kind registered with recovery (e.g. ``"foj"``).
+    kind: str = ""
+
+    def __init__(self, db: Database, transform_id: Optional[str] = None,
+                 policy: Optional[PropagationPolicy] = None,
+                 sync_strategy: SyncStrategy = SyncStrategy.NONBLOCKING_ABORT,
+                 population_chunk: int = 256) -> None:
+        self.db = db
+        self.transform_id = transform_id or \
+            f"{self.kind or 'tf'}-{next(_transform_counter)}"
+        self.policy = policy or RemainingRecordsPolicy()
+        self.sync_strategy = sync_strategy
+        self.population_chunk = population_chunk
+
+        self.phase = Phase.CREATED
+        self.targets: Dict[str, Table] = {}
+        self.engine: Optional[RuleEngine] = None
+        self.locks_held = PropagatedLockTable()
+
+        self._scans: Dict[str, FuzzyScan] = {}
+        self._cursor = NULL_LSN          # next LSN to propagate
+        self._iteration = 0
+        self._iteration_target = NULL_LSN
+        self._iteration_records = 0
+        self._iteration_units = 0
+        self._sync_executor = None       # set when synchronization starts
+        self._old_txn_ids: Set[int] = set()
+        self._stalled = False
+        #: Cumulative statistics, read by benchmarks and the simulator.
+        self.stats: Dict[str, int] = {
+            "population_units": 0, "propagated_records": 0,
+            "iterations": 0, "sync_latch_units": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Subclass contract
+    # ------------------------------------------------------------------
+
+    @property
+    def source_tables(self) -> Tuple[str, ...]:
+        """Names of the tables being transformed away."""
+        raise NotImplementedError
+
+    def _create_targets(self) -> Dict[str, Table]:
+        """Create target tables/indexes; return them by public name."""
+        raise NotImplementedError
+
+    def _population_step(self, budget: int) -> Tuple[int, bool]:
+        """Do up to ``budget`` population units; return (units, finished)."""
+        raise NotImplementedError
+
+    def _build_rule_engine(self) -> RuleEngine:
+        """Build the operator-specific propagation rule engine."""
+        raise NotImplementedError
+
+    def _swap_params(self) -> Dict[str, object]:
+        """Operator parameters recorded in the swap log record."""
+        raise NotImplementedError
+
+    def _ready_to_synchronize(self) -> Tuple[bool, str]:
+        """Operator veto on synchronization (e.g. outstanding U flags).
+
+        Returns ``(ready, reason-if-not)``.  Default: always ready.
+        """
+        return True, ""
+
+    def _background_work(self, budget: int) -> int:
+        """Operator background work (consistency checking); returns units."""
+        return 0
+
+    def _pre_swap(self) -> None:
+        """Hook invoked by the synchronization executor right before the
+        schema swap, with the source tables still latched/blocked and the
+        final propagation complete.  The rename-based split strategy uses
+        it to strip the moved attributes from T and publish it as R
+        (Section 5.2, alternative strategy)."""
+
+    # ------------------------------------------------------------------
+    # Phase 1: preparation
+    # ------------------------------------------------------------------
+
+    def prepare(self) -> None:
+        """Create the transformed tables, constraints and indices.
+
+        Section 3.1: the new tables must include at least one candidate key
+        from each source table (validated by the spec); indices needed by
+        the propagation rules are created here and "will be up to date when
+        the transformation is complete".
+        """
+        self._expect(Phase.CREATED)
+        self.targets = self._create_targets()
+        self.engine = self._build_rule_engine()
+        self.phase = Phase.PREPARED
+
+    # ------------------------------------------------------------------
+    # Phase 2: initial population
+    # ------------------------------------------------------------------
+
+    def _begin_population(self) -> None:
+        active = sorted(
+            t.txn_id for t in self.db.txns.active_on(self.source_tables))
+        mark = FuzzyMarkRecord(transform_id=self.transform_id,
+                               phase="begin", active_txns=tuple(active))
+        mark_lsn = self.db.log.append(mark)
+        oldest = self.db.txns.oldest_first_lsn(active)
+        self._cursor = oldest if oldest != NULL_LSN else mark_lsn
+        for name in self.source_tables:
+            table = self.db.catalog.get(name)
+            self._scans[name] = FuzzyScan(table, self.population_chunk)
+        self.phase = Phase.POPULATING
+
+    def _source_scan(self, name: str) -> FuzzyScan:
+        """The fuzzy scan of one source table (for subclasses)."""
+        return self._scans[name]
+
+    # ------------------------------------------------------------------
+    # Phase 3: log propagation
+    # ------------------------------------------------------------------
+
+    def _begin_iteration(self) -> None:
+        self._iteration += 1
+        self._iteration_target = self.db.log.end_lsn
+        self._iteration_records = 0
+        self._iteration_units = 0
+
+    #: Relative cost of inspecting-and-skipping a log record vs. applying
+    #: one through the rules.  Applies dominating skips is what makes the
+    #: update-mix effect of the paper's Figure 4(c) emerge: four times more
+    #: relevant log records need roughly proportionally more propagation
+    #: capacity.
+    SKIP_UNIT_COST = 0.25
+
+    def _propagate_batch(self, budget: float) -> float:
+        """Propagate records toward the iteration target, spending up to
+        ``budget`` cost units; returns the units consumed (an applied
+        record costs 1.0, a skipped one :data:`SKIP_UNIT_COST`)."""
+        units = 0.0
+        records = 0
+        end = min(self._iteration_target, self.db.log.end_lsn)
+        while units < budget and self._cursor <= end:
+            record = self.db.log.record_at(self._cursor)
+            self._cursor += 1
+            records += 1
+            applied = self._apply_record(record)
+            units += 1.0 if applied else self.SKIP_UNIT_COST
+        self._iteration_records += records
+        self.stats["propagated_records"] += records
+        return units
+
+    def _apply_record(self, record: LogRecord) -> bool:
+        """Route one log record through the rule engine and bookkeeping.
+
+        Returns whether the record was *applied* (a data change on a
+        source table), as opposed to merely inspected.
+        """
+        assert self.engine is not None
+        if isinstance(record, EndRecord):
+            self._on_txn_end(record)
+            return False
+        change = data_change_of(record)
+        if change is not None:
+            if change.table in self.engine.source_tables:
+                touched = self.engine.apply(change, record.lsn)
+                for table, key in touched:
+                    self.locks_held.note(record.txn_id, table.uid, key)
+                return True
+            return False
+        self.engine.handle_marker(record)
+        return False
+
+    def _on_txn_end(self, record: EndRecord) -> None:
+        """Release propagated locks when the end record is met (Section 3.4).
+
+        "Source table locks held in the transformed tables are released as
+        soon as the propagator has processed the abort log record of the
+        lock owner transaction" -- and likewise for commits with the
+        non-blocking commit strategy.
+        """
+        self.locks_held.release_txn(record.txn_id)
+        if record.txn_id in self._old_txn_ids:
+            woken = self.db.locks.release_all(proxy_owner(record.txn_id))
+            self.db._notify_woken(woken)
+
+    def _remaining(self) -> int:
+        return max(0, self.db.log.end_lsn - self._cursor + 1)
+
+    # ------------------------------------------------------------------
+    # The step driver
+    # ------------------------------------------------------------------
+
+    def step(self, budget: int = 256) -> StepReport:
+        """Perform up to ``budget`` units of work; return a report.
+
+        Drives whichever phase the transformation is in.  Phase changes
+        happen inside a step; a step never blocks (synchronization waits,
+        e.g. for draining transactions under blocking commit, simply return
+        with zero progress until the condition clears).
+        """
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        if self.phase in (Phase.DONE, Phase.ABORTED):
+            return StepReport(self.phase, 0, self.phase is Phase.DONE)
+        if self.phase is Phase.CREATED:
+            self.prepare()
+        if self.phase is Phase.PREPARED:
+            self._begin_population()
+
+        if self.phase is Phase.POPULATING:
+            units, finished = self._population_step(budget)
+            self.stats["population_units"] += units
+            if finished:
+                self.db.log.append(FuzzyMarkRecord(
+                    transform_id=self.transform_id, phase="cycle"))
+                self.phase = Phase.PROPAGATING
+                self._begin_iteration()
+            return StepReport(self.phase, max(units, 1), False)
+
+        if self.phase is Phase.PROPAGATING:
+            units = self._propagate_batch(budget)
+            if units < budget:
+                # Leftover budget goes to operator background work, e.g.
+                # the split consistency checker (Section 5.3, "run
+                # regularly" as part of the low-priority process).
+                units += self._background_work(budget - units)
+            self._iteration_units += units
+            if self._cursor > self._iteration_target:
+                self._finish_iteration()
+            return StepReport(self.phase, max(units, 1), False,
+                              stalled=self._stalled,
+                              info={"remaining": self._remaining(),
+                                    "iteration": self._iteration})
+
+        if self.phase in (Phase.SYNCHRONIZING, Phase.BACKGROUND):
+            assert self._sync_executor is not None
+            units = self._sync_executor.step(budget)
+            done = self.phase is Phase.DONE
+            return StepReport(self.phase, max(units, 1), done)
+
+        raise TransformationStateError(f"unexpected phase {self.phase}")
+
+    def _finish_iteration(self) -> None:
+        """End-of-iteration: write the cycle mark and run the analysis."""
+        self.stats["iterations"] += 1
+        if self._iteration_records > 0:
+            # An idle iteration (nothing propagated) writes no new mark --
+            # otherwise a caught-up propagator would fill the log with its
+            # own cycle marks.
+            mark_lsn = self.db.log.append(FuzzyMarkRecord(
+                transform_id=self.transform_id, phase="cycle"))
+            # Skip our own mark; everything after it is next cycle's work.
+            if self._cursor == mark_lsn:
+                self._cursor = mark_lsn + 1
+        report = IterationReport(
+            iteration=self._iteration,
+            records_propagated=self._iteration_records,
+            remaining_records=self._remaining(),
+            units_used=self._iteration_units,
+        )
+        decision = self.policy.decide(report)
+        if decision is Decision.SYNCHRONIZE:
+            ready, reason = self._ready_to_synchronize()
+            if ready:
+                self._start_synchronization()
+            else:
+                self._begin_iteration()
+        elif decision is Decision.STALLED:
+            self._stalled = True
+            self._begin_iteration()
+        else:
+            self._stalled = False
+            self._begin_iteration()
+
+    def _start_synchronization(self) -> None:
+        from repro.transform.sync import build_sync_executor
+        self._sync_executor = build_sync_executor(self, self.sync_strategy)
+        self.phase = Phase.SYNCHRONIZING
+
+    # ------------------------------------------------------------------
+    # Completion / abort
+    # ------------------------------------------------------------------
+
+    def run(self, max_steps: int = 10_000_000,
+            budget: int = 4096) -> None:
+        """Drive the transformation to completion (single-threaded use).
+
+        Raises :class:`TransformationAbortedError` if the analysis declares
+        a stall (cannot happen without concurrent load) or ``max_steps`` is
+        exceeded.
+        """
+        for _ in range(max_steps):
+            report = self.step(budget)
+            if report.done:
+                return
+            if report.stalled:
+                self.abort()
+                raise TransformationAbortedError(
+                    f"{self.transform_id}: propagator cannot keep up; "
+                    "abort or raise its priority (Section 3.3)")
+        self.abort()
+        raise TransformationAbortedError(
+            f"{self.transform_id}: exceeded {max_steps} steps")
+
+    def abort(self) -> None:
+        """Abort the transformation (Section 6: "Aborting the transformation
+        simply means that log propagation is stopped, and that the
+        transformed tables are deleted").
+        """
+        if self.phase in (Phase.DONE,):
+            raise TransformationStateError(
+                "cannot abort a completed transformation")
+        for name, table in list(self.targets.items()):
+            if self.db.catalog.exists(table.name):
+                self.db.drop_table(table.name)
+        for name in self.source_tables:
+            table = self.db.catalog.get(name) \
+                if self.db.catalog.exists(name) else None
+            if table is not None and self.db.locks.is_latched(table.uid):
+                self.db.unlatch_table(table, self.transform_id)
+        self.targets = {}
+        self.phase = Phase.ABORTED
+
+    @property
+    def done(self) -> bool:
+        """Whether the transformation completed successfully."""
+        return self.phase is Phase.DONE
+
+    @property
+    def sync_urgent(self) -> bool:
+        """Whether the synchronization is in its latched critical section.
+
+        The simulator's server serves the transformation ahead of user
+        work only while this holds -- the latch must clear in
+        sub-millisecond time.  Waiting states (blocking commit's drain)
+        are NOT urgent: the drain is waiting for user transactions, so
+        starving them would live-lock the synchronization.
+        """
+        return self._sync_executor is not None and \
+            getattr(self._sync_executor, "urgent", False)
+
+    def _expect(self, *phases: Phase) -> None:
+        if self.phase not in phases:
+            raise TransformationStateError(
+                f"{self.transform_id}: expected phase in "
+                f"{[p.value for p in phases]}, got {self.phase.value}")
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.transform_id!r}, "
+                f"phase={self.phase.value})")

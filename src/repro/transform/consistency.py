@@ -1,0 +1,116 @@
+"""The consistency checker (CC) of Section 5.3.
+
+When the DBMS does not guarantee the functional dependency a split relies
+on, S records may be U-flagged (unknown/inconsistent).  The CC runs
+"regularly" as part of the low-priority background process:
+
+1. pick a U-flagged record, say ``s^v``;
+2. write a ``Begin CC on v`` log record;
+3. read all T rows contributing to ``v`` *without locks* (via the index on
+   the source table's split attribute);
+4. if they agree, write a ``CC: v is ok`` record carrying the correct
+   image of ``s^v``.
+
+The log **propagator** (not the checker) finalizes the verdict: it tracks
+the begin mark, watches for operations touching ``v`` between the two
+marks, and installs the image + C flag only if nothing intervened (see
+:meth:`repro.transform.split.SplitRuleEngine.handle_marker`).  Because the
+checker must read T, a split of possibly-inconsistent data is not
+self-maintainable (Section 3.3 note).
+
+If the contributors genuinely disagree -- the paper's Example 1 -- no OK
+record can be written; the value is reported through
+:meth:`ConsistencyChecker.genuinely_inconsistent` and the transformation
+cannot synchronize until a user transaction repairs the data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.engine.database import Database
+from repro.relational.spec import SplitSpec
+from repro.wal.records import CCBeginRecord, CCOkRecord
+
+
+class ConsistencyChecker:
+    """Background checker clearing U flags from split S records."""
+
+    def __init__(self, db: Database, spec: SplitSpec, engine) -> None:
+        self.db = db
+        self.spec = spec
+        self.engine = engine  # SplitRuleEngine (avoids a circular import)
+        self._inconsistent: Set[Tuple] = set()
+        #: Re-check backoff (in run_checks invocations) per split value,
+        #: so a genuinely inconsistent value does not flood the log with
+        #: CC begin marks while waiting for a user repair.
+        self._cooldown: Dict[Tuple, int] = {}
+        #: Statistics: checks started / confirmed-ok / found-inconsistent /
+        #: skipped (no contributors yet).
+        self.stats: Dict[str, int] = {
+            "started": 0, "ok": 0, "inconsistent": 0, "skipped": 0,
+        }
+
+    # -- public API -----------------------------------------------------------
+
+    def run_checks(self, budget: int) -> int:
+        """Run consistency checks, spending up to ``budget`` units.
+
+        Each U-flagged value is examined at most once per call; values
+        that came up genuinely inconsistent are retried with a backoff.
+        One unit is charged per contributor row read plus one per check
+        started.  Returns the units consumed.
+        """
+        units = 0
+        for split_key in self.engine.unknown_split_values():
+            if units >= budget:
+                break
+            remaining_cooldown = self._cooldown.get(split_key, 0)
+            if remaining_cooldown > 0:
+                self._cooldown[split_key] = remaining_cooldown - 1
+                continue
+            row = self.engine.s.get(split_key)
+            if row is None or row.meta.get("flag") != "U":
+                continue
+            units += 1 + self._check_one(split_key)
+        return units
+
+    def genuinely_inconsistent(self) -> List[Tuple]:
+        """Split values whose contributors disagreed at their last check."""
+        return sorted(self._inconsistent, key=repr)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _check_one(self, split_key: Tuple) -> int:
+        """Perform one CC pass over a split value; returns rows read."""
+        self.stats["started"] += 1
+        self.db.log.append(CCBeginRecord(
+            transform_id=self.engine.transform_id,
+            split_value=split_key))
+        source = self.db.catalog.get_any(self.spec.source_name)
+        from repro.transform.split import SOURCE_SPLIT_INDEX
+        if SOURCE_SPLIT_INDEX in source.indexes:
+            rows = source.lookup(SOURCE_SPLIT_INDEX, split_key)
+        else:
+            rows = [r for r in source.scan()
+                    if (r.values.get(self.spec.split_attr),) == split_key]
+        if not rows:
+            # The S record exists but no contributor is visible yet (the
+            # propagator is behind a delete, or the row is in flux): retry
+            # in a later round.
+            self.stats["skipped"] += 1
+            return 0
+        images = [self.spec.s_part(dict(r.values)) for r in rows]
+        first = images[0]
+        if all(image == first for image in images[1:]):
+            self.db.log.append(CCOkRecord(
+                transform_id=self.engine.transform_id,
+                split_value=split_key, image=dict(first)))
+            self._inconsistent.discard(split_key)
+            self._cooldown.pop(split_key, None)
+            self.stats["ok"] += 1
+        else:
+            self._inconsistent.add(split_key)
+            self._cooldown[split_key] = 8
+            self.stats["inconsistent"] += 1
+        return len(rows)

@@ -1,0 +1,553 @@
+"""Full outer join transformation: Rules 1-7 of the paper (Section 4).
+
+Transforms two source tables R and S into one table T by full outer join,
+under the one-to-many assumption of Section 4 (the join attribute of S is
+unique); the many-to-many variant lives in :mod:`repro.transform.foj_m2m`.
+
+Because a T row is the join of two source rows, it has no single valid
+state identifier, so the rules never consult LSNs (Section 4.2).  They are
+idempotent and rely on Theorem 1: when the propagator processes a log
+record, the corresponding T records are already in the same or a newer
+state, so "record exists" / "join value matches" tests suffice to decide
+whether the operation is already reflected.
+
+NULL-record bookkeeping: every T row carries two metadata flags,
+``r_null`` and ``s_null``, marking which side (if any) is the paper's
+``rnull`` / ``snull`` record.  Attribute values alone cannot distinguish a
+NULL record from a record whose attributes are legitimately NULL.
+
+Constraint honoured throughout: the join attribute of S must be non-NULL
+(it identifies an S record -- Section 4 treats it as a candidate-key-like
+attribute).  R rows may have NULL join values; they never match and are
+joined with ``snull``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import TransformationError
+from repro.engine.database import Database
+from repro.relational.spec import FojSpec
+from repro.storage.row import Row
+from repro.storage.table import Table
+from repro.transform.base import RuleEngine, Transformation
+from repro.wal.records import (
+    DeleteRecord,
+    InsertRecord,
+    LogRecord,
+    UpdateRecord,
+)
+
+#: Name of T's index over the join column (Section 4.1: "an index should be
+#: created on the join attributes of T").
+JOIN_INDEX = "__join__"
+#: Name of T's index over S's identifying attributes (created when they are
+#: not simply the join column).
+SKEY_INDEX = "__skey__"
+
+
+def add_foj_indexes(table: Table, spec: FojSpec) -> None:
+    """Create T's rule-lookup indexes (join index + S-key index)."""
+    table.create_index(JOIN_INDEX, (spec.join_column,), unique=False)
+    if tuple(spec.s_key) != (spec.join_column,):
+        table.create_index(SKEY_INDEX, spec.s_key, unique=False)
+
+
+def build_foj_table(spec: FojSpec) -> Table:
+    """Build a detached, indexed, empty T (recovery/baseline helper)."""
+    table = Table(spec.target_schema())
+    add_foj_indexes(table, spec)
+    return table
+
+
+def create_foj_target(db: Database, spec: FojSpec,
+                      transient: bool = True) -> Table:
+    """Preparation step: create T and the rule-lookup indexes."""
+    table = db.create_table(spec.target_schema(), transient=transient)
+    add_foj_indexes(table, spec)
+    return table
+
+
+def populate_foj_target(target: Table, spec: FojSpec,
+                        r_rows: List[Dict[str, object]],
+                        s_rows: List[Dict[str, object]]) -> None:
+    """Insert the full outer join of two row buffers into ``target``.
+
+    Used by recovery's swap-point rebuild and by the blocking baseline;
+    the online transformation streams the same logic through
+    :meth:`FojTransformation._population_step`.
+    """
+    s_by_join: Dict[object, List[Dict[str, object]]] = {}
+    for s in s_rows:
+        value = s.get(spec.join_attr_s)
+        s_by_join.setdefault(value, []).append(s)
+    matched = set()
+    for r in r_rows:
+        value = r.get(spec.join_attr_r)
+        matches = s_by_join.get(value, []) if value is not None else []
+        if matches:
+            matched.add(value)
+            for s in matches:
+                row = spec.r_part(r)
+                row.update(spec.s_part(s))
+                target.insert_row(row, meta={"r_null": False,
+                                             "s_null": False})
+        else:
+            row = spec.r_part(r)
+            row.update(spec.null_s_part())
+            target.insert_row(row, meta={"r_null": False, "s_null": True})
+    for value, group in s_by_join.items():
+        if value is not None and value in matched:
+            continue
+        for s in group:
+            row = spec.null_r_part()
+            row[spec.join_column] = value
+            row.update(spec.s_part(s))
+            target.insert_row(row, meta={"r_null": True, "s_null": False})
+
+
+class FojRuleEngine(RuleEngine):
+    """Log-propagation rules 1-7 for a one-to-many full outer join."""
+
+    def __init__(self, db: Database, spec: FojSpec, target: Table) -> None:
+        self.db = db
+        self.spec = spec
+        self.t = target
+        self.source_tables = (spec.r_name, spec.s_name)
+        self._r_attr_set = set(spec.r_attrs)
+        self._s_attr_set = set(spec.s_attrs)
+        self._has_skey_index = SKEY_INDEX in target.indexes
+
+    # -- helpers -----------------------------------------------------------
+
+    def _rows_with_join(self, value: object) -> List[Row]:
+        """All T rows whose join column holds ``value`` (none for NULL)."""
+        if value is None:
+            return []
+        return self.t.lookup(JOIN_INDEX, (value,))
+
+    def _rows_with_skey(self, key: Tuple) -> List[Row]:
+        """All T rows containing the S record identified by ``key``.
+
+        ``key`` is ordered like S's primary key; rows whose S side is the
+        NULL record are never returned (their S-key attributes are NULL and
+        therefore unindexed).
+        """
+        index = SKEY_INDEX if self._has_skey_index else JOIN_INDEX
+        return [row for row in self.t.lookup(index, tuple(key))
+                if not row.meta.get("s_null")]
+
+    def _key_of(self, row: Row) -> Tuple:
+        return self.t.schema.key_of(row.values)
+
+    def _touch(self, touched: List[Tuple[Table, Tuple]], row: Row) -> None:
+        touched.append((self.t, self._key_of(row)))
+
+    def _insert_t(self, values: Dict[str, object], r_null: bool,
+                  s_null: bool) -> Row:
+        return self.t.insert_row(values, meta={"r_null": r_null,
+                                               "s_null": s_null})
+
+    def _r_changes(self, change: UpdateRecord) -> Dict[str, object]:
+        return {k: v for k, v in change.changes.items()
+                if k in self._r_attr_set}
+
+    def _s_changes(self, change: UpdateRecord) -> Dict[str, object]:
+        return {k: v for k, v in change.changes.items()
+                if k in self._s_attr_set}
+
+    # -- dispatch -----------------------------------------------------------
+
+    def apply(self, change: LogRecord,
+              lsn: int = 0) -> List[Tuple[Table, Tuple]]:
+        """Apply one logged source-table operation to T.
+
+        The ``lsn`` is accepted for interface uniformity and ignored: a
+        joined row has no single valid state identifier (Section 4.2), so
+        the FOJ rules are purely state-driven.
+        """
+        touched: List[Tuple[Table, Tuple]] = []
+        spec = self.spec
+        if change.table == spec.r_name:
+            if isinstance(change, InsertRecord):
+                self._rule1_insert_r(change, touched)
+            elif isinstance(change, DeleteRecord):
+                self._rule3_delete_r(change, touched)
+            elif isinstance(change, UpdateRecord):
+                if spec.join_attr_r in change.changes and \
+                        change.changes[spec.join_attr_r] != \
+                        change.old_values.get(spec.join_attr_r):
+                    self._rule5_update_r_join(change, touched)
+                else:
+                    self._rule7_update_r_other(change, touched)
+        elif change.table == spec.s_name:
+            if isinstance(change, InsertRecord):
+                self._rule2_insert_s(change, touched)
+            elif isinstance(change, DeleteRecord):
+                self._rule4_delete_s(change, touched)
+            elif isinstance(change, UpdateRecord):
+                if spec.join_attr_s in change.changes and \
+                        change.changes[spec.join_attr_s] != \
+                        change.old_values.get(spec.join_attr_s):
+                    self._rule6_update_s_join(change, touched)
+                else:
+                    self._rule7_update_s_other(change, touched)
+        return touched
+
+    # -- Rule 1 (Insert r^y_x into R) ------------------------------------------
+
+    def _rule1_insert_r(self, change: InsertRecord,
+                        touched: List[Tuple[Table, Tuple]]) -> None:
+        """If t^y exists, ignore (Theorem 1).  Otherwise join the new R row
+        with the S part found through the join index: morph ``t^null_x``,
+        clone the S part of a ``t^v_x``, or fall back to ``snull``."""
+        if self.t.get(change.key) is not None:
+            return
+        r_part = self.spec.r_part(change.values)
+        join_value = change.values.get(self.spec.join_attr_r)
+        self._attach_r_part(r_part, join_value, touched)
+
+    def _attach_r_part(self, r_part: Dict[str, object], join_value: object,
+                       touched: List[Tuple[Table, Tuple]]) -> None:
+        """Shared tail of Rules 1 and 5: place an R part at a join value."""
+        rows = self._rows_with_join(join_value)
+        null_r_row = next((r for r in rows if r.meta.get("r_null")), None)
+        if null_r_row is not None:
+            # t^null_x found: "it is updated with the attribute values of
+            # r^y_x to form t^y_x".
+            self.t.update_rowid(null_r_row.rowid, r_part)
+            null_r_row.meta["r_null"] = False
+            self._touch(touched, null_r_row)
+            return
+        donor = next((r for r in rows if not r.meta.get("s_null")), None)
+        if donor is not None:
+            # t^v_x found: join the new R part with the s^x part of t^v_x.
+            values = dict(r_part)
+            values.update(self.spec.s_part_of_t(donor.values))
+            self._touch(touched, self._insert_t(values, False, False))
+            return
+        # No S record with this join value: join with snull.
+        values = dict(r_part)
+        values.update(self.spec.null_s_part())
+        self._touch(touched, self._insert_t(values, False, True))
+
+    # -- Rule 2 (Insert s^x into S) ------------------------------------------------
+
+    def _rule2_insert_s(self, change: InsertRecord,
+                        touched: List[Tuple[Table, Tuple]]) -> None:
+        """Update every t joined with snull at this join value; records
+        already joined with a real S record are up to date (Theorem 1).
+        Insert ``t^null_x`` if nothing carries the join value."""
+        join_value = change.values.get(self.spec.join_attr_s)
+        if join_value is None:
+            raise TransformationError(
+                "FOJ transformation requires non-NULL join values in "
+                f"{self.spec.s_name!r} (the join attribute identifies an "
+                "S record)")
+        s_part = self.spec.s_part(change.values)
+        rows = self._rows_with_join(join_value)
+        for row in rows:
+            if row.meta.get("s_null"):
+                self.t.update_rowid(row.rowid, s_part)
+                row.meta["s_null"] = False
+                self._touch(touched, row)
+        if not rows:
+            values = self.spec.null_r_part()
+            values[self.spec.join_column] = join_value
+            values.update(s_part)
+            self._touch(touched, self._insert_t(values, True, False))
+
+    # -- Rule 3 (Delete r^y from R) ---------------------------------------------------
+
+    def _rule3_delete_r(self, change: DeleteRecord,
+                        touched: List[Tuple[Table, Tuple]]) -> None:
+        """Delete t^y; if it was the only carrier of its S record, leave a
+        ``t^null_x`` behind so the full outer join keeps the S side."""
+        row = self.t.get(change.key)
+        if row is None:
+            return
+        if row.meta.get("s_null"):
+            self._touch(touched, row)
+            self.t.delete_rowid(row.rowid)
+            return
+        join_value = row.values.get(self.spec.join_column)
+        s_part = self.spec.s_part_of_t(row.values)
+        others = [
+            r for r in self._rows_with_join(join_value)
+            if not r.meta.get("s_null") and r.rowid != row.rowid
+        ]
+        self._touch(touched, row)
+        self.t.delete_rowid(row.rowid)
+        if not others:
+            values = self.spec.null_r_part()
+            values[self.spec.join_column] = join_value
+            values.update(s_part)
+            self._touch(touched, self._insert_t(values, True, False))
+
+    # -- Rule 4 (Delete s^x from S) -------------------------------------------------------
+
+    def _rule4_delete_s(self, change: DeleteRecord,
+                        touched: List[Tuple[Table, Tuple]]) -> None:
+        """Delete ``t^null_x`` if present; strip the S side of every other
+        carrier (they survive joined with snull)."""
+        for row in self._rows_with_skey(change.key):
+            if row.meta.get("r_null"):
+                self._touch(touched, row)
+                self.t.delete_rowid(row.rowid)
+            else:
+                self.t.update_rowid(row.rowid, self.spec.null_s_part())
+                row.meta["s_null"] = True
+                self._touch(touched, row)
+
+    # -- Rule 5 (Update join attribute of r^y_x to z) -----------------------------------------
+
+    def _rule5_update_r_join(self, change: UpdateRecord,
+                             touched: List[Tuple[Table, Tuple]]) -> None:
+        """Move t^y from join value x to z, preserving s^x if t^y was its
+        only carrier, and attaching the R part at z as in Rule 1.
+
+        The row is applied only when its current join value equals the
+        operation's before-image x; otherwise a newer state is already
+        reflected (Theorem 1) and the record is ignored.
+        """
+        row = self.t.get(change.key)
+        if row is None:
+            return
+        old_join = change.old_values.get(self.spec.join_attr_r)
+        if row.values.get(self.spec.join_column) != old_join:
+            return  # newer state already reflected
+        new_r_part = self.spec.r_part_of_t(row.values)
+        new_r_part.update(self._r_changes(change))
+        new_join = change.changes[self.spec.join_attr_r]
+
+        if not row.meta.get("s_null"):
+            s_part = self.spec.s_part_of_t(row.values)
+            others = [
+                r for r in self._rows_with_join(old_join)
+                if not r.meta.get("s_null") and r.rowid != row.rowid
+            ]
+            if not others:
+                values = self.spec.null_r_part()
+                values[self.spec.join_column] = old_join
+                values.update(s_part)
+                self._touch(touched, self._insert_t(values, True, False))
+        self._touch(touched, row)
+        self.t.delete_rowid(row.rowid)
+        self._attach_r_part(new_r_part, new_join, touched)
+
+    # -- Rule 6 (Update join attribute of s^x to z) -----------------------------------------------
+
+    def _rule6_update_s_join(self, change: UpdateRecord,
+                             touched: List[Tuple[Table, Tuple]]) -> None:
+        """Detach s from its carriers at x (delete ``t^null_x``, null the S
+        side of the rest), then attach it at z (fill snull carriers, or
+        insert ``t^null_z``).  The S attribute values not present in the log
+        record are extracted from a carrier row, as the paper prescribes."""
+        carriers = self._rows_with_skey(change.key)
+        if not carriers:
+            return  # nothing carries s^x: newer state (Theorem 1)
+        new_s_part = self.spec.s_part_of_t(carriers[0].values)
+        new_s_part.update(self._s_changes(change))
+        new_join = change.changes[self.spec.join_attr_s]
+        if new_join is None:
+            raise TransformationError(
+                "FOJ transformation requires non-NULL join values in "
+                f"{self.spec.s_name!r}")
+        for row in carriers:
+            if row.meta.get("r_null"):
+                self._touch(touched, row)
+                self.t.delete_rowid(row.rowid)
+            else:
+                self.t.update_rowid(row.rowid, self.spec.null_s_part())
+                row.meta["s_null"] = True
+                self._touch(touched, row)
+        rows_z = self._rows_with_join(new_join)
+        filled = False
+        has_real_s = False
+        for row in rows_z:
+            if row.meta.get("s_null"):
+                self.t.update_rowid(row.rowid, new_s_part)
+                row.meta["s_null"] = False
+                self._touch(touched, row)
+                filled = True
+            else:
+                has_real_s = True  # already joined with an s^z: unmodified
+        if not filled and not has_real_s:
+            values = self.spec.null_r_part()
+            values[self.spec.join_column] = new_join
+            values.update(new_s_part)
+            self._touch(touched, self._insert_t(values, True, False))
+
+    # -- Rule 7 (Update other attribute of r^y or s^x) ----------------------------------------------
+
+    def _rule7_update_r_other(self, change: UpdateRecord,
+                              touched: List[Tuple[Table, Tuple]]) -> None:
+        """Update the R side of t^y in place; ignore if absent."""
+        row = self.t.get(change.key)
+        if row is None:
+            return
+        r_changes = self._r_changes(change)
+        if r_changes:
+            self.t.update_rowid(row.rowid, r_changes)
+        self._touch(touched, row)
+
+    def _rule7_update_s_other(self, change: UpdateRecord,
+                              touched: List[Tuple[Table, Tuple]]) -> None:
+        """Update the S side of every carrier of s^x; ignore if none."""
+        s_changes = self._s_changes(change)
+        for row in self._rows_with_skey(change.key):
+            if s_changes:
+                self.t.update_rowid(row.rowid, s_changes)
+            self._touch(touched, row)
+
+    # -- lock mapping (synchronization support) ------------------------------------
+
+    def targets_of_source_lock(self, table_name: str,
+                               key: Tuple) -> List[Tuple[Table, Tuple]]:
+        if table_name == self.spec.r_name:
+            return [(self.t, tuple(key))]
+        if table_name == self.spec.s_name:
+            return [(self.t, self._key_of(row))
+                    for row in self._rows_with_skey(key)]
+        return []
+
+    def sources_of_target_lock(self, table_name: str,
+                               key: Tuple) -> List[Tuple[Table, Tuple]]:
+        if table_name != self.t.name:
+            return []
+        result: List[Tuple[Table, Tuple]] = []
+        catalog = self.db.catalog
+        r_table = catalog.get_any(self.spec.r_name)
+        s_table = catalog.get_any(self.spec.s_name)
+        result.append((r_table, tuple(key)))
+        row = self.t.get(tuple(key))
+        if row is not None and not row.meta.get("s_null"):
+            s_key = tuple(row.values.get(a) for a in self.spec.s_key)
+            if all(part is not None for part in s_key):
+                result.append((s_table, s_key))
+        return result
+
+
+class FojTransformation(Transformation):
+    """Online, non-blocking full outer join of two tables (Section 4).
+
+    Example::
+
+        spec = FojSpec.derive(db.table("R").schema, db.table("S").schema,
+                              target_name="T", join_attr_r="c",
+                              join_attr_s="c")
+        tf = FojTransformation(db, spec)
+        tf.run()          # or drive tf.step(budget) as a background process
+
+    Args:
+        db: The database.
+        spec: The join specification (see :class:`FojSpec.derive`).
+        **kwargs: Forwarded to :class:`Transformation` (policy, strategy,
+            chunk size, ...).
+    """
+
+    kind = "foj"
+
+    def __init__(self, db: Database, spec: FojSpec, **kwargs) -> None:
+        if spec.many_to_many:
+            raise TransformationError(
+                "use Many2ManyFojTransformation for many-to-many joins")
+        super().__init__(db, **kwargs)
+        self.spec = spec
+        # Population streaming state.
+        self._s_by_join: Dict[object, List[Dict[str, object]]] = {}
+        self._matched_joins: set = set()
+        self._r_buffer: List[Dict[str, object]] = []
+        self._r_pos = 0
+        self._leftover: Optional[List[Tuple[object, Dict[str, object]]]] = \
+            None
+        self._leftover_pos = 0
+
+    @property
+    def source_tables(self) -> Tuple[str, ...]:
+        return (self.spec.r_name, self.spec.s_name)
+
+    def _create_targets(self) -> Dict[str, Table]:
+        return {self.spec.target_name: create_foj_target(self.db, self.spec)}
+
+    def _build_rule_engine(self) -> FojRuleEngine:
+        return FojRuleEngine(self.db, self.spec,
+                             self.targets[self.spec.target_name])
+
+    def _swap_params(self) -> Dict[str, object]:
+        return {"spec": self.spec}
+
+    # -- initial population (streamed) ----------------------------------------
+
+    def _population_step(self, budget: int) -> Tuple[int, bool]:
+        """Stream the fuzzy scans through the join into T.
+
+        Order: drain the S scan into a join-value hash, drain the R scan
+        into a buffer, stream the buffer through the hash inserting joined
+        rows, then insert ``t^null_x`` rows for unmatched S records.
+        """
+        units = 0
+        target = self.targets[self.spec.target_name]
+        s_scan = self._source_scan(self.spec.s_name)
+        while units < budget and not s_scan.exhausted:
+            for row in s_scan.next_chunk(budget - units):
+                values = dict(row.values)
+                self._s_by_join.setdefault(
+                    values.get(self.spec.join_attr_s), []).append(values)
+                units += 1
+        if not s_scan.exhausted:
+            return units, False
+
+        r_scan = self._source_scan(self.spec.r_name)
+        while units < budget and not r_scan.exhausted:
+            for row in r_scan.next_chunk(budget - units):
+                self._r_buffer.append(dict(row.values))
+                units += 1
+        if not r_scan.exhausted:
+            return units, False
+
+        while units < budget and self._r_pos < len(self._r_buffer):
+            r = self._r_buffer[self._r_pos]
+            self._r_pos += 1
+            units += 1
+            value = r.get(self.spec.join_attr_r)
+            matches = self._s_by_join.get(value, []) \
+                if value is not None else []
+            if matches:
+                self._matched_joins.add(value)
+                for s in matches:
+                    row = self.spec.r_part(r)
+                    row.update(self.spec.s_part(s))
+                    target.insert_row(row, meta={"r_null": False,
+                                                 "s_null": False})
+            else:
+                row = self.spec.r_part(r)
+                row.update(self.spec.null_s_part())
+                target.insert_row(row, meta={"r_null": False,
+                                             "s_null": True})
+        if self._r_pos < len(self._r_buffer):
+            return units, False
+
+        if self._leftover is None:
+            self._leftover = [
+                (value, s)
+                for value, group in self._s_by_join.items()
+                if value is None or value not in self._matched_joins
+                for s in group
+            ]
+        while units < budget and self._leftover_pos < len(self._leftover):
+            value, s = self._leftover[self._leftover_pos]
+            self._leftover_pos += 1
+            units += 1
+            row = self.spec.null_r_part()
+            row[self.spec.join_column] = value
+            row.update(self.spec.s_part(s))
+            target.insert_row(row, meta={"r_null": True, "s_null": False})
+        finished = self._leftover_pos >= len(self._leftover)
+        if finished:
+            # Free the population buffers.
+            self._s_by_join = {}
+            self._r_buffer = []
+            self._leftover = []
+        return units, finished

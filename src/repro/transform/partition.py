@@ -1,0 +1,364 @@
+"""Horizontal partition and merge transformations (paper Section 7).
+
+The paper's further work: "Methods for other relational operators should,
+however, also be developed."  The two most natural companions to the
+vertical split/join pair are their *horizontal* analogues:
+
+* **partition** -- one table T is split by a row predicate into A (rows
+  satisfying it) and B (the rest), same schema on both sides;
+* **merge** -- two union-compatible tables A and B with disjoint key sets
+  become one table T.
+
+Both reuse the framework unchanged (fuzzy population, log propagation,
+the three synchronization strategies).  Because the transformed rows are
+*whole* source rows, the row LSN is a valid state identifier (unlike the
+FOJ case), so the propagation rules are LSN-guarded like the vertical
+split's:
+
+* insert: ignore if the key already exists on either side (Theorem 1),
+  else insert on the side the predicate chooses;
+* delete: ignore if absent or newer, else delete wherever the key lives;
+* update: ignore if absent or newer, else apply -- and if the predicate's
+  verdict flipped, *move* the row to the other side.
+
+The merge is the exact mirror (two sources, one target); overlapping keys
+are the horizontal analogue of Example 1's inconsistency and abort the
+transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import (
+    InconsistentDataError,
+    SchemaError,
+    TransformationError,
+)
+from repro.engine.database import Database
+from repro.storage.row import Row
+from repro.storage.schema import TableSchema
+from repro.storage.table import Table
+from repro.transform.base import RuleEngine, Transformation
+from repro.wal.records import (
+    DeleteRecord,
+    InsertRecord,
+    LogRecord,
+    UpdateRecord,
+)
+
+#: A row predicate: receives the row's value mapping, returns a bool.
+#: Must be deterministic and depend only on the row's values.
+RowPredicate = Callable[[Dict[str, object]], bool]
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Specification of a horizontal partition.
+
+    Attributes:
+        source_name: The table being partitioned.
+        a_name: Target receiving rows satisfying the predicate.
+        b_name: Target receiving the rest.
+        predicate: The row predicate (deterministic over row values).
+        predicate_desc: Human-readable predicate description, recorded in
+            the swap log record.
+    """
+
+    source_name: str
+    a_name: str
+    b_name: str
+    predicate: RowPredicate
+    predicate_desc: str = ""
+
+
+@dataclass(frozen=True)
+class MergeSpec:
+    """Specification of a horizontal merge (disjoint union).
+
+    Attributes:
+        a_name: First source table.
+        b_name: Second source table (union-compatible with the first).
+        target_name: The merged table.
+    """
+
+    a_name: str
+    b_name: str
+    target_name: str
+
+
+# ---------------------------------------------------------------------------
+# Oracles
+# ---------------------------------------------------------------------------
+
+
+def partition_rows(spec: PartitionSpec, rows) -> Tuple[List[Dict], List[Dict]]:
+    """Reference evaluation: partition row dicts by the predicate."""
+    a_rows, b_rows = [], []
+    for values in rows:
+        (a_rows if spec.predicate(values) else b_rows).append(dict(values))
+    return a_rows, b_rows
+
+
+def merge_rows(a_rows, b_rows, key_of) -> List[Dict]:
+    """Reference evaluation: disjoint union of row dicts.
+
+    Raises :class:`InconsistentDataError` on key collisions (the
+    horizontal analogue of the paper's Example 1).
+    """
+    seen = {}
+    result = []
+    for values in list(a_rows) + list(b_rows):
+        key = key_of(values)
+        if key in seen:
+            raise InconsistentDataError((key,))
+        seen[key] = True
+        result.append(dict(values))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Partition
+# ---------------------------------------------------------------------------
+
+
+class PartitionRuleEngine(RuleEngine):
+    """LSN-guarded propagation rules for a horizontal partition."""
+
+    def __init__(self, db: Database, spec: PartitionSpec, a_table: Table,
+                 b_table: Table) -> None:
+        self.db = db
+        self.spec = spec
+        self.a = a_table
+        self.b = b_table
+        self.source_tables = (spec.source_name,)
+
+    def _find(self, key: Tuple) -> Tuple[Optional[Table], Optional[Row]]:
+        row = self.a.get(key)
+        if row is not None:
+            return self.a, row
+        row = self.b.get(key)
+        if row is not None:
+            return self.b, row
+        return None, None
+
+    def _side_for(self, values: Dict[str, object]) -> Table:
+        return self.a if self.spec.predicate(values) else self.b
+
+    def apply(self, change: LogRecord,
+              lsn: int) -> List[Tuple[Table, Tuple]]:
+        """Route one logged source operation to the proper side."""
+        touched: List[Tuple[Table, Tuple]] = []
+        if change.table != self.spec.source_name:
+            return touched
+        if isinstance(change, InsertRecord):
+            side, row = self._find(change.key)
+            if row is None:
+                side = self._side_for(change.values)
+                side.insert_row(dict(change.values), lsn=lsn)
+                touched.append((side, change.key))
+        elif isinstance(change, DeleteRecord):
+            side, row = self._find(change.key)
+            if row is not None and row.lsn < lsn:
+                side.delete_rowid(row.rowid)
+                touched.append((side, change.key))
+        elif isinstance(change, UpdateRecord):
+            side, row = self._find(change.key)
+            if row is not None and row.lsn < lsn:
+                side.update_rowid(row.rowid, dict(change.changes), lsn=lsn)
+                target_side = self._side_for(row.values)
+                if target_side is not side:
+                    # The predicate's verdict flipped: move the row.
+                    values = dict(row.values)
+                    side.delete_rowid(row.rowid)
+                    target_side.insert_row(values, lsn=lsn)
+                    touched.append((side, change.key))
+                touched.append((target_side if target_side is not side
+                                else side, change.key))
+        return touched
+
+    def targets_of_source_lock(self, table_name: str,
+                               key: Tuple) -> List[Tuple[Table, Tuple]]:
+        if table_name != self.spec.source_name:
+            return []
+        side, row = self._find(tuple(key))
+        if row is not None:
+            return [(side, tuple(key))]
+        # Unknown yet: lock the key on both sides conservatively.
+        return [(self.a, tuple(key)), (self.b, tuple(key))]
+
+    def sources_of_target_lock(self, table_name: str,
+                               key: Tuple) -> List[Tuple[Table, Tuple]]:
+        if table_name not in (self.a.name, self.b.name):
+            return []
+        source = self.db.catalog.get_any(self.spec.source_name)
+        return [(source, tuple(key))]
+
+
+class PartitionTransformation(Transformation):
+    """Online horizontal partition of one table into two (Section 7).
+
+    Example::
+
+        spec = PartitionSpec("orders", "orders_eu", "orders_row",
+                             predicate=lambda r: r["region"] == "eu",
+                             predicate_desc="region == 'eu'")
+        PartitionTransformation(db, spec).run()
+    """
+
+    kind = "partition"
+
+    def __init__(self, db: Database, spec: PartitionSpec, **kwargs) -> None:
+        super().__init__(db, **kwargs)
+        self.spec = spec
+
+    @property
+    def source_tables(self) -> Tuple[str, ...]:
+        return (self.spec.source_name,)
+
+    def _create_targets(self) -> Dict[str, Table]:
+        source_schema = self.db.catalog.get(self.spec.source_name).schema
+        a = self.db.create_table(source_schema.rename(self.spec.a_name),
+                                 transient=True)
+        b = self.db.create_table(source_schema.rename(self.spec.b_name),
+                                 transient=True)
+        return {self.spec.a_name: a, self.spec.b_name: b}
+
+    def _build_rule_engine(self) -> PartitionRuleEngine:
+        return PartitionRuleEngine(self.db, self.spec,
+                                   self.targets[self.spec.a_name],
+                                   self.targets[self.spec.b_name])
+
+    def _swap_params(self) -> Dict[str, object]:
+        return {"spec": self.spec}
+
+    def _population_step(self, budget: int) -> Tuple[int, bool]:
+        units = 0
+        scan = self._source_scan(self.spec.source_name)
+        a = self.targets[self.spec.a_name]
+        b = self.targets[self.spec.b_name]
+        while units < budget and not scan.exhausted:
+            for row in scan.next_chunk(budget - units):
+                key = a.schema.key_of(row.values)
+                if a.get(key) is None and b.get(key) is None:
+                    side = a if self.spec.predicate(row.values) else b
+                    side.insert_row(dict(row.values), lsn=row.lsn)
+                units += 1
+        return units, scan.exhausted
+
+
+# ---------------------------------------------------------------------------
+# Merge
+# ---------------------------------------------------------------------------
+
+
+class MergeRuleEngine(RuleEngine):
+    """LSN-guarded propagation rules for a horizontal merge."""
+
+    def __init__(self, db: Database, spec: MergeSpec,
+                 target: Table) -> None:
+        self.db = db
+        self.spec = spec
+        self.t = target
+        self.source_tables = (spec.a_name, spec.b_name)
+
+    def apply(self, change: LogRecord,
+              lsn: int) -> List[Tuple[Table, Tuple]]:
+        """Apply one logged operation from either source to the target."""
+        touched: List[Tuple[Table, Tuple]] = []
+        if change.table not in self.source_tables:
+            return touched
+        if isinstance(change, InsertRecord):
+            if self.t.get(change.key) is None:
+                self.t.insert_row(dict(change.values), lsn=lsn)
+                touched.append((self.t, change.key))
+        elif isinstance(change, DeleteRecord):
+            row = self.t.get(change.key)
+            if row is not None and row.lsn < lsn:
+                self.t.delete_rowid(row.rowid)
+                touched.append((self.t, change.key))
+        elif isinstance(change, UpdateRecord):
+            row = self.t.get(change.key)
+            if row is not None and row.lsn < lsn:
+                self.t.update_rowid(row.rowid, dict(change.changes),
+                                    lsn=lsn)
+                touched.append((self.t, change.key))
+        return touched
+
+    def targets_of_source_lock(self, table_name: str,
+                               key: Tuple) -> List[Tuple[Table, Tuple]]:
+        if table_name in self.source_tables:
+            return [(self.t, tuple(key))]
+        return []
+
+    def sources_of_target_lock(self, table_name: str,
+                               key: Tuple) -> List[Tuple[Table, Tuple]]:
+        if table_name != self.t.name:
+            return []
+        return [(self.db.catalog.get_any(name), tuple(key))
+                for name in self.source_tables]
+
+
+class MergeTransformation(Transformation):
+    """Online horizontal merge of two union-compatible tables (Section 7).
+
+    The sources' key sets must be disjoint; a collision (observed during
+    population or propagation) is the horizontal analogue of Example 1's
+    inconsistency and raises :class:`InconsistentDataError`.
+    """
+
+    kind = "merge"
+
+    def __init__(self, db: Database, spec: MergeSpec, **kwargs) -> None:
+        super().__init__(db, **kwargs)
+        self.spec = spec
+        a_schema = db.catalog.get(spec.a_name).schema
+        b_schema = db.catalog.get(spec.b_name).schema
+        if a_schema.attribute_names != b_schema.attribute_names or \
+                a_schema.primary_key != b_schema.primary_key:
+            raise SchemaError(
+                f"{spec.a_name!r} and {spec.b_name!r} are not "
+                "union-compatible")
+        self._scan_order = [spec.a_name, spec.b_name]
+        self._scan_index = 0
+
+    @property
+    def source_tables(self) -> Tuple[str, ...]:
+        return (self.spec.a_name, self.spec.b_name)
+
+    def _create_targets(self) -> Dict[str, Table]:
+        schema = self.db.catalog.get(self.spec.a_name).schema
+        target = self.db.create_table(
+            schema.rename(self.spec.target_name), transient=True)
+        return {self.spec.target_name: target}
+
+    def _build_rule_engine(self) -> MergeRuleEngine:
+        return MergeRuleEngine(self.db, self.spec,
+                               self.targets[self.spec.target_name])
+
+    def _swap_params(self) -> Dict[str, object]:
+        return {"spec": self.spec}
+
+    def _population_step(self, budget: int) -> Tuple[int, bool]:
+        units = 0
+        target = self.targets[self.spec.target_name]
+        while units < budget and self._scan_index < len(self._scan_order):
+            name = self._scan_order[self._scan_index]
+            scan = self._source_scan(name)
+            if scan.exhausted:
+                self._scan_index += 1
+                continue
+            for row in scan.next_chunk(budget - units):
+                key = target.schema.key_of(row.values)
+                existing = target.get(key)
+                if existing is None:
+                    target.insert_row(dict(row.values), lsn=row.lsn)
+                elif self._scan_index == 1:
+                    # Key present in BOTH sources: not a fuzzy artifact
+                    # (the two scans are disjoint tables) but a genuine
+                    # precondition violation.
+                    raise InconsistentDataError((key,))
+                units += 1
+        finished = self._scan_index >= len(self._scan_order)
+        return units, finished

@@ -1,0 +1,103 @@
+"""Simple (non-blocking by construction) schema transformations.
+
+Section 2.4 of the paper surveys what existing systems (DB2 v8, SQL
+Server 2000, MySQL 4.0, Oracle 9i) already offered: "removal of and
+adding one or more attributes to a table, renaming attributes and the
+like.  Removal of an attribute can be performed by changing the table
+description only, thus leaving the physical records unchanged for an
+unspecified period of time.  Complex transformations like join are not
+supported."
+
+These operations are included so the library covers the full spectrum:
+they are metadata-only (plus lazy or eager physical cleanup) and need
+none of the log-propagation machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.errors import SchemaError
+from repro.engine.database import Database
+from repro.storage.schema import Attribute, TableSchema
+from repro.wal.records import RenameTableRecord
+
+
+def add_attribute(db: Database, table_name: str, attr_name: str,
+                  default: object = None) -> None:
+    """Add a nullable attribute to a table, online.
+
+    Existing rows get ``default`` (NULL unless given).  Metadata-only
+    plus one pass to install the default; no locks are taken -- concurrent
+    readers see either the old or the new schema width, both valid.
+    """
+    table = db.catalog.get(table_name)
+    if table.schema.has_attribute(attr_name):
+        raise SchemaError(
+            f"attribute {attr_name!r} already exists on {table_name!r}")
+    attrs = list(table.schema.attributes) + [Attribute(attr_name)]
+    table.schema = TableSchema(table.schema.name, attrs,
+                               table.schema.primary_key,
+                               table.schema.candidate_keys,
+                               table.schema.functional_deps)
+    for row in table.rows.values():
+        row.values[attr_name] = default
+
+
+def remove_attribute(db: Database, table_name: str, attr_name: str,
+                     eager: bool = False) -> None:
+    """Remove an attribute from a table, online.
+
+    Per Section 2.4, the cheap variant changes "the table description
+    only", leaving physical records untouched; pass ``eager=True`` to
+    also strip the stored values immediately (what our
+    :meth:`~repro.storage.table.Table.drop_attributes` does).
+    """
+    table = db.catalog.get(table_name)
+    if not table.schema.has_attribute(attr_name):
+        raise SchemaError(f"no attribute {attr_name!r} on {table_name!r}")
+    if eager:
+        table.drop_attributes([attr_name])
+        return
+    # Lazy: schema-only change; stale values stay in the rows until they
+    # are next rewritten (the paper's "unspecified period of time").
+    if table.schema.is_key_attribute(attr_name):
+        raise SchemaError(
+            f"cannot remove primary-key attribute {attr_name!r}")
+    for index_name in list(table.indexes):
+        if attr_name in table.indexes[index_name].attrs:
+            if index_name == "__primary__":
+                raise SchemaError(
+                    f"cannot remove attribute {attr_name!r} backing the "
+                    "primary index")
+            del table.indexes[index_name]
+    keep = [a for a in table.schema.attributes if a.name != attr_name]
+    table.schema = TableSchema(table.schema.name, keep,
+                               table.schema.primary_key)
+
+
+def rename_attribute(db: Database, table_name: str, old_name: str,
+                     new_name: str) -> None:
+    """Rename an attribute, online (metadata plus in-place key rewrite)."""
+    table = db.catalog.get(table_name)
+    if not table.schema.has_attribute(old_name):
+        raise SchemaError(f"no attribute {old_name!r} on {table_name!r}")
+    if table.schema.has_attribute(new_name):
+        raise SchemaError(
+            f"attribute {new_name!r} already exists on {table_name!r}")
+
+    def rename_in(names):
+        return tuple(new_name if n == old_name else n for n in names)
+
+    attrs = [Attribute(new_name, a.nullable) if a.name == old_name else a
+             for a in table.schema.attributes]
+    table.schema = TableSchema(
+        table.schema.name, attrs,
+        rename_in(table.schema.primary_key),
+        [rename_in(ck) for ck in table.schema.candidate_keys],
+    )
+    for row in table.rows.values():
+        if old_name in row.values:
+            row.values[new_name] = row.values.pop(old_name)
+    for index in table.indexes.values():
+        index.attrs = rename_in(index.attrs)

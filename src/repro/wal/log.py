@@ -1,0 +1,122 @@
+"""Append-only log manager.
+
+The log is the single communication channel between user transactions and
+the transformation framework: the framework never installs triggers or
+touches user transactions; it only *reads the log* (the paper's central
+design point, Section 1).  The manager therefore exposes, besides append,
+cheap sequential scans starting from an arbitrary LSN.
+
+The implementation keeps the whole log in memory (the reproduced prototype
+is a main-memory DBMS).  ``flush`` is tracked for API fidelity -- commit
+forces the log -- but is a no-op physically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from repro.wal.records import NULL_LSN, LogRecord
+
+#: First LSN ever assigned.  LSN 0 is reserved as the null LSN.
+FIRST_LSN = 1
+
+
+class LogManager:
+    """Monotonic, append-only sequence of :class:`LogRecord` objects.
+
+    LSNs are dense integers starting at :data:`FIRST_LSN`; the record with
+    LSN ``n`` lives at list index ``n - FIRST_LSN``, making ``record_at``
+    O(1) and range scans allocation-free.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[LogRecord] = []
+        self._flushed_lsn = NULL_LSN
+        #: Observers called synchronously with each appended record.  Used
+        #: by tests and by the simulator's accounting; the transformation
+        #: framework deliberately does NOT use observers -- it polls the log
+        #: like the paper's propagator.
+        self.observers: List[Callable[[LogRecord], None]] = []
+
+    # -- append ------------------------------------------------------------
+
+    def append(self, record: LogRecord, prev_lsn: int = NULL_LSN) -> int:
+        """Append ``record``, assigning its LSN; return the new LSN.
+
+        Args:
+            record: The record to append.  Its ``lsn`` must be unassigned.
+            prev_lsn: Back-chain pointer to the owning transaction's
+                previous record (``NULL_LSN`` if none).
+        """
+        if record.lsn != NULL_LSN:
+            raise ValueError(f"record already appended: lsn={record.lsn}")
+        record.lsn = FIRST_LSN + len(self._records)
+        record.prev_lsn = prev_lsn
+        self._records.append(record)
+        for observer in self.observers:
+            observer(record)
+        return record.lsn
+
+    def flush(self, up_to_lsn: Optional[int] = None) -> None:
+        """Force the log to stable storage (a no-op in memory)."""
+        self._flushed_lsn = self.end_lsn if up_to_lsn is None else up_to_lsn
+
+    # -- positions ----------------------------------------------------------
+
+    @property
+    def end_lsn(self) -> int:
+        """LSN of the most recently appended record (``NULL_LSN`` if empty)."""
+        return NULL_LSN if not self._records else self._records[-1].lsn
+
+    @property
+    def next_lsn(self) -> int:
+        """LSN that the next appended record will receive."""
+        return FIRST_LSN + len(self._records)
+
+    @property
+    def flushed_lsn(self) -> int:
+        """Highest LSN known to be on stable storage."""
+        return self._flushed_lsn
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- reading ------------------------------------------------------------
+
+    def record_at(self, lsn: int) -> LogRecord:
+        """Return the record with the given LSN."""
+        index = lsn - FIRST_LSN
+        if index < 0 or index >= len(self._records):
+            raise IndexError(f"no log record with lsn {lsn}")
+        return self._records[index]
+
+    def scan(self, from_lsn: int = FIRST_LSN,
+             to_lsn: Optional[int] = None) -> Iterator[LogRecord]:
+        """Yield records with ``from_lsn <= lsn <= to_lsn`` in LSN order.
+
+        ``to_lsn`` defaults to the current end of the log, *fixed at call
+        time*: records appended while the caller iterates are not included,
+        which is exactly the bounded-cycle behaviour a log-propagation
+        iteration needs.
+        """
+        end = self.end_lsn if to_lsn is None else to_lsn
+        start_index = max(0, from_lsn - FIRST_LSN)
+        end_index = min(len(self._records), end - FIRST_LSN + 1)
+        for index in range(start_index, end_index):
+            yield self._records[index]
+
+    def records_between(self, from_lsn: int, to_lsn: int) -> int:
+        """Number of records in the closed LSN interval (for analysis)."""
+        if to_lsn < from_lsn:
+            return 0
+        lo = max(FIRST_LSN, from_lsn)
+        hi = min(self.end_lsn, to_lsn)
+        return max(0, hi - lo + 1)
+
+    def tail_length(self, after_lsn: int) -> int:
+        """Number of records appended after ``after_lsn`` (analysis helper)."""
+        return max(0, self.end_lsn - max(after_lsn, NULL_LSN))
+
+    def dump(self) -> str:
+        """Multi-line human-readable rendering of the whole log."""
+        return "\n".join(record.describe() for record in self._records)

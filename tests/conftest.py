@@ -1,0 +1,95 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro import (
+    Database,
+    FojSpec,
+    Session,
+    SplitSpec,
+    TableSchema,
+)
+
+R_SCHEMA = TableSchema("R", ["a", "b", "c"], primary_key=["a"])
+S_SCHEMA = TableSchema("S", ["c", "d", "e"], primary_key=["c"])
+T_SPLIT_SCHEMA = TableSchema(
+    "T", ["id", "name", "zip", "city"], primary_key=["id"])
+
+
+@pytest.fixture
+def db() -> Database:
+    """A fresh empty database."""
+    return Database()
+
+
+@pytest.fixture
+def foj_db() -> Database:
+    """Database with the paper's Figure 1 style tables R(a,b,c), S(c,d,e)."""
+    database = Database()
+    database.create_table(R_SCHEMA)
+    database.create_table(S_SCHEMA)
+    return database
+
+
+@pytest.fixture
+def split_db() -> Database:
+    """Database with the paper's Example 1 style table T(id,name,zip,city)."""
+    database = Database()
+    database.create_table(T_SPLIT_SCHEMA)
+    return database
+
+
+def load_foj_data(database: Database, n_r: int = 20, n_s: int = 8,
+                  seed: int = 1) -> None:
+    """Populate R and S with joinable data (some unmatched on both sides)."""
+    rng = random.Random(seed)
+    with Session(database) as s:
+        for i in range(n_r):
+            s.insert("R", {"a": i, "b": f"b{i}",
+                           "c": rng.randrange(n_s + 3)})
+        for c in rng.sample(range(n_s + 3), n_s):
+            s.insert("S", {"c": c, "d": f"d{c}", "e": f"e{c}"})
+
+
+def load_split_data(database: Database, n: int = 20, n_zip: int = 5,
+                    seed: int = 1) -> None:
+    """Populate T with FD-consistent rows (zip -> city)."""
+    rng = random.Random(seed)
+    with Session(database) as s:
+        for i in range(n):
+            z = 7000 + rng.randrange(n_zip)
+            s.insert("T", {"id": i, "name": f"n{i}", "zip": z,
+                           "city": f"C{z}"})
+
+
+def foj_spec(database: Database, target: str = "T",
+             many_to_many: bool = False) -> FojSpec:
+    """Standard spec joining R and S on c."""
+    return FojSpec.derive(
+        database.table("R").schema, database.table("S").schema,
+        target_name=target, join_attr_r="c", join_attr_s="c",
+        many_to_many=many_to_many)
+
+
+def split_spec(database: Database, r_name: str = "T_r",
+               s_name: str = "postal") -> SplitSpec:
+    """Standard spec splitting T on zip (city moves to the S table)."""
+    return SplitSpec.derive(
+        database.table("T").schema, r_name=r_name, s_name=s_name,
+        split_attr="zip", s_attrs=["city"])
+
+
+def values_of(database: Database, table: str) -> List[Dict[str, object]]:
+    """All row value dicts of a table (visible or zombie)."""
+    return [dict(r.values) for r in database.catalog.get_any(table).scan()]
+
+
+def table_counters(database: Database, table: str) -> Dict[Tuple, int]:
+    """Split-counter map of an S table."""
+    t = database.catalog.get_any(table)
+    return {t.schema.key_of(r.values): r.meta["counter"] for r in t.scan()}

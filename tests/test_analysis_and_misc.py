@@ -1,0 +1,159 @@
+"""Tests for analysis policies, checkpointing, column drops and other
+pieces added beyond the first green build."""
+
+import pytest
+
+from repro import Database, Session, TableSchema, restart
+from repro.common.errors import SchemaError
+from repro.storage import Table
+from repro.transform.analysis import (
+    Decision,
+    EstimatedTimePolicy,
+    FixedIterationsPolicy,
+    IterationReport,
+    RemainingRecordsPolicy,
+)
+
+
+# ---------------------------------------------------------------------------
+# Analysis policies (Section 3.3's three suggested analyses)
+# ---------------------------------------------------------------------------
+
+
+def report(iteration=1, propagated=100, remaining=0, units=100):
+    return IterationReport(iteration, propagated, remaining, units)
+
+
+def test_remaining_records_policy_synchronizes_when_few_remain():
+    policy = RemainingRecordsPolicy(max_remaining=10)
+    assert policy.decide(report(remaining=5)) is Decision.SYNCHRONIZE
+    assert policy.decide(report(remaining=10)) is Decision.SYNCHRONIZE
+    assert policy.decide(report(remaining=11)) is Decision.ITERATE
+
+
+def test_remaining_records_policy_declares_stall():
+    policy = RemainingRecordsPolicy(max_remaining=10, patience=3)
+    decisions = [policy.decide(report(iteration=i, remaining=100 + i))
+                 for i in range(1, 6)]
+    assert Decision.STALLED in decisions
+    # Shrinking backlog resets the verdict.
+    policy2 = RemainingRecordsPolicy(max_remaining=10, patience=3)
+    for i, remaining in enumerate((100, 90, 80, 70, 60)):
+        assert policy2.decide(report(iteration=i, remaining=remaining)) \
+            is Decision.ITERATE
+
+
+def test_remaining_records_policy_validates():
+    with pytest.raises(ValueError):
+        RemainingRecordsPolicy(max_remaining=-1)
+
+
+def test_estimated_time_policy_uses_per_record_cost():
+    policy = EstimatedTimePolicy(max_estimated_units=50)
+    # 100 remaining at 1 unit/record -> 100 > 50: iterate.
+    assert policy.decide(report(propagated=100, units=100,
+                                remaining=100)) is Decision.ITERATE
+    # 100 remaining at 0.25 units/record -> 25 <= 50: synchronize.
+    assert policy.decide(report(propagated=400, units=100,
+                                remaining=100)) is Decision.SYNCHRONIZE
+
+
+def test_estimated_time_policy_stall():
+    policy = EstimatedTimePolicy(max_estimated_units=1, patience=2)
+    first = policy.decide(report(iteration=1, remaining=1000))
+    second = policy.decide(report(iteration=2, remaining=1000))
+    assert second is Decision.STALLED and first is Decision.ITERATE
+
+
+def test_fixed_iterations_policy():
+    policy = FixedIterationsPolicy(3)
+    assert policy.decide(report(iteration=2)) is Decision.ITERATE
+    assert policy.decide(report(iteration=3)) is Decision.SYNCHRONIZE
+    with pytest.raises(ValueError):
+        FixedIterationsPolicy(0)
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing
+# ---------------------------------------------------------------------------
+
+
+def test_checkpoint_bounds_analysis_and_preserves_losers():
+    db = Database()
+    db.create_table(TableSchema("t", ["id", "x"], primary_key=["id"]))
+    with Session(db) as s:
+        for i in range(4):
+            s.insert("t", {"id": i, "x": i})
+    loser = db.begin()
+    db.update(loser, "t", (0,), {"x": "dirty"})
+    db.checkpoint()  # loser is active at the checkpoint
+    with Session(db) as s:
+        s.update("t", (1,), {"x": "post"})
+    recovered = restart(db.log)
+    values = {r.values["id"]: r.values["x"]
+              for r in recovered.table("t").scan()}
+    assert values[0] == 0        # loser rolled back (found via checkpoint)
+    assert values[1] == "post"   # post-checkpoint commit kept
+
+
+def test_checkpoint_with_no_active_txns():
+    db = Database()
+    db.create_table(TableSchema("t", ["id"], primary_key=["id"]))
+    with Session(db) as s:
+        s.insert("t", {"id": 1})
+    lsn = db.checkpoint()
+    assert db.log.record_at(lsn).active_txns == {}
+    recovered = restart(db.log)
+    assert recovered.table("t").row_count == 1
+
+
+def test_multiple_checkpoints_latest_wins():
+    db = Database()
+    db.create_table(TableSchema("t", ["id"], primary_key=["id"]))
+    db.checkpoint()
+    with Session(db) as s:
+        s.insert("t", {"id": 1})
+    db.checkpoint()
+    loser = db.begin()
+    db.insert(loser, "t", {"id": 2})
+    recovered = restart(db.log)
+    assert recovered.table("t").row_count == 1
+
+
+# ---------------------------------------------------------------------------
+# Table.drop_attributes
+# ---------------------------------------------------------------------------
+
+
+def make_table():
+    table = Table(TableSchema("t", ["id", "a", "b"], primary_key=["id"]))
+    table.create_index("by_a", ["a"])
+    table.create_index("by_b", ["b"])
+    table.insert_row({"id": 1, "a": "x", "b": "y"})
+    return table
+
+
+def test_drop_attributes_strips_schema_rows_and_indexes():
+    table = make_table()
+    table.drop_attributes(["b"])
+    assert table.schema.attribute_names == ("id", "a")
+    assert "b" not in table.get((1,)).values
+    assert "by_b" not in table.indexes
+    assert "by_a" in table.indexes
+    table.insert_row({"id": 2, "a": "z"})  # schema fully consistent
+
+
+def test_drop_attributes_rejects_key_and_missing():
+    table = make_table()
+    with pytest.raises(SchemaError):
+        table.drop_attributes(["id"])
+    with pytest.raises(SchemaError):
+        table.drop_attributes(["nope"])
+    table.drop_attributes([])  # no-op
+
+
+def test_drop_attributes_drops_multi_column_index_touching_dropped():
+    table = Table(TableSchema("t", ["id", "a", "b"], primary_key=["id"]))
+    table.create_index("ab", ["a", "b"])
+    table.drop_attributes(["b"])
+    assert "ab" not in table.indexes

@@ -1,0 +1,172 @@
+"""Tests for the blocking and Ronström (trigger-based) baselines."""
+
+import random
+
+import pytest
+
+from repro import Database, Session, TableSchema
+from repro.baselines import BlockingTransformation, RonstromTransformation
+from repro.common.errors import (
+    DuplicateKeyError,
+    LockWaitError,
+    NoSuchRowError,
+)
+from repro.relational import full_outer_join, rows_equal, split
+
+from tests.conftest import (
+    foj_spec,
+    load_foj_data,
+    load_split_data,
+    split_spec,
+    table_counters,
+    values_of,
+)
+
+
+# ---------------------------------------------------------------------------
+# Blocking insert-into-select
+# ---------------------------------------------------------------------------
+
+
+def test_blocking_foj_result_correct(foj_db):
+    load_foj_data(foj_db)
+    spec = foj_spec(foj_db)
+    r_rows, s_rows = values_of(foj_db, "R"), values_of(foj_db, "S")
+    bt = BlockingTransformation(foj_db, spec)
+    bt.run()
+    assert bt.done
+    assert rows_equal(values_of(foj_db, "T"),
+                      full_outer_join(spec, r_rows, s_rows))
+    assert foj_db.catalog.table_names() == ["T"]
+
+
+def test_blocking_split_result_correct(split_db):
+    load_split_data(split_db, n=20)
+    spec = split_spec(split_db)
+    t_rows = values_of(split_db, "T")
+    BlockingTransformation(split_db, spec).run()
+    r_rows, s_rows, counters, _ = split(spec, t_rows)
+    assert rows_equal(values_of(split_db, "T_r"), r_rows)
+    assert rows_equal(values_of(split_db, "postal"), s_rows)
+    assert table_counters(split_db, "postal") == counters
+
+
+def test_blocking_baseline_blocks_for_entire_copy(foj_db):
+    """The point of the paper: user operations stall for the whole copy,
+    not just a sub-millisecond latch."""
+    load_foj_data(foj_db, n_r=30, n_s=10)
+    bt = BlockingTransformation(foj_db, foj_spec(foj_db), chunk=5)
+    bt.step(10)  # prepare + latch
+    txn = foj_db.begin()
+    with pytest.raises(LockWaitError):
+        foj_db.read(txn, "R", (1,))
+    bt.step(10)  # still copying, still latched
+    with pytest.raises(LockWaitError):
+        foj_db.read(txn, "R", (1,))
+    woken = []
+    foj_db.on_wake = woken.extend
+    bt.run()
+    assert bt.blocked_units >= 30  # latched for the whole table copy
+    assert txn.txn_id in woken  # released only at the swap
+    foj_db.abort(txn)
+
+
+def test_blocking_baseline_blocked_units_scale_with_size(foj_db):
+    load_foj_data(foj_db, n_r=40, n_s=10)
+    bt = BlockingTransformation(foj_db, foj_spec(foj_db))
+    bt.run()
+    assert bt.blocked_units > 40
+
+
+# ---------------------------------------------------------------------------
+# Ronström trigger-based method
+# ---------------------------------------------------------------------------
+
+
+def test_ronstrom_foj_quiescent_correct(foj_db):
+    load_foj_data(foj_db)
+    spec = foj_spec(foj_db)
+    r_rows, s_rows = values_of(foj_db, "R"), values_of(foj_db, "S")
+    rt = RonstromTransformation(foj_db, spec)
+    rt.run()
+    assert rows_equal(values_of(foj_db, "T"),
+                      full_outer_join(spec, r_rows, s_rows))
+
+
+def test_ronstrom_split_quiescent_correct(split_db):
+    load_split_data(split_db, n=20)
+    spec = split_spec(split_db)
+    t_rows = values_of(split_db, "T")
+    RonstromTransformation(split_db, spec).run()
+    r_rows, s_rows, counters, _ = split(spec, t_rows)
+    assert rows_equal(values_of(split_db, "T_r"), r_rows)
+    assert table_counters(split_db, "postal") == counters
+
+
+def test_ronstrom_triggers_charged_to_user_transactions(foj_db):
+    """Section 2.1's critique: the maintenance work runs inside the user
+    transaction -- visible here as trigger invocations during user ops."""
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    rt = RonstromTransformation(foj_db, foj_spec(foj_db), chunk=3)
+    rt.step(3)  # prepare (installs triggers)
+    before = foj_db.stats["trigger"]
+    with Session(foj_db) as s:
+        s.update("R", (1,), {"b": "x"})
+    assert foj_db.stats["trigger"] == before + 1
+    assert rt.trigger_ops >= 1
+    rt.run()
+    # After completion the triggers are gone.
+    before = foj_db.stats["trigger"]
+    with Session(foj_db) as s:
+        s.update("T", (1,), {"b": "y"})
+    assert foj_db.stats["trigger"] == before
+
+
+def test_ronstrom_trigger_rollback_compensates(foj_db):
+    load_foj_data(foj_db, n_r=8, n_s=4)
+    spec = foj_spec(foj_db)
+    rt = RonstromTransformation(foj_db, spec, chunk=2)
+    rt.step(2)  # triggers installed, scan barely started
+    txn = foj_db.begin()
+    foj_db.update(txn, "R", (1,), {"b": "dirty"})
+    foj_db.abort(txn)  # trigger fires again for the CLR
+    r_rows, s_rows = values_of(foj_db, "R"), values_of(foj_db, "S")
+    rt.run()
+    assert rows_equal(values_of(foj_db, "T"),
+                      full_outer_join(spec, r_rows, s_rows))
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_ronstrom_interleaved_converges(foj_db, seed):
+    rng = random.Random(seed)
+    load_foj_data(foj_db, n_r=25, n_s=8, seed=seed)
+    spec = foj_spec(foj_db)
+    rt = RonstromTransformation(foj_db, spec, chunk=4)
+    r_rows = s_rows = None
+    while True:
+        if foj_db.catalog.exists("R"):
+            try:
+                with Session(foj_db) as s:
+                    k = rng.random()
+                    if k < 0.3:
+                        s.update("R", (rng.randrange(25),),
+                                 {"c": rng.randrange(11)})
+                    elif k < 0.5:
+                        s.update("S", (rng.randrange(11),),
+                                 {"d": f"x{rng.random():.2f}"})
+                    elif k < 0.65:
+                        s.delete("R", (rng.randrange(25),))
+                    elif k < 0.8:
+                        s.insert("R", {"a": 100 + rng.randrange(60),
+                                       "b": 0, "c": rng.randrange(11)})
+                    else:
+                        s.update("R", (rng.randrange(25),),
+                                 {"b": rng.random()})
+            except (NoSuchRowError, DuplicateKeyError):
+                pass
+            r_rows = values_of(foj_db, "R")
+            s_rows = values_of(foj_db, "S")
+        if rt.step(6).done:
+            break
+    assert rows_equal(values_of(foj_db, "T"),
+                      full_outer_join(spec, r_rows, s_rows))

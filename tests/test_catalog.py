@@ -1,0 +1,145 @@
+"""Unit tests for the catalog: DDL, zombies, blocking, swaps."""
+
+import pytest
+
+from repro.common.errors import DuplicateTableError, NoSuchTableError
+from repro.storage import Catalog, Table, TableSchema
+
+
+def schema(name: str) -> TableSchema:
+    return TableSchema(name, ["id", "v"], primary_key=["id"])
+
+
+def test_create_get_drop():
+    cat = Catalog()
+    table = cat.create_table(schema("a"))
+    assert cat.get("a") is table
+    assert cat.exists("a")
+    assert cat.table_names() == ["a"]
+    dropped = cat.drop_table("a")
+    assert dropped is table
+    assert not cat.exists("a")
+    with pytest.raises(NoSuchTableError):
+        cat.get("a")
+    with pytest.raises(NoSuchTableError):
+        cat.drop_table("a")
+
+
+def test_duplicate_create_rejected():
+    cat = Catalog()
+    cat.create_table(schema("a"))
+    with pytest.raises(DuplicateTableError):
+        cat.create_table(schema("a"))
+
+
+def test_add_existing_table_object():
+    cat = Catalog()
+    table = Table(schema("x"))
+    cat.add_table(table)
+    assert cat.get("x") is table
+    with pytest.raises(DuplicateTableError):
+        cat.add_table(Table(schema("x")))
+
+
+def test_rename():
+    cat = Catalog()
+    cat.create_table(schema("a"))
+    cat.create_table(schema("b"))
+    cat.rename_table("a", "c")
+    assert cat.exists("c") and not cat.exists("a")
+    assert cat.get("c").name == "c"
+    with pytest.raises(DuplicateTableError):
+        cat.rename_table("c", "b")
+
+
+def test_blocking_marks():
+    cat = Catalog()
+    cat.create_table(schema("a"))
+    cat.block(["a"])
+    assert cat.is_blocked("a")
+    cat.unblock(["a"])
+    assert not cat.is_blocked("a")
+    with pytest.raises(NoSuchTableError):
+        cat.block(["missing"])
+
+
+def test_swap_retires_and_publishes():
+    cat = Catalog()
+    cat.create_table(schema("R"))
+    cat.create_table(schema("S"))
+    target = Table(schema("T_internal"))
+    cat.add_table(target)
+    cat.swap(["R", "S"], {"T": target}, keep_zombies=False)
+    assert cat.table_names() == ["T"]
+    assert target.name == "T"
+    assert not cat.is_zombie("R")
+
+
+def test_swap_keeps_zombies():
+    cat = Catalog()
+    cat.create_table(schema("R"))
+    target = Table(schema("T"))
+    cat.add_table(target)
+    cat.swap(["R"], {"T": target}, keep_zombies=True)
+    assert cat.is_zombie("R")
+    assert cat.get_any("R").name == "R"
+    with pytest.raises(NoSuchTableError):
+        cat.get("R")
+    assert cat.zombie_names() == ["R"]
+    cat.drop_zombie("R")
+    assert not cat.is_zombie("R")
+    with pytest.raises(NoSuchTableError):
+        cat.get_any("R")
+
+
+def test_swap_publish_under_own_name():
+    """Targets already cataloged under their public name swap in place."""
+    cat = Catalog()
+    cat.create_table(schema("R"))
+    target = cat.create_table(schema("T"))
+    cat.swap(["R"], {"T": target}, keep_zombies=False)
+    assert cat.get("T") is target
+
+
+def test_swap_publish_collision_rejected():
+    cat = Catalog()
+    cat.create_table(schema("R"))
+    cat.create_table(schema("X"))
+    other = Table(schema("Y"))
+    cat.add_table(other)
+    with pytest.raises(DuplicateTableError):
+        cat.swap(["R"], {"X": other}, keep_zombies=False)
+
+
+def test_swap_missing_source_rejected():
+    cat = Catalog()
+    target = Table(schema("T"))
+    with pytest.raises(NoSuchTableError):
+        cat.swap(["missing"], {"T": target}, keep_zombies=False)
+
+
+def test_swap_clears_blocked_mark():
+    cat = Catalog()
+    cat.create_table(schema("R"))
+    cat.block(["R"])
+    target = Table(schema("T"))
+    cat.swap(["R"], {"T": target}, keep_zombies=False)
+    assert not cat.is_blocked("R")
+
+
+def test_zombie_name_conflicts_block_creation():
+    cat = Catalog()
+    cat.create_table(schema("R"))
+    target = Table(schema("T"))
+    cat.swap(["R"], {"T": target}, keep_zombies=True)
+    with pytest.raises(DuplicateTableError):
+        cat.create_table(schema("R"))  # the zombie still owns the name
+
+
+def test_repr_lists_tables_and_zombies():
+    cat = Catalog()
+    cat.create_table(schema("a"))
+    target = Table(schema("T"))
+    cat.swap(["a"], {"T": target}, keep_zombies=True)
+    text = repr(cat)
+    assert "T" in text and "a" in text

@@ -1,0 +1,148 @@
+"""Edge-case coverage: error payloads, step validation, CC backoff,
+scale-factor parsing."""
+
+import os
+
+import pytest
+
+from repro import Database, Session, TableSchema
+from repro.common.errors import (
+    DeadlockError,
+    DuplicateKeyError,
+    InconsistentDataError,
+    LockWaitError,
+    NoSuchRowError,
+    NoSuchTableError,
+    TransactionAbortedError,
+)
+from repro.transform.base import Phase, StepReport
+from repro.wal.records import (
+    CheckpointRecord,
+    CreateTableRecord,
+    DropTableRecord,
+    TransformSwapRecord,
+)
+
+
+# ---------------------------------------------------------------------------
+# Error payloads (callers dispatch on these attributes)
+# ---------------------------------------------------------------------------
+
+
+def test_error_payload_attributes():
+    assert NoSuchTableError("t").table_name == "t"
+    assert DuplicateKeyError("t", (1,)).key == (1,)
+    assert NoSuchRowError("t", (2,)).key == (2,)
+    err = LockWaitError(("rec", 1, (3,)), 7)
+    assert err.resource == ("rec", 1, (3,)) and err.txn_id == 7
+    dead = DeadlockError(5, (5, 6))
+    assert dead.txn_id == 5 and dead.cycle == (5, 6)
+    bad = InconsistentDataError(((7050,),))
+    assert (7050,) in bad.split_values
+    aborted = TransactionAbortedError(9, "reason")
+    assert aborted.txn_id == 9 and "reason" in str(aborted)
+
+
+# ---------------------------------------------------------------------------
+# Transformation step validation
+# ---------------------------------------------------------------------------
+
+
+def test_step_rejects_nonpositive_budget(foj_db):
+    from repro import FojTransformation
+    from tests.conftest import foj_spec, load_foj_data
+    load_foj_data(foj_db, n_r=3, n_s=2)
+    tf = FojTransformation(foj_db, foj_spec(foj_db))
+    with pytest.raises(ValueError):
+        tf.step(0)
+    tf.abort()
+
+
+def test_step_after_done_is_noop(foj_db):
+    from repro import FojTransformation
+    from tests.conftest import foj_spec, load_foj_data
+    load_foj_data(foj_db, n_r=3, n_s=2)
+    tf = FojTransformation(foj_db, foj_spec(foj_db))
+    tf.run()
+    report = tf.step(100)
+    assert report.done and report.units == 0 and report.phase is Phase.DONE
+
+
+def test_abort_after_done_rejected(foj_db):
+    from repro import FojTransformation, TransformationError
+    from repro.common.errors import TransformationStateError
+    from tests.conftest import foj_spec, load_foj_data
+    load_foj_data(foj_db, n_r=3, n_s=2)
+    tf = FojTransformation(foj_db, foj_spec(foj_db))
+    tf.run()
+    with pytest.raises(TransformationStateError):
+        tf.abort()
+
+
+# ---------------------------------------------------------------------------
+# Consistency-checker backoff
+# ---------------------------------------------------------------------------
+
+
+def test_cc_backs_off_on_genuine_inconsistency(split_db):
+    from repro import SplitTransformation
+    from tests.conftest import split_spec
+    with Session(split_db) as s:
+        s.insert("T", {"id": 1, "name": "a", "zip": 1, "city": "X"})
+        s.insert("T", {"id": 2, "name": "b", "zip": 1, "city": "Y"})
+    tf = SplitTransformation(split_db, split_spec(split_db),
+                             check_consistency=True,
+                             on_inconsistent="wait")
+    for _ in range(30):
+        tf.step(64)
+    started = tf.checker.stats["started"]
+    # Without backoff this would be ~one check per step; with the
+    # cooldown of 8 it is bounded well below the step count.
+    assert started < 12
+
+
+# ---------------------------------------------------------------------------
+# DDL / swap / checkpoint record descriptions
+# ---------------------------------------------------------------------------
+
+
+def test_new_record_kinds():
+    assert CreateTableRecord().kind == "createtable"
+    assert DropTableRecord(table="t").kind == "droptable"
+    assert TransformSwapRecord().kind == "transformswap"
+    assert CheckpointRecord().kind == "checkpoint"
+
+
+def test_swap_record_carries_inventory():
+    record = TransformSwapRecord(transform_id="x",
+                                 transform_kind="foj",
+                                 retired=("R", "S"),
+                                 published={"T": None},
+                                 doomed_txns=(4, 5))
+    assert record.retired == ("R", "S")
+    assert record.doomed_txns == (4, 5)
+
+
+# ---------------------------------------------------------------------------
+# Simulator configuration parsing
+# ---------------------------------------------------------------------------
+
+
+def test_scale_factor_env(monkeypatch):
+    from repro.sim import scale_factor
+    monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert scale_factor() == 0.1
+    monkeypatch.setenv("REPRO_SCALE", "0.25")
+    assert scale_factor() == 0.25
+    monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+    assert scale_factor() == 1.0
+
+
+def test_server_priority_bounds():
+    from repro.sim import Server, ServerConfig, Simulator
+    server = Server(Simulator(), ServerConfig())
+    with pytest.raises(ValueError):
+        server.set_background(object(), 1.5)
+    with pytest.raises(ValueError):
+        server.set_background(object(), -0.1)

@@ -1,0 +1,469 @@
+"""Unit tests for the FOJ propagation rules (Rules 1-7, Section 4.2).
+
+Each test builds a small transformed table T in a known state, applies one
+log record through the rule engine, and checks the exact resulting rows --
+including the NULL-record bookkeeping the paper's notation (t^null_x,
+t^y_null) describes.
+"""
+
+import pytest
+
+from repro import Database, TableSchema
+from repro.common.errors import TransformationError
+from repro.relational.spec import FojSpec
+from repro.transform.foj import FojRuleEngine, create_foj_target
+from repro.wal.records import DeleteRecord, InsertRecord, UpdateRecord
+
+R = TableSchema("R", ["a", "b", "c"], primary_key=["a"])
+S = TableSchema("S", ["c", "d"], primary_key=["c"])
+
+
+def make_engine():
+    db = Database()
+    db.create_table(R)
+    db.create_table(S)
+    spec = FojSpec.derive(R, S, "T", "c", "c")
+    target = create_foj_target(db, spec)
+    return FojRuleEngine(db, spec, target), target
+
+
+def put(target, values, r_null=False, s_null=False):
+    return target.insert_row(values, meta={"r_null": r_null,
+                                           "s_null": s_null})
+
+
+def rows_of(target):
+    return sorted(
+        ((tuple(sorted(r.values.items())), r.meta["r_null"],
+          r.meta["s_null"])
+         for r in target.scan()),
+        key=repr)
+
+
+def insert_r(a, b, c):
+    return InsertRecord(txn_id=1, table="R", key=(a,),
+                        values={"a": a, "b": b, "c": c})
+
+
+def insert_s(c, d):
+    return InsertRecord(txn_id=1, table="S", key=(c,),
+                        values={"c": c, "d": d})
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: insert r^y_x into R
+# ---------------------------------------------------------------------------
+
+
+def test_rule1_ignored_if_key_present():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "newer", "c": 10, "d": "d"})
+    engine.apply(insert_r(1, "old", 10))
+    assert t.row_count == 1
+    assert t.get((1,)).values["b"] == "newer"  # Theorem 1: untouched
+
+
+def test_rule1_morphs_null_r_record():
+    engine, t = make_engine()
+    put(t, {"a": None, "b": None, "c": 10, "d": "d"}, r_null=True)
+    touched = engine.apply(insert_r(1, "b1", 10))
+    row = t.get((1,))
+    assert row.values == {"a": 1, "b": "b1", "c": 10, "d": "d"}
+    assert not row.meta["r_null"] and not row.meta["s_null"]
+    assert t.row_count == 1
+    assert (t, (1,)) in [(tab, key) for tab, key in touched]
+
+
+def test_rule1_clones_s_part_of_sibling():
+    engine, t = make_engine()
+    put(t, {"a": 5, "b": "x", "c": 10, "d": "d10"})
+    engine.apply(insert_r(1, "b1", 10))
+    row = t.get((1,))
+    assert row.values["d"] == "d10"  # S part extracted from t^5_10
+    assert t.row_count == 2
+
+
+def test_rule1_no_match_joins_with_snull():
+    engine, t = make_engine()
+    engine.apply(insert_r(1, "b1", 99))
+    row = t.get((1,))
+    assert row.values["d"] is None
+    assert row.meta["s_null"] and not row.meta["r_null"]
+
+
+def test_rule1_null_join_value_joins_with_snull():
+    engine, t = make_engine()
+    engine.apply(insert_r(1, "b1", None))
+    row = t.get((1,))
+    assert row.values["c"] is None and row.meta["s_null"]
+
+
+def test_rule1_prefers_null_r_over_sibling_clone():
+    engine, t = make_engine()
+    put(t, {"a": None, "b": None, "c": 10, "d": "d"}, r_null=True)
+    put(t, {"a": 5, "b": "x", "c": 10, "d": "d"})
+    engine.apply(insert_r(1, "b1", 10))
+    assert t.row_count == 2  # morphed the placeholder, no new row
+
+
+def test_rule1_sibling_all_snull_inserts_snull_row():
+    engine, t = make_engine()
+    put(t, {"a": 5, "b": "x", "c": 10, "d": None}, s_null=True)
+    engine.apply(insert_r(1, "b1", 10))
+    row = t.get((1,))
+    assert row.meta["s_null"]  # no real s^10 exists anywhere
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: insert s^x into S
+# ---------------------------------------------------------------------------
+
+
+def test_rule2_fills_all_snull_carriers():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b1", "c": 10, "d": None}, s_null=True)
+    put(t, {"a": 2, "b": "b2", "c": 10, "d": None}, s_null=True)
+    engine.apply(insert_s(10, "d10"))
+    assert t.get((1,)).values["d"] == "d10"
+    assert t.get((2,)).values["d"] == "d10"
+    assert not t.get((1,)).meta["s_null"]
+    assert t.row_count == 2
+
+
+def test_rule2_leaves_real_s_parts_untouched():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b1", "c": 10, "d": "newer"})
+    engine.apply(insert_s(10, "older"))
+    assert t.get((1,)).values["d"] == "newer"  # Theorem 1
+
+
+def test_rule2_inserts_null_r_row_when_unmatched():
+    engine, t = make_engine()
+    engine.apply(insert_s(10, "d10"))
+    assert t.row_count == 1
+    row = next(iter(t.scan()))
+    assert row.meta["r_null"]
+    assert row.values == {"a": None, "b": None, "c": 10, "d": "d10"}
+
+
+def test_rule2_rejects_null_join_value():
+    engine, t = make_engine()
+    with pytest.raises(TransformationError):
+        engine.apply(insert_s(None, "d"))
+
+
+# ---------------------------------------------------------------------------
+# Rule 3: delete r^y from R
+# ---------------------------------------------------------------------------
+
+
+def test_rule3_ignored_if_absent():
+    engine, t = make_engine()
+    engine.apply(DeleteRecord(txn_id=1, table="R", key=(1,)))
+    assert t.row_count == 0
+
+
+def test_rule3_deletes_snull_row_outright():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b", "c": 99, "d": None}, s_null=True)
+    engine.apply(DeleteRecord(txn_id=1, table="R", key=(1,)))
+    assert t.row_count == 0
+
+
+def test_rule3_preserves_last_s_carrier_as_null_r():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b", "c": 10, "d": "d10"})
+    engine.apply(DeleteRecord(txn_id=1, table="R", key=(1,)))
+    assert t.row_count == 1
+    row = next(iter(t.scan()))
+    assert row.meta["r_null"]
+    assert row.values["c"] == 10 and row.values["d"] == "d10"
+
+
+def test_rule3_plain_delete_when_siblings_carry_s():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b", "c": 10, "d": "d10"})
+    put(t, {"a": 2, "b": "b", "c": 10, "d": "d10"})
+    engine.apply(DeleteRecord(txn_id=1, table="R", key=(1,)))
+    assert t.row_count == 1
+    assert t.get((2,)) is not None
+
+
+# ---------------------------------------------------------------------------
+# Rule 4: delete s^x from S
+# ---------------------------------------------------------------------------
+
+
+def test_rule4_deletes_null_r_placeholder():
+    engine, t = make_engine()
+    put(t, {"a": None, "b": None, "c": 10, "d": "d"}, r_null=True)
+    engine.apply(DeleteRecord(txn_id=1, table="S", key=(10,)))
+    assert t.row_count == 0
+
+
+def test_rule4_strips_s_part_of_carriers():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b", "c": 10, "d": "d"})
+    put(t, {"a": 2, "b": "b", "c": 10, "d": "d"})
+    engine.apply(DeleteRecord(txn_id=1, table="S", key=(10,)))
+    for key in ((1,), (2,)):
+        row = t.get(key)
+        assert row.values["d"] is None
+        assert row.meta["s_null"]
+        assert row.values["c"] == 10  # the R-side join value stays
+
+
+def test_rule4_ignored_when_no_carrier():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b", "c": 10, "d": None}, s_null=True)
+    engine.apply(DeleteRecord(txn_id=1, table="S", key=(10,)))
+    assert t.get((1,)).meta["s_null"]  # unchanged
+
+
+# ---------------------------------------------------------------------------
+# Rule 5: update join attribute of r^y
+# ---------------------------------------------------------------------------
+
+
+def upd_r_join(a, old_c, new_c, **extra):
+    changes = {"c": new_c, **extra}
+    old = {"c": old_c, **{k: f"old-{k}" for k in extra}}
+    return UpdateRecord(txn_id=1, table="R", key=(a,), changes=changes,
+                        old_values=old)
+
+
+def test_rule5_ignored_when_absent_or_stale():
+    engine, t = make_engine()
+    engine.apply(upd_r_join(1, 10, 20))
+    assert t.row_count == 0
+    put(t, {"a": 1, "b": "b", "c": 30, "d": None}, s_null=True)
+    engine.apply(upd_r_join(1, 10, 20))  # current join 30 != before 10
+    assert t.get((1,)).values["c"] == 30
+
+
+def test_rule5_moves_to_null_r_destination():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b", "c": 10, "d": None}, s_null=True)
+    put(t, {"a": None, "b": None, "c": 20, "d": "d20"}, r_null=True)
+    engine.apply(upd_r_join(1, 10, 20))
+    assert t.row_count == 1
+    row = t.get((1,))
+    assert row.values == {"a": 1, "b": "b", "c": 20, "d": "d20"}
+    assert not row.meta["r_null"] and not row.meta["s_null"]
+
+
+def test_rule5_preserves_old_s_when_last_carrier():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b", "c": 10, "d": "d10"})
+    engine.apply(upd_r_join(1, 10, 99))
+    assert t.row_count == 2
+    placeholder = [r for r in t.scan() if r.meta["r_null"]][0]
+    assert placeholder.values["c"] == 10
+    assert placeholder.values["d"] == "d10"
+    moved = t.get((1,))
+    assert moved.values["c"] == 99 and moved.meta["s_null"]
+
+
+def test_rule5_no_placeholder_when_siblings_remain():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b", "c": 10, "d": "d10"})
+    put(t, {"a": 2, "b": "b", "c": 10, "d": "d10"})
+    engine.apply(upd_r_join(1, 10, 99))
+    assert t.row_count == 2
+    assert not any(r.meta["r_null"] for r in t.scan())
+
+
+def test_rule5_clones_destination_sibling_s_part():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b", "c": 10, "d": None}, s_null=True)
+    put(t, {"a": 2, "b": "b", "c": 20, "d": "d20"})
+    engine.apply(upd_r_join(1, 10, 20))
+    assert t.get((1,)).values["d"] == "d20"
+    assert t.row_count == 2
+
+
+def test_rule5_carries_other_attribute_changes():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "old-b", "c": 10, "d": None}, s_null=True)
+    engine.apply(upd_r_join(1, 10, 20, b="new-b"))
+    assert t.get((1,)).values["b"] == "new-b"
+
+
+def test_rule5_to_null_join_value():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b", "c": 10, "d": None}, s_null=True)
+    engine.apply(upd_r_join(1, 10, None))
+    row = t.get((1,))
+    assert row.values["c"] is None and row.meta["s_null"]
+
+
+# ---------------------------------------------------------------------------
+# Rule 6: update join attribute of s^x (join attr not S's key)
+# ---------------------------------------------------------------------------
+
+S2 = TableSchema("S2", ["k", "c", "d"], primary_key=["k"])
+
+
+def make_engine_nonkey_join():
+    db = Database()
+    db.create_table(R)
+    db.create_table(S2)
+    spec = FojSpec.derive(R, S2, "T", "c", "c")
+    target = create_foj_target(db, spec)
+    return FojRuleEngine(db, spec, target), target
+
+
+def upd_s_join(k, old_c, new_c):
+    return UpdateRecord(txn_id=1, table="S2", key=(k,),
+                        changes={"c": new_c}, old_values={"c": old_c})
+
+
+def test_rule6_detaches_and_reattaches():
+    engine, t = make_engine_nonkey_join()
+    # s(k=7) at join 10, carried by r1; r2 waits at join 20 with snull.
+    put(t, {"a": 1, "b": "b", "c": 10, "k": 7, "d": "d7"})
+    put(t, {"a": 2, "b": "b", "c": 20, "k": None, "d": None}, s_null=True)
+    engine.apply(upd_s_join(7, 10, 20))
+    r1 = t.get((1,))
+    assert r1.meta["s_null"] and r1.values["k"] is None
+    r2 = t.get((2,))
+    assert r2.values["k"] == 7 and r2.values["d"] == "d7"
+    assert not r2.meta["s_null"]
+
+
+def test_rule6_deletes_null_r_placeholder_and_creates_new():
+    engine, t = make_engine_nonkey_join()
+    put(t, {"a": None, "b": None, "c": 10, "k": 7, "d": "d7"}, r_null=True)
+    engine.apply(upd_s_join(7, 10, 20))
+    assert t.row_count == 1
+    row = next(iter(t.scan()))
+    assert row.meta["r_null"]
+    assert row.values["c"] == 20 and row.values["k"] == 7
+
+
+def test_rule6_ignored_when_no_carrier():
+    engine, t = make_engine_nonkey_join()
+    engine.apply(upd_s_join(7, 10, 20))
+    assert t.row_count == 0  # paper: "the log record is ignored"
+
+
+def test_rule6_rejects_null_destination():
+    engine, t = make_engine_nonkey_join()
+    put(t, {"a": 1, "b": "b", "c": 10, "k": 7, "d": "d7"})
+    with pytest.raises(TransformationError):
+        engine.apply(upd_s_join(7, 10, None))
+
+
+# ---------------------------------------------------------------------------
+# Rule 7: update other attributes
+# ---------------------------------------------------------------------------
+
+
+def test_rule7_updates_r_side():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "old", "c": 10, "d": "d"})
+    engine.apply(UpdateRecord(txn_id=1, table="R", key=(1,),
+                              changes={"b": "new"},
+                              old_values={"b": "old"}))
+    assert t.get((1,)).values["b"] == "new"
+
+
+def test_rule7_r_ignored_when_absent():
+    engine, t = make_engine()
+    engine.apply(UpdateRecord(txn_id=1, table="R", key=(1,),
+                              changes={"b": "new"},
+                              old_values={"b": "old"}))
+    assert t.row_count == 0
+
+
+def test_rule7_updates_every_s_carrier_including_null_r():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b", "c": 10, "d": "old"})
+    put(t, {"a": 2, "b": "b", "c": 10, "d": "old"})
+    engine.apply(UpdateRecord(txn_id=1, table="S", key=(10,),
+                              changes={"d": "new"},
+                              old_values={"d": "old"}))
+    assert t.get((1,)).values["d"] == "new"
+    assert t.get((2,)).values["d"] == "new"
+
+
+def test_rule7_s_ignored_when_no_carrier():
+    engine, t = make_engine()
+    engine.apply(UpdateRecord(txn_id=1, table="S", key=(10,),
+                              changes={"d": "new"},
+                              old_values={"d": "old"}))
+    assert t.row_count == 0
+
+
+def test_rule7_join_noop_update_routed_as_other():
+    """An update record listing the join attr with an unchanged value is
+    not a join move."""
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "old", "c": 10, "d": "d"})
+    engine.apply(UpdateRecord(txn_id=1, table="R", key=(1,),
+                              changes={"c": 10, "b": "new"},
+                              old_values={"c": 10, "b": "old"}))
+    assert t.get((1,)).values["b"] == "new"
+    assert t.row_count == 1
+
+
+# ---------------------------------------------------------------------------
+# Idempotence (the paper: "a log record may be redone multiple times")
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("record_factory", [
+    lambda: insert_r(1, "b1", 10),
+    lambda: insert_s(10, "d10"),
+    lambda: DeleteRecord(txn_id=1, table="R", key=(1,)),
+    lambda: DeleteRecord(txn_id=1, table="S", key=(10,)),
+    lambda: UpdateRecord(txn_id=1, table="R", key=(1,),
+                         changes={"b": "z"}, old_values={"b": "b1"}),
+])
+def test_rules_idempotent_under_reapplication(record_factory):
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b1", "c": 10, "d": "d10"})
+    put(t, {"a": 2, "b": "b2", "c": 20, "d": None}, s_null=True)
+    engine.apply(record_factory())
+    snapshot = rows_of(t)
+    engine.apply(record_factory())
+    assert rows_of(t) == snapshot
+
+
+def test_rule5_idempotent_under_reapplication():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b1", "c": 10, "d": "d10"})
+    record = upd_r_join(1, 10, 20)
+    engine.apply(record)
+    snapshot = rows_of(t)
+    engine.apply(upd_r_join(1, 10, 20))  # before-image no longer matches
+    assert rows_of(t) == snapshot
+
+
+# ---------------------------------------------------------------------------
+# Lock mapping
+# ---------------------------------------------------------------------------
+
+
+def test_targets_of_source_lock_r_and_s():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b", "c": 10, "d": "d"})
+    assert engine.targets_of_source_lock("R", (1,)) == [(t, (1,))]
+    assert engine.targets_of_source_lock("S", (10,)) == [(t, (1,))]
+    assert engine.targets_of_source_lock("S", (99,)) == []
+
+
+def test_sources_of_target_lock():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b", "c": 10, "d": "d"})
+    mapped = engine.sources_of_target_lock("T", (1,))
+    names = [(table.name, key) for table, key in mapped]
+    assert ("R", (1,)) in names
+    assert ("S", (10,)) in names
+
+
+def test_sources_of_target_lock_snull_row_maps_to_r_only():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b", "c": 99, "d": None}, s_null=True)
+    mapped = engine.sources_of_target_lock("T", (1,))
+    assert [table.name for table, _ in mapped] == ["R"]

@@ -1,0 +1,262 @@
+"""Unit tests for hash indexes and heap tables."""
+
+import pytest
+
+from repro.common.errors import (
+    DuplicateKeyError,
+    NoSuchIndexError,
+    NoSuchRowError,
+    SchemaError,
+)
+from repro.storage import HashIndex, Table, TableSchema, index_key
+
+
+# ---------------------------------------------------------------------------
+# index_key / HashIndex
+# ---------------------------------------------------------------------------
+
+
+def test_index_key_none_semantics():
+    assert index_key({"a": 1, "b": 2}, ("a", "b")) == (1, 2)
+    assert index_key({"a": None, "b": 2}, ("a", "b")) is None
+    assert index_key({"b": 2}, ("a",)) is None  # missing -> None -> skip
+
+
+def test_hash_index_basic_lifecycle():
+    idx = HashIndex("i", ("a",), unique=False)
+    idx.insert({"a": 1}, 10)
+    idx.insert({"a": 1}, 11)
+    idx.insert({"a": 2}, 12)
+    assert idx.lookup((1,)) == [10, 11]
+    assert idx.count((1,)) == 2
+    assert idx.contains((2,))
+    idx.remove({"a": 1}, 10)
+    assert idx.lookup((1,)) == [11]
+    idx.remove({"a": 1}, 11)
+    assert not idx.contains((1,))
+    assert sorted(idx.keys()) == [(2,)]
+    assert len(idx) == 1
+
+
+def test_hash_index_unique_violation():
+    idx = HashIndex("i", ("a",), unique=True, table_name="t")
+    idx.insert({"a": 1}, 10)
+    with pytest.raises(DuplicateKeyError):
+        idx.insert({"a": 1}, 11)
+    idx.insert({"a": 1}, 10)  # same rowid re-insert is idempotent
+
+
+def test_hash_index_skips_null_keys():
+    idx = HashIndex("i", ("a",), unique=True)
+    idx.insert({"a": None}, 10)
+    idx.insert({"a": None}, 11)  # no violation: NULLs unindexed
+    assert idx.lookup((None,)) == []
+    assert len(idx) == 0
+
+
+def test_hash_index_update_moves_between_buckets():
+    idx = HashIndex("i", ("a",), unique=False)
+    idx.insert({"a": 1}, 10)
+    idx.update({"a": 1}, {"a": 2}, 10)
+    assert idx.lookup((1,)) == []
+    assert idx.lookup((2,)) == [10]
+    idx.update({"a": 2}, {"a": None}, 10)  # move to unindexed
+    assert idx.lookup((2,)) == []
+    idx.update({"a": None}, {"a": 3}, 10)  # back from unindexed
+    assert idx.lookup((3,)) == [10]
+
+
+def test_hash_index_lookup_one():
+    idx = HashIndex("i", ("a",), unique=True)
+    assert idx.lookup_one((1,)) is None
+    idx.insert({"a": 1}, 10)
+    assert idx.lookup_one((1,)) == 10
+
+
+# ---------------------------------------------------------------------------
+# Table
+# ---------------------------------------------------------------------------
+
+
+def make_table() -> Table:
+    return Table(TableSchema("t", ["id", "x", "y"], primary_key=["id"]))
+
+
+def test_insert_and_get_by_key():
+    table = make_table()
+    row = table.insert_row({"id": 1, "x": "a"}, lsn=5)
+    assert row.lsn == 5
+    assert row.values == {"id": 1, "x": "a", "y": None}
+    assert table.get((1,)) is row
+    assert table.get((2,)) is None
+    assert table.contains_key((1,))
+    assert table.row_count == 1
+
+
+def test_insert_duplicate_pk_rejected_atomically():
+    table = make_table()
+    table.insert_row({"id": 1, "x": "a"})
+    with pytest.raises(DuplicateKeyError):
+        table.insert_row({"id": 1, "x": "b"})
+    assert table.row_count == 1
+    assert table.get((1,)).values["x"] == "a"
+
+
+def test_null_pk_rows_coexist_outside_primary_index():
+    """FOJ NULL records have NULL key parts and live outside the unique
+    primary index (partial-index semantics)."""
+    table = make_table()
+    table.insert_row({"id": None, "x": "n1"})
+    table.insert_row({"id": None, "x": "n2"})  # no duplicate error
+    assert table.row_count == 2
+    assert table.get((None,)) is None
+
+
+def test_delete_by_rowid_and_key():
+    table = make_table()
+    row = table.insert_row({"id": 1})
+    table.delete_rowid(row.rowid)
+    assert table.row_count == 0
+    with pytest.raises(NoSuchRowError):
+        table.delete_rowid(row.rowid)
+    table.insert_row({"id": 2})
+    table.delete_key((2,))
+    with pytest.raises(NoSuchRowError):
+        table.delete_key((2,))
+
+
+def test_update_rowid_changes_values_and_lsn():
+    table = make_table()
+    row = table.insert_row({"id": 1, "x": "a"}, lsn=1)
+    table.update_rowid(row.rowid, {"x": "b"}, lsn=9)
+    assert row.values["x"] == "b"
+    assert row.lsn == 9
+    table.update_rowid(row.rowid, {"y": 3})  # lsn untouched when omitted
+    assert row.lsn == 9
+
+
+def test_update_can_change_key_reindexing():
+    table = make_table()
+    row = table.insert_row({"id": 1})
+    table.update_rowid(row.rowid, {"id": 5})
+    assert table.get((1,)) is None
+    assert table.get((5,)) is row
+
+
+def test_update_key_collision_rejected_before_mutation():
+    table = make_table()
+    table.insert_row({"id": 1, "x": "a"})
+    row2 = table.insert_row({"id": 2, "x": "b"})
+    with pytest.raises(DuplicateKeyError):
+        table.update_rowid(row2.rowid, {"id": 1})
+    assert row2.values == {"id": 2, "x": "b", "y": None}
+
+
+def test_update_unknown_attribute_rejected():
+    table = make_table()
+    row = table.insert_row({"id": 1})
+    with pytest.raises(SchemaError):
+        table.update_rowid(row.rowid, {"bogus": 1})
+
+
+def test_secondary_index_backfill_and_maintenance():
+    table = make_table()
+    table.insert_row({"id": 1, "x": "a"})
+    table.insert_row({"id": 2, "x": "a"})
+    idx = table.create_index("by_x", ["x"])
+    assert {r.values["id"] for r in table.lookup("by_x", ("a",))} == {1, 2}
+    table.insert_row({"id": 3, "x": "a"})
+    assert len(table.lookup("by_x", ("a",))) == 3
+    table.update_key((1,), {"x": "z"})
+    assert len(table.lookup("by_x", ("a",))) == 2
+    assert table.lookup("by_x", ("z",))[0].values["id"] == 1
+
+
+def test_create_index_validates():
+    table = make_table()
+    with pytest.raises(SchemaError):
+        table.create_index("bad", ["missing"])
+    table.create_index("ok", ["x"])
+    with pytest.raises(SchemaError):
+        table.create_index("ok", ["x"])
+
+
+def test_drop_index():
+    table = make_table()
+    table.create_index("i", ["x"])
+    table.drop_index("i")
+    with pytest.raises(NoSuchIndexError):
+        table.index("i")
+    with pytest.raises(NoSuchIndexError):
+        table.drop_index("i")
+    with pytest.raises(SchemaError):
+        table.drop_index("__primary__")
+
+
+def test_candidate_keys_create_unique_indexes():
+    schema = TableSchema("t", ["id", "code"], primary_key=["id"],
+                         candidate_keys=[["code"]])
+    table = Table(schema)
+    table.insert_row({"id": 1, "code": "x"})
+    with pytest.raises(DuplicateKeyError):
+        table.insert_row({"id": 2, "code": "x"})
+
+
+def test_scan_order_and_mutation_tolerance():
+    table = make_table()
+    for i in range(5):
+        table.insert_row({"id": i})
+    seen = []
+    for row in table.scan():
+        seen.append(row.values["id"])
+        if row.values["id"] == 1:
+            table.delete_key((3,))
+    assert seen == [0, 1, 2, 4]
+
+
+def test_select_with_predicate():
+    table = make_table()
+    for i in range(6):
+        table.insert_row({"id": i, "x": i % 2})
+    evens = table.select(lambda r: r.values["x"] == 0)
+    assert len(evens) == 3
+
+
+def test_require_raises():
+    table = make_table()
+    with pytest.raises(NoSuchRowError):
+        table.require((9,))
+
+
+def test_rename_updates_schema_and_uid_stable():
+    table = make_table()
+    uid = table.uid
+    table.rename("other")
+    assert table.name == "other"
+    assert table.uid == uid
+
+
+def test_max_rowid():
+    table = make_table()
+    assert table.max_rowid() == 0
+    r1 = table.insert_row({"id": 1})
+    r2 = table.insert_row({"id": 2})
+    assert table.max_rowid() == r2.rowid
+    table.delete_rowid(r2.rowid)
+    assert table.max_rowid() == r1.rowid
+
+
+def test_row_snapshot_is_isolated():
+    table = make_table()
+    row = table.insert_row({"id": 1, "x": "a"})
+    snap = row.snapshot()
+    table.update_rowid(row.rowid, {"x": "b"})
+    assert snap.values["x"] == "a"
+    assert snap.rowid == row.rowid
+
+
+def test_row_matches_predicate():
+    table = make_table()
+    row = table.insert_row({"id": 1, "x": "a"})
+    assert row.matches({"x": "a"})
+    assert not row.matches({"x": "b"})

@@ -1,0 +1,208 @@
+"""Unit tests for the lock manager: waits, deadlocks, latches, cleanup."""
+
+import pytest
+
+from repro.common.errors import DeadlockError, LockWaitError
+from repro.concurrency import LockManager, LockMode, LockOrigin
+
+S, X = LockMode.S, LockMode.X
+RES = ("rec", 1, (1,))
+RES2 = ("rec", 1, (2,))
+
+
+def test_grant_and_reentrant_acquire():
+    lm = LockManager()
+    lm.acquire(1, RES, X)
+    lm.acquire(1, RES, X)  # reentrant
+    lm.acquire(1, RES, S)  # covered by X
+    assert lm.holds(1, RES, X)
+
+
+def test_shared_locks_coexist():
+    lm = LockManager()
+    lm.acquire(1, RES, S)
+    lm.acquire(2, RES, S)
+    assert lm.holds(1, RES, S) and lm.holds(2, RES, S)
+
+
+def test_conflicting_request_waits_and_is_granted_on_release():
+    lm = LockManager()
+    lm.acquire(1, RES, X)
+    with pytest.raises(LockWaitError):
+        lm.acquire(2, RES, X)
+    assert 2 in lm.waiting_txns()
+    woken = lm.release_all(1)
+    assert woken == [2]
+    # Retry finds the granted queued request.
+    lm.acquire(2, RES, X)
+    assert lm.holds(2, RES, X)
+
+
+def test_fifo_fairness_no_overtaking():
+    lm = LockManager()
+    lm.acquire(1, RES, S)
+    with pytest.raises(LockWaitError):
+        lm.acquire(2, RES, X)  # queued behind the S holder
+    # A new S request must NOT overtake the queued X writer.
+    with pytest.raises(LockWaitError):
+        lm.acquire(3, RES, S)
+    woken = lm.release_all(1)
+    assert woken[0] == 2  # writer first
+
+
+def test_upgrade_grants_when_sole_holder():
+    lm = LockManager()
+    lm.acquire(1, RES, S)
+    lm.acquire(1, RES, X)  # upgrade in place
+    assert lm.holds(1, RES, X)
+
+
+def test_upgrade_waits_and_queue_jumps():
+    lm = LockManager()
+    lm.acquire(1, RES, S)
+    lm.acquire(2, RES, S)
+    with pytest.raises(LockWaitError):
+        lm.acquire(1, RES, X)  # upgrade blocked by 2's S
+    lm.release_all(2)
+    lm.acquire(1, RES, X)
+    assert lm.holds(1, RES, X)
+
+
+def test_deadlock_two_txn_cycle():
+    lm = LockManager()
+    lm.acquire(1, RES, X)
+    lm.acquire(2, RES2, X)
+    with pytest.raises(LockWaitError):
+        lm.acquire(2, RES, X)  # 2 waits for 1
+    with pytest.raises(DeadlockError):
+        lm.acquire(1, RES2, X)  # would close the cycle
+    assert lm.deadlock_count == 1
+    # Victim's request was withdrawn: releasing 2 leaves no orphan waiter.
+    lm.release_all(1)
+    lm.acquire(2, RES, X)
+
+
+def test_deadlock_three_txn_cycle():
+    lm = LockManager()
+    a, b, c = ("rec", 1, ("a",)), ("rec", 1, ("b",)), ("rec", 1, ("c",))
+    lm.acquire(1, a, X)
+    lm.acquire(2, b, X)
+    lm.acquire(3, c, X)
+    with pytest.raises(LockWaitError):
+        lm.acquire(1, b, X)
+    with pytest.raises(LockWaitError):
+        lm.acquire(2, c, X)
+    with pytest.raises(DeadlockError):
+        lm.acquire(3, a, X)
+
+
+def test_release_single_resource():
+    lm = LockManager()
+    lm.acquire(1, RES, X)
+    lm.acquire(1, RES2, X)
+    lm.release(1, RES)
+    assert not lm.holds(1, RES)
+    assert lm.holds(1, RES2)
+
+
+def test_release_all_purges_waiting_requests():
+    """Regression: an aborted transaction's queued request must not be
+    granted to the dead owner later (it would starve all waiters)."""
+    lm = LockManager()
+    lm.acquire(1, RES, X)
+    with pytest.raises(LockWaitError):
+        lm.acquire(2, RES, X)
+    lm.release_all(2)  # txn 2 aborts while waiting
+    woken = lm.release_all(1)
+    assert woken == []  # no zombie grant
+    assert lm.holders(RES) == []
+    lm.acquire(3, RES, X)  # resource fully available
+
+
+def test_release_all_wakes_chain():
+    lm = LockManager()
+    lm.acquire(1, RES, X)
+    for txn in (2, 3):
+        with pytest.raises(LockWaitError):
+            lm.acquire(txn, RES, S)
+    woken = lm.release_all(1)
+    assert set(woken) == {2, 3}  # both readers granted together
+
+
+def test_grant_direct_installs_without_check():
+    lm = LockManager()
+    lm.grant_direct(-5, RES, X, LockOrigin.SOURCE_A)
+    lm.grant_direct(-6, RES, X, LockOrigin.SOURCE_B)  # compatible by Fig.2
+    holders = lm.holders(RES)
+    assert {h.txn_id for h in holders} == {-5, -6}
+    # A native writer now conflicts and must wait.
+    with pytest.raises(LockWaitError):
+        lm.acquire(7, RES, X)
+    lm.release_all(-5)
+    with pytest.raises(LockWaitError):
+        lm.acquire(7, RES, X)  # still blocked by -6
+    woken = lm.release_all(-6)
+    assert woken == [7]
+
+
+def test_source_origin_locks_conflict_with_native_reads_per_fig2():
+    lm = LockManager()
+    lm.grant_direct(-5, RES, X, LockOrigin.SOURCE_A)
+    with pytest.raises(LockWaitError):
+        lm.acquire(8, RES, S)  # T.r vs R.w: conflict
+    lm2 = LockManager()
+    lm2.grant_direct(-5, RES, S, LockOrigin.SOURCE_A)
+    lm2.acquire(8, RES, S)  # T.r vs R.r: compatible
+
+
+def test_try_acquire():
+    lm = LockManager()
+    assert lm.try_acquire(1, RES, X)
+    assert not lm.try_acquire(2, RES, S)
+    assert lm.try_acquire(1, RES, S)  # already covered
+    assert 2 not in lm.waiting_txns()  # try does not enqueue
+
+
+def test_locks_of():
+    lm = LockManager()
+    lm.acquire(1, RES, X)
+    lm.acquire(1, RES2, S)
+    assert lm.locks_of(1) == {RES, RES2}
+    lm.release_all(1)
+    assert lm.locks_of(1) == set()
+
+
+def test_latch_lifecycle_and_waiters():
+    lm = LockManager()
+    lm.latch_table(10, "tf")
+    assert lm.is_latched(10)
+    with pytest.raises(LockWaitError):
+        lm.check_latch(10, 1)
+    with pytest.raises(LockWaitError):
+        lm.check_latch(10, 2)
+    with pytest.raises(LockWaitError):
+        lm.check_latch(10, 1)  # re-check does not duplicate the waiter
+    woken = lm.unlatch_table(10, "tf")
+    assert woken == [1, 2]
+    assert not lm.is_latched(10)
+    lm.check_latch(10, 3)  # no-op when unlatched
+
+
+def test_latch_reentrant_same_owner_conflicts_other():
+    lm = LockManager()
+    lm.latch_table(10, "tf")
+    lm.latch_table(10, "tf")  # reentrant
+    with pytest.raises(LockWaitError):
+        lm.latch_table(10, "other")
+    lm.unlatch_table(10, "other")  # wrong owner: no-op
+    assert lm.is_latched(10)
+    lm.unlatch_table(10, "tf")
+    assert not lm.is_latched(10)
+
+
+def test_wait_count_statistics():
+    lm = LockManager()
+    lm.acquire(1, RES, X)
+    with pytest.raises(LockWaitError):
+        lm.acquire(2, RES, X)
+    assert lm.wait_count == 1

@@ -1,0 +1,81 @@
+"""Unit tests for lock modes and compatibility, including the paper's
+Figure 2 matrix, enumerated cell by cell."""
+
+import pytest
+
+from repro.concurrency import (
+    LockMode,
+    LockOrigin,
+    compatible,
+    figure2_compatible,
+    record_resource,
+    standard_compatible,
+    table_resource,
+)
+
+S, X = LockMode.S, LockMode.X
+R_, S_, T_ = LockOrigin.SOURCE_A, LockOrigin.SOURCE_B, LockOrigin.NATIVE
+
+
+def test_mode_properties():
+    assert X.is_write and not S.is_write
+    assert X.covers(S) and X.covers(X)
+    assert S.covers(S) and not S.covers(X)
+
+
+def test_origin_properties():
+    assert R_.is_source and S_.is_source and not T_.is_source
+
+
+def test_standard_matrix():
+    assert standard_compatible(S, S)
+    assert not standard_compatible(S, X)
+    assert not standard_compatible(X, S)
+    assert not standard_compatible(X, X)
+
+
+#: The paper's Figure 2, transcribed cell by cell.  Rows/columns are
+#: (mode, origin) pairs in the paper's order: R.r S.r T.r R.w S.w T.w.
+_HEADS = [(S, R_), (S, S_), (S, T_), (X, R_), (X, S_), (X, T_)]
+_FIG2 = [
+    # R.r  S.r  T.r  R.w  S.w  T.w
+    [True, True, True, True, True, False],   # R.r
+    [True, True, True, True, True, False],   # S.r
+    [True, True, True, False, False, False],  # T.r
+    [True, True, False, True, True, False],  # R.w
+    [True, True, False, True, True, False],  # S.w
+    [False, False, False, False, False, False],  # T.w
+]
+
+
+@pytest.mark.parametrize("i", range(6))
+@pytest.mark.parametrize("j", range(6))
+def test_figure2_matrix_cell(i, j):
+    held_mode, held_origin = _HEADS[i]
+    req_mode, req_origin = _HEADS[j]
+    expected = _FIG2[i][j]
+    assert figure2_compatible(held_mode, held_origin,
+                              req_mode, req_origin) is expected
+
+
+def test_figure2_is_symmetric():
+    for hm, ho in _HEADS:
+        for rm, ro in _HEADS:
+            assert figure2_compatible(hm, ho, rm, ro) == \
+                figure2_compatible(rm, ro, hm, ho)
+
+
+def test_compatible_dispatches_by_origin():
+    # Both native: standard matrix.
+    assert compatible(S, T_, S, T_)
+    assert not compatible(X, T_, X, T_)
+    # Any source origin: Figure 2 (source writes mutually compatible).
+    assert compatible(X, R_, X, S_)
+    assert compatible(X, R_, X, R_)
+    assert not compatible(X, R_, X, T_)
+
+
+def test_resource_constructors():
+    assert record_resource(7, (1, 2)) == ("rec", 7, (1, 2))
+    assert record_resource(7, [1]) == ("rec", 7, (1,))
+    assert table_resource("t") == ("tab", "t")

@@ -1,0 +1,195 @@
+"""Unit tests for the many-to-many FOJ propagation rules (Section 4.2
+sketch, with the corrected symmetric S-side)."""
+
+import pytest
+
+from repro import Database, TableSchema
+from repro.common.errors import SchemaError
+from repro.relational.spec import FojSpec
+from repro.transform.foj_m2m import (
+    Many2ManyFojRuleEngine,
+    build_m2m_table,
+    create_m2m_target,
+)
+from repro.wal.records import DeleteRecord, InsertRecord, UpdateRecord
+
+R = TableSchema("R", ["a", "b", "c"], primary_key=["a"])
+S = TableSchema("S", ["k", "c", "d"], primary_key=["k"])
+
+
+def make_engine():
+    db = Database()
+    db.create_table(R)
+    db.create_table(S)
+    spec = FojSpec.derive(R, S, "T", "c", "c", many_to_many=True)
+    target = create_m2m_target(db, spec)
+    return Many2ManyFojRuleEngine(db, spec, target), target
+
+
+def put(t, values, r_null=False, s_null=False):
+    return t.insert_row(values, meta={"r_null": r_null, "s_null": s_null})
+
+
+def ins_r(a, b, c):
+    return InsertRecord(txn_id=1, table="R", key=(a,),
+                        values={"a": a, "b": b, "c": c})
+
+
+def ins_s(k, c, d):
+    return InsertRecord(txn_id=1, table="S", key=(k,),
+                        values={"k": k, "c": c, "d": d})
+
+
+def full_rows(t):
+    return sorted(
+        ((r.values["a"], r.values["k"]) for r in t.scan()
+         if not r.meta["r_null"] and not r.meta["s_null"]),
+        key=repr)
+
+
+def test_spec_guard_rejects_join_keyed_s():
+    spec = FojSpec.derive(R, TableSchema("S2", ["c", "d"],
+                                         primary_key=["c"]),
+                          "T", "c", "c", many_to_many=True)
+    with pytest.raises(SchemaError):
+        build_m2m_table(spec)
+
+
+def test_insert_r_fans_out_to_all_matching_s():
+    engine, t = make_engine()
+    put(t, {"a": None, "b": None, "c": 10, "k": 1, "d": "d1"},
+        r_null=True)
+    put(t, {"a": 9, "b": "b9", "c": 10, "k": 2, "d": "d2"})
+    engine.apply(ins_r(1, "b1", 10))
+    # Placeholder for s1 morphed; a new row pairs r1 with s2.
+    assert (1, 1) in full_rows(t) and (1, 2) in full_rows(t)
+    assert not any(r.meta["r_null"] for r in t.scan())
+
+
+def test_insert_r_no_match_gets_snull_row():
+    engine, t = make_engine()
+    engine.apply(ins_r(1, "b1", 99))
+    rows = list(t.scan())
+    assert len(rows) == 1 and rows[0].meta["s_null"]
+
+
+def test_insert_r_ignored_when_rkey_present():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "newer", "c": 20, "k": 5, "d": "d"})
+    engine.apply(ins_r(1, "old", 10))
+    assert t.row_count == 1
+
+
+def test_insert_s_fans_out_to_all_matching_r():
+    """The corrected S-side: a new S record joins with EVERY R record at
+    its join value, including those already joined to other S records."""
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b1", "c": 10, "k": 7, "d": "d7"})
+    put(t, {"a": 2, "b": "b2", "c": 10, "k": None, "d": None},
+        s_null=True)
+    engine.apply(ins_s(8, 10, "d8"))
+    assert (1, 8) in full_rows(t)   # new pairing for the matched r1
+    assert (2, 8) in full_rows(t)   # placeholder of r2 morphed
+    assert (1, 7) in full_rows(t)   # old pairing untouched
+
+
+def test_delete_r_preserves_each_orphaned_s():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b1", "c": 10, "k": 7, "d": "d7"})
+    put(t, {"a": 1, "b": "b1", "c": 10, "k": 8, "d": "d8"})
+    put(t, {"a": 2, "b": "b2", "c": 10, "k": 7, "d": "d7"})
+    engine.apply(DeleteRecord(txn_id=1, table="R", key=(1,)))
+    # s7 still carried by r2; s8 lost its only carrier -> placeholder.
+    assert (2, 7) in full_rows(t)
+    placeholders = [r for r in t.scan() if r.meta["r_null"]]
+    assert len(placeholders) == 1
+    assert placeholders[0].values["k"] == 8
+
+
+def test_delete_s_preserves_each_orphaned_r():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b1", "c": 10, "k": 7, "d": "d7"})
+    put(t, {"a": 2, "b": "b2", "c": 10, "k": 7, "d": "d7"})
+    put(t, {"a": 2, "b": "b2", "c": 10, "k": 8, "d": "d8"})
+    engine.apply(DeleteRecord(txn_id=1, table="S", key=(7,)))
+    # r2 still carried by its pairing with s8; r1 got a snull placeholder.
+    assert (2, 8) in full_rows(t)
+    placeholders = [r for r in t.scan() if r.meta["s_null"]]
+    assert len(placeholders) == 1
+    assert placeholders[0].values["a"] == 1
+
+
+def test_update_r_join_moves_all_pairings():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b1", "c": 10, "k": 7, "d": "d7"})
+    put(t, {"a": 1, "b": "b1", "c": 10, "k": 8, "d": "d8"})
+    put(t, {"a": 9, "b": "b9", "c": 20, "k": 5, "d": "d5"})
+    engine.apply(UpdateRecord(txn_id=1, table="R", key=(1,),
+                              changes={"c": 20}, old_values={"c": 10}))
+    # r1 now pairs with s5 at join 20; s7/s8 survive as placeholders.
+    assert (1, 5) in full_rows(t)
+    orphans = sorted(r.values["k"] for r in t.scan() if r.meta["r_null"])
+    assert orphans == [7, 8]
+
+
+def test_update_r_join_stale_ignored():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b1", "c": 30, "k": 7, "d": "d7"})
+    engine.apply(UpdateRecord(txn_id=1, table="R", key=(1,),
+                              changes={"c": 20}, old_values={"c": 10}))
+    assert t.get((1, 7)).values["c"] == 30  # untouched
+
+
+def test_update_s_join_moves_all_pairings():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b1", "c": 10, "k": 7, "d": "d7"})
+    put(t, {"a": 2, "b": "b2", "c": 10, "k": 7, "d": "d7"})
+    put(t, {"a": 3, "b": "b3", "c": 20, "k": None, "d": None},
+        s_null=True)
+    engine.apply(UpdateRecord(txn_id=1, table="S", key=(7,),
+                              changes={"c": 20}, old_values={"c": 10}))
+    # s7 now joins r3 at 20; r1/r2 keep snull placeholders at join 10.
+    assert (3, 7) in full_rows(t)
+    orphans = sorted(r.values["a"] for r in t.scan() if r.meta["s_null"])
+    assert orphans == [1, 2]
+
+
+def test_update_other_attrs_hit_all_pairings():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "old", "c": 10, "k": 7, "d": "old"})
+    put(t, {"a": 1, "b": "old", "c": 10, "k": 8, "d": "other"})
+    engine.apply(UpdateRecord(txn_id=1, table="R", key=(1,),
+                              changes={"b": "new"},
+                              old_values={"b": "old"}))
+    assert all(r.values["b"] == "new" for r in t.scan())
+    engine.apply(UpdateRecord(txn_id=1, table="S", key=(7,),
+                              changes={"d": "snew"},
+                              old_values={"d": "old"}))
+    assert t.get((1, 7)).values["d"] == "snew"
+    assert t.get((1, 8)).values["d"] == "other"
+
+
+def test_idempotent_reapplication():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b1", "c": 10, "k": 7, "d": "d7"})
+    for record in (ins_r(2, "b2", 10), ins_s(8, 10, "d8"),
+                   DeleteRecord(txn_id=1, table="R", key=(1,))):
+        engine.apply(record)
+    snapshot = sorted((repr(sorted(r.values.items())), r.meta["r_null"],
+                       r.meta["s_null"]) for r in t.scan())
+    for record in (ins_r(2, "b2", 10), ins_s(8, 10, "d8"),
+                   DeleteRecord(txn_id=1, table="R", key=(1,))):
+        engine.apply(record)
+    assert snapshot == sorted(
+        (repr(sorted(r.values.items())), r.meta["r_null"],
+         r.meta["s_null"]) for r in t.scan())
+
+
+def test_lock_mappings():
+    engine, t = make_engine()
+    put(t, {"a": 1, "b": "b1", "c": 10, "k": 7, "d": "d7"})
+    put(t, {"a": 1, "b": "b1", "c": 10, "k": 8, "d": "d8"})
+    targets = engine.targets_of_source_lock("R", (1,))
+    assert sorted(key for _, key in targets) == [(1, 7), (1, 8)]
+    sources = engine.sources_of_target_lock("T", (1, 7))
+    assert sorted(tbl.name for tbl, _ in sources) == ["R", "S"]

@@ -1,0 +1,145 @@
+"""Tests for the oracle operators and spec helpers."""
+
+import pytest
+
+from repro import FojSpec, SplitSpec, TableSchema
+from repro.common.errors import InconsistentDataError, SchemaError
+from repro.relational import (
+    full_outer_join,
+    normalize_rows,
+    rows_equal,
+    split,
+)
+
+R = TableSchema("R", ["a", "b", "c"], primary_key=["a"])
+S = TableSchema("S", ["c", "d", "e"], primary_key=["c"])
+T = TableSchema("T", ["id", "name", "zip", "city"], primary_key=["id"])
+
+
+def jspec(**kw) -> FojSpec:
+    return FojSpec.derive(R, S, "T", "c", "c", **kw)
+
+
+def sspec() -> SplitSpec:
+    return SplitSpec.derive(T, "Tr", "Ts", "zip", s_attrs=["city"])
+
+
+# ---------------------------------------------------------------------------
+# full outer join oracle
+# ---------------------------------------------------------------------------
+
+
+def test_foj_matches_and_nulls():
+    result = full_outer_join(
+        jspec(),
+        [{"a": 1, "b": "x", "c": 10}, {"a": 2, "b": "y", "c": 99}],
+        [{"c": 10, "d": "d", "e": "e"}, {"c": 20, "d": "D", "e": "E"}])
+    assert rows_equal(result, [
+        {"a": 1, "b": "x", "c": 10, "d": "d", "e": "e"},
+        {"a": 2, "b": "y", "c": 99, "d": None, "e": None},
+        {"a": None, "b": None, "c": 20, "d": "D", "e": "E"},
+    ])
+
+
+def test_foj_empty_sides():
+    spec = jspec()
+    assert full_outer_join(spec, [], []) == []
+    only_r = full_outer_join(spec, [{"a": 1, "b": 2, "c": 3}], [])
+    assert only_r[0]["d"] is None
+    only_s = full_outer_join(spec, [], [{"c": 3, "d": 4, "e": 5}])
+    assert only_s[0]["a"] is None
+
+
+def test_foj_null_join_values_never_match():
+    result = full_outer_join(
+        jspec(),
+        [{"a": 1, "b": "x", "c": None}],
+        [{"c": None, "d": "d", "e": "e"}])
+    # Two rows: r joined with snull, s joined with rnull.
+    assert len(result) == 2
+    assert any(r["a"] == 1 and r["d"] is None for r in result)
+    assert any(r["a"] is None and r["d"] == "d" for r in result)
+
+
+def test_foj_many_to_many_fanout():
+    result = full_outer_join(
+        jspec(),
+        [{"a": 1, "b": "x", "c": 10}, {"a": 2, "b": "y", "c": 10}],
+        [{"c": 10, "d": "d1", "e": 1}])
+    assert len(result) == 2
+    assert {r["a"] for r in result} == {1, 2}
+
+
+def test_foj_duplicate_s_join_values():
+    """The operator itself handles non-unique S join values (m2m)."""
+    s1 = {"c": 10, "d": "d1", "e": 1}
+    s2 = {"c": 10, "d": "d2", "e": 2}
+    result = full_outer_join(jspec(), [{"a": 1, "b": "x", "c": 10}],
+                             [s1, s2])
+    assert len(result) == 2
+    assert {r["d"] for r in result} == {"d1", "d2"}
+
+
+# ---------------------------------------------------------------------------
+# split oracle
+# ---------------------------------------------------------------------------
+
+
+def test_split_consistent_counters_and_images():
+    rows = [
+        {"id": 1, "name": "p", "zip": 7050, "city": "Trondheim"},
+        {"id": 2, "name": "m", "zip": 5020, "city": "Bergen"},
+        {"id": 3, "name": "j", "zip": 7050, "city": "Trondheim"},
+    ]
+    r_rows, s_rows, counters, bad = split(sspec(), rows)
+    assert len(r_rows) == 3 and "city" not in r_rows[0]
+    assert rows_equal(s_rows, [
+        {"zip": 7050, "city": "Trondheim"},
+        {"zip": 5020, "city": "Bergen"},
+    ])
+    assert counters == {(7050,): 2, (5020,): 1}
+    assert bad == []
+
+
+def test_split_strict_raises_on_example1_inconsistency():
+    """The paper's Example 1: same postal code, different city."""
+    rows = [
+        {"id": 1, "name": "Peter", "zip": 7050, "city": "Trondheim"},
+        {"id": 134, "name": "Jen", "zip": 7050, "city": "Trnodheim"},
+    ]
+    with pytest.raises(InconsistentDataError) as excinfo:
+        split(sspec(), rows, strict=True)
+    assert (7050,) in excinfo.value.split_values
+
+
+def test_split_lenient_reports_inconsistency():
+    rows = [
+        {"id": 1, "zip": 7050, "city": "A", "name": None},
+        {"id": 2, "zip": 7050, "city": "B", "name": None},
+    ]
+    r_rows, s_rows, counters, bad = split(sspec(), rows, strict=False)
+    assert bad == [(7050,)]
+    assert counters[(7050,)] == 2
+
+
+def test_split_rejects_null_split_values():
+    with pytest.raises(InconsistentDataError):
+        split(sspec(), [{"id": 1, "zip": None, "city": "x", "name": None}])
+
+
+# ---------------------------------------------------------------------------
+# comparison helpers
+# ---------------------------------------------------------------------------
+
+
+def test_rows_equal_is_multiset_comparison():
+    a = [{"x": 1}, {"x": 1}, {"x": 2}]
+    b = [{"x": 2}, {"x": 1}, {"x": 1}]
+    c = [{"x": 1}, {"x": 2}]
+    assert rows_equal(a, b)
+    assert not rows_equal(a, c)
+
+
+def test_normalize_rows_handles_mixed_types():
+    rows = [{"x": None}, {"x": 1}, {"x": "s"}]
+    assert len(normalize_rows(rows)) == 3  # no TypeError from sorting

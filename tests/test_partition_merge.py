@@ -1,0 +1,240 @@
+"""Tests for the horizontal partition and merge transformations (§7
+extensions)."""
+
+import random
+
+import pytest
+
+from repro import (
+    Database,
+    InconsistentDataError,
+    MergeSpec,
+    MergeTransformation,
+    PartitionSpec,
+    PartitionTransformation,
+    Phase,
+    SchemaError,
+    Session,
+    SyncStrategy,
+    TableSchema,
+    restart,
+)
+from repro.common.errors import DuplicateKeyError, NoSuchRowError
+from repro.relational import rows_equal
+from repro.transform.partition import merge_rows, partition_rows
+
+from tests.conftest import values_of
+
+SCHEMA = TableSchema("orders", ["oid", "region", "amount"],
+                     primary_key=["oid"])
+
+
+def spec_for(db):
+    return PartitionSpec("orders", "orders_eu", "orders_row",
+                         predicate=lambda r: r["region"] == "eu",
+                         predicate_desc="region == 'eu'")
+
+
+def make_db(n=24, seed=1):
+    rng = random.Random(seed)
+    db = Database()
+    db.create_table(SCHEMA)
+    with Session(db) as s:
+        for i in range(n):
+            s.insert("orders", {"oid": i,
+                                "region": rng.choice(["eu", "us", "asia"]),
+                                "amount": i * 10})
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Partition
+# ---------------------------------------------------------------------------
+
+
+def test_partition_quiescent_matches_oracle():
+    db = make_db()
+    spec = spec_for(db)
+    t_rows = values_of(db, "orders")
+    PartitionTransformation(db, spec).run()
+    a_rows, b_rows = partition_rows(spec, t_rows)
+    assert rows_equal(values_of(db, "orders_eu"), a_rows)
+    assert rows_equal(values_of(db, "orders_row"), b_rows)
+    assert set(db.catalog.table_names()) == {"orders_eu", "orders_row"}
+
+
+def test_partition_targets_share_source_schema():
+    db = make_db()
+    tf = PartitionTransformation(db, spec_for(db))
+    tf.prepare()
+    assert db.table("orders_eu").schema.attribute_names == \
+        SCHEMA.attribute_names
+    tf.abort()
+
+
+def test_partition_update_moves_row_between_sides():
+    db = make_db(n=4)
+    spec = spec_for(db)
+    tf = PartitionTransformation(db, spec,
+                                 sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+    # Populate + first propagation.
+    while tf.phase is not Phase.PROPAGATING:
+        tf.step(4096)
+    with Session(db) as s:
+        s.update("orders", (0,), {"region": "eu"})
+        s.update("orders", (1,), {"region": "us"})
+    tf.run()
+    assert db.table("orders_eu").get((0,)) is not None
+    assert db.table("orders_row").get((0,)) is None
+    assert db.table("orders_row").get((1,)) is not None
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_partition_interleaved_converges(seed):
+    rng = random.Random(seed)
+    db = make_db(n=25, seed=seed)
+    spec = spec_for(db)
+    tf = PartitionTransformation(db, spec, population_chunk=4)
+    next_id = [100]
+    for _ in range(100):
+        try:
+            with Session(db) as s:
+                k = rng.random()
+                region = rng.choice(["eu", "us", "asia"])
+                if k < 0.3:
+                    s.insert("orders", {"oid": next_id[0],
+                                        "region": region, "amount": 1})
+                    next_id[0] += 1
+                elif k < 0.55:
+                    s.delete("orders", (rng.randrange(25),))
+                elif k < 0.8:
+                    s.update("orders", (rng.randrange(25),),
+                             {"region": region})
+                else:
+                    s.update("orders", (rng.randrange(25),),
+                             {"amount": rng.randrange(1000)})
+        except (NoSuchRowError, DuplicateKeyError):
+            pass
+        if not tf.done and tf.phase is not Phase.SYNCHRONIZING:
+            tf.step(rng.randrange(1, 12))
+    t_rows = values_of(db, "orders")
+    tf.run()
+    a_rows, b_rows = partition_rows(spec, t_rows)
+    assert rows_equal(values_of(db, "orders_eu"), a_rows)
+    assert rows_equal(values_of(db, "orders_row"), b_rows)
+
+
+def test_partition_recovery_rebuilds_after_swap():
+    db = make_db()
+    spec = spec_for(db)
+    t_rows = values_of(db, "orders")
+    PartitionTransformation(db, spec).run()
+    recovered = restart(db.log)
+    a_rows, b_rows = partition_rows(spec, t_rows)
+    assert rows_equal(values_of(recovered, "orders_eu"), a_rows)
+    assert rows_equal(values_of(recovered, "orders_row"), b_rows)
+
+
+# ---------------------------------------------------------------------------
+# Merge
+# ---------------------------------------------------------------------------
+
+
+def make_merge_db(n=12, seed=1):
+    db = Database()
+    db.create_table(TableSchema("a", ["k", "v"], primary_key=["k"]))
+    db.create_table(TableSchema("b", ["k", "v"], primary_key=["k"]))
+    with Session(db) as s:
+        for i in range(n):
+            s.insert("a", {"k": i, "v": f"a{i}"})
+            s.insert("b", {"k": 100 + i, "v": f"b{i}"})
+    return db
+
+
+def test_merge_quiescent_matches_oracle():
+    db = make_merge_db()
+    a_rows, b_rows = values_of(db, "a"), values_of(db, "b")
+    MergeTransformation(db, MergeSpec("a", "b", "merged")).run()
+    expected = merge_rows(a_rows, b_rows, lambda v: (v["k"],))
+    assert rows_equal(values_of(db, "merged"), expected)
+    assert db.catalog.table_names() == ["merged"]
+
+
+def test_merge_rejects_union_incompatible():
+    db = Database()
+    db.create_table(TableSchema("a", ["k", "v"], primary_key=["k"]))
+    db.create_table(TableSchema("b", ["k", "w"], primary_key=["k"]))
+    with pytest.raises(SchemaError):
+        MergeTransformation(db, MergeSpec("a", "b", "m"))
+
+
+def test_merge_detects_key_collision():
+    db = Database()
+    db.create_table(TableSchema("a", ["k", "v"], primary_key=["k"]))
+    db.create_table(TableSchema("b", ["k", "v"], primary_key=["k"]))
+    with Session(db) as s:
+        s.insert("a", {"k": 1, "v": "a"})
+        s.insert("b", {"k": 1, "v": "b"})  # overlap
+    tf = MergeTransformation(db, MergeSpec("a", "b", "m"))
+    with pytest.raises(InconsistentDataError):
+        tf.run()
+
+
+def test_merge_oracle_detects_collision():
+    with pytest.raises(InconsistentDataError):
+        merge_rows([{"k": 1}], [{"k": 1}], lambda v: (v["k"],))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_merge_interleaved_converges(seed):
+    rng = random.Random(seed)
+    db = make_merge_db(seed=seed)
+    spec = MergeSpec("a", "b", "merged")
+    tf = MergeTransformation(db, spec, population_chunk=3)
+    next_a, next_b = [50], [150]
+    for _ in range(80):
+        try:
+            with Session(db) as s:
+                k = rng.random()
+                if k < 0.25:
+                    s.insert("a", {"k": next_a[0], "v": "na"})
+                    next_a[0] += 1
+                elif k < 0.5:
+                    s.insert("b", {"k": next_b[0], "v": "nb"})
+                    next_b[0] += 1
+                elif k < 0.65:
+                    s.delete("a", (rng.randrange(12),))
+                elif k < 0.8:
+                    s.update("b", (100 + rng.randrange(12),),
+                             {"v": f"u{rng.random():.2f}"})
+                else:
+                    s.update("a", (rng.randrange(12),),
+                             {"v": f"u{rng.random():.2f}"})
+        except (NoSuchRowError, DuplicateKeyError):
+            pass
+        if not tf.done and tf.phase is not Phase.SYNCHRONIZING:
+            tf.step(rng.randrange(1, 10))
+    a_rows, b_rows = values_of(db, "a"), values_of(db, "b")
+    tf.run()
+    expected = merge_rows(a_rows, b_rows, lambda v: (v["k"],))
+    assert rows_equal(values_of(db, "merged"), expected)
+
+
+def test_merge_recovery_rebuilds_after_swap():
+    db = make_merge_db()
+    a_rows, b_rows = values_of(db, "a"), values_of(db, "b")
+    MergeTransformation(db, MergeSpec("a", "b", "merged")).run()
+    recovered = restart(db.log)
+    expected = merge_rows(a_rows, b_rows, lambda v: (v["k"],))
+    assert rows_equal(values_of(recovered, "merged"), expected)
+
+
+def test_partition_then_merge_roundtrip():
+    """Partition and merge are inverses (up to table names)."""
+    db = make_db()
+    spec = spec_for(db)
+    t_rows = values_of(db, "orders")
+    PartitionTransformation(db, spec).run()
+    MergeTransformation(db, MergeSpec("orders_eu", "orders_row",
+                                      "orders")).run()
+    assert rows_equal(values_of(db, "orders"), t_rows)

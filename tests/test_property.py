@@ -1,0 +1,369 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The central property is Theorem 1's consequence: for ANY serializable
+history of inserts/updates/deletes over the source tables -- interleaved
+arbitrarily with transformation steps, including transaction aborts (CLRs)
+-- the transformed tables converge to the oracle operator applied to the
+final source state.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Database,
+    FojSpec,
+    FojTransformation,
+    Phase,
+    Session,
+    SplitSpec,
+    SplitTransformation,
+    TableSchema,
+)
+from repro.common.errors import DuplicateKeyError, NoSuchRowError
+from repro.engine.fuzzy import apply_log_with_lsn_guard, fuzzy_copy
+from repro.relational import full_outer_join, rows_equal, split
+from repro.storage import Table
+
+from tests.conftest import table_counters, values_of
+
+# Operation scripts: (kind, arg1, arg2, budget) tuples drive both the
+# workload and the transformation stepping deterministically.
+
+op_strategy = st.tuples(
+    st.sampled_from([
+        "ins_r", "del_r", "upd_r_join", "upd_r_other",
+        "ins_s", "del_s", "upd_s_other",
+        "abort_ins_r", "abort_upd_r",
+    ]),
+    st.integers(0, 39),       # key selector
+    st.integers(0, 9),        # join value selector
+    st.integers(1, 24),       # transformation step budget
+)
+
+
+def build_foj_db(script):
+    db = Database()
+    db.create_table(TableSchema("R", ["a", "b", "c"], primary_key=["a"]))
+    db.create_table(TableSchema("S", ["c", "d"], primary_key=["c"]))
+    with Session(db) as s:
+        for i in range(12):
+            s.insert("R", {"a": i, "b": i, "c": i % 10})
+        for c in range(0, 10, 2):
+            s.insert("S", {"c": c, "d": f"d{c}"})
+    return db
+
+
+def apply_foj_op(db, kind, key, join_value, counter):
+    try:
+        if kind == "ins_r":
+            with Session(db) as s:
+                s.insert("R", {"a": 100 + counter, "b": counter,
+                               "c": join_value})
+        elif kind == "del_r":
+            with Session(db) as s:
+                s.delete("R", (key % 12,))
+        elif kind == "upd_r_join":
+            with Session(db) as s:
+                s.update("R", (key % 12,), {"c": join_value})
+        elif kind == "upd_r_other":
+            with Session(db) as s:
+                s.update("R", (key % 12,), {"b": f"v{counter}"})
+        elif kind == "ins_s":
+            with Session(db) as s:
+                s.insert("S", {"c": join_value, "d": f"new{counter}"})
+        elif kind == "del_s":
+            with Session(db) as s:
+                s.delete("S", (join_value,))
+        elif kind == "upd_s_other":
+            with Session(db) as s:
+                s.update("S", (join_value,), {"d": f"u{counter}"})
+        elif kind == "abort_ins_r":
+            txn = db.begin()
+            try:
+                db.insert(txn, "R", {"a": 200 + counter, "b": 0,
+                                     "c": join_value})
+            finally:
+                db.abort(txn)
+        elif kind == "abort_upd_r":
+            txn = db.begin()
+            try:
+                db.update(txn, "R", (key % 12,), {"c": join_value,
+                                                  "b": "aborted"})
+            finally:
+                db.abort(txn)
+    except (NoSuchRowError, DuplicateKeyError):
+        pass
+
+
+@given(st.lists(op_strategy, min_size=0, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_foj_converges_for_any_history(script):
+    db = build_foj_db(script)
+    spec = FojSpec.derive(db.table("R").schema, db.table("S").schema,
+                          "T", "c", "c")
+    tf = FojTransformation(db, spec, population_chunk=3)
+    for i, (kind, key, join_value, budget) in enumerate(script):
+        apply_foj_op(db, kind, key, join_value, i)
+        if not tf.done and tf.phase is not Phase.SYNCHRONIZING:
+            tf.step(budget)
+    r_rows, s_rows = values_of(db, "R"), values_of(db, "S")
+    tf.run()
+    assert rows_equal(values_of(db, "T"),
+                      full_outer_join(spec, r_rows, s_rows))
+
+
+split_op_strategy = st.tuples(
+    st.sampled_from(["ins", "del", "move", "upd_name", "abort_move"]),
+    st.integers(0, 39),
+    st.integers(0, 5),
+    st.integers(1, 24),
+)
+
+
+@given(st.lists(split_op_strategy, min_size=0, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_split_converges_for_any_fd_consistent_history(script):
+    db = Database()
+    db.create_table(TableSchema("T", ["id", "name", "zip", "city"],
+                                primary_key=["id"]))
+    city = {z: f"C{z}" for z in range(6)}
+    with Session(db) as s:
+        for i in range(12):
+            z = i % 6
+            s.insert("T", {"id": i, "name": i, "zip": z, "city": city[z]})
+    spec = SplitSpec.derive(db.table("T").schema, "Tr", "Ts", "zip",
+                            s_attrs=["city"])
+    tf = SplitTransformation(db, spec, population_chunk=3)
+    for i, (kind, key, z, budget) in enumerate(script):
+        try:
+            if kind == "ins":
+                with Session(db) as s:
+                    s.insert("T", {"id": 100 + i, "name": i, "zip": z,
+                                   "city": city[z]})
+            elif kind == "del":
+                with Session(db) as s:
+                    s.delete("T", (key % 12,))
+            elif kind == "move":
+                with Session(db) as s:
+                    s.update("T", (key % 12,),
+                             {"zip": z, "city": city[z]})
+            elif kind == "upd_name":
+                with Session(db) as s:
+                    s.update("T", (key % 12,), {"name": f"n{i}"})
+            elif kind == "abort_move":
+                txn = db.begin()
+                try:
+                    db.update(txn, "T", (key % 12,),
+                              {"zip": z, "city": city[z]})
+                finally:
+                    db.abort(txn)
+        except (NoSuchRowError, DuplicateKeyError):
+            pass
+        if not tf.done and tf.phase is not Phase.SYNCHRONIZING:
+            tf.step(budget)
+    t_rows = values_of(db, "T")
+    tf.run()
+    r_rows, s_rows, counters, _ = split(spec, t_rows)
+    assert rows_equal(values_of(db, "Tr"), r_rows)
+    assert rows_equal(values_of(db, "Ts"), s_rows)
+    assert table_counters(db, "Ts") == counters
+
+
+@given(st.lists(op_strategy, min_size=0, max_size=30),
+       st.integers(0, 10))
+@settings(max_examples=40, deadline=None)
+def test_fuzzy_copy_converges_for_any_history(script, chunk_offset):
+    """Fuzzy copy + LSN-guarded redo equals the source, regardless of the
+    operations racing the scan."""
+    db = build_foj_db(script)
+    target = Table(db.table("R").schema.rename("copy"))
+    from repro.engine.fuzzy import FuzzyScan
+    from repro.wal.records import FuzzyMarkRecord
+    active = [t.txn_id for t in db.txns.active_on(["R"])]
+    mark_lsn = db.log.append(FuzzyMarkRecord(transform_id="x",
+                                             phase="begin"))
+    scan = FuzzyScan(db.table("R"), chunk_size=2 + chunk_offset)
+    i = 0
+    while not scan.exhausted:
+        for row in scan.next_chunk():
+            target.insert_row(dict(row.values), lsn=row.lsn)
+        if i < len(script):
+            kind, key, join_value, _ = script[i]
+            apply_foj_op(db, kind, key, join_value, i)
+            i += 1
+    for k in range(i, len(script)):
+        kind, key, join_value, _ = script[k]
+        apply_foj_op(db, kind, key, join_value, 1000 + k)
+    apply_log_with_lsn_guard(db, "R", target, from_lsn=1)
+    assert rows_equal([dict(r.values) for r in target.scan()],
+                      values_of(db, "R"))
+
+
+@given(st.lists(op_strategy, min_size=1, max_size=25))
+@settings(max_examples=40, deadline=None)
+def test_recovery_preserves_committed_state(script):
+    """Restarting from the log at any point reproduces exactly the
+    committed source state (losers rolled back)."""
+    from repro import restart
+    db = build_foj_db(script)
+    for i, (kind, key, join_value, _) in enumerate(script):
+        apply_foj_op(db, kind, key, join_value, i)
+    # Snapshot the committed state, then leave one loser hanging.
+    expected_r = values_of(db, "R")
+    txn = db.begin()
+    try:
+        db.update(txn, "R", (0,), {"b": "loser"})
+    except NoSuchRowError:
+        pass
+    recovered = restart(db.log)
+    assert rows_equal(values_of(recovered, "R"), expected_r)
+    assert rows_equal(values_of(recovered, "S"), values_of(db, "S"))
+
+
+@given(st.lists(st.tuples(st.integers(1, 6), st.integers(0, 5),
+                          st.booleans()),
+                min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_lock_manager_never_grants_incompatible_pairs(script):
+    """Whatever the acquire/release sequence, the granted set on every
+    resource stays mutually compatible."""
+    from repro.common.errors import DeadlockError, LockWaitError
+    from repro.concurrency import LockManager, LockMode
+    from repro.concurrency.locks import compatible
+    lm = LockManager()
+    for txn, key, exclusive in script:
+        resource = ("rec", 1, (key,))
+        mode = LockMode.X if exclusive else LockMode.S
+        try:
+            lm.acquire(txn, resource, mode)
+        except (LockWaitError, DeadlockError):
+            if exclusive and key % 2:
+                lm.release_all(txn)  # abort sometimes
+        for res_key in range(6):
+            holders = lm.holders(("rec", 1, (res_key,)))
+            for i, a in enumerate(holders):
+                for b in holders[i + 1:]:
+                    assert compatible(a.mode, a.origin, b.mode, b.origin)
+
+
+partition_op_strategy = st.tuples(
+    st.sampled_from(["ins", "del", "move", "upd"]),
+    st.integers(0, 39),
+    st.integers(0, 2),
+    st.integers(1, 24),
+)
+
+
+@given(st.lists(partition_op_strategy, min_size=0, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_partition_converges_for_any_history(script):
+    """Horizontal partition (§7 extension): for any history, including
+    rows migrating between partitions, the final A/B equal the oracle."""
+    from repro import PartitionSpec, PartitionTransformation
+    from repro.transform.partition import partition_rows
+    db = Database()
+    db.create_table(TableSchema("T", ["id", "grp", "v"],
+                                primary_key=["id"]))
+    with Session(db) as s:
+        for i in range(12):
+            s.insert("T", {"id": i, "grp": i % 3, "v": i})
+    spec = PartitionSpec("T", "A", "B",
+                         predicate=lambda r: r["grp"] == 0,
+                         predicate_desc="grp == 0")
+    tf = PartitionTransformation(db, spec, population_chunk=3)
+    for i, (kind, key, grp, budget) in enumerate(script):
+        try:
+            if kind == "ins":
+                with Session(db) as s:
+                    s.insert("T", {"id": 100 + i, "grp": grp, "v": i})
+            elif kind == "del":
+                with Session(db) as s:
+                    s.delete("T", (key % 12,))
+            elif kind == "move":
+                with Session(db) as s:
+                    s.update("T", (key % 12,), {"grp": grp})
+            elif kind == "upd":
+                with Session(db) as s:
+                    s.update("T", (key % 12,), {"v": f"v{i}"})
+        except (NoSuchRowError, DuplicateKeyError):
+            pass
+        if not tf.done and tf.phase is not Phase.SYNCHRONIZING:
+            tf.step(budget)
+    t_rows = values_of(db, "T")
+    tf.run()
+    a_rows, b_rows = partition_rows(spec, t_rows)
+    assert rows_equal(values_of(db, "A"), a_rows)
+    assert rows_equal(values_of(db, "B"), b_rows)
+
+
+@given(st.lists(st.tuples(st.sampled_from(["ins_a", "ins_b", "del_a",
+                                           "upd_b"]),
+                          st.integers(0, 39), st.integers(1, 24)),
+                min_size=0, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_merge_converges_for_any_history(script):
+    """Horizontal merge (§7 extension): disjoint-key sources converge to
+    their union."""
+    from repro import MergeSpec, MergeTransformation
+    from repro.transform.partition import merge_rows
+    db = Database()
+    db.create_table(TableSchema("A", ["k", "v"], primary_key=["k"]))
+    db.create_table(TableSchema("B", ["k", "v"], primary_key=["k"]))
+    with Session(db) as s:
+        for i in range(8):
+            s.insert("A", {"k": i, "v": f"a{i}"})
+            s.insert("B", {"k": 100 + i, "v": f"b{i}"})
+    tf = MergeTransformation(db, MergeSpec("A", "B", "M"),
+                             population_chunk=3)
+    next_a, next_b = [20], [120]
+    for i, (kind, key, budget) in enumerate(script):
+        try:
+            if kind == "ins_a":
+                with Session(db) as s:
+                    s.insert("A", {"k": next_a[0], "v": "na"})
+                    next_a[0] += 1
+            elif kind == "ins_b":
+                with Session(db) as s:
+                    s.insert("B", {"k": next_b[0], "v": "nb"})
+                    next_b[0] += 1
+            elif kind == "del_a":
+                with Session(db) as s:
+                    s.delete("A", (key % 20,))
+            elif kind == "upd_b":
+                with Session(db) as s:
+                    s.update("B", (100 + key % 20,), {"v": f"u{i}"})
+        except (NoSuchRowError, DuplicateKeyError):
+            pass
+        if not tf.done and tf.phase is not Phase.SYNCHRONIZING:
+            tf.step(budget)
+    a_rows, b_rows = values_of(db, "A"), values_of(db, "B")
+    tf.run()
+    expected = merge_rows(a_rows, b_rows, lambda v: (v["k"],))
+    assert rows_equal(values_of(db, "M"), expected)
+
+
+@given(st.lists(op_strategy, min_size=0, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_materialized_view_converges_for_any_history(script):
+    """§7 extension: a published FOJ view, maintained deferred, always
+    refreshes to the oracle join of the live sources."""
+    from repro import MaterializedFojView
+    db = build_foj_db(script)
+    spec = FojSpec.derive(db.table("R").schema, db.table("S").schema,
+                          "V", "c", "c")
+    view = MaterializedFojView(db, spec, population_chunk=3)
+    half = len(script) // 2
+    for i, (kind, key, join_value, budget) in enumerate(script[:half]):
+        apply_foj_op(db, kind, key, join_value, i)
+        if not view.published and view.phase is not Phase.SYNCHRONIZING:
+            view.step(budget)
+    view.run()
+    for i, (kind, key, join_value, budget) in enumerate(script[half:]):
+        apply_foj_op(db, kind, key, join_value, 500 + i)
+        view.maintain(budget)
+    view.refresh()
+    assert rows_equal(
+        values_of(db, "V"),
+        full_outer_join(spec, values_of(db, "R"), values_of(db, "S")))

@@ -1,0 +1,182 @@
+"""Tests for ARIES restart recovery, including transformation swaps."""
+
+import pytest
+
+from repro import (
+    Database,
+    FojSpec,
+    FojTransformation,
+    Session,
+    SplitTransformation,
+    TableSchema,
+    restart,
+)
+from repro.common.errors import RecoveryError
+from repro.relational import full_outer_join, rows_equal, split
+from repro.wal.records import TransformSwapRecord
+
+from tests.conftest import (
+    foj_spec,
+    load_foj_data,
+    load_split_data,
+    split_spec,
+    values_of,
+)
+
+
+def make_db() -> Database:
+    db = Database()
+    db.create_table(TableSchema("t", ["id", "x"], primary_key=["id"]))
+    return db
+
+
+def test_restart_empty_log():
+    db = Database()
+    recovered = restart(db.log)
+    assert recovered.catalog.table_names() == []
+
+
+def test_committed_work_survives():
+    db = make_db()
+    with Session(db) as s:
+        for i in range(5):
+            s.insert("t", {"id": i, "x": i * 10})
+        s.update("t", (2,), {"x": "upd"})
+        s.delete("t", (4,))
+    recovered = restart(db.log)
+    assert rows_equal(values_of(recovered, "t"), values_of(db, "t"))
+
+
+def test_losers_are_rolled_back():
+    db = make_db()
+    with Session(db) as s:
+        s.insert("t", {"id": 1, "x": "keep"})
+    loser = db.begin()
+    db.insert(loser, "t", {"id": 2})
+    db.update(loser, "t", (1,), {"x": "dirty"})
+    # crash: no commit/abort for `loser`
+    recovered = restart(db.log)
+    assert values_of(recovered, "t") == [{"id": 1, "x": "keep"}]
+    # The undo produced CLRs + an end record in the shared log.
+    kinds = [r.kind for r in db.log.scan()]
+    assert "cl" in kinds and kinds[-1] == "end"
+
+
+def test_restart_is_idempotent():
+    """Restarting again (the log now contains recovery's CLRs) gives the
+    same state: CLRs are redo-only and losers are now finished."""
+    db = make_db()
+    loser = db.begin()
+    db.insert(loser, "t", {"id": 2})
+    first = restart(db.log)
+    second = restart(db.log)
+    assert rows_equal(values_of(first, "t"), values_of(second, "t"))
+
+
+def test_rollback_of_loser_with_clrs_already_logged():
+    """A transaction that had partially rolled back before the crash is
+    not compensated twice (undo_next_lsn skips)."""
+    db = make_db()
+    txn = db.begin()
+    db.insert(txn, "t", {"id": 1, "x": "a"})
+    db.update(txn, "t", (1,), {"x": "b"})
+    db.abort(txn)  # full rollback with CLRs, then "crash" after
+    recovered = restart(db.log)
+    assert values_of(recovered, "t") == []
+
+
+def test_ddl_replayed():
+    db = make_db()
+    db.create_table(TableSchema("u", ["id"], primary_key=["id"]))
+    db.rename_table("u", "v")
+    db.drop_table("v")
+    recovered = restart(db.log)
+    assert recovered.catalog.table_names() == ["t"]
+
+
+def test_transient_tables_discarded():
+    db = make_db()
+    db.create_table(TableSchema("tmp", ["id"], primary_key=["id"]),
+                    transient=True)
+    recovered = restart(db.log)
+    assert recovered.catalog.table_names() == ["t"]
+
+
+def test_txn_id_sequence_resumes():
+    db = make_db()
+    with Session(db) as s:
+        s.insert("t", {"id": 1})
+    highest = max(r.txn_id for r in db.log.scan())
+    recovered = restart(db.log)
+    txn = recovered.begin()
+    assert txn.txn_id > highest
+
+
+def test_foj_swap_rebuilt_from_sources(foj_db):
+    load_foj_data(foj_db, n_r=15, n_s=6)
+    spec = foj_spec(foj_db)
+    r_rows = values_of(foj_db, "R")
+    s_rows = values_of(foj_db, "S")
+    FojTransformation(foj_db, spec).run()
+    recovered = restart(foj_db.log)
+    assert recovered.catalog.table_names() == ["T"]
+    expected = full_outer_join(spec, r_rows, s_rows)
+    assert rows_equal(values_of(recovered, "T"), expected)
+
+
+def test_split_swap_rebuilt_from_source(split_db):
+    load_split_data(split_db, n=15)
+    spec = split_spec(split_db)
+    t_rows = values_of(split_db, "T")
+    SplitTransformation(split_db, spec).run()
+    recovered = restart(split_db.log)
+    assert set(recovered.catalog.table_names()) == {"T_r", "postal"}
+    r_rows, s_rows, counters, _ = split(spec, t_rows)
+    assert rows_equal(values_of(recovered, "T_r"), r_rows)
+    assert rows_equal(values_of(recovered, "postal"), s_rows)
+    # Counters are rebuilt too.
+    got = {recovered.table("postal").schema.key_of(r.values):
+           r.meta["counter"]
+           for r in recovered.table("postal").scan()}
+    assert got == counters
+
+
+def test_post_crash_work_continues_on_recovered_db(foj_db):
+    load_foj_data(foj_db, n_r=8, n_s=4)
+    spec = foj_spec(foj_db)
+    FojTransformation(foj_db, spec).run()
+    recovered = restart(foj_db.log)
+    with Session(recovered) as s:
+        s.update("T", (0,), {"b": "after-crash"})
+    assert recovered.table("T").get((0,)).values["b"] == "after-crash"
+
+
+def test_unknown_swap_kind_raises():
+    db = make_db()
+    db.log.append(TransformSwapRecord(transform_id="x",
+                                      transform_kind="bogus",
+                                      retired=("t",), published={},
+                                      params={}))
+    with pytest.raises(RecoveryError):
+        restart(db.log)
+
+
+def test_loser_on_zombie_source_undone_and_propagated(foj_db):
+    """Crash during the background phase of a non-blocking-commit sync:
+    the old transaction is a loser; its rollback must reach the published
+    table through the recovery propagator."""
+    from repro import SyncStrategy
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    spec = foj_spec(foj_db)
+    old = foj_db.begin()
+    foj_db.update(old, "R", (0,), {"b": "old-txn-dirty"})
+    tf = FojTransformation(foj_db, spec,
+                           sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+    # Drive to the background phase (old txn still alive).
+    while tf.phase.value != "background":
+        tf.step(4096)
+    # Crash here: `old` never commits.
+    r_rows = values_of(foj_db, "R")
+    recovered = restart(foj_db.log)
+    row = recovered.table("T").get((0,))
+    assert row.values["b"] != "old-txn-dirty"  # compensation propagated

@@ -1,0 +1,145 @@
+"""Unit tests for table schemas."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.storage import Attribute, FunctionalDependency, TableSchema
+
+
+def make() -> TableSchema:
+    return TableSchema("t", ["id", "name", "zip", "city"],
+                       primary_key=["id"])
+
+
+def test_attribute_promotion_from_strings():
+    schema = make()
+    assert all(isinstance(a, Attribute) for a in schema.attributes)
+    assert schema.attribute_names == ("id", "name", "zip", "city")
+
+
+def test_explicit_attribute_objects():
+    schema = TableSchema("t", [Attribute("id", nullable=False), "x"],
+                         primary_key=["id"])
+    assert schema.attributes[0].nullable is False
+
+
+def test_rejects_empty_name_and_missing_pk():
+    with pytest.raises(SchemaError):
+        TableSchema("", ["a"], primary_key=["a"])
+    with pytest.raises(SchemaError):
+        TableSchema("t", ["a"], primary_key=[])
+    with pytest.raises(SchemaError):
+        TableSchema("t", ["a"], primary_key=["b"])
+
+
+def test_rejects_duplicate_attributes():
+    with pytest.raises(SchemaError):
+        TableSchema("t", ["a", "a"], primary_key=["a"])
+
+
+def test_rejects_empty_attribute_list():
+    with pytest.raises(SchemaError):
+        TableSchema("t", [], primary_key=["a"])
+
+
+def test_rejects_bad_attribute_spec():
+    with pytest.raises(SchemaError):
+        TableSchema("t", [42], primary_key=["a"])
+
+
+def test_candidate_keys_validated():
+    schema = TableSchema("t", ["a", "b"], primary_key=["a"],
+                         candidate_keys=[["b"]])
+    assert schema.candidate_keys == (("b",),)
+    with pytest.raises(SchemaError):
+        TableSchema("t", ["a"], primary_key=["a"], candidate_keys=[["x"]])
+
+
+def test_functional_deps_validated():
+    fd = FunctionalDependency(("zip",), ("city",))
+    schema = TableSchema("t", ["id", "zip", "city"], primary_key=["id"],
+                         functional_deps=[fd])
+    assert str(schema.functional_deps[0]) == "zip -> city"
+    with pytest.raises(SchemaError):
+        TableSchema("t", ["id"], primary_key=["id"],
+                    functional_deps=[FunctionalDependency(("x",), ("id",))])
+
+
+def test_key_of_extracts_tuple():
+    schema = TableSchema("t", ["a", "b"], primary_key=["b", "a"])
+    assert schema.key_of({"a": 1, "b": 2}) == (2, 1)
+
+
+def test_normalize_completes_missing_with_none():
+    schema = make()
+    row = schema.normalize({"id": 1, "city": "Oslo"})
+    assert row == {"id": 1, "name": None, "zip": None, "city": "Oslo"}
+
+
+def test_normalize_rejects_unknown_attributes():
+    with pytest.raises(SchemaError):
+        make().normalize({"id": 1, "bogus": 2})
+
+
+def test_validate_changes_rejects_pk_update():
+    schema = make()
+    with pytest.raises(SchemaError):
+        schema.validate_changes({"id": 2})
+    schema.validate_changes({"name": "x"})  # fine
+
+
+def test_validate_changes_rejects_unknown():
+    with pytest.raises(SchemaError):
+        make().validate_changes({"bogus": 1})
+
+
+def test_is_key_and_non_key_attributes():
+    schema = make()
+    assert schema.is_key_attribute("id")
+    assert not schema.is_key_attribute("city")
+    assert schema.non_key_attributes() == ("name", "zip", "city")
+
+
+def test_project():
+    schema = make()
+    projected = schema.project("p", ["id", "zip"], primary_key=["id"])
+    assert projected.name == "p"
+    assert projected.attribute_names == ("id", "zip")
+    with pytest.raises(SchemaError):
+        schema.project("p", ["missing"], primary_key=["missing"])
+
+
+def test_merge_shares_join_column():
+    left = TableSchema("R", ["a", "b", "c"], primary_key=["a"])
+    right = TableSchema("S", ["c", "d"], primary_key=["c"])
+    merged = TableSchema.merge("T", left, right, primary_key=["a"],
+                               shared=["c"])
+    assert merged.attribute_names == ("a", "b", "c", "d")
+
+
+def test_merge_rejects_unshared_collision():
+    left = TableSchema("R", ["a", "x"], primary_key=["a"])
+    right = TableSchema("S", ["b", "x"], primary_key=["b"])
+    with pytest.raises(SchemaError):
+        TableSchema.merge("T", left, right, primary_key=["a"])
+
+
+def test_merge_rejects_missing_shared():
+    left = TableSchema("R", ["a"], primary_key=["a"])
+    right = TableSchema("S", ["b", "c"], primary_key=["b"])
+    with pytest.raises(SchemaError):
+        TableSchema.merge("T", left, right, primary_key=["a"],
+                          shared=["c"])
+
+
+def test_rename_preserves_everything_else():
+    schema = make()
+    renamed = schema.rename("other")
+    assert renamed.name == "other"
+    assert renamed.attribute_names == schema.attribute_names
+    assert renamed.primary_key == schema.primary_key
+
+
+def test_repr_mentions_name_and_pk():
+    text = repr(make())
+    assert "t" in text and "id" in text

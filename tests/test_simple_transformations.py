@@ -1,0 +1,125 @@
+"""Tests for the simple (Section 2.4) transformations: add/remove/rename
+attributes, online."""
+
+import pytest
+
+from repro import (
+    Database,
+    Session,
+    TableSchema,
+    add_attribute,
+    remove_attribute,
+    rename_attribute,
+)
+from repro.common.errors import SchemaError
+
+
+def make_db():
+    db = Database()
+    db.create_table(TableSchema("t", ["id", "a", "b"], primary_key=["id"]))
+    with Session(db) as s:
+        s.insert("t", {"id": 1, "a": "x", "b": "y"})
+        s.insert("t", {"id": 2, "a": "z", "b": "w"})
+    return db
+
+
+# ---------------------------------------------------------------------------
+# add_attribute
+# ---------------------------------------------------------------------------
+
+
+def test_add_attribute_with_default():
+    db = make_db()
+    add_attribute(db, "t", "c", default=0)
+    assert db.table("t").schema.has_attribute("c")
+    assert all(r.values["c"] == 0 for r in db.table("t").scan())
+    with Session(db) as s:
+        s.insert("t", {"id": 3, "a": "q", "b": "r", "c": 9})
+        s.update("t", (1,), {"c": 5})
+    assert db.table("t").get((1,)).values["c"] == 5
+
+
+def test_add_attribute_duplicate_rejected():
+    db = make_db()
+    with pytest.raises(SchemaError):
+        add_attribute(db, "t", "a")
+
+
+# ---------------------------------------------------------------------------
+# remove_attribute
+# ---------------------------------------------------------------------------
+
+
+def test_remove_attribute_lazy_changes_description_only():
+    """Section 2.4: removal 'can be performed by changing the table
+    description only, thus leaving the physical records unchanged'."""
+    db = make_db()
+    remove_attribute(db, "t", "b")
+    schema = db.table("t").schema
+    assert not schema.has_attribute("b")
+    # Physical values still present (lazy) ...
+    assert db.table("t").get((1,)).values.get("b") == "y"
+    # ... but the schema no longer admits them in new rows or updates.
+    with pytest.raises(SchemaError):
+        with Session(db) as s:
+            s.update("t", (1,), {"b": "nope"})
+    with Session(db) as s:
+        s.insert("t", {"id": 3, "a": "ok"})
+
+
+def test_remove_attribute_eager_strips_values():
+    db = make_db()
+    remove_attribute(db, "t", "b", eager=True)
+    assert all("b" not in r.values for r in db.table("t").scan())
+
+
+def test_remove_attribute_drops_covering_index():
+    db = make_db()
+    db.table("t").create_index("by_b", ["b"])
+    remove_attribute(db, "t", "b")
+    assert "by_b" not in db.table("t").indexes
+
+
+def test_remove_attribute_rejects_key_and_missing():
+    db = make_db()
+    with pytest.raises(SchemaError):
+        remove_attribute(db, "t", "id")
+    with pytest.raises(SchemaError):
+        remove_attribute(db, "t", "nope")
+
+
+# ---------------------------------------------------------------------------
+# rename_attribute
+# ---------------------------------------------------------------------------
+
+
+def test_rename_attribute_full_roundtrip():
+    db = make_db()
+    db.table("t").create_index("by_a", ["a"])
+    rename_attribute(db, "t", "a", "alpha")
+    table = db.table("t")
+    assert table.schema.attribute_names == ("id", "alpha", "b")
+    assert table.get((1,)).values["alpha"] == "x"
+    assert table.index("by_a").attrs == ("alpha",)
+    assert [r.values["id"] for r in table.lookup("by_a", ("x",))] == [1]
+    with Session(db) as s:
+        s.update("t", (1,), {"alpha": "new"})
+    assert table.get((1,)).values["alpha"] == "new"
+
+
+def test_rename_attribute_in_primary_key():
+    db = Database()
+    db.create_table(TableSchema("t", ["k", "v"], primary_key=["k"]))
+    with Session(db) as s:
+        s.insert("t", {"k": 1, "v": "a"})
+    rename_attribute(db, "t", "k", "key")
+    assert db.table("t").schema.primary_key == ("key",)
+    assert db.table("t").get((1,)).values["key"] == 1
+
+
+def test_rename_attribute_validations():
+    db = make_db()
+    with pytest.raises(SchemaError):
+        rename_attribute(db, "t", "nope", "x")
+    with pytest.raises(SchemaError):
+        rename_attribute(db, "t", "a", "b")

@@ -1,0 +1,137 @@
+"""Tests for the FOJ and split specifications."""
+
+import pytest
+
+from repro import FojSpec, SplitSpec, TableSchema
+from repro.common.errors import SchemaError
+
+R = TableSchema("R", ["a", "b", "c"], primary_key=["a"])
+S = TableSchema("S", ["c", "d", "e"], primary_key=["c"])
+S_NONKEY_JOIN = TableSchema("S2", ["k", "c", "d"], primary_key=["k"])
+T = TableSchema("T", ["id", "name", "zip", "city"], primary_key=["id"])
+
+
+# ---------------------------------------------------------------------------
+# FojSpec
+# ---------------------------------------------------------------------------
+
+
+def test_derive_defaults_include_all_attributes():
+    spec = FojSpec.derive(R, S, "T", "c", "c")
+    assert spec.r_attrs == ("a", "b", "c")
+    assert spec.s_attrs == ("d", "e")
+    assert spec.join_column == "c"
+    assert spec.target_columns == ("a", "b", "c", "d", "e")
+    assert spec.target_key == ("a",)
+    assert spec.r_key == ("a",)
+    assert spec.s_key == ("c",)  # S's pk is the join attr -> join column
+
+
+def test_derive_with_nonkey_join_attribute():
+    spec = FojSpec.derive(R, S_NONKEY_JOIN, "T", "c", "c")
+    assert spec.s_key == ("k",)
+    assert "k" in spec.s_attrs
+
+
+def test_derive_requires_source_keys_in_target():
+    """Section 3.1: the transformed table must include a candidate key of
+    each source table."""
+    with pytest.raises(SchemaError):
+        FojSpec.derive(R, S, "T", "c", "c", r_attrs=["b", "c"])  # no 'a'
+    with pytest.raises(SchemaError):
+        FojSpec.derive(R, S_NONKEY_JOIN, "T", "c", "c",
+                       s_attrs=["d"])  # S2's key 'k' missing
+
+
+def test_derive_rejects_attribute_overlap():
+    other = TableSchema("S3", ["c", "b"], primary_key=["c"])
+    with pytest.raises(SchemaError):
+        FojSpec.derive(R, other, "T", "c", "c")  # 'b' on both sides
+
+
+def test_derive_rejects_missing_join_attrs():
+    with pytest.raises(SchemaError):
+        FojSpec.derive(R, S, "T", "nope", "c")
+    with pytest.raises(SchemaError):
+        FojSpec.derive(R, S, "T", "c", "nope")
+
+
+def test_derive_adds_join_attr_to_projection():
+    spec = FojSpec.derive(R, S, "T", "c", "c", r_attrs=["a", "b"])
+    assert "c" in spec.r_attrs
+
+
+def test_many_to_many_target_key_is_combined():
+    spec = FojSpec.derive(R, S_NONKEY_JOIN, "T", "c", "c",
+                          many_to_many=True)
+    assert spec.target_key == ("a", "k")
+
+
+def test_target_schema():
+    spec = FojSpec.derive(R, S, "T", "c", "c")
+    schema = spec.target_schema()
+    assert schema.name == "T"
+    assert schema.primary_key == ("a",)
+    assert schema.attribute_names == ("a", "b", "c", "d", "e")
+
+
+def test_part_extractors_and_null_records():
+    spec = FojSpec.derive(R, S, "T", "c", "c")
+    r = {"a": 1, "b": 2, "c": 3}
+    s = {"c": 3, "d": 4, "e": 5}
+    assert spec.r_part(r) == {"a": 1, "b": 2, "c": 3}
+    assert spec.s_part(s) == {"d": 4, "e": 5}  # join value not duplicated
+    assert spec.null_r_part() == {"a": None, "b": None, "c": None}
+    assert spec.null_s_part() == {"d": None, "e": None}
+    t = {"a": 1, "b": 2, "c": 3, "d": 4, "e": 5}
+    assert spec.s_part_of_t(t) == {"d": 4, "e": 5}
+    assert spec.r_part_of_t(t) == {"a": 1, "b": 2, "c": 3}
+
+
+# ---------------------------------------------------------------------------
+# SplitSpec
+# ---------------------------------------------------------------------------
+
+
+def test_split_derive_defaults():
+    spec = SplitSpec.derive(T, "Tr", "Ts", "zip", s_attrs=["city"])
+    assert spec.r_attrs == ("id", "name", "zip")
+    assert spec.s_attrs == ("zip", "city")
+    assert spec.r_key == ("id",)
+    assert spec.s_key == ("zip",)
+    assert spec.s_dependent_attrs == ("city",)
+
+
+def test_split_derive_adds_split_attr_to_both_sides():
+    spec = SplitSpec.derive(T, "Tr", "Ts", "zip", s_attrs=["city"],
+                            r_attrs=["id", "name"])
+    assert "zip" in spec.r_attrs and "zip" in spec.s_attrs
+
+
+def test_split_derive_requires_source_key_in_r():
+    with pytest.raises(SchemaError):
+        SplitSpec.derive(T, "Tr", "Ts", "zip", s_attrs=["city"],
+                         r_attrs=["name"])
+
+
+def test_split_derive_rejects_unknown_attrs():
+    with pytest.raises(SchemaError):
+        SplitSpec.derive(T, "Tr", "Ts", "nope", s_attrs=["city"])
+    with pytest.raises(SchemaError):
+        SplitSpec.derive(T, "Tr", "Ts", "zip", s_attrs=["nope"])
+
+
+def test_split_schemas():
+    spec = SplitSpec.derive(T, "Tr", "Ts", "zip", s_attrs=["city"])
+    r_schema, s_schema = spec.r_schema(), spec.s_schema()
+    assert r_schema.name == "Tr" and r_schema.primary_key == ("id",)
+    assert s_schema.name == "Ts" and s_schema.primary_key == ("zip",)
+    assert s_schema.attribute_names == ("zip", "city")
+
+
+def test_split_part_extractors():
+    spec = SplitSpec.derive(T, "Tr", "Ts", "zip", s_attrs=["city"])
+    row = {"id": 1, "name": "n", "zip": 7050, "city": "X"}
+    assert spec.r_part(row) == {"id": 1, "name": "n", "zip": 7050}
+    assert spec.s_part(row) == {"zip": 7050, "city": "X"}
+    assert spec.split_value(row) == (7050,)

@@ -1,0 +1,348 @@
+"""Tests for the three synchronization strategies (Section 3.4) and the
+lock transfer machinery of Section 4.3."""
+
+import pytest
+
+from repro import (
+    Database,
+    FojTransformation,
+    Phase,
+    Session,
+    SplitTransformation,
+    SyncStrategy,
+    TableSchema,
+)
+from repro.common.errors import (
+    LockWaitError,
+    NoSuchTableError,
+    TransactionAbortedError,
+)
+from repro.concurrency import LockMode, LockOrigin, TxnState
+from repro.concurrency.locks import record_resource
+from repro.relational import full_outer_join, rows_equal
+from repro.transform.base import proxy_owner
+
+from tests.conftest import (
+    foj_spec,
+    load_foj_data,
+    load_split_data,
+    split_spec,
+    values_of,
+)
+
+
+def drive_to(tf, phase, budget=4096, limit=100000):
+    for _ in range(limit):
+        if tf.phase is phase:
+            return
+        tf.step(budget)
+    raise AssertionError(f"never reached {phase}; at {tf.phase}")
+
+
+# ---------------------------------------------------------------------------
+# Blocking commit
+# ---------------------------------------------------------------------------
+
+
+def test_blocking_commit_waits_for_drain(foj_db):
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    tf = FojTransformation(foj_db, foj_spec(foj_db),
+                           sync_strategy=SyncStrategy.BLOCKING_COMMIT)
+    old = foj_db.begin()
+    foj_db.update(old, "R", (1,), {"b": "held"})
+    drive_to(tf, Phase.SYNCHRONIZING)
+    for _ in range(20):
+        tf.step(4096)
+    assert tf.phase is Phase.SYNCHRONIZING  # draining: old still active
+    # New transactions are blocked from the involved tables.
+    new = foj_db.begin()
+    with pytest.raises(LockWaitError):
+        foj_db.read(new, "R", (2,))
+    foj_db.commit(old)
+    tf.run()
+    assert tf.done
+    assert foj_db.catalog.table_names() == ["T"]
+    # The blocked transaction was woken; the old name is gone for it.
+    with pytest.raises(NoSuchTableError):
+        foj_db.read(new, "R", (2,))
+    assert foj_db.read(new, "T", (2,)) is not None
+    foj_db.commit(new)
+
+
+def test_blocking_commit_consistent_result(foj_db):
+    load_foj_data(foj_db, n_r=12, n_s=5)
+    spec = foj_spec(foj_db)
+    r_rows, s_rows = values_of(foj_db, "R"), values_of(foj_db, "S")
+    FojTransformation(foj_db, spec,
+                      sync_strategy=SyncStrategy.BLOCKING_COMMIT).run()
+    assert rows_equal(values_of(foj_db, "T"),
+                      full_outer_join(spec, r_rows, s_rows))
+
+
+# ---------------------------------------------------------------------------
+# Non-blocking abort
+# ---------------------------------------------------------------------------
+
+
+def test_nonblocking_abort_forces_old_transactions(foj_db):
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    tf = FojTransformation(foj_db, foj_spec(foj_db),
+                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+    old = foj_db.begin()
+    foj_db.update(old, "R", (1,), {"b": "doomed-write"})
+    tf.run()
+    assert tf.done
+    # The old transaction was rolled back...
+    assert old.state is TxnState.ABORTED
+    # ... its next operation surfaces the forced abort ...
+    with pytest.raises(TransactionAbortedError):
+        foj_db.read(old, "R", (1,))
+    # ... and its write is not in T.
+    assert foj_db.table("T").get((1,)).values["b"] != "doomed-write"
+
+
+def test_nonblocking_abort_nonconflicting_txn_also_aborted(foj_db):
+    """Unlike non-blocking commit, *every* transaction active on the
+    source tables is aborted, conflicting or not."""
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    tf = FojTransformation(foj_db, foj_spec(foj_db),
+                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+    reader = foj_db.begin()
+    foj_db.read(reader, "R", (3,))  # merely reading
+    tf.run()
+    assert reader.state is TxnState.ABORTED
+
+
+def test_nonblocking_abort_keeps_unrelated_txns(foj_db):
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    foj_db.create_table(TableSchema("other", ["id"], primary_key=["id"]))
+    with Session(foj_db) as s:
+        s.insert("other", {"id": 1})
+    tf = FojTransformation(foj_db, foj_spec(foj_db),
+                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+    bystander = foj_db.begin()
+    foj_db.read(bystander, "other", (1,))
+    tf.run()
+    assert bystander.state is TxnState.ACTIVE
+    foj_db.commit(bystander)
+
+
+def test_nonblocking_abort_result_reflects_aborted_txn_rollback(foj_db):
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    spec = foj_spec(foj_db)
+    old = foj_db.begin()
+    foj_db.update(old, "R", (2,), {"b": "dirty"})
+    snapshot_b = None
+    tf = FojTransformation(foj_db, spec,
+                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+    tf.run()
+    r_rows = values_of(foj_db, "R") if foj_db.catalog.exists("R") else None
+    # Sources dropped; T must equal the join of the *rolled back* state.
+    row = foj_db.table("T").get((2,))
+    assert row.values["b"] == "b2"  # original value restored
+
+
+def test_nonblocking_abort_sync_is_brief(foj_db):
+    """The paper measures < 1 ms of latched work; in work units, the
+    final propagation under latch must be a handful of records."""
+    load_foj_data(foj_db, n_r=30, n_s=10)
+    tf = FojTransformation(foj_db, foj_spec(foj_db),
+                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+    tf.run()
+    assert tf.stats["sync_latch_units"] < 50
+
+
+# ---------------------------------------------------------------------------
+# Non-blocking commit
+# ---------------------------------------------------------------------------
+
+
+def test_nonblocking_commit_old_txn_continues_and_commits(foj_db):
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    spec = foj_spec(foj_db)
+    tf = FojTransformation(foj_db, spec,
+                           sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+    old = foj_db.begin()
+    foj_db.update(old, "R", (1,), {"b": "pre-swap"})
+    drive_to(tf, Phase.BACKGROUND)
+    # The old transaction keeps working on the (zombie) source table.
+    foj_db.update(old, "R", (1,), {"b": "post-swap"})
+    assert old.state is TxnState.ACTIVE
+    foj_db.commit(old)
+    tf.run()
+    assert tf.done
+    # Its post-swap write was propagated into the published T.
+    assert foj_db.table("T").get((1,)).values["b"] == "post-swap"
+    assert not foj_db.catalog.is_zombie("R")  # zombies dropped at the end
+
+
+def test_nonblocking_commit_locks_block_new_txns_until_propagated(foj_db):
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    spec = foj_spec(foj_db)
+    tf = FojTransformation(foj_db, spec,
+                           sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+    old = foj_db.begin()
+    foj_db.update(old, "R", (1,), {"b": "old-write"})
+    drive_to(tf, Phase.BACKGROUND)
+    # The materialized source-origin lock on t^1 blocks native access.
+    new = foj_db.begin()
+    with pytest.raises(LockWaitError):
+        foj_db.read(new, "T", (1,))
+    # Even after the old transaction commits, the lock is held by the
+    # propagator until it processes the commit's end record...
+    foj_db.commit(old)
+    with pytest.raises(LockWaitError):
+        foj_db.read(new, "T", (1,))
+    # ... after which the new transaction sees the propagated value.
+    tf.run()
+    assert foj_db.read(new, "T", (1,))["b"] == "old-write"
+    foj_db.commit(new)
+
+
+def test_nonblocking_commit_mirror_transfers_new_source_locks(foj_db):
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    spec = foj_spec(foj_db)
+    tf = FojTransformation(foj_db, spec,
+                           sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+    old = foj_db.begin()
+    foj_db.read(old, "R", (1,))  # keeps `old` alive on the sources
+    drive_to(tf, Phase.BACKGROUND)
+    # A lock acquired by the old transaction NOW is mirrored onto T.
+    foj_db.update(old, "R", (2,), {"b": "late-write"})
+    target = tf.targets["T"]
+    holders = foj_db.locks.holders(record_resource(target.uid, (2,)))
+    assert any(h.txn_id == proxy_owner(old.txn_id) and
+               h.origin is LockOrigin.SOURCE_A for h in holders)
+    foj_db.commit(old)
+    tf.run()
+    assert foj_db.table("T").get((2,)).values["b"] == "late-write"
+
+
+def test_nonblocking_commit_new_txn_locks_mirror_to_sources(foj_db):
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    spec = foj_spec(foj_db)
+    tf = FojTransformation(foj_db, spec,
+                           sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+    old = foj_db.begin()
+    foj_db.read(old, "R", (1,))
+    drive_to(tf, Phase.BACKGROUND)
+    new = foj_db.begin()
+    foj_db.update(new, "T", (5,), {"b": "native-write"})
+    # The old transaction can no longer touch r^5 (T.w mirrored onto R).
+    with pytest.raises(LockWaitError):
+        foj_db.update(old, "R", (5,), {"b": "conflict"})
+    foj_db.commit(new)
+    foj_db.commit(old)
+    tf.run()
+
+
+def test_nonblocking_commit_two_source_writers_coexist_in_t():
+    """Figure 2: R.w and S.w origin locks never conflict in T."""
+    db = Database()
+    db.create_table(TableSchema("R", ["a", "b", "c"], primary_key=["a"]))
+    db.create_table(TableSchema("S", ["c", "d", "e"], primary_key=["c"]))
+    with Session(db) as s:
+        s.insert("R", {"a": 1, "b": "b", "c": 10})
+        s.insert("S", {"c": 10, "d": "d", "e": "e"})
+    spec = foj_spec(db)
+    tf = FojTransformation(db, spec,
+                           sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+    txn_r = db.begin()
+    txn_s = db.begin()
+    db.update(txn_r, "R", (1,), {"b": "from-r"})
+    db.update(txn_s, "S", (10,), {"d": "from-s"})
+    drive_to(tf, Phase.BACKGROUND)
+    # Both write locks were materialized onto the same T record t^1_10
+    # with source origins -- coexisting, exactly as Figure 2 allows.
+    target = tf.targets["T"]
+    holders = db.locks.holders(record_resource(target.uid, (1,)))
+    assert len({h.txn_id for h in holders}) == 2
+    db.commit(txn_r)
+    db.commit(txn_s)
+    tf.run()
+    row = db.table("T").get((1,))
+    assert row.values["b"] == "from-r" and row.values["d"] == "from-s"
+
+
+# ---------------------------------------------------------------------------
+# Split synchronization (spot checks; mechanics shared with FOJ)
+# ---------------------------------------------------------------------------
+
+
+def test_split_nonblocking_commit_end_to_end(split_db):
+    load_split_data(split_db, n=15)
+    spec = split_spec(split_db)
+    tf = SplitTransformation(split_db, spec,
+                             sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+    old = split_db.begin()
+    split_db.update(old, "T", (1,), {"name": "pre"})
+    drive_to(tf, Phase.BACKGROUND)
+    split_db.update(old, "T", (1,), {"name": "post"})
+    split_db.commit(old)
+    tf.run()
+    assert split_db.table("T_r").get((1,)).values["name"] == "post"
+
+
+def test_split_nonblocking_abort_dooms_old(split_db):
+    load_split_data(split_db, n=15)
+    tf = SplitTransformation(split_db, split_spec(split_db),
+                             sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+    old = split_db.begin()
+    split_db.update(old, "T", (1,), {"name": "dirty"})
+    tf.run()
+    assert old.state is TxnState.ABORTED
+    assert split_db.table("T_r").get((1,)).values["name"] == "n1"
+
+
+def test_blocking_commit_aborts_lock_holding_newcomers(foj_db):
+    """Liveness fix (see DESIGN.md): a newcomer that holds locks on other
+    tables and then touches a blocked table is aborted, so the drain can
+    never deadlock against its own block."""
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    foj_db.create_table(TableSchema("other", ["id"], primary_key=["id"]))
+    with Session(foj_db) as s:
+        s.insert("other", {"id": 1})
+    tf = FojTransformation(foj_db, foj_spec(foj_db),
+                           sync_strategy=SyncStrategy.BLOCKING_COMMIT)
+    old = foj_db.begin()
+    foj_db.read(old, "R", (1,))           # drain must wait for `old`
+    drive_to(tf, Phase.SYNCHRONIZING)
+    tf.step(64)                            # blocks the sources
+    newcomer = foj_db.begin()
+    foj_db.read(newcomer, "other", (1,))  # now holds a lock
+    with pytest.raises(TransactionAbortedError):
+        foj_db.read(newcomer, "R", (2,))   # blocked + holding locks
+    assert newcomer.state is TxnState.ABORTED
+    # The drain completes once the old transaction finishes.
+    foj_db.commit(old)
+    tf.run()
+    assert tf.done
+
+
+def test_blocking_commit_drain_survives_lock_chain(foj_db):
+    """The scenario that used to deadlock: old txn waits on a lock held
+    by a newcomer that is about to park on the blocked table."""
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    foj_db.create_table(TableSchema("other", ["id", "v"],
+                                    primary_key=["id"]))
+    with Session(foj_db) as s:
+        s.insert("other", {"id": 1})
+    tf = FojTransformation(foj_db, foj_spec(foj_db),
+                           sync_strategy=SyncStrategy.BLOCKING_COMMIT)
+    old = foj_db.begin()
+    foj_db.update(old, "R", (1,), {"b": "drain-me"})
+    drive_to(tf, Phase.SYNCHRONIZING)
+    tf.step(64)  # sources blocked; drain waits for `old`
+    newcomer = foj_db.begin()
+    foj_db.update(newcomer, "other", (1,), {"v": 1})  # holds X lock
+    # Old transaction needs the newcomer's lock...
+    with pytest.raises(LockWaitError):
+        foj_db.update(old, "other", (1,), {"v": 2})
+    # ... and the newcomer hits the blocked table: aborted, lock freed.
+    with pytest.raises(TransactionAbortedError):
+        foj_db.read(newcomer, "R", (2,))
+    # The old transaction was woken; it finishes and the drain proceeds.
+    foj_db.update(old, "other", (1,), {"v": 2})
+    foj_db.commit(old)
+    tf.run()
+    assert tf.done

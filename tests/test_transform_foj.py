@@ -1,0 +1,289 @@
+"""End-to-end tests for the FOJ transformation (one-to-many and m2m)."""
+
+import random
+
+import pytest
+
+from repro import (
+    Database,
+    FixedIterationsPolicy,
+    FojSpec,
+    FojTransformation,
+    Many2ManyFojTransformation,
+    Phase,
+    Session,
+    SyncStrategy,
+    TableSchema,
+    TransformationError,
+)
+from repro.common.errors import (
+    DuplicateKeyError,
+    NoSuchRowError,
+    TransactionAbortedError,
+    TransformationAbortedError,
+    TransformationStateError,
+)
+from repro.relational import full_outer_join, rows_equal
+from repro.transform.analysis import (
+    Decision,
+    IterationReport,
+    RemainingRecordsPolicy,
+)
+
+from tests.conftest import foj_spec, load_foj_data, values_of
+
+
+def run_quiescent(foj_db, **tf_kwargs):
+    load_foj_data(foj_db)
+    spec = foj_spec(foj_db)
+    r_rows, s_rows = values_of(foj_db, "R"), values_of(foj_db, "S")
+    tf = FojTransformation(foj_db, spec, **tf_kwargs)
+    tf.run()
+    return tf, spec, r_rows, s_rows
+
+
+def test_quiescent_result_matches_oracle(foj_db):
+    tf, spec, r_rows, s_rows = run_quiescent(foj_db)
+    assert tf.done
+    expected = full_outer_join(spec, r_rows, s_rows)
+    assert rows_equal(values_of(foj_db, "T"), expected)
+
+
+def test_sources_dropped_and_target_published(foj_db):
+    run_quiescent(foj_db)
+    assert foj_db.catalog.table_names() == ["T"]
+    assert not foj_db.catalog.is_zombie("R")  # no old txns: fully dropped
+
+
+def test_target_indexes_usable_after_completion(foj_db):
+    """Section 3.1: indices created during preparation 'will be up to date
+    when the transformation is complete'."""
+    from repro.transform.foj import JOIN_INDEX
+    run_quiescent(foj_db)
+    t = foj_db.table("T")
+    for row in t.scan():
+        value = row.values["c"]
+        if value is not None:
+            assert row.rowid in t.index(JOIN_INDEX).lookup((value,))
+
+
+def test_fuzzy_marks_bracket_the_transformation(foj_db):
+    tf, *_ = run_quiescent(foj_db)
+    marks = [r for r in foj_db.log.scan()
+             if r.kind == "fuzzymark" and r.transform_id == tf.transform_id]
+    phases = [m.phase for m in marks]
+    assert phases[0] == "begin"
+    assert phases[-1] == "end"
+    assert "cycle" in phases
+
+
+def test_stepwise_driving_with_small_budgets(foj_db):
+    load_foj_data(foj_db)
+    spec = foj_spec(foj_db)
+    r_rows, s_rows = values_of(foj_db, "R"), values_of(foj_db, "S")
+    tf = FojTransformation(foj_db, spec, population_chunk=3)
+    steps = 0
+    while not tf.step(2).done:
+        steps += 1
+        assert steps < 10000
+    assert rows_equal(values_of(foj_db, "T"),
+                      full_outer_join(spec, r_rows, s_rows))
+
+
+def test_interleaved_workload_converges(foj_db):
+    """The headline property: arbitrary interleaved user transactions
+    (including aborts and join-attribute updates) between transformation
+    steps; the final T equals the oracle join of the final sources."""
+    rng = random.Random(7)
+    load_foj_data(foj_db, n_r=30, n_s=10)
+    spec = foj_spec(foj_db)
+    tf = FojTransformation(foj_db, spec, population_chunk=5)
+    next_a = [1000]
+
+    def one_txn():
+        txn = foj_db.begin()
+        s = Session(foj_db)
+        s.txn = txn
+        try:
+            for _ in range(rng.randrange(1, 4)):
+                k = rng.random()
+                if k < 0.2:
+                    s.insert("R", {"a": next_a[0], "b": 0,
+                                   "c": rng.randrange(13)})
+                    next_a[0] += 1
+                elif k < 0.4:
+                    s.update("R", (rng.randrange(30),),
+                             {"c": rng.randrange(13)})
+                elif k < 0.55:
+                    s.delete("R", (rng.randrange(30),))
+                elif k < 0.7:
+                    s.update("R", (rng.randrange(30),), {"b": rng.random()})
+                elif k < 0.85:
+                    s.update("S", (rng.randrange(13),),
+                             {"d": f"d{rng.random():.3f}"})
+                else:
+                    s.delete("S", (rng.randrange(13),))
+            if rng.random() < 0.3:
+                foj_db.abort(txn)
+            else:
+                foj_db.commit(txn)
+        except (NoSuchRowError, DuplicateKeyError):
+            foj_db.abort(txn)
+        except TransactionAbortedError:
+            pass
+
+    for _ in range(150):
+        one_txn()
+        if tf.phase in (Phase.CREATED, Phase.PREPARED, Phase.POPULATING,
+                        Phase.PROPAGATING):
+            tf.step(rng.randrange(1, 20))
+    r_rows, s_rows = values_of(foj_db, "R"), values_of(foj_db, "S")
+    tf.run()
+    assert rows_equal(values_of(foj_db, "T"),
+                      full_outer_join(spec, r_rows, s_rows))
+
+
+def test_propagated_lock_table_tracks_active_txns(foj_db):
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    spec = foj_spec(foj_db)
+    tf = FojTransformation(foj_db, spec,
+                           policy=FixedIterationsPolicy(10**9))
+    # Population first.
+    while tf.phase is not Phase.PROPAGATING:
+        tf.step(4096)
+    txn = foj_db.begin()
+    foj_db.update(txn, "R", (1,), {"b": "locked"})
+    for _ in range(3):  # propagate the update (next iteration picks it up)
+        tf.step(4096)
+    assert tf.locks_held.resources_of(txn.txn_id)  # entry recorded
+    foj_db.commit(txn)
+    for _ in range(3):  # propagate the end record
+        tf.step(4096)
+    assert not tf.locks_held.resources_of(txn.txn_id)  # released
+
+
+def test_abort_transformation_drops_targets(foj_db):
+    load_foj_data(foj_db)
+    spec = foj_spec(foj_db)
+    tf = FojTransformation(foj_db, spec)
+    tf.step(50)  # partially populated
+    tf.abort()
+    assert tf.phase is Phase.ABORTED
+    assert not foj_db.catalog.exists("T")
+    assert foj_db.catalog.exists("R") and foj_db.catalog.exists("S")
+    # Aborting twice is allowed.
+    tf.abort()
+    # Further steps are no-ops reporting the aborted phase.
+    report = tf.step(10)
+    assert report.phase is Phase.ABORTED and not report.done
+
+
+def test_run_detects_stall():
+    db = Database()
+    db.create_table(TableSchema("R", ["a", "b", "c"], primary_key=["a"]))
+    db.create_table(TableSchema("S", ["c", "d"], primary_key=["c"]))
+    with Session(db) as s:
+        for i in range(5):
+            s.insert("R", {"a": i, "b": 0, "c": i})
+
+    class AlwaysStalled(RemainingRecordsPolicy):
+        def decide(self, report: IterationReport) -> Decision:
+            return Decision.STALLED
+
+    tf = FojTransformation(db, foj_spec(db), policy=AlwaysStalled())
+    with pytest.raises(TransformationAbortedError):
+        tf.run()
+    assert tf.phase is Phase.ABORTED
+
+
+def test_spec_guard_rejects_m2m_spec(foj_db):
+    spec = foj_spec(foj_db)
+    object.__setattr__(spec, "many_to_many", True)
+    with pytest.raises(TransformationError):
+        FojTransformation(foj_db, spec)
+
+
+# ---------------------------------------------------------------------------
+# Many-to-many
+# ---------------------------------------------------------------------------
+
+R2 = TableSchema("R", ["a", "b", "c"], primary_key=["a"])
+S2 = TableSchema("S", ["k", "c", "d"], primary_key=["k"])
+
+
+def make_m2m_db(seed=3, n_r=15, n_s=10, n_join=5):
+    db = Database()
+    db.create_table(R2)
+    db.create_table(S2)
+    rng = random.Random(seed)
+    with Session(db) as s:
+        for i in range(n_r):
+            s.insert("R", {"a": i, "b": i, "c": rng.randrange(n_join + 2)})
+        for k in range(n_s):
+            s.insert("S", {"k": k, "c": rng.randrange(n_join + 2),
+                           "d": f"d{k}"})
+    spec = FojSpec.derive(R2, S2, "T", "c", "c", many_to_many=True)
+    return db, spec
+
+
+def test_m2m_quiescent_matches_oracle():
+    db, spec = make_m2m_db()
+    r_rows, s_rows = values_of(db, "R"), values_of(db, "S")
+    Many2ManyFojTransformation(db, spec).run()
+    assert rows_equal(values_of(db, "T"),
+                      full_outer_join(spec, r_rows, s_rows))
+
+
+def test_m2m_requires_m2m_spec():
+    db, spec = make_m2m_db()
+    bad = FojSpec.derive(R2, S2, "T2", "c", "c", many_to_many=False)
+    with pytest.raises(TransformationError):
+        Many2ManyFojTransformation(db, bad)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_m2m_interleaved_converges(seed):
+    db, spec = make_m2m_db(seed=seed)
+    rng = random.Random(seed + 50)
+    tf = Many2ManyFojTransformation(db, spec, population_chunk=4)
+    next_a, next_k = [1000], [1000]
+
+    def one_txn():
+        try:
+            with Session(db) as s:
+                k = rng.random()
+                if k < 0.15:
+                    s.insert("R", {"a": next_a[0], "b": 0,
+                                   "c": rng.randrange(7)})
+                    next_a[0] += 1
+                elif k < 0.3:
+                    s.insert("S", {"k": next_k[0],
+                                   "c": rng.randrange(7),
+                                   "d": "new"})
+                    next_k[0] += 1
+                elif k < 0.45:
+                    s.update("R", (rng.randrange(15),),
+                             {"c": rng.randrange(7)})
+                elif k < 0.6:
+                    s.update("S", (rng.randrange(10),),
+                             {"c": rng.randrange(7)})
+                elif k < 0.7:
+                    s.delete("R", (rng.randrange(15),))
+                elif k < 0.8:
+                    s.delete("S", (rng.randrange(10),))
+                elif k < 0.9:
+                    s.update("R", (rng.randrange(15),), {"b": rng.random()})
+                else:
+                    s.update("S", (rng.randrange(10),),
+                             {"d": f"x{rng.random():.2f}"})
+        except (NoSuchRowError, DuplicateKeyError):
+            pass
+
+    for _ in range(120):
+        one_txn()
+        if not tf.done and tf.phase is not Phase.SYNCHRONIZING:
+            tf.step(rng.randrange(1, 15))
+    r_rows, s_rows = values_of(db, "R"), values_of(db, "S")
+    tf.run()
+    assert rows_equal(values_of(db, "T"),
+                      full_outer_join(spec, r_rows, s_rows))

@@ -1,0 +1,157 @@
+"""Unit tests for the write-ahead log (records + log manager)."""
+
+import pytest
+
+from repro.wal import (
+    FIRST_LSN,
+    NULL_LSN,
+    AbortRecord,
+    BeginRecord,
+    CLRecord,
+    CommitRecord,
+    DeleteRecord,
+    EndRecord,
+    FuzzyMarkRecord,
+    InsertRecord,
+    LogManager,
+    UpdateRecord,
+    data_change_of,
+)
+
+
+def test_append_assigns_dense_lsns():
+    log = LogManager()
+    lsns = [log.append(BeginRecord(txn_id=i)) for i in range(1, 6)]
+    assert lsns == [FIRST_LSN + i for i in range(5)]
+    assert log.end_lsn == FIRST_LSN + 4
+    assert log.next_lsn == FIRST_LSN + 5
+
+
+def test_append_rejects_reappend():
+    log = LogManager()
+    record = BeginRecord(txn_id=1)
+    log.append(record)
+    with pytest.raises(ValueError):
+        log.append(record)
+
+
+def test_prev_lsn_chains_transactions():
+    log = LogManager()
+    first = log.append(BeginRecord(txn_id=1))
+    second = log.append(InsertRecord(txn_id=1, table="t", key=(1,),
+                                     values={"a": 1}), prev_lsn=first)
+    assert log.record_at(second).prev_lsn == first
+    assert log.record_at(first).prev_lsn == NULL_LSN
+
+
+def test_record_at_out_of_range():
+    log = LogManager()
+    log.append(BeginRecord(txn_id=1))
+    with pytest.raises(IndexError):
+        log.record_at(FIRST_LSN + 1)
+    with pytest.raises(IndexError):
+        log.record_at(NULL_LSN)
+
+
+def test_scan_bounds_are_inclusive():
+    log = LogManager()
+    for i in range(5):
+        log.append(BeginRecord(txn_id=i + 1))
+    got = [r.txn_id for r in log.scan(FIRST_LSN + 1, FIRST_LSN + 3)]
+    assert got == [2, 3, 4]
+
+
+def test_scan_default_end_fixed_at_call_time():
+    log = LogManager()
+    log.append(BeginRecord(txn_id=1))
+    log.append(BeginRecord(txn_id=2))
+    iterator = log.scan()
+    seen = [next(iterator).txn_id]
+    log.append(BeginRecord(txn_id=3))  # appended during iteration
+    seen.extend(r.txn_id for r in iterator)
+    assert seen == [1, 2]
+
+
+def test_scan_empty_log():
+    log = LogManager()
+    assert list(log.scan()) == []
+    assert log.end_lsn == NULL_LSN
+
+
+def test_records_between_and_tail_length():
+    log = LogManager()
+    for i in range(10):
+        log.append(BeginRecord(txn_id=i + 1))
+    assert log.records_between(FIRST_LSN + 2, FIRST_LSN + 5) == 4
+    assert log.records_between(FIRST_LSN + 5, FIRST_LSN + 2) == 0
+    assert log.tail_length(FIRST_LSN + 4) == 5
+    assert log.tail_length(log.end_lsn) == 0
+
+
+def test_flush_tracks_lsn():
+    log = LogManager()
+    log.append(BeginRecord(txn_id=1))
+    assert log.flushed_lsn == NULL_LSN
+    log.flush()
+    assert log.flushed_lsn == log.end_lsn
+
+
+def test_observers_called_per_append():
+    log = LogManager()
+    seen = []
+    log.observers.append(lambda r: seen.append(r.lsn))
+    log.append(BeginRecord(txn_id=1))
+    log.append(CommitRecord(txn_id=1))
+    assert seen == [FIRST_LSN, FIRST_LSN + 1]
+
+
+def test_kind_names():
+    assert BeginRecord().kind == "begin"
+    assert InsertRecord().kind == "insert"
+    assert UpdateRecord().kind == "update"
+    assert DeleteRecord().kind == "delete"
+    assert CLRecord().kind == "cl"
+    assert FuzzyMarkRecord().kind == "fuzzymark"
+
+
+def test_describe_mentions_lsn_and_fields():
+    record = InsertRecord(txn_id=3, table="t", key=(1,), values={"a": 1})
+    record.lsn = 42
+    text = record.describe()
+    assert "[42]" in text and "insert" in text and "'a': 1" in text
+
+
+def test_data_change_of_plain_records():
+    insert = InsertRecord(table="t", key=(1,), values={"a": 1})
+    assert data_change_of(insert) is insert
+    update = UpdateRecord(table="t", key=(1,), changes={"a": 2})
+    assert data_change_of(update) is update
+    delete = DeleteRecord(table="t", key=(1,))
+    assert data_change_of(delete) is delete
+
+
+def test_data_change_of_unwraps_clr():
+    action = DeleteRecord(table="t", key=(1,), old_values={"a": 1})
+    clr = CLRecord(txn_id=1, action=action, undo_next_lsn=NULL_LSN)
+    assert data_change_of(clr) is action
+
+
+def test_data_change_of_non_data_records():
+    for record in (BeginRecord(), CommitRecord(), AbortRecord(),
+                   EndRecord(), FuzzyMarkRecord()):
+        assert data_change_of(record) is None
+
+
+def test_fuzzy_mark_carries_active_txns():
+    mark = FuzzyMarkRecord(transform_id="tf", phase="begin",
+                           active_txns=(3, 7))
+    assert mark.active_txns == (3, 7)
+    assert mark.phase == "begin"
+
+
+def test_dump_lines():
+    log = LogManager()
+    log.append(BeginRecord(txn_id=1))
+    log.append(CommitRecord(txn_id=1))
+    assert len(log.dump().splitlines()) == 2
+    assert len(log) == 2
