@@ -20,6 +20,8 @@ from benchmarks.harness import (
     print_series,
     run_benchmark,
     save_results,
+    save_results_json,
+    series_payload,
     split_builder,
 )
 
@@ -59,6 +61,10 @@ def bench_sync_latency(benchmark, capsys):
         [(blocking_ms, blocking_ms / max(r[1] for r in rows), 0.0)],
         capsys)
     save_results("sync_latency", lines)
+    payload = series_payload("sync_latency", PAPER["sync"],
+                             ["seed", "latch_ms", "completion_ms"], rows)
+    payload["blocking_ms"] = blocking_ms
+    save_results_json("sync_latency", payload)
     benchmark.extra_info["blocking_ms"] = blocking_ms
 
     worst_latch = max(latch for _, latch, _ in rows)

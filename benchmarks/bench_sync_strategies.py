@@ -25,6 +25,8 @@ from benchmarks.harness import (
     print_series,
     run_benchmark,
     save_results,
+    save_results_json,
+    series_payload,
     split_builder,
 )
 
@@ -60,6 +62,11 @@ def bench_sync_strategies(benchmark, capsys):
          "duration ms"],
         rows, capsys)
     save_results("sync_strategies", lines)
+    save_results_json("sync_strategies", series_payload(
+        "sync_strategies",
+        "paper §3.4/§6: strategy trade-offs at 75% workload",
+        ["strategy", "aborts", "blocked_ms", "max_resp_ms", "duration_ms"],
+        rows))
     by_name = {name: (aborts, blocked, resp, dur)
                for name, aborts, blocked, resp, dur in rows}
 

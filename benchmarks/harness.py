@@ -17,11 +17,15 @@ Knobs (environment variables):
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from dataclasses import replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import Database, SplitSpec, TableSchema, bulk_load
+from repro.common.errors import LockWaitError
+from repro.obs import Metrics
 from repro.sim import (
     RelativeResult,
     RunSettings,
@@ -35,7 +39,8 @@ from repro.sim import (
     run_relative,
 )
 from repro.transform.analysis import FixedIterationsPolicy
-from repro.transform.base import Phase
+from repro.transform.base import Phase, SyncStrategy
+from repro.transform.split import SplitTransformation
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -136,6 +141,125 @@ def save_results(name: str, lines: List[str]) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text("\n".join(lines) + "\n")
 
 
+def save_results_json(name: str, payload: Dict[str, object]) -> pathlib.Path:
+    """Persist a machine-readable result next to the ``.txt`` table.
+
+    Every benchmark that saves a human-readable table should also save its
+    numbers here: JSON results are diffable across PRs, so the perf
+    trajectory of the reproduction stays visible.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                               default=str) + "\n")
+    return path
+
+
+def series_payload(name: str, paper_note: str, header: Sequence[str],
+                   rows: Iterable[Sequence[object]]) -> Dict[str, object]:
+    """Structured form of a printed table, for :func:`save_results_json`."""
+    return {
+        "benchmark": name,
+        "paper": paper_note,
+        "rows": [dict(zip(header, row)) for row in rows],
+    }
+
+
 def run_benchmark(benchmark, fn: Callable[[], object]):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# Observability smoke: the CI-checked machine-readable output
+# ---------------------------------------------------------------------------
+
+
+def observability_smoke(rows: int = 400,
+                        out_name: Optional[str] = "observability"
+                        ) -> Dict[str, object]:
+    """Run one small split per sync strategy with metrics enabled.
+
+    This is the harness's structured-output smoke test (run by CI as
+    ``python -m benchmarks.harness``): for each of the three Section 3.4
+    synchronization strategies it drives a transformation to completion
+    against a trickle of concurrent updates, with the ``repro.obs``
+    registry attached, and persists a JSON summary containing the
+    latched-window units, propagation iterations, lock-wait counts and
+    WAL append totals -- the quantities every perf PR should watch.
+    """
+    strategies: Dict[str, Dict[str, object]] = {}
+    for strategy in (SyncStrategy.NONBLOCKING_ABORT,
+                     SyncStrategy.NONBLOCKING_COMMIT,
+                     SyncStrategy.BLOCKING_COMMIT):
+        metrics = Metrics(enabled=True)
+        db = Database(metrics=metrics)
+        db.create_table(TableSchema("T", ["id", "name", "grp", "info"],
+                                    primary_key=["id"]))
+        bulk_load(db, "T", [
+            {"id": i, "name": float(i), "grp": i % 20, "info": f"g{i % 20}"}
+            for i in range(rows)
+        ])
+        # One genuine lock conflict, so the wait counters are exercised.
+        holder = db.begin()
+        db.update(holder, "T", (2,), {"name": -2.0})
+        waiter = db.begin()
+        try:
+            db.update(waiter, "T", (2,), {"name": -3.0})
+        except LockWaitError:
+            pass
+        db.abort(waiter)
+        db.commit(holder)
+
+        spec = SplitSpec.derive(db.table("T").schema, r_name="T_r",
+                                s_name="T_s", split_attr="grp",
+                                s_attrs=["info"])
+        tf = SplitTransformation(db, spec, sync_strategy=strategy,
+                                 population_chunk=64)
+        steps = 0
+        while not tf.done and steps < 100_000:
+            tf.step(64)
+            steps += 1
+            if steps % 5 == 0 and db.catalog.exists("T"):
+                # Concurrent update trickle feeding the propagator.
+                try:
+                    db.run(lambda d, t, k=(steps % rows,):
+                           d.update(t, "T", k, {"name": float(steps)}))
+                except LockWaitError:
+                    pass  # sources latched/blocked: skip this update
+        assert tf.done, f"{strategy.value}: did not finish in {steps} steps"
+
+        snapshot = metrics.snapshot()
+        strategies[strategy.value] = {
+            "latched_window_units": tf.stats["sync_latch_units"],
+            "propagation_iterations": tf.stats["iterations"],
+            "population_units": tf.stats["population_units"],
+            "propagated_records": tf.stats["propagated_records"],
+            "lock_waits": db.locks.wait_count,
+            "lock_deadlocks": db.locks.deadlock_count,
+            "wal_appends": snapshot["counters"].get("wal.appends", 0),
+            "latched_window": snapshot["histograms"].get(
+                "sync.latched_window"),
+            "latch_hold_time": snapshot["histograms"].get("latch.hold_time"),
+            "metrics": snapshot,
+        }
+
+    payload: Dict[str, object] = {
+        "benchmark": "observability_smoke",
+        "rows": rows,
+        "strategies": strategies,
+    }
+    if out_name is not None:
+        save_results_json(out_name, payload)
+    return payload
+
+
+if __name__ == "__main__":
+    result = observability_smoke()
+    path = RESULTS_DIR / "observability.json"
+    summary = {name: {k: data[k] for k in ("latched_window_units",
+                                           "propagation_iterations",
+                                           "lock_waits", "wal_appends")}
+               for name, data in result["strategies"].items()}
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    print(f"full snapshot written to {path}")

@@ -41,6 +41,14 @@ from repro.common.errors import (
     TransformationAbortedError,
     TransformationError,
 )
+from repro.obs import (
+    NULL_METRICS,
+    Counter,
+    EventRing,
+    Histogram,
+    Metrics,
+    TraceEvent,
+)
 from repro.engine import (
     Database,
     FuzzyScan,
@@ -83,6 +91,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Attribute",
+    "Counter",
     "Database",
     "DeadlockError",
     "DuplicateKeyError",
@@ -91,12 +100,16 @@ __all__ = [
     "FojTransformation",
     "FunctionalDependency",
     "FuzzyScan",
+    "EventRing",
+    "Histogram",
     "InconsistentDataError",
     "LockWaitError",
     "Many2ManyFojTransformation",
     "MaterializedFojView",
     "MergeSpec",
     "MergeTransformation",
+    "Metrics",
+    "NULL_METRICS",
     "NoSuchRowError",
     "NoSuchTableError",
     "PartitionSpec",
@@ -110,6 +123,7 @@ __all__ = [
     "SplitTransformation",
     "SyncStrategy",
     "TableSchema",
+    "TraceEvent",
     "TransactionAbortedError",
     "TransformationAbortedError",
     "TransformationError",

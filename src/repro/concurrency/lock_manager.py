@@ -30,6 +30,7 @@ from repro.concurrency.locks import (
     LockOrigin,
     compatible,
 )
+from repro.obs import NULL_METRICS, Metrics
 
 
 @dataclass
@@ -70,7 +71,7 @@ class _ResourceState:
 class LockManager:
     """All locks and latches of one database."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[Metrics] = None) -> None:
         self._resources: Dict[tuple, _ResourceState] = {}
         self._txn_resources: Dict[int, Set[tuple]] = {}
         #: Resources on which a transaction has an ungranted queued
@@ -80,6 +81,11 @@ class LockManager:
         self._txn_waiting: Dict[int, Set[tuple]] = {}
         self._latches: Dict[str, str] = {}
         self._latch_waiters: Dict[str, List[int]] = {}
+        #: Clock reading at latch acquisition, for hold-time accounting.
+        self._latch_since: Dict[str, float] = {}
+        #: Observability registry (``lock.waits``, ``lock.deadlocks``,
+        #: ``latch.hold_time``, ...); the no-op singleton by default.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         #: Statistics: total waits, deadlocks (read by the simulator).
         self.wait_count = 0
         self.deadlock_count = 0
@@ -119,6 +125,7 @@ class LockManager:
                 self._remember_waiting(txn_id, resource)
             self._check_deadlock(txn_id, resource)
             self.wait_count += 1
+            self.metrics.inc("lock.waits")
             raise LockWaitError(resource, txn_id)
 
         waiter = state.waiting_for(txn_id)
@@ -145,6 +152,7 @@ class LockManager:
             self._forget_waiting(txn_id, resource)
             raise
         self.wait_count += 1
+        self.metrics.inc("lock.waits")
         raise LockWaitError(resource, txn_id)
 
     def try_acquire(self, txn_id: int, resource: tuple, mode: LockMode,
@@ -334,6 +342,7 @@ class LockManager:
             for successor in graph.get(node, ()):  # holders node waits for
                 if successor == txn_id:
                     self.deadlock_count += 1
+                    self.metrics.inc("lock.deadlocks")
                     raise DeadlockError(txn_id, path)
                 if successor not in seen:
                     seen.add(successor)
@@ -366,12 +375,23 @@ class LockManager:
         current = self._latches.get(table)
         if current is not None and current != owner:
             raise LockWaitError(("latch", table), -1)
+        if current is None and self.metrics.enabled:
+            self._latch_since[table] = self.metrics.now()
+            self.metrics.inc("latch.acquired")
+            self.metrics.trace("latch.acquire", table=table, owner=owner)
         self._latches[table] = owner
 
     def unlatch_table(self, table: str, owner: str) -> List[int]:
         """Drop the latch; returns transaction ids waiting on it."""
         if self._latches.get(table) == owner:
             del self._latches[table]
+            if self.metrics.enabled:
+                since = self._latch_since.pop(table, None)
+                held = 0.0 if since is None else self.metrics.now() - since
+                self.metrics.inc("latch.released")
+                self.metrics.observe("latch.hold_time", held)
+                self.metrics.trace("latch.release", table=table,
+                                   owner=owner, held=held)
         return self._latch_waiters.pop(table, [])
 
     def is_latched(self, table: str) -> bool:
@@ -385,4 +405,5 @@ class LockManager:
             if txn_id not in waiters:
                 waiters.append(txn_id)
             self.wait_count += 1
+            self.metrics.inc("latch.waits")
             raise LockWaitError(("latch", table), txn_id)

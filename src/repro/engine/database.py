@@ -44,6 +44,7 @@ from repro.concurrency.transactions import (
     TransactionManager,
     TxnState,
 )
+from repro.obs import NULL_METRICS, Metrics
 from repro.storage.catalog import Catalog
 from repro.storage.schema import TableSchema
 from repro.storage.table import Table
@@ -73,10 +74,17 @@ TriggerFn = Callable[["Database", Transaction, LogRecord], None]
 class Database:
     """An in-memory, logged, locking relational database."""
 
-    def __init__(self, log: Optional[LogManager] = None) -> None:
+    def __init__(self, log: Optional[LogManager] = None,
+                 metrics: Optional[Metrics] = None) -> None:
+        #: Observability registry shared by the engine, its log manager
+        #: and its lock manager; the no-op singleton unless one is passed
+        #: here (or attached later via :meth:`attach_metrics`).
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.catalog = Catalog()
-        self.log = log if log is not None else LogManager()
-        self.locks = LockManager()
+        self.log = log if log is not None else LogManager(self.metrics)
+        if metrics is not None and self.log.metrics is NULL_METRICS:
+            self.log.metrics = self.metrics
+        self.locks = LockManager(self.metrics)
         self.txns = TransactionManager()
         #: Mirror objects consulted on every record-lock acquisition; see
         #: :class:`repro.transform.sync.LockMirror`.
@@ -91,6 +99,17 @@ class Database:
             "insert": 0, "delete": 0, "update": 0, "read": 0,
             "commit": 0, "abort": 0, "trigger": 0,
         }
+
+    def attach_metrics(self, metrics: Metrics) -> None:
+        """Switch the engine (and its log/lock managers) to ``metrics``.
+
+        Lets an already-populated database be observed from now on -- the
+        simulator's ``observe`` mode attaches a registry right before the
+        measured run so bulk-load noise is excluded.
+        """
+        self.metrics = metrics
+        self.log.metrics = metrics
+        self.locks.metrics = metrics
 
     # ------------------------------------------------------------------
     # DDL
@@ -306,6 +325,16 @@ class Database:
         for name in names:
             woken.extend(self._blocked_waiters.pop(name, []))
         self._notify_woken(woken)
+
+    def latch_table(self, table: Table, owner: str) -> None:
+        """Take the exclusive table latch (transformation sync only).
+
+        The engine-level counterpart of :meth:`unlatch_table`, so the two
+        halves of a latched window go through the same bookkeeping layer
+        (latch metrics and trace events live in the lock manager; any
+        future engine-level accounting hooks in here symmetrically).
+        """
+        self.locks.latch_table(table.uid, owner)
 
     def unlatch_table(self, table: Table, owner: str) -> None:
         """Drop a table latch and wake operations parked on it."""

@@ -1,0 +1,36 @@
+"""repro.obs: counters, histograms and structured trace events.
+
+The measurement substrate for the reproduction's performance work.  The
+paper's whole evaluation (Section 6) is about *measuring interference*;
+this package makes the quantities behind those measurements first-class:
+
+* ``wal.appends`` / ``wal.tail_depth`` -- log generation rate and the
+  unflushed tail (Section 3.3's "log records produced" side);
+* ``lock.waits`` / ``lock.deadlocks`` / ``latch.hold_time`` -- the
+  concurrency-control interference channel;
+* ``tf.units.<phase>`` / ``tf.iteration.*`` -- per-phase unit accounting
+  and the end-of-iteration analysis reports;
+* ``sync.latched_window`` -- work done while the source tables were
+  latched, the quantity behind the paper's "< 1 ms" synchronization claim;
+* ``sim.*`` -- the simulator's throughput / response-time series.
+
+Collection is disabled by default (components hold :data:`NULL_METRICS`,
+whose methods are no-ops); see :class:`Metrics` for how to enable it.
+"""
+
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Histogram,
+    Metrics,
+)
+from repro.obs.trace import EventRing, TraceEvent
+
+__all__ = [
+    "Counter",
+    "EventRing",
+    "Histogram",
+    "Metrics",
+    "NULL_METRICS",
+    "TraceEvent",
+]

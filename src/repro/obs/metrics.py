@@ -1,0 +1,231 @@
+"""Counters, histograms and a snapshot API with a near-zero disabled path.
+
+The library is instrumented throughout (WAL, lock manager, transformation
+framework, simulator), but observability is **off by default**: every
+component holds a reference to :data:`NULL_METRICS`, whose recording
+methods are empty one-liners, so the uninstrumented hot paths pay one
+attribute lookup and a no-op call at most.  Hot sites that would have to
+*build* a label or payload additionally guard on ``metrics.enabled``.
+
+Enable collection by constructing a real :class:`Metrics` and passing it
+to the component (``Database(metrics=Metrics())``,
+``Server(..., metrics=m)``) or attaching it afterwards
+(:meth:`repro.engine.database.Database.attach_metrics`).
+
+Design notes:
+
+* names are dotted strings (``"wal.appends"``, ``"sync.latched_window"``);
+  instruments are created lazily on first use;
+* histograms keep exact count/total/min/max plus a bounded sample ring for
+  percentiles -- memory stays O(sample_cap) per histogram;
+* the clock is pluggable so the simulator can record *virtual* time
+  (``Metrics(clock=lambda: sim.now)``); the default is wall time;
+* :meth:`Metrics.snapshot` renders everything into plain dicts, ready for
+  ``json.dumps`` -- the benchmark harness persists these next to its
+  ``.txt`` tables.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.obs.trace import EventRing, TraceEvent
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: float = 1) -> None:
+        """Add ``n`` (default 1) to the count."""
+        self.value += n
+
+
+class Histogram:
+    """Distribution summary: exact moments + a bounded sample ring.
+
+    ``count``/``total``/``min``/``max`` are exact over every observation;
+    percentiles are computed from the most recent ``sample_cap`` samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples")
+
+    def __init__(self, name: str, sample_cap: int = 512) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: Deque[float] = deque(maxlen=sample_cap)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Mean over all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Percentile over the retained sample ring (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1,
+                    max(0, int(round(pct / 100.0 * (len(ordered) - 1)))))
+        return ordered[index]
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly summary."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class Metrics:
+    """Registry of counters, histograms and the trace ring.
+
+    Args:
+        enabled: When False every recording method returns immediately
+            (instruments are still creatable for introspection).
+        clock: Timestamp source for trace events and :meth:`now`;
+            defaults to :func:`time.perf_counter`.
+        trace_capacity: Ring size for trace events.
+        sample_cap: Per-histogram percentile sample retention.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 clock: Optional[Callable[[], float]] = None,
+                 trace_capacity: int = 1024,
+                 sample_cap: int = 512) -> None:
+        self.enabled = enabled
+        self._clock = clock if clock is not None else time.perf_counter
+        self._sample_cap = sample_cap
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.ring = EventRing(trace_capacity)
+
+    # -- instruments --------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter with this name (created on first use)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram with this name (created on first use)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(
+                name, self._sample_cap)
+        return histogram
+
+    # -- recording ----------------------------------------------------------
+
+    def inc(self, name: str, n: float = 1) -> None:
+        """Increment the named counter by ``n``."""
+        if not self.enabled:
+            return
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation on the named histogram."""
+        if not self.enabled:
+            return
+        self.histogram(name).observe(value)
+
+    def trace(self, kind: str, **fields: object) -> None:
+        """Append one structured event to the trace ring."""
+        if not self.enabled:
+            return
+        self.ring.append(TraceEvent(self._clock(), kind, fields))
+
+    def now(self) -> float:
+        """Current clock reading (0.0 when disabled, so deltas are inert)."""
+        return self._clock() if self.enabled else 0.0
+
+    # -- reading ------------------------------------------------------------
+
+    def counter_value(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def events(self, kind: str = None) -> List[TraceEvent]:
+        """Retained trace events, optionally filtered by kind."""
+        return self.ring.events(kind)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Render every instrument into plain, JSON-serializable dicts."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "histograms": {name: h.as_dict()
+                           for name, h in sorted(self._histograms.items())},
+            "trace": {
+                "retained": len(self.ring),
+                "appended": self.ring.appended,
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop all instruments and trace events."""
+        self._counters.clear()
+        self._histograms.clear()
+        self.ring = EventRing(self.ring.capacity)
+
+
+class _NullMetrics(Metrics):
+    """The shared disabled registry: every recording method is a no-op.
+
+    Components default to this singleton so the uninstrumented path costs
+    one attribute lookup and an empty call.  It cannot be enabled --
+    callers wanting real collection must construct a :class:`Metrics`.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False, trace_capacity=1)
+
+    def inc(self, name: str, n: float = 1) -> None:  # noqa: D102
+        pass
+
+    def observe(self, name: str, value: float) -> None:  # noqa: D102
+        pass
+
+    def trace(self, kind: str, **fields: object) -> None:  # noqa: D102
+        pass
+
+    def now(self) -> float:  # noqa: D102
+        return 0.0
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if name == "enabled" and value:
+            raise ValueError(
+                "NULL_METRICS cannot be enabled; construct Metrics() instead")
+        super().__setattr__(name, value)
+
+
+#: The shared disabled registry (see :class:`_NullMetrics`).
+NULL_METRICS = _NullMetrics()

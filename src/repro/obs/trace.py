@@ -1,0 +1,61 @@
+"""Structured trace events in a bounded ring.
+
+The trace is the qualitative side of the observability subsystem: while
+counters and histograms aggregate, the event ring keeps the *last N*
+interesting moments (latch acquired, iteration finished, schema swapped)
+with their payloads, so a stalled or slow transformation can be read back
+like a flight recorder.  The ring is bounded: tracing never grows without
+limit and an idle consumer costs nothing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List
+
+
+@dataclass
+class TraceEvent:
+    """One recorded moment: a timestamp, a kind, and a payload."""
+
+    ts: float
+    kind: str
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly rendering."""
+        return {"ts": self.ts, "kind": self.kind, **self.fields}
+
+
+class EventRing:
+    """Fixed-capacity ring of :class:`TraceEvent` (oldest evicted first)."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        #: Total events ever appended (including evicted ones).
+        self.appended = 0
+
+    def append(self, event: TraceEvent) -> None:
+        """Record one event, evicting the oldest if full."""
+        self._events.append(event)
+        self.appended += 1
+
+    def events(self, kind: str = None) -> List[TraceEvent]:
+        """Events currently retained, oldest first (optionally by kind)."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def clear(self) -> None:
+        """Drop all retained events (the appended total is kept)."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)

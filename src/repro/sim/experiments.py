@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.database import Database
 from repro.engine.session import Session, bulk_load
+from repro.obs import Metrics
 from repro.relational.spec import FojSpec, SplitSpec
 from repro.sim.events import Simulator
 from repro.sim.metrics import MetricsCollector, RelativeResult, RunResult
@@ -182,6 +183,14 @@ class RunSettings:
     stop_after_window: bool = True
     server: ServerConfig = field(default_factory=ServerConfig)
     seed: int = 0
+    #: Attach an observability registry (virtual-time clock) to the
+    #: database, server and transformation; its snapshot is returned in
+    #: ``RunResult.info["obs"]``.  Off by default: observation costs a
+    #: few percent of real runtime and the paired-run ratios don't need it.
+    observe: bool = False
+    #: Bucket width (virtual ms) of the throughput/response time series
+    #: collected over the whole run; ``None`` disables the series.
+    series_bucket_ms: Optional[float] = None
 
 
 def run_once(scenario_builder: Callable[[int], Scenario],
@@ -189,8 +198,15 @@ def run_once(scenario_builder: Callable[[int], Scenario],
     """Execute one run and collect its metrics."""
     scenario = scenario_builder(settings.seed)
     sim = Simulator()
-    server = Server(sim, settings.server)
-    metrics = MetricsCollector()
+    obs: Optional[Metrics] = None
+    if settings.observe:
+        # Virtual-time clock: latch hold times etc. come out in simulated
+        # milliseconds.  Attached after the builder's bulk load, so the
+        # counters cover only the measured run.
+        obs = Metrics(enabled=True, clock=lambda: sim.now)
+        scenario.db.attach_metrics(obs)
+    server = Server(sim, settings.server, metrics=obs)
+    metrics = MetricsCollector(bucket_ms=settings.series_bucket_ms)
     pool = ClientPool(sim, server, scenario.db, scenario.workload, metrics,
                       settings.n_clients, seed=settings.seed)
     pool.start()
@@ -290,6 +306,11 @@ def run_once(scenario_builder: Callable[[int], Scenario],
             "window_ms": metrics.window_length(),
             "tf_stats": None if tf is None else dict(
                 getattr(tf, "stats", {}) or {}),
+            "lock_waits": scenario.db.locks.wait_count,
+            "lock_deadlocks": scenario.db.locks.deadlock_count,
+            "wal_records": len(scenario.db.log),
+            "obs": None if obs is None else obs.snapshot(),
+            "series": metrics.series(),
         },
     )
 

@@ -10,13 +10,20 @@ treatment run and forms the ratios.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 class MetricsCollector:
-    """Records transaction completions inside a measurement window."""
+    """Records transaction completions inside a measurement window.
 
-    def __init__(self) -> None:
+    Args:
+        bucket_ms: When set, additionally maintain a *time series* of
+            per-bucket completion counts and response times over the whole
+            run (not just the window), for observability output.  Off by
+            default -- the series costs a dict update per completion.
+    """
+
+    def __init__(self, bucket_ms: Optional[float] = None) -> None:
         self.window_start: Optional[float] = None
         self.window_end: Optional[float] = None
         self._responses: List[float] = []
@@ -24,6 +31,11 @@ class MetricsCollector:
         self.aborted = 0
         self.deadlocks = 0
         self.total_committed = 0
+        if bucket_ms is not None and bucket_ms <= 0:
+            raise ValueError("bucket_ms must be positive")
+        self.bucket_ms = bucket_ms
+        #: bucket index -> [completions, sum of response times]
+        self._buckets: Dict[int, List[float]] = {}
 
     # -- window control -----------------------------------------------------
 
@@ -58,6 +70,11 @@ class MetricsCollector:
         inside it (so in-flight warmup transactions do not skew them).
         """
         self.total_committed += 1
+        if self.bucket_ms is not None:
+            bucket = self._buckets.setdefault(
+                int(end // self.bucket_ms), [0, 0.0])
+            bucket[0] += 1
+            bucket[1] += end - start
         if self.window_open:
             self.committed += 1
             if start >= self.window_start:
@@ -92,6 +109,38 @@ class MetricsCollector:
                     max(0, int(round(pct / 100.0 * (len(ordered) - 1)))))
         return ordered[index]
 
+    def series(self) -> List[Dict[str, float]]:
+        """Per-bucket throughput / response series (empty if not enabled).
+
+        Each point: bucket start time ``t`` (ms), committed count,
+        throughput (txns/ms) and mean response time (ms) of the bucket.
+        """
+        if self.bucket_ms is None:
+            return []
+        points = []
+        for index in sorted(self._buckets):
+            count, response_total = self._buckets[index]
+            points.append({
+                "t": index * self.bucket_ms,
+                "committed": count,
+                "throughput": count / self.bucket_ms,
+                "mean_response": response_total / count if count else 0.0,
+            })
+        return points
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary of the collected window (and series)."""
+        return {
+            "window_ms": self.window_length(),
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "deadlocks": self.deadlocks,
+            "throughput": self.throughput(),
+            "mean_response": self.mean_response(),
+            "p95_response": self.percentile_response(95),
+            "series": self.series(),
+        }
+
 
 @dataclass
 class RunResult:
@@ -109,6 +158,19 @@ class RunResult:
     blocked_time: float = 0.0
     #: Extra details (phase the window measured, priority used, ...).
     info: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (info values must be serializable)."""
+        return {
+            "throughput": self.throughput,
+            "mean_response": self.mean_response,
+            "p95_response": self.p95_response,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "completion_time": self.completion_time,
+            "blocked_time": self.blocked_time,
+            "info": dict(self.info),
+        }
 
 
 @dataclass

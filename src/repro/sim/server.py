@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.obs import NULL_METRICS, Metrics
 from repro.sim.events import Simulator
 from repro.transform.base import Phase
 
@@ -89,9 +90,13 @@ class Job:
 class Server:
     """Single-processor FIFO server with a priority-shared background task."""
 
-    def __init__(self, sim: Simulator, config: ServerConfig) -> None:
+    def __init__(self, sim: Simulator, config: ServerConfig,
+                 metrics: Optional[Metrics] = None) -> None:
         self.sim = sim
         self.config = config
+        #: Observability registry (``sim.user.*``, ``sim.bg.*``); the
+        #: no-op singleton by default.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._queue: List[Job] = []
         self._busy = False
         self.user_busy_ms = 0.0
@@ -195,6 +200,10 @@ class Server:
             extra = job.execute() or 0.0
             duration = job.service + extra
             self.user_busy_ms += duration
+            if self.metrics.enabled:
+                self.metrics.inc("sim.user.ops")
+                self.metrics.observe("sim.user.service_ms", duration)
+                self.metrics.observe("sim.queue_len", len(self._queue))
             if extra > 0:
                 # Trigger work discovered during execution extends the
                 # operation; model it as additional busy time.
@@ -219,6 +228,10 @@ class Server:
                 else self.config.bg_propagation_cost_ms
             duration = max(report.units, 0.25) * cost
             self.bg_busy_ms += duration
+            if self.metrics.enabled:
+                self.metrics.inc("sim.bg.quanta")
+                self.metrics.inc("sim.bg.units", report.units)
+                self.metrics.observe("sim.bg.quantum_ms", duration)
             if report.done and not self._bg_done_fired:
                 self._bg_done_fired = True
                 if self.on_background_done is not None:

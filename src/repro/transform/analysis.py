@@ -41,6 +41,17 @@ class IterationReport:
     remaining_records: int
     units_used: int
 
+    def as_dict(self) -> dict:
+        """JSON-friendly rendering, used by the observability trace ring
+        (one ``tf.iteration`` event per analysis) and the benchmark JSON
+        output."""
+        return {
+            "iteration": self.iteration,
+            "records_propagated": self.records_propagated,
+            "remaining_records": self.remaining_records,
+            "units_used": self.units_used,
+        }
+
 
 class PropagationPolicy:
     """Base class: decide after each iteration what to do next."""

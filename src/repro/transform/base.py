@@ -44,6 +44,7 @@ from repro.common.errors import (
 from repro.concurrency.locks import LockMode, LockOrigin, record_resource
 from repro.engine.database import Database
 from repro.engine.fuzzy import FuzzyScan
+from repro.obs import Metrics
 from repro.storage.table import Table
 from repro.transform.analysis import (
     Decision,
@@ -236,6 +237,9 @@ class Transformation:
         self._sync_executor = None       # set when synchronization starts
         self._old_txn_ids: Set[int] = set()
         self._stalled = False
+        #: Observability registry, inherited from the database so one
+        #: attachment covers the engine and the transformation it runs.
+        self.metrics: Metrics = db.metrics
         #: Cumulative statistics, read by benchmarks and the simulator.
         self.stats: Dict[str, int] = {
             "population_units": 0, "propagated_records": 0,
@@ -406,6 +410,20 @@ class Transformation:
         e.g. for draining transactions under blocking commit, simply return
         with zero progress until the condition clears).
         """
+        entered = self.phase
+        report = self._step_inner(budget)
+        if self.metrics.enabled:
+            # Per-phase unit totals ("tf.units.<phase>") are charged inside
+            # _step_inner, next to the work itself -- a single step may
+            # cross phase boundaries (prepare + populate + propagate), so
+            # charging the entry or exit phase would misattribute.
+            self.metrics.inc("tf.steps")
+            if report.phase is not entered:
+                self.metrics.trace("tf.phase", transform=self.transform_id,
+                                   frm=entered.value, to=report.phase.value)
+        return report
+
+    def _step_inner(self, budget: int) -> StepReport:
         if budget < 1:
             raise ValueError("budget must be >= 1")
         if self.phase in (Phase.DONE, Phase.ABORTED):
@@ -418,6 +436,7 @@ class Transformation:
         if self.phase is Phase.POPULATING:
             units, finished = self._population_step(budget)
             self.stats["population_units"] += units
+            self.metrics.inc("tf.units." + Phase.POPULATING.value, units)
             if finished:
                 self.db.log.append(FuzzyMarkRecord(
                     transform_id=self.transform_id, phase="cycle"))
@@ -433,6 +452,7 @@ class Transformation:
                 # regularly" as part of the low-priority process).
                 units += self._background_work(budget - units)
             self._iteration_units += units
+            self.metrics.inc("tf.units." + Phase.PROPAGATING.value, units)
             if self._cursor > self._iteration_target:
                 self._finish_iteration()
             return StepReport(self.phase, max(units, 1), False,
@@ -442,7 +462,9 @@ class Transformation:
 
         if self.phase in (Phase.SYNCHRONIZING, Phase.BACKGROUND):
             assert self._sync_executor is not None
+            phase = self.phase
             units = self._sync_executor.step(budget)
+            self.metrics.inc("tf.units." + phase.value, units)
             done = self.phase is Phase.DONE
             return StepReport(self.phase, max(units, 1), done)
 
@@ -467,6 +489,17 @@ class Transformation:
             units_used=self._iteration_units,
         )
         decision = self.policy.decide(report)
+        if self.metrics.enabled:
+            # Propagation-iteration reporting: the analysis input plus the
+            # decision it produced, as both aggregates and a trace event.
+            self.metrics.inc("tf.iterations")
+            self.metrics.inc("tf.decision." + decision.value)
+            self.metrics.observe("tf.iteration.records",
+                                 report.records_propagated)
+            self.metrics.observe("tf.iteration.units", report.units_used)
+            self.metrics.observe("tf.log_tail", report.remaining_records)
+            self.metrics.trace("tf.iteration", transform=self.transform_id,
+                               decision=decision.value, **report.as_dict())
         if decision is Decision.SYNCHRONIZE:
             ready, reason = self._ready_to_synchronize()
             if ready:
@@ -484,6 +517,8 @@ class Transformation:
         from repro.transform.sync import build_sync_executor
         self._sync_executor = build_sync_executor(self, self.sync_strategy)
         self.phase = Phase.SYNCHRONIZING
+        self.metrics.trace("tf.sync.start", transform=self.transform_id,
+                           strategy=self.sync_strategy.value)
 
     # ------------------------------------------------------------------
     # Completion / abort

@@ -70,23 +70,56 @@ class _SyncExecutor:
     def __init__(self, tf: Transformation) -> None:
         self.tf = tf
         self.db: Database = tf.db
+        self.metrics = tf.metrics
         self.state = "start"
         #: Units spent while the source tables were latched/blocked -- the
         #: quantity behind the paper's "< 1 ms" synchronization claim.
         self.latched_units = 0
+        self._window_reported = False
 
     # -- building blocks ------------------------------------------------------
 
     def _source_objects(self) -> List[Table]:
         return [self.db.catalog.get(name) for name in self.tf.source_tables]
 
+    def _open_window(self) -> None:
+        """Trace the start of the latched/blocked critical section."""
+        self.metrics.trace("sync.window.open",
+                           transform=self.tf.transform_id,
+                           strategy=self.tf.sync_strategy.value,
+                           tables=tuple(self.tf.source_tables))
+
     def _latch_sources(self) -> None:
+        self._open_window()
         for table in self._source_objects():
-            self.db.locks.latch_table(table.uid, self.tf.transform_id)
+            # Engine-level latch entry point, symmetric with
+            # _unlatch_sources below -- both halves of the latched window
+            # go through Database-level bookkeeping.
+            self.db.latch_table(table, self.tf.transform_id)
 
     def _unlatch_sources(self, tables: Sequence[Table]) -> None:
         for table in tables:
             self.db.unlatch_table(table, self.tf.transform_id)
+        self._close_latched_window()
+
+    def _note_latched(self, units: float) -> None:
+        """Account ``units`` of work done inside the latched/blocked
+        window (executor-local, cumulative stats, and metrics)."""
+        self.latched_units += units
+        self.tf.stats["sync_latch_units"] += units
+        self.metrics.inc("sync.latched_units", units)
+
+    def _close_latched_window(self) -> None:
+        """Report the finished critical-section window exactly once."""
+        if self._window_reported:
+            return
+        self._window_reported = True
+        if self.metrics.enabled:
+            self.metrics.observe("sync.latched_window", self.latched_units)
+            self.metrics.trace("sync.window.close",
+                               transform=self.tf.transform_id,
+                               strategy=self.tf.sync_strategy.value,
+                               latched_units=self.latched_units)
 
     def _final_propagation(self, budget: int) -> Tuple[int, bool]:
         """Propagate toward the current end of the log; (units, caught_up)."""
@@ -195,16 +228,17 @@ class BlockingCommitSync(_SyncExecutor):
             if self._active_source_txns():
                 return 0  # waiting for old transactions to complete
             self.state = "final"
+            self._open_window()
             return 1
         if self.state == "final":
             units, caught_up = self._final_propagation(budget)
-            self.latched_units += units
-            self.tf.stats["sync_latch_units"] += units
+            self._note_latched(units)
             if caught_up:
                 self.tf._pre_swap()
                 self._write_swap_record(doomed=())
                 self._swap(keep_zombies=False)
                 self.db.unblock_tables(self.tf.source_tables)
+                self._close_latched_window()
                 self._finish()
             return max(units, 1)
         return 0
@@ -223,13 +257,11 @@ class NonBlockingAbortSync(_SyncExecutor):
         if self.state == "start":
             self._latch_sources()
             self.state = "final"
-            self.latched_units += 1
-            self.tf.stats["sync_latch_units"] += 1
+            self._note_latched(1)
             return 1
         if self.state == "final":
             units, caught_up = self._final_propagation(budget)
-            self.latched_units += units
-            self.tf.stats["sync_latch_units"] += units
+            self._note_latched(units)
             if not caught_up:
                 return max(units, 1)
             sources = self._source_objects()
@@ -276,13 +308,11 @@ class NonBlockingCommitSync(_SyncExecutor):
         if self.state == "start":
             self._latch_sources()
             self.state = "final"
-            self.latched_units += 1
-            self.tf.stats["sync_latch_units"] += 1
+            self._note_latched(1)
             return 1
         if self.state == "final":
             units, caught_up = self._final_propagation(budget)
-            self.latched_units += units
-            self.tf.stats["sync_latch_units"] += units
+            self._note_latched(units)
             if not caught_up:
                 return max(units, 1)
             sources = self._source_objects()

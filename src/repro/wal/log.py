@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, List, Optional
 
+from repro.obs import NULL_METRICS, Metrics
 from repro.wal.records import NULL_LSN, LogRecord
 
 #: First LSN ever assigned.  LSN 0 is reserved as the null LSN.
@@ -27,11 +28,20 @@ class LogManager:
     LSNs are dense integers starting at :data:`FIRST_LSN`; the record with
     LSN ``n`` lives at list index ``n - FIRST_LSN``, making ``record_at``
     O(1) and range scans allocation-free.
+
+    All reading APIs share one LSN contract: negative LSNs are rejected
+    with :class:`ValueError` (they can only come from arithmetic bugs);
+    ``NULL_LSN`` (0) and LSNs past the end are in-range for *bounds* (they
+    clamp / yield nothing) but not for point lookups (``record_at``
+    raises :class:`IndexError`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[Metrics] = None) -> None:
         self._records: List[LogRecord] = []
         self._flushed_lsn = NULL_LSN
+        #: Observability registry (``wal.appends``, ``wal.flushes``,
+        #: ``wal.tail_depth``); the shared no-op singleton by default.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         #: Observers called synchronously with each appended record.  Used
         #: by tests and by the simulator's accounting; the transformation
         #: framework deliberately does NOT use observers -- it polls the log
@@ -53,13 +63,28 @@ class LogManager:
         record.lsn = FIRST_LSN + len(self._records)
         record.prev_lsn = prev_lsn
         self._records.append(record)
+        self.metrics.inc("wal.appends")
         for observer in self.observers:
             observer(record)
         return record.lsn
 
     def flush(self, up_to_lsn: Optional[int] = None) -> None:
-        """Force the log to stable storage (a no-op in memory)."""
-        self._flushed_lsn = self.end_lsn if up_to_lsn is None else up_to_lsn
+        """Force the log up to ``up_to_lsn`` (default: everything).
+
+        ``flushed_lsn`` is monotonic: a flush bounded below the current
+        flushed position (a latecomer whose records a group flush already
+        covered) is a no-op rather than moving the durability horizon
+        backwards.  Physically a no-op in this main-memory system.
+        """
+        if up_to_lsn is not None and up_to_lsn < 0:
+            raise ValueError(f"negative lsn: {up_to_lsn}")
+        target = self.end_lsn if up_to_lsn is None \
+            else min(up_to_lsn, self.end_lsn)
+        if self.metrics.enabled:
+            self.metrics.inc("wal.flushes")
+            self.metrics.observe("wal.tail_depth",
+                                 max(0, self.end_lsn - self._flushed_lsn))
+        self._flushed_lsn = max(self._flushed_lsn, target)
 
     # -- positions ----------------------------------------------------------
 
@@ -84,7 +109,14 @@ class LogManager:
     # -- reading ------------------------------------------------------------
 
     def record_at(self, lsn: int) -> LogRecord:
-        """Return the record with the given LSN."""
+        """Return the record with the given LSN.
+
+        Raises :class:`ValueError` for negative LSNs (arithmetic bugs)
+        and :class:`IndexError` for in-domain LSNs with no record
+        (``NULL_LSN``, or past the end of the log).
+        """
+        if lsn < 0:
+            raise ValueError(f"negative lsn: {lsn}")
         index = lsn - FIRST_LSN
         if index < 0 or index >= len(self._records):
             raise IndexError(f"no log record with lsn {lsn}")
@@ -98,7 +130,16 @@ class LogManager:
         time*: records appended while the caller iterates are not included,
         which is exactly the bounded-cycle behaviour a log-propagation
         iteration needs.
+
+        Boundary contract: scanning an empty log yields nothing;
+        ``from_lsn`` below :data:`FIRST_LSN` starts at the log head;
+        ``from_lsn > end_lsn`` yields nothing; ``to_lsn`` beyond the end
+        clamps to the end.  Negative bounds raise :class:`ValueError`.
         """
+        if from_lsn < 0:
+            raise ValueError(f"negative lsn: {from_lsn}")
+        if to_lsn is not None and to_lsn < 0:
+            raise ValueError(f"negative lsn: {to_lsn}")
         end = self.end_lsn if to_lsn is None else to_lsn
         start_index = max(0, from_lsn - FIRST_LSN)
         end_index = min(len(self._records), end - FIRST_LSN + 1)

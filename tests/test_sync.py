@@ -294,6 +294,72 @@ def test_split_nonblocking_abort_dooms_old(split_db):
     assert split_db.table("T_r").get((1,)).values["name"] == "n1"
 
 
+# ---------------------------------------------------------------------------
+# Latched-window accounting and latch symmetry
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", list(SyncStrategy))
+def test_latched_window_accounting(foj_db, strategy):
+    """`latched_units` (the quantity behind the paper's "< 1 ms" claim)
+    must be reported consistently and stay a small fraction of the total
+    work for every strategy."""
+    load_foj_data(foj_db, n_r=30, n_s=10)
+    tf = FojTransformation(foj_db, foj_spec(foj_db), sync_strategy=strategy)
+    tf.run()
+    assert tf.done
+    executor = tf._sync_executor
+    assert executor is not None
+    # Executor-local and cumulative-stats accounting agree.
+    assert executor.latched_units == tf.stats["sync_latch_units"]
+    # The critical section is a handful of units, far below the
+    # initial-population work it avoids redoing.
+    assert 0 <= executor.latched_units < 50
+    assert executor.latched_units < tf.stats["population_units"]
+
+
+def test_latched_window_counts_concurrent_tail(foj_db):
+    """Updates left in the log tail when synchronization begins are
+    propagated inside the latch and must be charged to the window."""
+    load_foj_data(foj_db, n_r=20, n_s=5)
+    tf = FojTransformation(foj_db, foj_spec(foj_db),
+                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+    drive_to(tf, Phase.PROPAGATING)
+    with Session(foj_db) as s:  # tail work the sync must replay
+        for i in range(5):
+            s.update("R", (i,), {"b": f"tail{i}"})
+    baseline = tf.stats["sync_latch_units"]
+    assert baseline == 0
+    tf.run()
+    assert tf.stats["sync_latch_units"] > 0
+    assert tf._sync_executor.latched_units == tf.stats["sync_latch_units"]
+
+
+def test_latch_calls_are_symmetric(foj_db, monkeypatch):
+    """Regression for the latch API asymmetry: both halves of the latched
+    window must go through the Database-level latch_table/unlatch_table
+    pair (not reach into the lock manager on one side only)."""
+    from repro.engine.database import Database as DB
+
+    latched, unlatched = [], []
+    orig_latch, orig_unlatch = DB.latch_table, DB.unlatch_table
+    monkeypatch.setattr(DB, "latch_table", lambda self, table, owner: (
+        latched.append((table.name, owner)),
+        orig_latch(self, table, owner))[-1])
+    monkeypatch.setattr(DB, "unlatch_table", lambda self, table, owner: (
+        unlatched.append((table.name, owner)),
+        orig_unlatch(self, table, owner))[-1])
+
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    tf = FojTransformation(foj_db, foj_spec(foj_db),
+                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+    tf.run()
+    assert tf.done
+    assert sorted(latched) == sorted(unlatched)
+    assert sorted({t for t, _ in latched}) == ["R", "S"]
+    assert all(owner == tf.transform_id for _, owner in latched)
+
+
 def test_blocking_commit_aborts_lock_holding_newcomers(foj_db):
     """Liveness fix (see DESIGN.md): a newcomer that holds locks on other
     tables and then touches a blocked table is aborted, so the drain can

@@ -96,6 +96,62 @@ def test_flush_tracks_lsn():
     assert log.flushed_lsn == log.end_lsn
 
 
+def test_flush_is_monotonic():
+    """Flushing up to an already-flushed LSN must not move flushed_lsn
+    backwards (a force-at-commit after a full flush used to)."""
+    log = LogManager()
+    for i in range(5):
+        log.append(BeginRecord(txn_id=i + 1))
+    log.flush()
+    assert log.flushed_lsn == log.end_lsn
+    log.flush(FIRST_LSN + 1)  # older force request arrives late
+    assert log.flushed_lsn == log.end_lsn
+
+
+def test_flush_beyond_end_clamps():
+    log = LogManager()
+    log.append(BeginRecord(txn_id=1))
+    log.flush(log.end_lsn + 100)
+    assert log.flushed_lsn == log.end_lsn  # cannot claim unwritten records
+
+
+def test_flush_on_empty_log():
+    log = LogManager()
+    log.flush()
+    assert log.flushed_lsn == NULL_LSN
+    log.flush(NULL_LSN)
+    assert log.flushed_lsn == NULL_LSN
+
+
+def test_negative_lsns_rejected():
+    log = LogManager()
+    log.append(BeginRecord(txn_id=1))
+    with pytest.raises(ValueError):
+        log.flush(-1)
+    with pytest.raises(ValueError):
+        log.record_at(-1)
+    with pytest.raises(ValueError):
+        list(log.scan(from_lsn=-1))
+    with pytest.raises(ValueError):
+        list(log.scan(to_lsn=-2))
+
+
+def test_scan_from_beyond_end_is_empty():
+    log = LogManager()
+    log.append(BeginRecord(txn_id=1))
+    assert list(log.scan(from_lsn=log.end_lsn + 1)) == []
+    assert list(log.scan(from_lsn=log.end_lsn + 50,
+                         to_lsn=log.end_lsn + 99)) == []
+
+
+def test_scan_to_beyond_end_clamps():
+    log = LogManager()
+    for i in range(3):
+        log.append(BeginRecord(txn_id=i + 1))
+    got = [r.txn_id for r in log.scan(FIRST_LSN, log.end_lsn + 100)]
+    assert got == [1, 2, 3]
+
+
 def test_observers_called_per_append():
     log = LogManager()
     seen = []
