@@ -37,9 +37,22 @@ from repro.common.errors import (
     NoSuchTableError,
     ReproError,
     SchemaError,
+    SimulatedCrashError,
     TransactionAbortedError,
     TransformationAbortedError,
     TransformationError,
+    TransformationStarvedError,
+)
+from repro.faults import (
+    NULL_FAULTS,
+    AbortFault,
+    CrashFault,
+    DelayFault,
+    FaultInjector,
+    FaultPlan,
+    SITE_REGISTRY,
+    register_site,
+    sites_by_layer,
 )
 from repro.obs import (
     NULL_METRICS,
@@ -82,6 +95,7 @@ from repro.transform import (
     RemainingRecordsPolicy,
     SplitTransformation,
     SyncStrategy,
+    TransformationSupervisor,
     add_attribute,
     remove_attribute,
     rename_attribute,
@@ -90,11 +104,16 @@ from repro.transform import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AbortFault",
     "Attribute",
     "Counter",
+    "CrashFault",
     "Database",
     "DeadlockError",
+    "DelayFault",
     "DuplicateKeyError",
+    "FaultInjector",
+    "FaultPlan",
     "FixedIterationsPolicy",
     "FojSpec",
     "FojTransformation",
@@ -109,6 +128,7 @@ __all__ = [
     "MergeSpec",
     "MergeTransformation",
     "Metrics",
+    "NULL_FAULTS",
     "NULL_METRICS",
     "NoSuchRowError",
     "NoSuchTableError",
@@ -117,8 +137,10 @@ __all__ = [
     "Phase",
     "RemainingRecordsPolicy",
     "ReproError",
+    "SITE_REGISTRY",
     "SchemaError",
     "Session",
+    "SimulatedCrashError",
     "SplitSpec",
     "SplitTransformation",
     "SyncStrategy",
@@ -127,14 +149,18 @@ __all__ = [
     "TransactionAbortedError",
     "TransformationAbortedError",
     "TransformationError",
+    "TransformationStarvedError",
+    "TransformationSupervisor",
     "add_attribute",
     "bulk_load",
     "full_outer_join",
     "fuzzy_copy",
+    "register_site",
     "remove_attribute",
     "rename_attribute",
     "restart",
     "rows_equal",
+    "sites_by_layer",
     "split",
     "__version__",
 ]

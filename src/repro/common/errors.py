@@ -156,6 +156,18 @@ class TransformationAbortedError(TransformationError):
     """The transformation was aborted (by the DBA or by policy)."""
 
 
+class TransformationStarvedError(TransformationAbortedError):
+    """The transformation was aborted because log propagation starved.
+
+    Section 3.3: when the end-of-iteration analysis concludes that the
+    propagator cannot catch up with the log producers at its current
+    priority, the transformation is aborted so it can be *restarted with a
+    higher priority*.  This subclass lets callers (in particular
+    :class:`repro.transform.supervisor.TransformationSupervisor`) tell the
+    retryable starvation abort apart from a hard abort.
+    """
+
+
 class TransformationStateError(TransformationError):
     """A transformation step was invoked in the wrong phase."""
 
@@ -184,3 +196,26 @@ class InconsistentDataError(TransformationError):
 
 class RecoveryError(ReproError):
     """ARIES restart recovery could not complete."""
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection errors
+# ---------------------------------------------------------------------------
+
+
+class FaultInjectionError(ReproError):
+    """Base class for errors raised by the fault-injection subsystem."""
+
+
+class SimulatedCrashError(FaultInjectionError):
+    """A :class:`repro.faults.CrashFault` fired: the process "died" here.
+
+    The harness that armed the fault is expected to abandon every volatile
+    object (``Database``, transformations, lock manager, buffered tables)
+    and run :func:`repro.engine.recovery.restart` against the surviving
+    :class:`repro.wal.log.LogManager`, exactly as after a real kill -9.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"simulated crash at injection site {site!r}")
+        self.site = site

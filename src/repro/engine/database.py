@@ -44,6 +44,7 @@ from repro.concurrency.transactions import (
     TransactionManager,
     TxnState,
 )
+from repro.faults import NULL_FAULTS, FaultInjector, register_site
 from repro.obs import NULL_METRICS, Metrics
 from repro.storage.catalog import Catalog
 from repro.storage.schema import TableSchema
@@ -70,20 +71,38 @@ from repro.wal.records import (
 #: inside the user transaction right after the operation is applied.
 TriggerFn = Callable[["Database", Transaction, LogRecord], None]
 
+SITE_TXN_COMMIT = register_site(
+    "txn.commit", "engine", "before the commit record is appended")
+SITE_TXN_COMMIT_LOGGED = register_site(
+    "txn.commit.logged", "engine",
+    "after commit+end are logged, before locks are released")
+SITE_TXN_ABORT = register_site(
+    "txn.abort", "engine", "before the abort record is appended")
+SITE_TXN_ROLLBACK_CLR = register_site(
+    "txn.rollback.clr", "engine",
+    "before each compensating log record during rollback")
+
 
 class Database:
     """An in-memory, logged, locking relational database."""
 
     def __init__(self, log: Optional[LogManager] = None,
-                 metrics: Optional[Metrics] = None) -> None:
+                 metrics: Optional[Metrics] = None,
+                 faults: Optional[FaultInjector] = None) -> None:
         #: Observability registry shared by the engine, its log manager
         #: and its lock manager; the no-op singleton unless one is passed
         #: here (or attached later via :meth:`attach_metrics`).
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: Fault injector shared by the engine, catalog, tables and log;
+        #: the no-op singleton unless one is passed here (or attached
+        #: later via :meth:`attach_faults`).
+        self.faults = faults if faults is not None else NULL_FAULTS
         self.catalog = Catalog()
         self.log = log if log is not None else LogManager(self.metrics)
         if metrics is not None and self.log.metrics is NULL_METRICS:
             self.log.metrics = self.metrics
+        if faults is not None:
+            self.attach_faults(faults)
         self.locks = LockManager(self.metrics)
         self.txns = TransactionManager()
         #: Mirror objects consulted on every record-lock acquisition; see
@@ -110,6 +129,17 @@ class Database:
         self.metrics = metrics
         self.log.metrics = metrics
         self.locks.metrics = metrics
+
+    def attach_faults(self, faults: FaultInjector) -> None:
+        """Switch the engine, catalog, tables and log to ``faults``.
+
+        The sweep harness attaches an injector right before the fault it
+        wants to exercise, so setup (bulk load, transformation creation)
+        never trips a site.  Detach by attaching :data:`NULL_FAULTS`.
+        """
+        self.faults = faults
+        self.catalog.attach_faults(faults)
+        self.log.faults = faults
 
     # ------------------------------------------------------------------
     # DDL
@@ -170,12 +200,14 @@ class Database:
     def commit(self, txn: Transaction) -> None:
         """Commit: log commit + end, force the log, release all locks."""
         self._require_active(txn)
+        self.faults.fire(SITE_TXN_COMMIT, txn_id=txn.txn_id)
         lsn = self.log.append(CommitRecord(txn_id=txn.txn_id),
                               prev_lsn=txn.last_lsn)
         txn.note_record(lsn)
         self.log.append(EndRecord(txn_id=txn.txn_id, committed=True),
                         prev_lsn=txn.last_lsn)
         self.log.flush()
+        self.faults.fire(SITE_TXN_COMMIT_LOGGED, txn_id=txn.txn_id)
         txn.state = TxnState.COMMITTED
         self.stats["commit"] += 1
         self._release_locks(txn)
@@ -188,6 +220,7 @@ class Database:
             raise TransactionStateError(
                 f"cannot abort transaction in state {txn.state}")
         txn.state = TxnState.ROLLING_BACK
+        self.faults.fire(SITE_TXN_ABORT, txn_id=txn.txn_id)
         lsn = self.log.append(AbortRecord(txn_id=txn.txn_id),
                               prev_lsn=txn.last_lsn)
         txn.note_record(lsn)
@@ -209,6 +242,8 @@ class Database:
                 continue
             compensation = self._compensation_of(record)
             if compensation is not None:
+                self.faults.fire(SITE_TXN_ROLLBACK_CLR, txn_id=txn.txn_id,
+                                 undo_lsn=lsn)
                 clr = CLRecord(txn_id=txn.txn_id, action=compensation,
                                undo_next_lsn=record.prev_lsn)
                 clr_lsn = self.log.append(clr, prev_lsn=txn.last_lsn)

@@ -82,7 +82,7 @@ def restart(log: LogManager) -> Database:
     db = Database(log=log)
     end_lsn = log.end_lsn
 
-    losers, max_txn_id = _analysis(log, end_lsn)
+    losers, in_commit, max_txn_id = _analysis(log, end_lsn)
     propagators: List[object] = []
     transient_names: Set[str] = set()
 
@@ -119,6 +119,10 @@ def restart(log: LogManager) -> Database:
 
     # ---- undo ------------------------------------------------------------
     db.txns._next_id = max_txn_id + 1  # resume the id sequence
+    for txn_id in in_commit:
+        # Commit record present, end record lost in the crash: complete
+        # the commit instead of rolling the winner back.
+        log.append(EndRecord(txn_id=txn_id))
     for txn_id in sorted(losers, reverse=True):
         state = losers[txn_id]
         txn = Transaction(txn_id)
@@ -143,17 +147,19 @@ def restart(log: LogManager) -> Database:
 class _TxnAnalysis:
     """Per-transaction facts gathered by the analysis pass."""
 
-    __slots__ = ("first_lsn", "last_lsn", "finished")
+    __slots__ = ("first_lsn", "last_lsn", "finished", "committed")
 
     def __init__(self) -> None:
         self.first_lsn = NULL_LSN
         self.last_lsn = NULL_LSN
         self.finished = False
+        self.committed = False
 
 
 def _analysis(log: LogManager,
-              end_lsn: int) -> Tuple[Dict[int, _TxnAnalysis], int]:
-    """Find loser transactions and the largest transaction id.
+              end_lsn: int) -> Tuple[Dict[int, _TxnAnalysis],
+                                     List[int], int]:
+    """Find loser and in-commit transactions and the largest txn id.
 
     The scan is bounded by the most recent fuzzy checkpoint (if any):
     analysis starts there, seeded with the checkpoint's snapshot of the
@@ -184,8 +190,16 @@ def _analysis(log: LogManager,
         state.last_lsn = record.lsn
         if isinstance(record, EndRecord):
             state.finished = True
-    losers = {i: s for i, s in txns.items() if not s.finished}
-    return losers, max_id
+        elif isinstance(record, CommitRecord):
+            # A commit record makes the transaction durable even if the
+            # crash hit before its end record was appended: it is a
+            # winner ("in-commit"), never a rollback candidate.
+            state.committed = True
+    losers = {i: s for i, s in txns.items()
+              if not s.finished and not s.committed}
+    in_commit = sorted(i for i, s in txns.items()
+                       if s.committed and not s.finished)
+    return losers, in_commit, max_id
 
 
 def _redo(db: Database, change: LogRecord, lsn: int) -> None:

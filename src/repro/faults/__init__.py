@@ -1,0 +1,31 @@
+"""Deterministic fault injection (``repro.faults``).
+
+See :mod:`repro.faults.injection` for the model and
+:mod:`repro.faults.sweep` for the crash-point sweep harness.
+"""
+
+from repro.faults.injection import (
+    NULL_FAULTS,
+    AbortFault,
+    CrashFault,
+    DelayFault,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    SITE_REGISTRY,
+    register_site,
+    sites_by_layer,
+)
+
+__all__ = [
+    "NULL_FAULTS",
+    "AbortFault",
+    "CrashFault",
+    "DelayFault",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "SITE_REGISTRY",
+    "register_site",
+    "sites_by_layer",
+]

@@ -1,0 +1,563 @@
+"""Crash-at-every-step sweep over the registered injection sites.
+
+The harness runs a deterministic concurrent-workload scenario (bulk load,
+interleaved user transactions, a long-lived "old" transaction, an aborted
+transaction and post-swap probes) around one online transformation --
+full outer join or split -- under one synchronization strategy.  A first
+*recording* pass executes the scenario fault-free and counts how often
+each registered injection site is crossed.  The sweep then re-runs the
+identical scenario once per crossed site with a :class:`CrashFault` armed
+mid-scenario, catches the :class:`SimulatedCrashError`, abandons all
+volatile state (the simulated kill of Section 6) and reruns ARIES
+:func:`~repro.engine.recovery.restart` on the surviving log.
+
+After every recovery the harness asserts the paper's crash invariants:
+
+* committed user data is preserved -- sources match a shadow copy of the
+  committed state before the swap, published tables match the relational
+  operator applied to that shadow state after the swap;
+* transient transformation targets are discarded (crash before the
+  :class:`~repro.wal.records.TransformSwapRecord`) or deterministically
+  rebuilt (crash after it), cf. Section 6 "no actions performed by the
+  transformation need to be repeated [after the swap]";
+* loser transactions -- including transactions doomed by a non-blocking
+  synchronization -- are rolled back to completion (every begun
+  transaction has an end record, no active transactions survive);
+* no latches, table blocks or propagated proxy locks leak into the
+  recovered database: a fresh probe transaction can write to every
+  visible table.
+
+The shadow copy resolves in-flight transactions exactly like recovery
+does: a transaction whose commit record made it into the log before the
+crash counts as committed; everything else is dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulatedCrashError
+from repro.engine.database import Database, Transaction
+from repro.engine.recovery import restart
+from repro.faults.injection import (
+    NULL_FAULTS,
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    SITE_REGISTRY,
+)
+from repro.relational.operators import (
+    full_outer_join,
+    normalize_rows,
+    rows_equal,
+    split,
+)
+from repro.relational.spec import FojSpec, SplitSpec
+from repro.storage.schema import TableSchema
+from repro.transform.analysis import RemainingRecordsPolicy
+from repro.transform.base import Phase, SyncStrategy, Transformation
+from repro.transform.foj import FojTransformation
+from repro.transform.split import SplitTransformation
+from repro.wal.records import (
+    BeginRecord,
+    CommitRecord,
+    EndRecord,
+    TransformSwapRecord,
+)
+
+RowDict = Dict[str, object]
+
+#: Operators the sweep exercises (FOJ and split, Sections 4 and 5).
+SCENARIO_OPERATORS: Tuple[str, ...] = ("foj", "split")
+
+#: All three synchronization strategies (Section 3.4).
+ALL_STRATEGIES: Tuple[SyncStrategy, ...] = (
+    SyncStrategy.BLOCKING_COMMIT,
+    SyncStrategy.NONBLOCKING_ABORT,
+    SyncStrategy.NONBLOCKING_COMMIT,
+)
+
+_STEP_BUDGET = 24
+_MAX_STEPS = 3000
+
+
+# ---------------------------------------------------------------------------
+# Shadow copy of the committed state
+# ---------------------------------------------------------------------------
+
+
+class _Shadow:
+    """Key-addressed copy of the committed user data, per table.
+
+    Operations are buffered per transaction and applied at commit; at a
+    crash, :meth:`resolve_crash` settles in-flight transactions the same
+    way recovery will -- committed iff the commit record reached the log.
+    """
+
+    def __init__(self) -> None:
+        self.tables: Dict[str, Dict[Tuple, RowDict]] = {}
+        self.pending: Dict[int, List[Tuple]] = {}
+
+    def begin(self, txn_id: int) -> None:
+        self.pending[txn_id] = []
+
+    def insert(self, txn_id: int, table: str, key: Tuple,
+               values: RowDict) -> None:
+        self.pending[txn_id].append(("i", table, key, dict(values)))
+
+    def update(self, txn_id: int, table: str, key: Tuple,
+               changes: RowDict) -> None:
+        self.pending[txn_id].append(("u", table, key, dict(changes)))
+
+    def delete(self, txn_id: int, table: str, key: Tuple) -> None:
+        self.pending[txn_id].append(("d", table, key, None))
+
+    def commit(self, txn_id: int) -> None:
+        for op, table, key, payload in self.pending.pop(txn_id):
+            rows = self.tables.setdefault(table, {})
+            if op == "i":
+                rows[key] = dict(payload)
+            elif op == "u":
+                rows[key].update(payload)
+            else:
+                del rows[key]
+
+    def drop(self, txn_id: int) -> None:
+        self.pending.pop(txn_id, None)
+
+    def resolve_crash(self, log) -> None:
+        """Settle in-flight transactions against the surviving log."""
+        committed = {r.txn_id for r in log.scan()
+                     if isinstance(r, CommitRecord)}
+        for txn_id in sorted(self.pending):
+            if txn_id in committed:
+                self.commit(txn_id)
+            else:
+                self.drop(txn_id)
+
+    def rows(self, table: str) -> List[RowDict]:
+        return [dict(v) for v in self.tables.get(table, {}).values()]
+
+
+# ---------------------------------------------------------------------------
+# The scenario
+# ---------------------------------------------------------------------------
+
+
+class ScenarioRun:
+    """One deterministic execution of the sweep workload.
+
+    The same script runs for the recording pass and for every armed pass;
+    an armed :class:`CrashFault` leaves the prefix bit-identical, so site
+    crossing counts from the recording pass predict exactly where each
+    armed pass dies.
+    """
+
+    def __init__(self, operator: str, strategy: SyncStrategy,
+                 faults: Optional[FaultInjector] = None) -> None:
+        if operator not in SCENARIO_OPERATORS:
+            raise ValueError(f"unknown sweep operator {operator!r}")
+        self.operator = operator
+        self.strategy = strategy
+        self.faults = faults if faults is not None else FaultInjector()
+        self.db = Database()
+        self.db.attach_faults(self.faults)
+        self.log = self.db.log
+        self.shadow = _Shadow()
+        self.tf: Optional[Transformation] = None
+        self.spec = None
+        self.source_names: Tuple[str, ...] = ()
+        self.published_names: Tuple[str, ...] = ()
+        self._mutations: List[Callable[[], None]] = []
+        self._l_txn: Optional[Transaction] = None
+        self._l_op: Optional[Tuple] = None
+        self._l_zombie_op: Optional[Tuple] = None
+        self._probes: List[Tuple[str, RowDict]] = []
+
+    # -- committed-state bookkeeping ------------------------------------
+
+    def _apply(self, txn: Transaction, op: Tuple) -> None:
+        kind, table_name = op[0], op[1]
+        schema = self.db.catalog.get_any(table_name).schema
+        if kind == "i":
+            values = schema.normalize(op[2])
+            self.db.insert(txn, table_name, values)
+            self.shadow.insert(txn.txn_id, table_name,
+                               schema.key_of(values), values)
+        elif kind == "u":
+            key, changes = tuple(op[2]), op[3]
+            self.db.update(txn, table_name, key, changes)
+            self.shadow.update(txn.txn_id, table_name, key, changes)
+        elif kind == "d":
+            key = tuple(op[2])
+            self.db.delete(txn, table_name, key)
+            self.shadow.delete(txn.txn_id, table_name, key)
+        else:  # pragma: no cover - script bug
+            raise ValueError(f"unknown op kind {kind!r}")
+
+    def _txn_do(self, ops: Sequence[Tuple], abort: bool = False) -> None:
+        txn = self.db.begin()
+        self.shadow.begin(txn.txn_id)
+        for op in ops:
+            self._apply(txn, op)
+        if abort:
+            self.db.abort(txn)
+            self.shadow.drop(txn.txn_id)
+        else:
+            self.db.commit(txn)
+            self.shadow.commit(txn.txn_id)
+
+    # -- scenario scripts ------------------------------------------------
+
+    def _setup_foj(self) -> None:
+        self.db.create_table(
+            TableSchema("R", ["a", "b", "c"], primary_key=["a"]))
+        self.db.create_table(
+            TableSchema("S", ["c", "d", "e"], primary_key=["c"]))
+        self._txn_do(
+            [("i", "R", {"a": i, "b": f"b{i}", "c": i % 5})
+             for i in range(10)] +
+            [("i", "S", {"c": c, "d": f"d{c}", "e": f"e{c}"})
+             for c in range(4)])
+        self.spec = FojSpec.derive(
+            self.db.table("R").schema, self.db.table("S").schema,
+            target_name="T", join_attr_r="c", join_attr_s="c")
+        self.source_names = ("R", "S")
+        self.published_names = ("T",)
+        self.tf = FojTransformation(
+            self.db, self.spec, sync_strategy=self.strategy,
+            policy=RemainingRecordsPolicy(max_remaining=2, patience=200),
+            population_chunk=4)
+        self._l_op = ("u", "R", (0,), {"b": "L0"})
+        self._l_zombie_op = ("u", "R", (0,), {"b": "Lz"})
+        self._mutations = [
+            lambda: self._txn_do(
+                [("i", "R", {"a": 20, "b": "b20", "c": 2})]),
+            lambda: self._txn_do([("u", "S", (1,), {"d": "dX"})]),
+            lambda: self._txn_do([("d", "R", (5,))]),
+            lambda: self._txn_do([("u", "R", (2,), {"b": "mX"})],
+                                 abort=True),
+            lambda: self._txn_do(
+                [("i", "S", {"c": 9, "d": "d9", "e": "e9"})]),
+            lambda: self._txn_do([("u", "R", (3,), {"b": "bX"})]),
+            lambda: self._txn_do(
+                [("i", "R", {"a": 21, "b": "b21", "c": 9})]),
+        ]
+        self._probes = [("T", {"a": 95001, "b": "probe", "c": 95001})]
+
+    def _setup_split(self) -> None:
+        self.db.create_table(TableSchema(
+            "T", ["id", "name", "zip", "city"], primary_key=["id"]))
+        rows = []
+        for i in range(9):
+            z = 7000 + (i % 3)
+            rows.append(("i", "T", {"id": i, "name": f"n{i}", "zip": z,
+                                    "city": f"C{z}"}))
+        rows.append(("i", "T", {"id": 9, "name": "n9", "zip": 7009,
+                                "city": "C7009"}))
+        self._txn_do(rows)
+        self.spec = SplitSpec.derive(
+            self.db.table("T").schema, r_name="T_r", s_name="postal",
+            split_attr="zip", s_attrs=["city"])
+        self.source_names = ("T",)
+        self.published_names = ("T_r", "postal")
+        self.tf = SplitTransformation(
+            self.db, self.spec, check_consistency=True,
+            on_inconsistent="wait", sync_strategy=self.strategy,
+            policy=RemainingRecordsPolicy(max_remaining=2, patience=200),
+            population_chunk=4)
+        self._l_op = ("u", "T", (1,), {"name": "Ln"})
+        self._l_zombie_op = ("u", "T", (1,), {"name": "Lz"})
+        self._mutations = [
+            lambda: self._txn_do(
+                [("i", "T", {"id": 20, "name": "n20", "zip": 7001,
+                             "city": "C7001"})]),
+            # Touch every contributor of zip 7000 in one transaction: each
+            # update U-flags the S record (counter > 1), the consistency
+            # checker later finds the contributors agreeing on "CX".
+            lambda: self._txn_do([
+                ("u", "T", (0,), {"city": "CX"}),
+                ("u", "T", (3,), {"city": "CX"}),
+                ("u", "T", (6,), {"city": "CX"}),
+            ]),
+            lambda: self._txn_do([("d", "T", (4,))]),
+            lambda: self._txn_do([("u", "T", (2,), {"name": "mX"})],
+                                 abort=True),
+            lambda: self._txn_do([("u", "T", (9,), {"name": "nX"})]),
+            lambda: self._txn_do(
+                [("i", "T", {"id": 21, "name": "n21", "zip": 7021,
+                             "city": "C7021"})]),
+        ]
+        self._probes = [
+            ("T_r", {"id": 95001, "name": "probe", "zip": 95001}),
+            ("postal", {"zip": 95002, "city": "probe"}),
+        ]
+
+    # -- driving ---------------------------------------------------------
+
+    def execute(self) -> None:
+        """Run the full scenario; raises :class:`SimulatedCrashError`
+        when an armed crash fault fires."""
+        if self.operator == "foj":
+            self._setup_foj()
+        else:
+            self._setup_split()
+
+        # The long-lived transaction the synchronization strategies
+        # disagree about: drained (blocking commit), doomed (non-blocking
+        # abort) or carried across the swap (non-blocking commit).
+        self._l_txn = self.db.begin()
+        self.shadow.begin(self._l_txn.txn_id)
+        self._apply(self._l_txn, self._l_op)
+
+        mutations = list(self._mutations)
+        l_active = True
+        for _ in range(_MAX_STEPS):
+            report = self.tf.step(_STEP_BUDGET)
+            if l_active and (self._l_txn.doomed or
+                             self._l_txn.is_finished):
+                # Non-blocking abort doomed and rolled back L.
+                self.shadow.drop(self._l_txn.txn_id)
+                l_active = False
+            if report.done:
+                break
+            if mutations and self.tf.phase in (Phase.POPULATING,
+                                               Phase.PROPAGATING):
+                mutations.pop(0)()
+            if l_active and self.strategy is SyncStrategy.BLOCKING_COMMIT \
+                    and self.tf.phase is Phase.SYNCHRONIZING:
+                # Let the drain finish: commit L.
+                self.db.commit(self._l_txn)
+                self.shadow.commit(self._l_txn.txn_id)
+                l_active = False
+            if l_active and \
+                    self.strategy is SyncStrategy.NONBLOCKING_COMMIT \
+                    and self.tf.phase is Phase.BACKGROUND:
+                # L lives on as an old transaction: one more write through
+                # the zombie namespace, then commit (ends the mirror).
+                self._apply(self._l_txn, self._l_zombie_op)
+                self.db.commit(self._l_txn)
+                self.shadow.commit(self._l_txn.txn_id)
+                l_active = False
+        else:
+            raise AssertionError(
+                f"scenario did not finish within {_MAX_STEPS} steps "
+                f"({self.operator}/{self.strategy.value}, "
+                f"phase {self.tf.phase.value})")
+
+        # Post-swap probes: plain user transactions against the published
+        # schema (their redo must land in recovery's rebuilt tables).
+        for table_name, values in self._probes:
+            self._txn_do([("i", table_name, values)])
+
+    # -- expectations ----------------------------------------------------
+
+    def expected_tables(self, swapped: bool) -> Dict[str, List[RowDict]]:
+        """Committed state the database must show, from the shadow copy.
+
+        Before the swap that is simply the shadow sources; after it, the
+        relational operator applied to the shadow sources plus any rows
+        committed directly into the published tables (probes).
+        """
+        if not swapped:
+            return {name: self.shadow.rows(name)
+                    for name in self.source_names}
+        if self.operator == "foj":
+            base = {"T": full_outer_join(self.spec, self.shadow.rows("R"),
+                                         self.shadow.rows("S"))}
+        else:
+            r_rows, s_rows, _, _ = split(self.spec, self.shadow.rows("T"),
+                                         strict=False)
+            base = {"T_r": r_rows, "postal": s_rows}
+        for name in self.published_names:
+            base[name] = list(base.get(name, [])) + self.shadow.rows(name)
+        return base
+
+
+# ---------------------------------------------------------------------------
+# Invariant checks
+# ---------------------------------------------------------------------------
+
+
+def _table_values(db: Database, name: str) -> List[RowDict]:
+    return [dict(r.values) for r in db.catalog.get_any(name).scan()]
+
+
+def _diff(name: str, actual: List[RowDict],
+          expected: List[RowDict]) -> Optional[str]:
+    if rows_equal(actual, expected):
+        return None
+    return (f"table {name!r} diverged from committed state: "
+            f"actual={normalize_rows(actual)!r} "
+            f"expected={normalize_rows(expected)!r}")
+
+
+def _check_data(run: ScenarioRun, db: Database, swapped: bool,
+                violations: List[str]) -> None:
+    expected = run.expected_tables(swapped)
+    names = sorted(db.catalog.table_names())
+    if names != sorted(expected):
+        violations.append(
+            f"catalog mismatch: visible tables {names} != "
+            f"expected {sorted(expected)}")
+        return
+    for name, rows in expected.items():
+        problem = _diff(name, _table_values(db, name), rows)
+        if problem:
+            violations.append(problem)
+
+
+def _probe_writes(db: Database, violations: List[str]) -> None:
+    """A fresh transaction must be able to write every visible table
+    (no leaked latch, block or proxy lock) and roll back cleanly."""
+    for salt, name in enumerate(sorted(db.catalog.table_names())):
+        schema = db.catalog.get(name).schema
+        values = {attr: 990000 + salt * 100 + i
+                  for i, attr in enumerate(schema.attribute_names)}
+        txn = db.begin()
+        try:
+            db.insert(txn, name, values)
+            db.abort(txn)
+        except Exception as exc:
+            violations.append(
+                f"probe write into recovered table {name!r} failed: "
+                f"{exc!r}")
+            if not txn.is_finished:
+                try:
+                    db.abort(txn)
+                except Exception:
+                    pass
+
+
+def check_recovered(run: ScenarioRun, recovered: Database) -> List[str]:
+    """All crash invariants on a freshly recovered database."""
+    violations: List[str] = []
+    log = run.log
+    swapped = any(isinstance(r, TransformSwapRecord) for r in log.scan())
+
+    begun = {r.txn_id for r in log.scan() if isinstance(r, BeginRecord)}
+    ended = {r.txn_id for r in log.scan() if isinstance(r, EndRecord)}
+    unfinished = sorted(begun - ended)
+    if unfinished:
+        violations.append(
+            f"transactions {unfinished} have no end record after "
+            "recovery (losers not rolled back)")
+    if recovered.txns.active_txns():
+        violations.append("active transactions survived recovery")
+    if recovered.locks._latches:
+        violations.append(
+            f"latches leaked into recovery: {recovered.locks._latches}")
+    blocked = [n for n in recovered.catalog.table_names()
+               if recovered.catalog.is_blocked(n)]
+    if blocked:
+        violations.append(f"tables still blocked after recovery: {blocked}")
+    if recovered.catalog.zombie_names():
+        violations.append(
+            f"zombie tables survived recovery: "
+            f"{recovered.catalog.zombie_names()}")
+
+    run.shadow.resolve_crash(log)
+    _check_data(run, recovered, swapped, violations)
+    _probe_writes(recovered, violations)
+    if not violations:
+        # The probe transactions rolled back; state must be unchanged.
+        _check_data(run, recovered, swapped, violations)
+    return violations
+
+
+def check_completed(run: ScenarioRun) -> List[str]:
+    """Sanity checks on a fault-free (recording) scenario execution."""
+    violations: List[str] = []
+    db = run.db
+    if run.shadow.pending:
+        violations.append(
+            f"scenario left unresolved transactions: "
+            f"{sorted(run.shadow.pending)}")
+    if db.locks._latches:
+        violations.append(f"latches leaked: {db.locks._latches}")
+    _check_data(run, db, swapped=True, violations=violations)
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
+
+
+def sweep(operator: str, strategy: SyncStrategy) -> Dict[str, object]:
+    """Crash at every crossed injection site for one scenario.
+
+    Returns a JSON-able report: per-site outcome (``ok`` / ``violation``
+    / ``error`` / ``not_hit``) plus the recording pass's crossing counts.
+    Each armed pass crashes at the *middle* crossing of its site, placing
+    the kill inside the interesting part of the scenario rather than at
+    the very first crossing (often the bulk load).
+    """
+    recording = ScenarioRun(operator, strategy,
+                            FaultInjector(FaultPlan()))
+    recording.execute()
+    baseline = check_completed(recording)
+    if baseline:
+        raise AssertionError(
+            f"fault-free scenario {operator}/{strategy.value} is broken: "
+            + "; ".join(baseline))
+
+    sites: List[Dict[str, object]] = []
+    for site in sorted(recording.faults.hits):
+        count = recording.faults.hits[site]
+        hit_at = (count + 1) // 2
+        plan = FaultPlan().arm(site, CrashFault(), hit=hit_at)
+        run = ScenarioRun(operator, strategy, FaultInjector(plan))
+        entry: Dict[str, object] = {
+            "site": site,
+            "layer": SITE_REGISTRY[site][0],
+            "hits": count,
+            "crash_at_hit": hit_at,
+        }
+        try:
+            run.execute()
+            entry["outcome"] = "not_hit"
+            entry["detail"] = ["armed crash fault never fired"]
+        except SimulatedCrashError:
+            run.log.faults = NULL_FAULTS  # the log survives the crash
+            recovered = restart(run.log)
+            problems = check_recovered(run, recovered)
+            entry["outcome"] = "ok" if not problems else "violation"
+            entry["detail"] = problems
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            entry["outcome"] = "error"
+            entry["detail"] = [repr(exc)]
+        sites.append(entry)
+
+    bad = [s for s in sites if s["outcome"] != "ok"]
+    return {
+        "operator": operator,
+        "strategy": strategy.value,
+        "sites": sites,
+        "site_count": len(sites),
+        "violations": len(bad),
+    }
+
+
+def run_sweep(operators: Sequence[str] = SCENARIO_OPERATORS,
+              strategies: Sequence[SyncStrategy] = ALL_STRATEGIES
+              ) -> Dict[str, object]:
+    """Full sweep: every operator x strategy x crossed site."""
+    combos = [sweep(op, strategy)
+              for op in operators for strategy in strategies]
+    covered = sorted({s["site"] for c in combos for s in c["sites"]})
+    layers: Dict[str, int] = {}
+    for site in covered:
+        layer = SITE_REGISTRY[site][0]
+        layers[layer] = layers.get(layer, 0) + 1
+    return {
+        "combos": combos,
+        "summary": {
+            "registered_sites": len(SITE_REGISTRY),
+            "covered_sites": len(covered),
+            "covered": covered,
+            "layers": layers,
+            "crash_runs": sum(c["site_count"] for c in combos),
+            "violations": sum(c["violations"] for c in combos),
+        },
+    }

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.database import Database
 from repro.engine.session import Session, bulk_load
+from repro.faults import FaultInjector
 from repro.obs import Metrics
 from repro.relational.spec import FojSpec, SplitSpec
 from repro.sim.events import Simulator
@@ -191,6 +192,11 @@ class RunSettings:
     #: Bucket width (virtual ms) of the throughput/response time series
     #: collected over the whole run; ``None`` disables the series.
     series_bucket_ms: Optional[float] = None
+    #: Fault injector to attach to the scenario database (after the
+    #: builder's bulk load, like ``observe``); ``None`` leaves the run on
+    #: the zero-overhead ``NULL_FAULTS`` path.  Lets experiments drive
+    #: abort storms or starvation delays through the simulated workload.
+    faults: Optional[FaultInjector] = None
 
 
 def run_once(scenario_builder: Callable[[int], Scenario],
@@ -205,6 +211,8 @@ def run_once(scenario_builder: Callable[[int], Scenario],
         # counters cover only the measured run.
         obs = Metrics(enabled=True, clock=lambda: sim.now)
         scenario.db.attach_metrics(obs)
+    if settings.faults is not None:
+        scenario.db.attach_faults(settings.faults)
     server = Server(sim, settings.server, metrics=obs)
     metrics = MetricsCollector(bucket_ms=settings.series_bucket_ms)
     pool = ClientPool(sim, server, scenario.db, scenario.workload, metrics,

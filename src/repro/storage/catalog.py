@@ -23,6 +23,7 @@ from repro.common.errors import (
     NoSuchTableError,
     SchemaError,
 )
+from repro.faults import NULL_FAULTS
 from repro.storage.schema import TableSchema
 from repro.storage.table import Table
 
@@ -34,6 +35,15 @@ class Catalog:
         self._tables: Dict[str, Table] = {}
         self._zombies: Dict[str, Table] = {}
         self._blocked: Set[str] = set()
+        #: Fault injector stamped onto every table registered here.
+        self.faults = NULL_FAULTS
+
+    def attach_faults(self, faults) -> None:
+        """Adopt ``faults`` and stamp it onto every known table."""
+        self.faults = faults
+        for table in list(self._tables.values()) \
+                + list(self._zombies.values()):
+            table.faults = faults
 
     # -- basic DDL -------------------------------------------------------------
 
@@ -42,6 +52,7 @@ class Catalog:
         if schema.name in self._tables or schema.name in self._zombies:
             raise DuplicateTableError(schema.name)
         table = Table(schema)
+        table.faults = self.faults
         self._tables[schema.name] = table
         return table
 
@@ -49,6 +60,7 @@ class Catalog:
         """Register an already-built table object under its current name."""
         if table.name in self._tables or table.name in self._zombies:
             raise DuplicateTableError(table.name)
+        table.faults = self.faults
         self._tables[table.name] = table
 
     def drop_table(self, name: str) -> Table:

@@ -23,6 +23,7 @@ from repro.common.errors import (
     NoSuchRowError,
     SchemaError,
 )
+from repro.faults import NULL_FAULTS, register_site
 from repro.storage.index import HashIndex, index_key
 from repro.storage.row import Row
 from repro.storage.schema import TableSchema
@@ -30,6 +31,19 @@ from repro.wal.records import NULL_LSN
 
 #: Name of the always-present unique index over the primary-key attributes.
 PRIMARY_INDEX = "__primary__"
+
+SITE_TABLE_INSERT = register_site(
+    "table.insert", "storage", "before a row is stored in the heap")
+SITE_TABLE_INSERT_INDEXED = register_site(
+    "table.insert.indexed", "storage",
+    "after the heap store, mid index maintenance")
+SITE_TABLE_DELETE = register_site(
+    "table.delete", "storage", "before a row leaves the heap and indexes")
+SITE_TABLE_UPDATE = register_site(
+    "table.update", "storage", "before a row image is changed in place")
+SITE_INDEX_BACKFILL = register_site(
+    "table.index.backfill", "storage",
+    "before a new index is backfilled from existing rows")
 
 
 class Table:
@@ -47,6 +61,9 @@ class Table:
         #: Stable physical identity, independent of renames; lock-manager
         #: resources are keyed by uid so locks survive the catalog swap.
         self.uid: int = Table._uid_counter
+        #: Fault injector (no-op singleton by default); the catalog stamps
+        #: tables with the database's injector when one is attached.
+        self.faults = NULL_FAULTS
         self.schema = schema
         self.rows: Dict[int, Row] = {}
         self.indexes: Dict[str, HashIndex] = {}
@@ -84,6 +101,7 @@ class Table:
                     f"cannot index missing attribute {attr!r} on {self.name!r}"
                 )
         index = HashIndex(name, tuple(attrs), unique, table_name=self.name)
+        self.faults.fire(SITE_INDEX_BACKFILL, table=self.name, index=name)
         for row in self.rows.values():
             index.insert(row.values, row.rowid)
         self.indexes[name] = index
@@ -116,6 +134,7 @@ class Table:
         attributes become NULL).  Unique-index violations raise
         :class:`DuplicateKeyError` before any index is modified.
         """
+        self.faults.fire(SITE_TABLE_INSERT, table=self.name)
         normalized = self.schema.normalize(values)
         row = Row(normalized, lsn=lsn, meta=meta)
         for index in self.indexes.values():
@@ -124,12 +143,15 @@ class Table:
                 if key is not None and index.contains(key):
                     raise DuplicateKeyError(self.name, key)
         self.rows[row.rowid] = row
+        self.faults.fire(SITE_TABLE_INSERT_INDEXED, table=self.name,
+                         rowid=row.rowid)
         for index in self.indexes.values():
             index.insert(row.values, row.rowid)
         return row
 
     def delete_rowid(self, rowid: int) -> Row:
         """Delete a row by physical id; returns the removed row."""
+        self.faults.fire(SITE_TABLE_DELETE, table=self.name, rowid=rowid)
         row = self.rows.pop(rowid, None)
         if row is None:
             raise NoSuchRowError(self.name, (rowid,))
@@ -146,6 +168,7 @@ class Table:
         (e.g. a FOJ NULL record acquiring an R part).  Unique violations on
         the new image raise before anything is modified.
         """
+        self.faults.fire(SITE_TABLE_UPDATE, table=self.name, rowid=rowid)
         row = self.rows.get(rowid)
         if row is None:
             raise NoSuchRowError(self.name, (rowid,))

@@ -62,6 +62,7 @@ from repro.transform.split import (
     build_split_tables,
     populate_split_targets,
 )
+from repro.transform.supervisor import TransformationSupervisor
 from repro.transform.sync import LockMirror, build_sync_executor
 from repro.transform.view import MaterializedFojView, PublishKeepSync
 from repro.wal.records import TransformSwapRecord, data_change_of
@@ -183,6 +184,7 @@ __all__ = [
     "StepReport",
     "SyncStrategy",
     "Transformation",
+    "TransformationSupervisor",
     "add_attribute",
     "build_sync_executor",
     "merge_rows",

@@ -39,11 +39,13 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import (
     TransformationAbortedError,
+    TransformationStarvedError,
     TransformationStateError,
 )
 from repro.concurrency.locks import LockMode, LockOrigin, record_resource
 from repro.engine.database import Database
 from repro.engine.fuzzy import FuzzyScan
+from repro.faults import DelayFault, FaultInjector, register_site
 from repro.obs import Metrics
 from repro.storage.table import Table
 from repro.transform.analysis import (
@@ -61,6 +63,36 @@ from repro.wal.records import (
 )
 
 _transform_counter = itertools.count(1)
+
+SITE_TF_STEP = register_site(
+    "tf.step", "transform",
+    "top of every step; a DelayFault here squeezes the step budget "
+    "(starves the background process, Section 3.3)")
+SITE_TF_PREPARE = register_site(
+    "tf.prepare", "transform", "before the target tables are created")
+SITE_TF_PREPARED = register_site(
+    "tf.prepared", "transform",
+    "after preparation, before initial population begins")
+SITE_TF_POPULATE_BEGIN = register_site(
+    "tf.populate.begin", "transform",
+    "before the begin fuzzy mark is written")
+SITE_TF_POPULATE_CHUNK = register_site(
+    "tf.populate.chunk", "transform",
+    "before each fuzzy-scan population chunk")
+SITE_TF_POPULATE_DONE = register_site(
+    "tf.populate.done", "transform",
+    "after population, before the first cycle mark")
+SITE_TF_PROPAGATE_BATCH = register_site(
+    "tf.propagate.batch", "transform",
+    "before each bounded log-propagation batch")
+SITE_TF_ITERATION_END = register_site(
+    "tf.iteration.end", "transform",
+    "end of a propagation iteration, before the analysis runs")
+SITE_TF_SYNC_ENTER = register_site(
+    "tf.sync.enter", "transform",
+    "the analysis chose synchronization; before the executor is built")
+SITE_TF_ABORT = register_site(
+    "tf.abort", "transform", "top of Transformation.abort cleanup")
 
 
 class Phase(Enum):
@@ -240,11 +272,20 @@ class Transformation:
         #: Observability registry, inherited from the database so one
         #: attachment covers the engine and the transformation it runs.
         self.metrics: Metrics = db.metrics
+        #: Proxy owners whose materialized locks abort() must release even
+        #: after the owning end record was propagated mid-crash.
+        self._proxied_txn_ids: Set[int] = set()
         #: Cumulative statistics, read by benchmarks and the simulator.
         self.stats: Dict[str, int] = {
             "population_units": 0, "propagated_records": 0,
             "iterations": 0, "sync_latch_units": 0,
         }
+
+    @property
+    def faults(self) -> FaultInjector:
+        """The database's fault injector, read dynamically so an injector
+        attached after construction is honoured."""
+        return self.db.faults
 
     # ------------------------------------------------------------------
     # Subclass contract
@@ -302,15 +343,18 @@ class Transformation:
         the transformation is complete".
         """
         self._expect(Phase.CREATED)
+        self.faults.fire(SITE_TF_PREPARE, transform=self.transform_id)
         self.targets = self._create_targets()
         self.engine = self._build_rule_engine()
         self.phase = Phase.PREPARED
+        self.faults.fire(SITE_TF_PREPARED, transform=self.transform_id)
 
     # ------------------------------------------------------------------
     # Phase 2: initial population
     # ------------------------------------------------------------------
 
     def _begin_population(self) -> None:
+        self.faults.fire(SITE_TF_POPULATE_BEGIN, transform=self.transform_id)
         active = sorted(
             t.txn_id for t in self.db.txns.active_on(self.source_tables))
         mark = FuzzyMarkRecord(transform_id=self.transform_id,
@@ -348,6 +392,8 @@ class Transformation:
         """Propagate records toward the iteration target, spending up to
         ``budget`` cost units; returns the units consumed (an applied
         record costs 1.0, a skipped one :data:`SKIP_UNIT_COST`)."""
+        self.faults.fire(SITE_TF_PROPAGATE_BATCH,
+                         transform=self.transform_id, cursor=self._cursor)
         units = 0.0
         records = 0
         end = min(self._iteration_target, self.db.log.end_lsn)
@@ -410,6 +456,12 @@ class Transformation:
         e.g. for draining transactions under blocking commit, simply return
         with zero progress until the condition clears).
         """
+        fault = self.faults.fire(SITE_TF_STEP, transform=self.transform_id,
+                                 phase=self.phase.value)
+        if isinstance(fault, DelayFault):
+            # Starve the background process: this step only gets the
+            # delay's (tiny) budget, regardless of what the caller offered.
+            budget = min(budget, fault.budget)
         entered = self.phase
         report = self._step_inner(budget)
         if self.metrics.enabled:
@@ -434,10 +486,14 @@ class Transformation:
             self._begin_population()
 
         if self.phase is Phase.POPULATING:
+            self.faults.fire(SITE_TF_POPULATE_CHUNK,
+                             transform=self.transform_id)
             units, finished = self._population_step(budget)
             self.stats["population_units"] += units
             self.metrics.inc("tf.units." + Phase.POPULATING.value, units)
             if finished:
+                self.faults.fire(SITE_TF_POPULATE_DONE,
+                                 transform=self.transform_id)
                 self.db.log.append(FuzzyMarkRecord(
                     transform_id=self.transform_id, phase="cycle"))
                 self.phase = Phase.PROPAGATING
@@ -472,6 +528,8 @@ class Transformation:
 
     def _finish_iteration(self) -> None:
         """End-of-iteration: write the cycle mark and run the analysis."""
+        self.faults.fire(SITE_TF_ITERATION_END, transform=self.transform_id,
+                         iteration=self._iteration)
         self.stats["iterations"] += 1
         if self._iteration_records > 0:
             # An idle iteration (nothing propagated) writes no new mark --
@@ -515,6 +573,8 @@ class Transformation:
 
     def _start_synchronization(self) -> None:
         from repro.transform.sync import build_sync_executor
+        self.faults.fire(SITE_TF_SYNC_ENTER, transform=self.transform_id,
+                         strategy=self.sync_strategy.value)
         self._sync_executor = build_sync_executor(self, self.sync_strategy)
         self.phase = Phase.SYNCHRONIZING
         self.metrics.trace("tf.sync.start", transform=self.transform_id,
@@ -528,9 +588,11 @@ class Transformation:
             budget: int = 4096) -> None:
         """Drive the transformation to completion (single-threaded use).
 
-        Raises :class:`TransformationAbortedError` if the analysis declares
-        a stall (cannot happen without concurrent load) or ``max_steps`` is
-        exceeded.
+        Raises :class:`TransformationStarvedError` if the analysis declares
+        a stall (the Section 3.3 starvation decision: abort, then restart
+        with a higher priority -- callers like the supervisor key their
+        escalation off this subclass), or the plain
+        :class:`TransformationAbortedError` when ``max_steps`` is exceeded.
         """
         for _ in range(max_steps):
             report = self.step(budget)
@@ -538,7 +600,7 @@ class Transformation:
                 return
             if report.stalled:
                 self.abort()
-                raise TransformationAbortedError(
+                raise TransformationStarvedError(
                     f"{self.transform_id}: propagator cannot keep up; "
                     "abort or raise its priority (Section 3.3)")
         self.abort()
@@ -549,18 +611,46 @@ class Transformation:
         """Abort the transformation (Section 6: "Aborting the transformation
         simply means that log propagation is stopped, and that the
         transformed tables are deleted").
+
+        Guaranteed to leave **zero residue**: transient targets dropped,
+        source latches released, blocked tables unblocked, the propagated
+        lock table cleared, every materialized proxy lock released and any
+        installed lock mirror removed -- catalog and lock-manager state
+        return to what they were before the transformation started.
+        Aborting after the swap (BACKGROUND) is rejected: the transformed
+        tables are already published, there is nothing to roll back to.
         """
-        if self.phase in (Phase.DONE,):
+        if self.phase in (Phase.DONE, Phase.BACKGROUND):
             raise TransformationStateError(
-                "cannot abort a completed transformation")
+                f"cannot abort a transformation in phase {self.phase.value};"
+                " the schema swap is already committed")
+        if self.phase is Phase.ABORTED:
+            return
+        self.faults.fire(SITE_TF_ABORT, transform=self.transform_id,
+                         phase=self.phase.value)
+        if self._sync_executor is not None:
+            self._sync_executor.cleanup()
         for name, table in list(self.targets.items()):
             if self.db.catalog.exists(table.name):
                 self.db.drop_table(table.name)
         for name in self.source_tables:
             table = self.db.catalog.get(name) \
                 if self.db.catalog.exists(name) else None
-            if table is not None and self.db.locks.is_latched(table.uid):
-                self.db.unlatch_table(table, self.transform_id)
+            if table is not None:
+                if self.db.locks.is_latched(table.uid):
+                    self.db.unlatch_table(table, self.transform_id)
+                if self.db.catalog.is_blocked(name):
+                    self.db.unblock_tables([name])
+        # Clear the propagated lock table and release every proxy owner it
+        # (or a synchronization executor) ever materialized.
+        proxied = set(self.locks_held.txn_ids()) | self._proxied_txn_ids \
+            | self._old_txn_ids
+        for txn_id in self.locks_held.txn_ids():
+            self.locks_held.release_txn(txn_id)
+        for txn_id in proxied:
+            woken = self.db.locks.release_all(proxy_owner(txn_id))
+            self.db._notify_woken(woken)
+        self._proxied_txn_ids = set()
         self.targets = {}
         self.phase = Phase.ABORTED
 

@@ -29,8 +29,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.engine.database import Database
+from repro.faults import register_site
 from repro.relational.spec import SplitSpec
 from repro.wal.records import CCBeginRecord, CCOkRecord
+
+SITE_CC_CHECK = register_site(
+    "cc.check", "consistency",
+    "before a CC pass writes its Begin CC mark")
+SITE_CC_OK = register_site(
+    "cc.ok", "consistency",
+    "contributors agree; before the CC-ok record is written")
 
 
 class ConsistencyChecker:
@@ -83,6 +91,7 @@ class ConsistencyChecker:
 
     def _check_one(self, split_key: Tuple) -> int:
         """Perform one CC pass over a split value; returns rows read."""
+        self.db.faults.fire(SITE_CC_CHECK, split_value=split_key)
         self.stats["started"] += 1
         self.db.log.append(CCBeginRecord(
             transform_id=self.engine.transform_id,
@@ -103,6 +112,7 @@ class ConsistencyChecker:
         images = [self.spec.s_part(dict(r.values)) for r in rows]
         first = images[0]
         if all(image == first for image in images[1:]):
+            self.db.faults.fire(SITE_CC_OK, split_value=split_key)
             self.db.log.append(CCOkRecord(
                 transform_id=self.engine.transform_id,
                 split_value=split_key, image=dict(first)))

@@ -1,0 +1,160 @@
+"""Self-healing driver for transformations: retry, backoff, escalation.
+
+The paper treats transformation failure as cheap and routine: "Aborting
+the transformation simply means that log propagation is stopped, and that
+the transformed tables are deleted" (Section 6), and the Section 3.3
+starvation analysis explicitly ends in "abort ... and restart it with a
+higher priority".  :class:`TransformationSupervisor` turns that stance
+into the DBA-facing entry point: instead of raise-and-die, it drives
+:meth:`~repro.transform.base.Transformation.step` and, when the
+transformation aborts, cleans up, waits out an exponential backoff and
+retries with a *fresh* transformation from a caller-supplied factory.
+
+Priority escalation: the per-step budget is the system's priority proxy
+(the simulator grants the background process ``budget`` work units per
+scheduling slot).  A :class:`~repro.common.errors.TransformationStarvedError`
+-- or a step report flagged ``stalled`` -- multiplies the budget by
+``escalation_factor`` before the retry, reproducing the paper's
+"restart it later [at a higher priority]" loop.  Hard aborts
+(plain :class:`~repro.common.errors.TransformationAbortedError`) retry at
+the same priority.
+
+Time is counted in abstract *wait units* (the supervisor is
+environment-agnostic); pass ``on_wait`` to map them onto real sleeping or
+simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import (
+    TransformationAbortedError,
+    TransformationStarvedError,
+)
+from repro.engine.database import Database
+from repro.transform.base import Phase, Transformation
+
+
+class TransformationSupervisor:
+    """Drives a transformation to completion across aborts and starvation.
+
+    Args:
+        db: The database being transformed (used for bookkeeping only; the
+            factory builds transformations bound to it).
+        factory: Zero-argument callable returning a *fresh*
+            :class:`Transformation` for each attempt.  Fresh matters: an
+            aborted transformation cannot be restarted in place -- the
+            paper's abort deletes the transformed tables, so every retry
+            re-runs preparation and population.
+        budget: Initial per-step budget (the priority proxy).
+        max_attempts: Give up (re-raising the last abort) after this many
+            failed attempts.
+        backoff_base: Wait units before the first retry.
+        backoff_factor: Multiplier applied to the wait per failed attempt.
+        backoff_cap: Upper bound on a single wait.
+        escalation_factor: Budget multiplier applied after a starvation
+            abort (stall), the Section 3.3 priority escalation.
+        max_budget: Ceiling for the escalated budget.
+        max_steps_per_attempt: Safety net against a wedged attempt.
+        on_wait: Optional callback receiving each backoff duration in wait
+            units (e.g. ``time.sleep`` or a simulator clock advance).
+    """
+
+    def __init__(self, db: Database,
+                 factory: Callable[[], Transformation], *,
+                 budget: int = 256,
+                 max_attempts: int = 8,
+                 backoff_base: float = 1.0,
+                 backoff_factor: float = 2.0,
+                 backoff_cap: float = 60.0,
+                 escalation_factor: int = 4,
+                 max_budget: int = 1 << 20,
+                 max_steps_per_attempt: int = 1_000_000,
+                 on_wait: Optional[Callable[[float], None]] = None) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.db = db
+        self.factory = factory
+        self.budget = budget
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_cap = backoff_cap
+        self.escalation_factor = escalation_factor
+        self.max_budget = max_budget
+        self.max_steps_per_attempt = max_steps_per_attempt
+        self.on_wait = on_wait
+        #: What happened, for assertions and operator dashboards.
+        self.stats: Dict[str, object] = {
+            "attempts": 0, "aborts": 0, "starvations": 0,
+            "total_wait": 0.0, "final_budget": budget,
+        }
+        #: Per-attempt ``(budget, outcome)`` history.
+        self.history: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Transformation:
+        """Drive attempts until one completes; returns the completed
+        transformation.  Re-raises the last abort after ``max_attempts``."""
+        budget = self.budget
+        wait = self.backoff_base
+        last_error: Optional[TransformationAbortedError] = None
+        for attempt in range(1, self.max_attempts + 1):
+            self.stats["attempts"] = attempt
+            self.stats["final_budget"] = budget
+            tf = self.factory()
+            try:
+                self._drive(tf, budget)
+                self.history.append({"budget": budget, "outcome": "done"})
+                return tf
+            except TransformationStarvedError as exc:
+                last_error = exc
+                self.stats["aborts"] = int(self.stats["aborts"]) + 1
+                self.stats["starvations"] = \
+                    int(self.stats["starvations"]) + 1
+                self.history.append({"budget": budget,
+                                     "outcome": "starved"})
+                self._ensure_aborted(tf)
+                budget = min(self.max_budget,
+                             budget * self.escalation_factor)
+            except TransformationAbortedError as exc:
+                last_error = exc
+                self.stats["aborts"] = int(self.stats["aborts"]) + 1
+                self.history.append({"budget": budget,
+                                     "outcome": "aborted"})
+                self._ensure_aborted(tf)
+            if attempt < self.max_attempts:
+                self._wait(wait)
+                wait = min(self.backoff_cap, wait * self.backoff_factor)
+        assert last_error is not None
+        raise last_error
+
+    # ------------------------------------------------------------------
+
+    def _drive(self, tf: Transformation, budget: int) -> None:
+        """One attempt: step until done; abort + raise on stall."""
+        for _ in range(self.max_steps_per_attempt):
+            report = tf.step(budget)
+            if report.done:
+                return
+            if report.stalled:
+                tf.abort()
+                raise TransformationStarvedError(
+                    f"{tf.transform_id}: starved at budget {budget} "
+                    "(Section 3.3); escalating priority")
+        tf.abort()
+        raise TransformationAbortedError(
+            f"{tf.transform_id}: exceeded {self.max_steps_per_attempt} "
+            "steps in one attempt")
+
+    def _ensure_aborted(self, tf: Transformation) -> None:
+        """Guarantee the failed attempt left zero residue behind."""
+        if tf.phase not in (Phase.ABORTED, Phase.DONE, Phase.BACKGROUND):
+            tf.abort()
+
+    def _wait(self, wait: float) -> None:
+        self.stats["total_wait"] = float(self.stats["total_wait"]) + wait
+        if self.on_wait is not None:
+            self.on_wait(wait)

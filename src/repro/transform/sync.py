@@ -38,6 +38,7 @@ from repro.common.errors import TransformationStateError
 from repro.concurrency.locks import LockMode, LockOrigin, record_resource
 from repro.concurrency.transactions import Transaction
 from repro.engine.database import Database
+from repro.faults import register_site
 from repro.storage.table import Table
 from repro.transform.base import (
     Phase,
@@ -50,6 +51,46 @@ from repro.wal.records import (
     FuzzyMarkRecord,
     TransformSwapRecord,
 )
+
+SITE_SYNC_LATCH = register_site(
+    "sync.latch", "sync", "before the source-table latches are taken")
+SITE_SYNC_LATCHED = register_site(
+    "sync.latched", "sync",
+    "inside the critical section, all source latches held")
+SITE_SYNC_FINAL_PROP = register_site(
+    "sync.final_propagation", "sync",
+    "before a final-propagation batch inside the latched/blocked window")
+SITE_SYNC_MATERIALIZE = register_site(
+    "sync.materialize", "sync",
+    "before propagated locks are materialized into the lock manager")
+SITE_SYNC_PRE_SWAP = register_site(
+    "sync.pre_swap", "sync",
+    "caught up, locks materialized, right before the swap record")
+SITE_SYNC_SWAP_LOGGED = register_site(
+    "sync.swap.logged", "sync",
+    "just after the TransformSwapRecord hits the log, before the "
+    "catalog swap")
+SITE_SYNC_SWAPPED = register_site(
+    "sync.swapped", "sync", "just after the atomic catalog swap")
+SITE_SYNC_UNLATCH = register_site(
+    "sync.unlatch", "sync", "before the source latches are dropped")
+SITE_SYNC_FINISH = register_site(
+    "sync.finish", "sync", "before the end mark completes the transform")
+SITE_SYNC_BLOCK = register_site(
+    "sync.block", "sync",
+    "before new transactions are blocked (blocking commit)")
+SITE_SYNC_DRAIN = register_site(
+    "sync.drain", "sync",
+    "while draining active transactions (blocking commit)")
+SITE_SYNC_DOOM = register_site(
+    "sync.doom", "sync",
+    "before old transactions are doomed (non-blocking abort)")
+SITE_SYNC_MIRROR_INSTALL = register_site(
+    "sync.mirror.install", "sync",
+    "before the LockMirror is installed (non-blocking commit)")
+SITE_SYNC_BACKGROUND = register_site(
+    "sync.background.step", "sync",
+    "before each post-swap background propagation step")
 
 
 def build_sync_executor(tf: Transformation,
@@ -76,6 +117,14 @@ class _SyncExecutor:
         #: quantity behind the paper's "< 1 ms" synchronization claim.
         self.latched_units = 0
         self._window_reported = False
+        #: Tables this executor currently holds the latch on; the basis of
+        #: the exception-safe window (see :meth:`cleanup`).
+        self._latched_tables: List[Table] = []
+
+    @property
+    def faults(self):
+        """The database's fault injector (read dynamically)."""
+        return self.tf.faults
 
     # -- building blocks ------------------------------------------------------
 
@@ -90,16 +139,43 @@ class _SyncExecutor:
                            tables=tuple(self.tf.source_tables))
 
     def _latch_sources(self) -> None:
+        self.faults.fire(SITE_SYNC_LATCH, transform=self.tf.transform_id)
         self._open_window()
         for table in self._source_objects():
             # Engine-level latch entry point, symmetric with
             # _unlatch_sources below -- both halves of the latched window
-            # go through Database-level bookkeeping.
+            # go through Database-level bookkeeping.  Tracking each latch
+            # as it is taken means cleanup() releases exactly what was
+            # acquired even if this loop dies halfway.
             self.db.latch_table(table, self.tf.transform_id)
+            self._latched_tables.append(table)
+        self.faults.fire(SITE_SYNC_LATCHED, transform=self.tf.transform_id)
 
     def _unlatch_sources(self, tables: Sequence[Table]) -> None:
+        self.faults.fire(SITE_SYNC_UNLATCH, transform=self.tf.transform_id)
         for table in tables:
             self.db.unlatch_table(table, self.tf.transform_id)
+            if table in self._latched_tables:
+                self._latched_tables.remove(table)
+        self._close_latched_window()
+
+    def cleanup(self) -> None:
+        """Release every shared-system hold this executor may have.
+
+        Called from the exception-safe window wrappers in :meth:`step` and
+        from :meth:`Transformation.abort`, so no failure path -- injected
+        or organic -- can leak a table latch, a blocked table or an
+        installed lock mirror.  Idempotent.
+        """
+        for table in list(self._latched_tables):
+            if self.db.locks.is_latched(table.uid):
+                self.db.unlatch_table(table, self.tf.transform_id)
+        self._latched_tables = []
+        blocked = [name for name in self.tf.source_tables
+                   if self.db.catalog.is_blocked(name)]
+        if blocked:
+            self.db.unblock_tables(blocked)
+        self._background_done()
         self._close_latched_window()
 
     def _note_latched(self, units: float) -> None:
@@ -123,6 +199,8 @@ class _SyncExecutor:
 
     def _final_propagation(self, budget: int) -> Tuple[int, bool]:
         """Propagate toward the current end of the log; (units, caught_up)."""
+        self.faults.fire(SITE_SYNC_FINAL_PROP, transform=self.tf.transform_id,
+                         state=self.state)
         self.tf._iteration_target = self.db.log.end_lsn
         units = self.tf._propagate_batch(budget)
         caught_up = self.tf._remaining() == 0
@@ -136,6 +214,10 @@ class _SyncExecutor:
         until now "they are ignored"; from now on they are real)."""
         engine = self.tf.engine
         assert engine is not None
+        self.faults.fire(SITE_SYNC_MATERIALIZE,
+                         transform=self.tf.transform_id,
+                         txns=tuple(t.txn_id for t in txns))
+        self.tf._proxied_txn_ids.update(t.txn_id for t in txns)
         source_uids = {t.uid: t.name for t in self._source_objects()}
         for txn in txns:
             owner = proxy_owner(txn.txn_id)
@@ -158,6 +240,7 @@ class _SyncExecutor:
                         mode, LockOrigin.SOURCE_A)
 
     def _write_swap_record(self, doomed: Sequence[int]) -> None:
+        self.faults.fire(SITE_SYNC_PRE_SWAP, transform=self.tf.transform_id)
         self.db.log.append(TransformSwapRecord(
             transform_id=self.tf.transform_id,
             transform_kind=self.tf.kind,
@@ -167,12 +250,16 @@ class _SyncExecutor:
             params=self.tf._swap_params(),
             doomed_txns=tuple(doomed),
         ))
+        self.faults.fire(SITE_SYNC_SWAP_LOGGED,
+                         transform=self.tf.transform_id)
 
     def _swap(self, keep_zombies: bool) -> None:
         self.db.catalog.swap(self.tf.source_tables, dict(self.tf.targets),
                              keep_zombies=keep_zombies)
+        self.faults.fire(SITE_SYNC_SWAPPED, transform=self.tf.transform_id)
 
     def _finish(self) -> None:
+        self.faults.fire(SITE_SYNC_FINISH, transform=self.tf.transform_id)
         for name in self.tf.source_tables:
             if self.db.catalog.is_zombie(name):
                 self.db.catalog.drop_zombie(name)
@@ -183,6 +270,8 @@ class _SyncExecutor:
 
     def _background_step(self, budget: int) -> int:
         """Post-swap propagation while old transactions live."""
+        self.faults.fire(SITE_SYNC_BACKGROUND,
+                         transform=self.tf.transform_id)
         units, caught_up = self._final_propagation(budget)
         old = self.tf._old_txn_ids
         all_finished = all(self.db.txns.get(i).is_finished for i in old)
@@ -220,11 +309,24 @@ class BlockingCommitSync(_SyncExecutor):
         return self.state == "final"
 
     def step(self, budget: int) -> int:
+        # The whole state machine runs with the source tables blocked from
+        # the first step on; any exception (injected fault included) must
+        # lift the block before propagating, or new transactions would be
+        # parked forever on an abandoned synchronization.
+        try:
+            return self._step_states(budget)
+        except BaseException:
+            self.cleanup()
+            raise
+
+    def _step_states(self, budget: int) -> int:
         if self.state == "start":
+            self.faults.fire(SITE_SYNC_BLOCK, transform=self.tf.transform_id)
             self.db.catalog.block(self.tf.source_tables)
             self.state = "drain"
             return 1
         if self.state == "drain":
+            self.faults.fire(SITE_SYNC_DRAIN, transform=self.tf.transform_id)
             if self._active_source_txns():
                 return 0  # waiting for old transactions to complete
             self.state = "final"
@@ -254,6 +356,16 @@ class NonBlockingAbortSync(_SyncExecutor):
     """
 
     def step(self, budget: int) -> int:
+        # Exception-safe latched window: whatever dies between
+        # _latch_sources() and _unlatch_sources() -- injected faults
+        # included -- must never leak a table latch.
+        try:
+            return self._step_states(budget)
+        except BaseException:
+            self.cleanup()
+            raise
+
+    def _step_states(self, budget: int) -> int:
         if self.state == "start":
             self._latch_sources()
             self.state = "final"
@@ -275,6 +387,8 @@ class NonBlockingAbortSync(_SyncExecutor):
             # operation surfaces TransactionAbortedError) and roll them
             # back now so their CLRs and abort records enter the log for
             # the background propagator.
+            self.faults.fire(SITE_SYNC_DOOM, transform=self.tf.transform_id,
+                             doomed=tuple(sorted(self.tf._old_txn_ids)))
             for txn in old_txns:
                 txn.doom(f"aborted by transformation "
                          f"{self.tf.transform_id} (non-blocking abort)")
@@ -305,6 +419,14 @@ class NonBlockingCommitSync(_SyncExecutor):
         self.mirror: Optional[LockMirror] = None
 
     def step(self, budget: int) -> int:
+        # Exception-safe latched window (see NonBlockingAbortSync.step).
+        try:
+            return self._step_states(budget)
+        except BaseException:
+            self.cleanup()
+            raise
+
+    def _step_states(self, budget: int) -> int:
         if self.state == "start":
             self._latch_sources()
             self.state = "final"
@@ -323,6 +445,8 @@ class NonBlockingCommitSync(_SyncExecutor):
             self._write_swap_record(doomed=())
             self._swap(keep_zombies=bool(old_txns))
             if old_txns:
+                self.faults.fire(SITE_SYNC_MIRROR_INSTALL,
+                                 transform=self.tf.transform_id)
                 self.mirror = LockMirror(self.tf)
                 self.db.lock_mirrors.append(self.mirror)
                 self.tf.phase = Phase.BACKGROUND

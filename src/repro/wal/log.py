@@ -15,11 +15,19 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, List, Optional
 
+from repro.faults import NULL_FAULTS, FaultInjector, register_site
 from repro.obs import NULL_METRICS, Metrics
 from repro.wal.records import NULL_LSN, LogRecord
 
 #: First LSN ever assigned.  LSN 0 is reserved as the null LSN.
 FIRST_LSN = 1
+
+SITE_WAL_APPEND = register_site(
+    "wal.append", "wal", "before a record is assigned an LSN and stored")
+SITE_WAL_APPEND_DONE = register_site(
+    "wal.append.done", "wal", "after a record is stored, before observers")
+SITE_WAL_FLUSH = register_site(
+    "wal.flush", "wal", "before the durability horizon advances")
 
 
 class LogManager:
@@ -36,12 +44,15 @@ class LogManager:
     raises :class:`IndexError`).
     """
 
-    def __init__(self, metrics: Optional[Metrics] = None) -> None:
+    def __init__(self, metrics: Optional[Metrics] = None,
+                 faults: Optional[FaultInjector] = None) -> None:
         self._records: List[LogRecord] = []
         self._flushed_lsn = NULL_LSN
         #: Observability registry (``wal.appends``, ``wal.flushes``,
         #: ``wal.tail_depth``); the shared no-op singleton by default.
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: Fault injector; the shared no-op singleton by default.
+        self.faults = faults if faults is not None else NULL_FAULTS
         #: Observers called synchronously with each appended record.  Used
         #: by tests and by the simulator's accounting; the transformation
         #: framework deliberately does NOT use observers -- it polls the log
@@ -60,9 +71,12 @@ class LogManager:
         """
         if record.lsn != NULL_LSN:
             raise ValueError(f"record already appended: lsn={record.lsn}")
+        self.faults.fire(SITE_WAL_APPEND, kind=record.kind)
         record.lsn = FIRST_LSN + len(self._records)
         record.prev_lsn = prev_lsn
         self._records.append(record)
+        self.faults.fire(SITE_WAL_APPEND_DONE, kind=record.kind,
+                         lsn=record.lsn)
         self.metrics.inc("wal.appends")
         for observer in self.observers:
             observer(record)
@@ -78,6 +92,7 @@ class LogManager:
         """
         if up_to_lsn is not None and up_to_lsn < 0:
             raise ValueError(f"negative lsn: {up_to_lsn}")
+        self.faults.fire(SITE_WAL_FLUSH, up_to_lsn=up_to_lsn)
         target = self.end_lsn if up_to_lsn is None \
             else min(up_to_lsn, self.end_lsn)
         if self.metrics.enabled:

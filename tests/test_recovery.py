@@ -180,3 +180,110 @@ def test_loser_on_zombie_source_undone_and_propagated(foj_db):
     recovered = restart(foj_db.log)
     row = recovered.table("T").get((0,))
     assert row.values["b"] != "old-txn-dirty"  # compensation propagated
+
+
+# ---------------------------------------------------------------------------
+# Injected crashes during synchronization (one per strategy, two crash
+# points: inside the latched window and just after the swap record)
+# ---------------------------------------------------------------------------
+
+from repro import SyncStrategy  # noqa: E402
+from repro.common.errors import SimulatedCrashError  # noqa: E402
+from repro.faults import (  # noqa: E402
+    NULL_FAULTS,
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+)
+
+SYNC_STRATEGIES = (SyncStrategy.BLOCKING_COMMIT,
+                   SyncStrategy.NONBLOCKING_ABORT,
+                   SyncStrategy.NONBLOCKING_COMMIT)
+
+
+def _crash_transformation(db, tf):
+    """Drive until the armed crash fault fires; detach the injector from
+    the surviving log (the injector dies with the crashed process)."""
+    with pytest.raises(SimulatedCrashError):
+        for _ in range(100000):
+            tf.step(4096)
+        raise AssertionError("armed crash fault never fired")
+    db.log.faults = NULL_FAULTS
+
+
+@pytest.mark.parametrize("strategy", SYNC_STRATEGIES,
+                         ids=lambda s: s.value)
+def test_crash_inside_latched_window_discards_transformation(
+        foj_db, strategy):
+    """A kill during the final propagation (sources latched, swap record
+    not yet written) recovers to the untransformed schema: sources intact,
+    transient targets gone (Section 6)."""
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    r_before = values_of(foj_db, "R")
+    s_before = values_of(foj_db, "S")
+    foj_db.attach_faults(FaultInjector(
+        FaultPlan().arm("sync.final_propagation", CrashFault())))
+    tf = FojTransformation(foj_db, foj_spec(foj_db),
+                           sync_strategy=strategy)
+    _crash_transformation(foj_db, tf)
+    assert not any(isinstance(r, TransformSwapRecord)
+                   for r in foj_db.log.scan())
+    recovered = restart(foj_db.log)
+    assert sorted(recovered.catalog.table_names()) == ["R", "S"]
+    assert rows_equal(values_of(recovered, "R"), r_before)
+    assert rows_equal(values_of(recovered, "S"), s_before)
+    assert not recovered.catalog.zombie_names()
+    assert not recovered.locks._latches
+    # The recovered database can run the transformation again, fault-free.
+    FojTransformation(recovered, foj_spec(recovered),
+                      sync_strategy=strategy).run(budget=4096)
+    assert rows_equal(values_of(recovered, "T"),
+                      full_outer_join(foj_spec(foj_db), r_before, s_before))
+
+
+@pytest.mark.parametrize("strategy", SYNC_STRATEGIES,
+                         ids=lambda s: s.value)
+def test_crash_just_after_swap_record_rebuilds_target(foj_db, strategy):
+    """A kill right after the TransformSwapRecord hits the log -- before
+    the in-memory catalog swap even ran -- must recover to the *new*
+    schema, with T recomputed from the recovered sources."""
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    spec = foj_spec(foj_db)
+    expected = full_outer_join(spec, values_of(foj_db, "R"),
+                               values_of(foj_db, "S"))
+    foj_db.attach_faults(FaultInjector(
+        FaultPlan().arm("sync.swap.logged", CrashFault())))
+    tf = FojTransformation(foj_db, spec, sync_strategy=strategy)
+    _crash_transformation(foj_db, tf)
+    assert any(isinstance(r, TransformSwapRecord)
+               for r in foj_db.log.scan())
+    recovered = restart(foj_db.log)
+    assert recovered.catalog.table_names() == ["T"]
+    assert rows_equal(values_of(recovered, "T"), expected)
+    assert not recovered.catalog.zombie_names()
+    # The published table accepts new work immediately.
+    with Session(recovered) as s:
+        s.insert("T", {"a": 900, "b": "post", "c": 900})
+    assert recovered.table("T").get((900,)) is not None
+
+
+def test_crash_after_swap_with_doomed_txn_compensates(foj_db):
+    """Non-blocking abort: the swap record dooms a still-active old
+    transaction; a crash before its forced rollback finishes must leave a
+    recovered T with that transaction compensated away."""
+    load_foj_data(foj_db, n_r=10, n_s=5)
+    spec = foj_spec(foj_db)
+    expected = full_outer_join(spec, values_of(foj_db, "R"),
+                               values_of(foj_db, "S"))
+    old = foj_db.begin()
+    foj_db.update(old, "R", (1,), {"b": "doomed-dirty"})
+    foj_db.attach_faults(FaultInjector(
+        FaultPlan().arm("sync.swap.logged", CrashFault())))
+    tf = FojTransformation(foj_db, spec,
+                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+    _crash_transformation(foj_db, tf)
+    recovered = restart(foj_db.log)
+    # The doomed transaction never committed: its update is compensated
+    # out of the rebuilt T (expected was computed before the update).
+    assert rows_equal(values_of(recovered, "T"), expected)
+    assert not recovered.txns.active_txns()

@@ -412,3 +412,68 @@ def test_blocking_commit_drain_survives_lock_chain(foj_db):
     foj_db.commit(old)
     tf.run()
     assert tf.done
+
+
+# ---------------------------------------------------------------------------
+# Injected crashes inside the synchronization critical section (split)
+# ---------------------------------------------------------------------------
+
+from repro import restart  # noqa: E402
+from repro.common.errors import SimulatedCrashError  # noqa: E402
+from repro.faults import (  # noqa: E402
+    NULL_FAULTS,
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.relational import split as split_oracle  # noqa: E402
+
+_SYNC_STRATEGIES = (SyncStrategy.BLOCKING_COMMIT,
+                    SyncStrategy.NONBLOCKING_ABORT,
+                    SyncStrategy.NONBLOCKING_COMMIT)
+
+
+def _crash(db, tf):
+    with pytest.raises(SimulatedCrashError):
+        for _ in range(100000):
+            tf.step(4096)
+        raise AssertionError("armed crash fault never fired")
+    db.log.faults = NULL_FAULTS  # the injector dies with the process
+
+
+@pytest.mark.parametrize("strategy", _SYNC_STRATEGIES,
+                         ids=lambda s: s.value)
+def test_split_crash_in_latched_window_leaves_no_residue(split_db,
+                                                         strategy):
+    load_split_data(split_db, n=12)
+    t_before = values_of(split_db, "T")
+    split_db.attach_faults(FaultInjector(
+        FaultPlan().arm("sync.final_propagation", CrashFault())))
+    tf = SplitTransformation(split_db, split_spec(split_db),
+                             sync_strategy=strategy)
+    _crash(split_db, tf)
+    # Exception safety on the dying process: the window is closed.
+    assert not split_db.locks._latches
+    assert not split_db.catalog.is_blocked("T")
+    # And the surviving log recovers to the untransformed schema.
+    recovered = restart(split_db.log)
+    assert recovered.catalog.table_names() == ["T"]
+    assert rows_equal(values_of(recovered, "T"), t_before)
+
+
+@pytest.mark.parametrize("strategy", _SYNC_STRATEGIES,
+                         ids=lambda s: s.value)
+def test_split_crash_after_swap_record_publishes_both_tables(split_db,
+                                                             strategy):
+    load_split_data(split_db, n=12)
+    spec = split_spec(split_db)
+    r_exp, s_exp, _, _ = split_oracle(spec, values_of(split_db, "T"))
+    split_db.attach_faults(FaultInjector(
+        FaultPlan().arm("sync.swap.logged", CrashFault())))
+    tf = SplitTransformation(split_db, spec, sync_strategy=strategy)
+    _crash(split_db, tf)
+    recovered = restart(split_db.log)
+    assert sorted(recovered.catalog.table_names()) == ["T_r", "postal"]
+    assert rows_equal(values_of(recovered, "T_r"), r_exp)
+    assert rows_equal(values_of(recovered, "postal"), s_exp)
+    assert not recovered.catalog.zombie_names()
