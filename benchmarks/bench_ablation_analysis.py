@@ -20,6 +20,7 @@ from benchmarks.harness import (
     n_max_for,
     print_series,
     run_benchmark,
+    save_bench_report,
     save_results,
     seed_list,
     split_builder,
@@ -59,6 +60,12 @@ def bench_ablation_analysis(benchmark, capsys):
         ["max remaining", "latch units", "iterations"],
         rows, capsys)
     save_results("ablation_analysis", lines)
+    save_bench_report(
+        "ablation_analysis",
+        split_builder(0.2, tf_kwargs={
+            "policy": RemainingRecordsPolicy(max_remaining=THRESHOLDS[1])}),
+        meta={"thresholds": list(THRESHOLDS),
+              "observed_threshold": THRESHOLDS[1]})
     by_threshold = {t: latch for t, latch, _ in rows}
     # A looser threshold may not reduce the latch below the tight one.
     assert by_threshold[4] <= by_threshold[1024] + 8

@@ -20,6 +20,7 @@ from benchmarks.harness import (
     n_max_for,
     print_series,
     run_benchmark,
+    save_bench_report,
     save_results,
     split_builder,
 )
@@ -67,6 +68,8 @@ def bench_blocking_baseline(benchmark, capsys):
         ["method", "blocked ms", "max resp ms", "completion ms"],
         rows, capsys)
     save_results("blocking_baseline", lines)
+    save_bench_report("blocking_baseline", blocking_builder,
+                      meta={"method": "blocking insert-select"})
     online_blocked = rows[0][1]
     baseline_blocked = rows[1][1]
     online_worst = rows[0][2]

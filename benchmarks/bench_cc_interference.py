@@ -17,6 +17,7 @@ from benchmarks.harness import (
     n_max_for,
     print_series,
     run_benchmark,
+    save_bench_report,
     save_results,
     split_builder,
     workload_points,
@@ -54,6 +55,11 @@ def bench_cc_interference(benchmark, capsys):
             rows, capsys)
         all_lines.extend(lines)
     save_results("cc_interference", all_lines)
+    # Observe the CC-enabled variant so the report carries cc.pass spans.
+    save_bench_report(
+        "cc_interference",
+        split_builder(0.2, tf_kwargs={"check_consistency": True}),
+        meta={"priority": PRIORITY, "check_consistency": True})
 
     plain = {pct: thr for pct, thr, _ in series["plain"]}
     with_cc = {pct: thr for pct, thr, _ in series["with CC"]}

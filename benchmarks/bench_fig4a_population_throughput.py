@@ -17,6 +17,7 @@ from benchmarks.harness import (
     n_max_for,
     print_series,
     run_benchmark,
+    save_bench_report,
     save_results,
     split_builder,
     workload_points,
@@ -47,6 +48,9 @@ def bench_fig4a_population_throughput(benchmark, capsys):
         ["workload %", "rel throughput", "rel response"],
         rows, capsys)
     save_results("fig4a", lines)
+    save_bench_report("fig4a", split_builder(source_fraction=0.2),
+                      meta={"figure": "4a", "priority": PRIORITY,
+                            "n_max_clients": n_max})
     benchmark.extra_info["n_max_clients"] = n_max
     benchmark.extra_info["series"] = [
         {"workload": pct, "rel_throughput": thr} for pct, thr, _ in rows]

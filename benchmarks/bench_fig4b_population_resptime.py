@@ -18,6 +18,7 @@ from benchmarks.harness import (
     n_max_for,
     print_series,
     run_benchmark,
+    save_bench_report,
     save_results,
     split_builder,
     workload_points,
@@ -48,6 +49,8 @@ def bench_fig4b_population_resptime(benchmark, capsys):
         ["workload %", "rel response", "rel throughput"],
         rows, capsys)
     save_results("fig4b", lines)
+    save_bench_report("fig4b", split_builder(source_fraction=0.2),
+                      meta={"figure": "4b", "priority": PRIORITY})
     benchmark.extra_info["series"] = [
         {"workload": pct, "rel_response": rt} for pct, rt, _ in rows]
 

@@ -24,6 +24,7 @@ from benchmarks.harness import (
     print_series,
     propagation_builder,
     run_benchmark,
+    save_bench_report,
     save_results,
     workload_points,
 )
@@ -64,6 +65,14 @@ def bench_fig4c_propagation_mix(benchmark, capsys):
             rows, capsys)
         all_lines.extend(lines)
     save_results("fig4c", all_lines)
+    # The propagation scenario never synchronizes by design, so the
+    # observed run must stop at the window, not wait for completion.
+    save_bench_report(
+        "fig4c", propagation_builder(0.2),
+        settings=RunSettings(n_clients=6, warmup_ms=10.0, window_ms=400.0,
+                             priority=0.2, stop_after_window=True),
+        meta={"figure": "4c", "fractions": [0.2, 0.8],
+              "priorities": {str(f): result[f][0] for f in result}})
     benchmark.extra_info["priorities"] = {
         str(f): result[f][0] for f in result}
 

@@ -22,6 +22,7 @@ from benchmarks.harness import (
     n_max_for,
     print_series,
     run_benchmark,
+    save_bench_report,
     save_results,
     split_builder,
 )
@@ -60,6 +61,9 @@ def bench_fig4d_priority_sweep(benchmark, capsys):
         ["priority", "completion ms", "rel throughput"],
         rows, capsys)
     save_results("fig4d", lines)
+    save_bench_report("fig4d", split_builder(source_fraction=0.2),
+                      meta={"figure": "4d",
+                            "priorities_swept": list(PRIORITIES)})
     completion = {p: c for p, c, _ in rows}
     interference = {p: i for p, _, i in rows}
     benchmark.extra_info["divergence_below"] = max(

@@ -18,6 +18,7 @@ from benchmarks.harness import (
     n_max_for,
     print_series,
     run_benchmark,
+    save_bench_report,
     save_results,
     split_builder,
     workload_points,
@@ -53,6 +54,9 @@ def bench_foj_interference(benchmark, capsys):
             rows, capsys)
         all_lines.extend(lines)
     save_results("foj_interference", all_lines)
+    save_bench_report("foj_interference", foj_builder(0.2),
+                      meta={"comparison": "foj vs split",
+                            "priority": PRIORITY})
 
     foj = {pct: thr for pct, thr, _ in series["foj"]}
     split_ = {pct: thr for pct, thr, _ in series["split"]}

@@ -17,6 +17,7 @@ from benchmarks.harness import (
     n_max_for,
     print_series,
     run_benchmark,
+    save_bench_report,
     save_results,
     split_builder,
 )
@@ -46,6 +47,9 @@ def bench_offhours_summary(benchmark, capsys):
         ["workload %", "thr loss %", "resp gain %"],
         rows, capsys)
     save_results("offhours", lines)
+    save_bench_report("offhours", split_builder(source_fraction=0.2),
+                      meta={"operating_points_pct": [50, 70],
+                            "priority": PRIORITY})
     by_pct = {pct: (thr_loss, rt_gain) for pct, thr_loss, rt_gain in rows}
 
     # Paper bounds with slack for the model's noise floor.

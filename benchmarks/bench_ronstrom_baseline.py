@@ -21,6 +21,7 @@ from benchmarks.harness import (
     n_max_for,
     print_series,
     run_benchmark,
+    save_bench_report,
     save_results,
     split_builder,
 )
@@ -69,6 +70,9 @@ def bench_ronstrom_baseline(benchmark, capsys):
         ["method", "mean resp ms", "rel to no-change"],
         rows, capsys)
     save_results("ronstrom_baseline", lines)
+    save_bench_report("ronstrom_baseline", ronstrom_builder,
+                      meta={"method": "trigger-based",
+                            "source_fraction": FRACTION})
     online_resp = rows[0][1]
     trigger_resp = rows[1][1]
     assert trigger_resp > online_resp, \

@@ -19,6 +19,7 @@ from benchmarks.harness import (
     n_max_for,
     print_series,
     run_benchmark,
+    save_bench_report,
     save_results,
     save_results_json,
     series_payload,
@@ -61,6 +62,8 @@ def bench_sync_latency(benchmark, capsys):
         [(blocking_ms, blocking_ms / max(r[1] for r in rows), 0.0)],
         capsys)
     save_results("sync_latency", lines)
+    save_bench_report("sync_latency", split_builder(source_fraction=0.2),
+                      meta={"blocking_ms": blocking_ms})
     payload = series_payload("sync_latency", PAPER["sync"],
                              ["seed", "latch_ms", "completion_ms"], rows)
     payload["blocking_ms"] = blocking_ms

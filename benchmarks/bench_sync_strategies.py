@@ -24,6 +24,7 @@ from benchmarks.harness import (
     n_max_for,
     print_series,
     run_benchmark,
+    save_bench_report,
     save_results,
     save_results_json,
     series_payload,
@@ -62,6 +63,10 @@ def bench_sync_strategies(benchmark, capsys):
          "duration ms"],
         rows, capsys)
     save_results("sync_strategies", lines)
+    save_bench_report(
+        "sync_strategies",
+        builder_for(SyncStrategy.NONBLOCKING_COMMIT),
+        meta={"observed_strategy": SyncStrategy.NONBLOCKING_COMMIT.value})
     save_results_json("sync_strategies", series_payload(
         "sync_strategies",
         "paper §3.4/§6: strategy trade-offs at 75% workload",

@@ -72,75 +72,99 @@ def register_rebuilder(kind: str, fn: RebuildFn) -> None:
     _REBUILDERS[kind] = fn
 
 
-def restart(log: LogManager) -> Database:
+def restart(log: LogManager, metrics=None) -> Database:
     """Rebuild a database from its log after a crash.
 
     Returns a fresh :class:`Database` sharing ``log`` (so processing can
     continue and append to the same history).  Loser transactions are
     rolled back before return; their CLRs are appended to the log.
+
+    When a :class:`~repro.obs.metrics.Metrics` registry is passed, the
+    three passes are recorded as ``recovery.analysis`` / ``recovery.redo``
+    / ``recovery.undo`` spans under one ``recovery`` root, with record and
+    loser counts as span attributes.
     """
-    db = Database(log=log)
+    from repro.obs import NULL_METRICS
+    obs = metrics if metrics is not None else NULL_METRICS
+    db = Database(log=log, metrics=metrics)
     end_lsn = log.end_lsn
 
-    losers, in_commit, max_txn_id = _analysis(log, end_lsn)
-    propagators: List[object] = []
-    transient_names: Set[str] = set()
+    with obs.span("recovery", end_lsn=end_lsn) as root:
+        with obs.span("recovery.analysis") as pass_span:
+            losers, in_commit, max_txn_id = _analysis(log, end_lsn)
+            if obs.enabled:
+                pass_span.attrs["losers"] = len(losers)
+                pass_span.attrs["in_commit"] = len(in_commit)
+        propagators: List[object] = []
+        transient_names: Set[str] = set()
 
-    # ---- redo ------------------------------------------------------------
-    for record in log.scan(to_lsn=end_lsn):
-        if isinstance(record, CreateTableRecord):
-            if record.transient:
-                transient_names.add(record.schema.name)
-            else:
-                db.catalog.create_table(record.schema)
-        elif isinstance(record, DropTableRecord):
-            if record.table in transient_names:
-                transient_names.discard(record.table)
-            elif db.catalog.exists(record.table):
-                db.catalog.drop_table(record.table)
-            else:
-                db.catalog.drop_zombie(record.table)
-        elif isinstance(record, RenameTableRecord):
-            if record.old_name in transient_names:
-                transient_names.discard(record.old_name)
-                transient_names.add(record.new_name)
-            else:
-                db.catalog.rename_table(record.old_name, record.new_name)
-        elif isinstance(record, TransformSwapRecord):
-            propagator = _replay_swap(db, record, transient_names)
-            if propagator is not None:
-                propagators.append(propagator)
-        else:
-            change = data_change_of(record)
-            if change is not None:
-                _redo(db, change, record.lsn)
-                for propagator in propagators:
-                    propagator.apply(record)
+        # ---- redo --------------------------------------------------------
+        with obs.span("recovery.redo") as pass_span:
+            replayed = 0
+            for record in log.scan(to_lsn=end_lsn):
+                replayed += 1
+                if isinstance(record, CreateTableRecord):
+                    if record.transient:
+                        transient_names.add(record.schema.name)
+                    else:
+                        db.catalog.create_table(record.schema)
+                elif isinstance(record, DropTableRecord):
+                    if record.table in transient_names:
+                        transient_names.discard(record.table)
+                    elif db.catalog.exists(record.table):
+                        db.catalog.drop_table(record.table)
+                    else:
+                        db.catalog.drop_zombie(record.table)
+                elif isinstance(record, RenameTableRecord):
+                    if record.old_name in transient_names:
+                        transient_names.discard(record.old_name)
+                        transient_names.add(record.new_name)
+                    else:
+                        db.catalog.rename_table(record.old_name,
+                                                record.new_name)
+                elif isinstance(record, TransformSwapRecord):
+                    propagator = _replay_swap(db, record, transient_names)
+                    if propagator is not None:
+                        propagators.append(propagator)
+                else:
+                    change = data_change_of(record)
+                    if change is not None:
+                        _redo(db, change, record.lsn)
+                        for propagator in propagators:
+                            propagator.apply(record)
+            if obs.enabled:
+                pass_span.attrs["records"] = replayed
 
-    # ---- undo ------------------------------------------------------------
-    db.txns._next_id = max_txn_id + 1  # resume the id sequence
-    for txn_id in in_commit:
-        # Commit record present, end record lost in the crash: complete
-        # the commit instead of rolling the winner back.
-        log.append(EndRecord(txn_id=txn_id))
-    for txn_id in sorted(losers, reverse=True):
-        state = losers[txn_id]
-        txn = Transaction(txn_id)
-        txn.first_lsn = state.first_lsn
-        txn.last_lsn = state.last_lsn
-        txn.state = TxnState.ACTIVE
-        db.txns._txns[txn_id] = txn
-        undo_from = log.end_lsn
-        db.abort(txn)
-        # Feed the freshly written CLRs to any live propagator so aborted
-        # old transactions also converge in the published tables.
-        for record in log.scan(undo_from + 1):
-            for propagator in propagators:
-                propagator.apply(record)
+        # ---- undo --------------------------------------------------------
+        with obs.span("recovery.undo") as pass_span:
+            db.txns._next_id = max_txn_id + 1  # resume the id sequence
+            for txn_id in in_commit:
+                # Commit record present, end record lost in the crash:
+                # complete the commit instead of rolling the winner back.
+                log.append(EndRecord(txn_id=txn_id))
+            for txn_id in sorted(losers, reverse=True):
+                state = losers[txn_id]
+                txn = Transaction(txn_id)
+                txn.first_lsn = state.first_lsn
+                txn.last_lsn = state.last_lsn
+                txn.state = TxnState.ACTIVE
+                db.txns._txns[txn_id] = txn
+                undo_from = log.end_lsn
+                db.abort(txn)
+                # Feed the freshly written CLRs to any live propagator so
+                # aborted old transactions also converge in the published
+                # tables.
+                for record in log.scan(undo_from + 1):
+                    for propagator in propagators:
+                        propagator.apply(record)
+            if obs.enabled:
+                pass_span.attrs["losers_rolled_back"] = len(losers)
 
-    # All pre-crash transactions are now finished; zombies can go.
-    for name in list(db.catalog.zombie_names()):
-        db.catalog.drop_zombie(name)
+        # All pre-crash transactions are now finished; zombies can go.
+        for name in list(db.catalog.zombie_names()):
+            db.catalog.drop_zombie(name)
+        if obs.enabled:
+            root.attrs["propagators"] = len(propagators)
     return db
 
 

@@ -1,4 +1,4 @@
-"""repro.obs: counters, histograms and structured trace events.
+"""repro.obs: counters, histograms, gauges, trace events, spans, reports.
 
 The measurement substrate for the reproduction's performance work.  The
 paper's whole evaluation (Section 6) is about *measuring interference*;
@@ -12,25 +12,50 @@ this package makes the quantities behind those measurements first-class:
   and the end-of-iteration analysis reports;
 * ``sync.latched_window`` -- work done while the source tables were
   latched, the quantity behind the paper's "< 1 ms" synchronization claim;
-* ``sim.*`` -- the simulator's throughput / response-time series.
+* ``sim.*`` -- the simulator's throughput / response-time series;
+* **spans** (:mod:`repro.obs.spans`) -- hierarchical timing: where a
+  transformation, recovery run or CC sweep spent its time;
+* **convergence** (:mod:`repro.obs.convergence`) -- the per-iteration
+  propagation-lag series behind Section 3.3's three analyses;
+* **run reports** (:mod:`repro.obs.report`) -- the single JSON document
+  per benchmark run, rendered by ``python -m repro.obs.report``.
 
 Collection is disabled by default (components hold :data:`NULL_METRICS`,
 whose methods are no-ops); see :class:`Metrics` for how to enable it.
 """
 
+from repro.obs.convergence import ConvergenceMonitor, ConvergencePoint
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
+    Gauge,
     Histogram,
     Metrics,
 )
+from repro.obs.report import (
+    build_run_report,
+    render_report,
+    run_section,
+    sparkline,
+)
+from repro.obs.spans import NULL_SPAN, Span, SpanTracker
 from repro.obs.trace import EventRing, TraceEvent
 
 __all__ = [
+    "ConvergenceMonitor",
+    "ConvergencePoint",
     "Counter",
     "EventRing",
+    "Gauge",
     "Histogram",
     "Metrics",
     "NULL_METRICS",
+    "NULL_SPAN",
+    "Span",
+    "SpanTracker",
     "TraceEvent",
+    "build_run_report",
+    "render_report",
+    "run_section",
+    "sparkline",
 ]

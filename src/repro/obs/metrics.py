@@ -29,8 +29,14 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.obs.spans import (
+    NULL_SPAN,
+    NULL_SPAN_TRACKER,
+    Span,
+    SpanTracker,
+)
 from repro.obs.trace import EventRing, TraceEvent
 
 
@@ -81,7 +87,12 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, pct: float) -> float:
-        """Percentile over the retained sample ring (0.0 when empty)."""
+        """Percentile over the retained sample ring.
+
+        An empty histogram returns exactly ``0.0`` for every ``pct`` --
+        the documented sentinel consumers (benchmark JSON, the regression
+        gate) rely on, never an exception or a sample-ring artifact.
+        """
         if not self._samples:
             return 0.0
         ordered = sorted(self._samples)
@@ -99,7 +110,41 @@ class Histogram:
             "max": self.max if self.max is not None else 0.0,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
+
+    #: Alias: the dict rendering is the histogram's summary.
+    summary = as_dict
+
+
+class Gauge:
+    """A last-value instrument with a bounded history series.
+
+    Where a counter accumulates and a histogram aggregates, a gauge tracks
+    a *level* -- propagation lag, queue depth, capacity share -- and keeps
+    its recent trajectory as ``(t, value)`` pairs, rendering into the
+    per-iteration series the run report plots.
+    """
+
+    __slots__ = ("name", "value", "_series")
+
+    def __init__(self, name: str, series_cap: int = 1024) -> None:
+        self.name = name
+        self.value = 0.0
+        self._series: Deque[Tuple[float, float]] = deque(maxlen=series_cap)
+
+    def set(self, value: float, t: float) -> None:
+        """Record the current level at clock reading ``t``."""
+        self.value = value
+        self._series.append((t, value))
+
+    def series(self) -> List[Dict[str, float]]:
+        """Retained trajectory, oldest first."""
+        return [{"t": t, "value": v} for t, v in self._series]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly rendering: last value + bounded history."""
+        return {"value": self.value, "series": self.series()}
 
 
 class Metrics:
@@ -108,22 +153,31 @@ class Metrics:
     Args:
         enabled: When False every recording method returns immediately
             (instruments are still creatable for introspection).
-        clock: Timestamp source for trace events and :meth:`now`;
+        clock: Timestamp source for trace events, spans and :meth:`now`;
             defaults to :func:`time.perf_counter`.
         trace_capacity: Ring size for trace events.
         sample_cap: Per-histogram percentile sample retention.
+        span_capacity: Span retention bound (earliest kept, see
+            :class:`~repro.obs.spans.SpanTracker`).
+        gauge_series_cap: Per-gauge history retention.
     """
 
     def __init__(self, enabled: bool = True,
                  clock: Optional[Callable[[], float]] = None,
                  trace_capacity: int = 1024,
-                 sample_cap: int = 512) -> None:
+                 sample_cap: int = 512,
+                 span_capacity: int = 8192,
+                 gauge_series_cap: int = 1024) -> None:
         self.enabled = enabled
         self._clock = clock if clock is not None else time.perf_counter
         self._sample_cap = sample_cap
+        self._gauge_series_cap = gauge_series_cap
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self.ring = EventRing(trace_capacity)
+        #: Hierarchical span tracker sharing this registry's clock.
+        self.spans = SpanTracker(self._clock, span_capacity)
 
     # -- instruments --------------------------------------------------------
 
@@ -142,6 +196,13 @@ class Metrics:
                 name, self._sample_cap)
         return histogram
 
+    def gauge(self, name: str) -> Gauge:
+        """The gauge with this name (created on first use)."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name, self._gauge_series_cap)
+        return gauge
+
     # -- recording ----------------------------------------------------------
 
     def inc(self, name: str, n: float = 1) -> None:
@@ -156,11 +217,40 @@ class Metrics:
             return
         self.histogram(name).observe(value)
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the named gauge's level (timestamped on this clock)."""
+        if not self.enabled:
+            return
+        self.gauge(name).set(value, self._clock())
+
     def trace(self, kind: str, **fields: object) -> None:
         """Append one structured event to the trace ring."""
         if not self.enabled:
             return
         self.ring.append(TraceEvent(self._clock(), kind, fields))
+
+    # -- spans --------------------------------------------------------------
+
+    def span(self, name: str, parent: Optional[Span] = None,
+             **attrs: object):
+        """Exception-safe span context manager (inert when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN_TRACKER.span(name)
+        return self.spans.span(name, parent=parent, **attrs)
+
+    def begin_span(self, name: str, parent: Optional[Span] = None,
+                   **attrs: object) -> Span:
+        """Start an explicit span; pair with :meth:`end_span`."""
+        if not self.enabled:
+            return NULL_SPAN
+        return self.spans.begin(name, parent=parent, **attrs)
+
+    def end_span(self, span: Optional[Span],
+                 error: Optional[BaseException] = None) -> None:
+        """Finish an explicit span (inert for ``None``/null spans)."""
+        if span is None or span is NULL_SPAN or not self.enabled:
+            return
+        self.spans.end(span, error=error)
 
     def now(self) -> float:
         """Current clock reading (0.0 when disabled, so deltas are inert)."""
@@ -184,17 +274,23 @@ class Metrics:
                          for name, c in sorted(self._counters.items())},
             "histograms": {name: h.as_dict()
                            for name, h in sorted(self._histograms.items())},
+            "gauges": {name: g.as_dict()
+                       for name, g in sorted(self._gauges.items())},
             "trace": {
                 "retained": len(self.ring),
                 "appended": self.ring.appended,
+                "dropped": self.ring.dropped,
             },
+            "spans": self.spans.summary(),
         }
 
     def reset(self) -> None:
-        """Drop all instruments and trace events."""
+        """Drop all instruments, trace events and spans."""
         self._counters.clear()
         self._histograms.clear()
+        self._gauges.clear()
         self.ring = EventRing(self.ring.capacity)
+        self.spans = SpanTracker(self._clock, self.spans.capacity)
 
 
 class _NullMetrics(Metrics):
@@ -206,7 +302,8 @@ class _NullMetrics(Metrics):
     """
 
     def __init__(self) -> None:
-        super().__init__(enabled=False, trace_capacity=1)
+        super().__init__(enabled=False, trace_capacity=1, span_capacity=1)
+        self.spans = NULL_SPAN_TRACKER
 
     def inc(self, name: str, n: float = 1) -> None:  # noqa: D102
         pass
@@ -214,7 +311,22 @@ class _NullMetrics(Metrics):
     def observe(self, name: str, value: float) -> None:  # noqa: D102
         pass
 
+    def set_gauge(self, name: str, value: float) -> None:  # noqa: D102
+        pass
+
     def trace(self, kind: str, **fields: object) -> None:  # noqa: D102
+        pass
+
+    def span(self, name: str, parent: Optional[Span] = None,
+             **attrs: object):  # noqa: D102
+        return NULL_SPAN_TRACKER.span(name)
+
+    def begin_span(self, name: str, parent: Optional[Span] = None,
+                   **attrs: object) -> Span:  # noqa: D102
+        return NULL_SPAN
+
+    def end_span(self, span: Optional[Span],
+                 error: Optional[BaseException] = None) -> None:  # noqa: D102
         pass
 
     def now(self) -> float:  # noqa: D102

@@ -38,9 +38,14 @@ class EventRing:
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         #: Total events ever appended (including evicted ones).
         self.appended = 0
+        #: Events evicted by the bound -- non-zero means the flight
+        #: recorder truncated and the retained window is not the full run.
+        self.dropped = 0
 
     def append(self, event: TraceEvent) -> None:
         """Record one event, evicting the oldest if full."""
+        if len(self._events) == self.capacity:
+            self.dropped += 1
         self._events.append(event)
         self.appended += 1
 

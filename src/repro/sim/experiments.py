@@ -214,7 +214,14 @@ def run_once(scenario_builder: Callable[[int], Scenario],
     if settings.faults is not None:
         scenario.db.attach_faults(settings.faults)
     server = Server(sim, settings.server, metrics=obs)
-    metrics = MetricsCollector(bucket_ms=settings.series_bucket_ms)
+    # Anchor the bucket series to the shared obs clock so virtual-time
+    # and wall-time runs yield comparable, origin-relative bucket indices.
+    metrics = MetricsCollector(bucket_ms=settings.series_bucket_ms,
+                               clock=None if obs is None else obs.now)
+    run_span = None if obs is None else obs.begin_span(
+        "sim.run", n_clients=settings.n_clients,
+        with_transformation=settings.with_transformation,
+        priority=settings.priority)
     pool = ClientPool(sim, server, scenario.db, scenario.workload, metrics,
                       settings.n_clients, seed=settings.seed)
     pool.start()
@@ -229,6 +236,9 @@ def run_once(scenario_builder: Callable[[int], Scenario],
         tf = scenario.tf_factory()
         state["tf"] = tf
         state["attach_time"] = sim.now
+        if run_span is not None:
+            # Nest the transformation's span tree under this run.
+            tf._span_parent = run_span
 
         def on_done() -> None:
             state["completion"] = sim.now - state["attach_time"]
@@ -298,6 +308,8 @@ def run_once(scenario_builder: Callable[[int], Scenario],
     scenario.db.on_wake = None
 
     tf = state["tf"]
+    if obs is not None:
+        obs.end_span(run_span)
     return RunResult(
         throughput=metrics.throughput(),
         mean_response=metrics.mean_response(),
@@ -318,6 +330,9 @@ def run_once(scenario_builder: Callable[[int], Scenario],
             "lock_deadlocks": scenario.db.locks.deadlock_count,
             "wal_records": len(scenario.db.log),
             "obs": None if obs is None else obs.snapshot(),
+            "spans": None if obs is None else obs.spans.tree(),
+            "convergence": None if getattr(tf, "convergence", None) is None
+            else tf.convergence.series(),
             "series": metrics.series(),
         },
     )

@@ -10,7 +10,7 @@ treatment run and forms the ratios.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 
 class MetricsCollector:
@@ -21,9 +21,15 @@ class MetricsCollector:
             per-bucket completion counts and response times over the whole
             run (not just the window), for observability output.  Off by
             default -- the series costs a dict update per completion.
+        clock: Timestamp source the bucket series is anchored to -- pass
+            the shared observability clock (``metrics.now`` or
+            ``lambda: sim.now``) so virtual-time and wall-time runs
+            produce comparable, origin-relative bucket indices.  Without
+            one, the origin is 0.0 (the simulator's epoch).
     """
 
-    def __init__(self, bucket_ms: Optional[float] = None) -> None:
+    def __init__(self, bucket_ms: Optional[float] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self.window_start: Optional[float] = None
         self.window_end: Optional[float] = None
         self._responses: List[float] = []
@@ -34,6 +40,9 @@ class MetricsCollector:
         if bucket_ms is not None and bucket_ms <= 0:
             raise ValueError("bucket_ms must be positive")
         self.bucket_ms = bucket_ms
+        #: Bucket time zero: completions are bucketed by their offset from
+        #: this origin, so index 0 is "the run's first bucket" on any clock.
+        self.origin = clock() if clock is not None else 0.0
         #: bucket index -> [completions, sum of response times]
         self._buckets: Dict[int, List[float]] = {}
 
@@ -72,7 +81,7 @@ class MetricsCollector:
         self.total_committed += 1
         if self.bucket_ms is not None:
             bucket = self._buckets.setdefault(
-                int(end // self.bucket_ms), [0, 0.0])
+                int((end - self.origin) // self.bucket_ms), [0, 0.0])
             bucket[0] += 1
             bucket[1] += end - start
         if self.window_open:
@@ -112,8 +121,9 @@ class MetricsCollector:
     def series(self) -> List[Dict[str, float]]:
         """Per-bucket throughput / response series (empty if not enabled).
 
-        Each point: bucket start time ``t`` (ms), committed count,
-        throughput (txns/ms) and mean response time (ms) of the bucket.
+        Each point: bucket start time ``t`` (ms, relative to the origin),
+        committed count, throughput (txns/ms) and mean response time (ms)
+        of the bucket.
         """
         if self.bucket_ms is None:
             return []

@@ -232,6 +232,12 @@ class Server:
                 self.metrics.inc("sim.bg.quanta")
                 self.metrics.inc("sim.bg.units", report.units)
                 self.metrics.observe("sim.bg.quantum_ms", duration)
+                elapsed = self.sim.now - self._bg_attached_at
+                if elapsed > 0:
+                    # Achieved capacity share vs. the priority target --
+                    # the gauge trajectory shows throttling converge.
+                    self.metrics.set_gauge("sim.bg.share",
+                                           self.bg_busy_ms / elapsed)
             if report.done and not self._bg_done_fired:
                 self._bg_done_fired = True
                 if self.on_background_done is not None:

@@ -46,7 +46,8 @@ from repro.concurrency.locks import LockMode, LockOrigin, record_resource
 from repro.engine.database import Database
 from repro.engine.fuzzy import FuzzyScan
 from repro.faults import DelayFault, FaultInjector, register_site
-from repro.obs import Metrics
+from repro.obs import ConvergenceMonitor, Metrics
+from repro.obs.spans import Span
 from repro.storage.table import Table
 from repro.transform.analysis import (
     Decision,
@@ -255,6 +256,30 @@ class Transformation:
         self.sync_strategy = sync_strategy
         self.population_chunk = population_chunk
 
+        #: Observability registry, inherited from the database so one
+        #: attachment covers the engine and the transformation it runs.
+        self.metrics: Metrics = db.metrics
+        #: Span bookkeeping: the transformation root, the span of the
+        #: current phase, and the span of the current propagation
+        #: iteration.  All ``None`` until the root is opened lazily at
+        #: the first unit of work (and always when metrics are disabled).
+        self._tf_span: Optional[Span] = None
+        self._phase_span: Optional[Span] = None
+        self._iter_span: Optional[Span] = None
+        #: Optional parent for the root span (the supervisor nests each
+        #: attempt's transformation under its attempt span).
+        self._span_parent: Optional[Span] = None
+        #: Override parent for batch spans (the sync executors point it
+        #: at the latched-window span while the window is open).
+        self._span_parent_hint: Optional[Span] = None
+        #: Per-iteration propagation-lag series (Section 3.3's three
+        #: analyses); populated by :meth:`_finish_iteration`.
+        self.convergence = ConvergenceMonitor(self.metrics,
+                                              self.transform_id)
+        #: LSN of the begin fuzzy mark: the zero point of the
+        #: produced-records side of the convergence series.
+        self._propagation_base_lsn = NULL_LSN
+
         self.phase = Phase.CREATED
         self.targets: Dict[str, Table] = {}
         self.engine: Optional[RuleEngine] = None
@@ -269,9 +294,6 @@ class Transformation:
         self._sync_executor = None       # set when synchronization starts
         self._old_txn_ids: Set[int] = set()
         self._stalled = False
-        #: Observability registry, inherited from the database so one
-        #: attachment covers the engine and the transformation it runs.
-        self.metrics: Metrics = db.metrics
         #: Proxy owners whose materialized locks abort() must release even
         #: after the owning end record was propagated mid-crash.
         self._proxied_txn_ids: Set[int] = set()
@@ -286,6 +308,58 @@ class Transformation:
         """The database's fault injector, read dynamically so an injector
         attached after construction is honoured."""
         return self.db.faults
+
+    # ------------------------------------------------------------------
+    # Phase tracking + span lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def phase(self) -> Phase:
+        """Life-cycle phase; assignment drives the phase-span hierarchy."""
+        return self._phase
+
+    @phase.setter
+    def phase(self, new: Phase) -> None:
+        old = getattr(self, "_phase", None)
+        self._phase = new
+        if new is old:
+            return
+        metrics = getattr(self, "metrics", None)
+        if metrics is None or not metrics.enabled:
+            return
+        if self._phase_span is not None:
+            metrics.end_span(self._phase_span)
+            self._phase_span = None
+        if new in (Phase.DONE, Phase.ABORTED):
+            # Terminal: close the iteration and root spans too.
+            if self._iter_span is not None:
+                metrics.end_span(self._iter_span)
+                self._iter_span = None
+            if self._tf_span is not None:
+                self._tf_span.attrs["outcome"] = new.value
+                metrics.end_span(self._tf_span)
+                self._tf_span = None
+        elif self._tf_span is not None:
+            self._phase_span = metrics.begin_span(
+                "tf.phase." + new.value, parent=self._tf_span,
+                transform=self.transform_id)
+
+    def _ensure_root_span(self) -> None:
+        """Open the transformation root span at the first unit of work."""
+        if not self.metrics.enabled or self._tf_span is not None or \
+                self.phase in (Phase.DONE, Phase.ABORTED):
+            return
+        self._tf_span = self.metrics.begin_span(
+            "tf", parent=self._span_parent, transform=self.transform_id,
+            kind=self.kind or "tf", strategy=self.sync_strategy.value)
+        self._phase_span = self.metrics.begin_span(
+            "tf.phase." + self.phase.value, parent=self._tf_span,
+            transform=self.transform_id)
+
+    def _batch_span_parent(self) -> Optional[Span]:
+        """Parent for a propagation-batch span: the latched window when
+        one is open, else the current iteration, else the phase."""
+        return self._span_parent_hint or self._iter_span or self._phase_span
 
     # ------------------------------------------------------------------
     # Subclass contract
@@ -343,6 +417,7 @@ class Transformation:
         the transformation is complete".
         """
         self._expect(Phase.CREATED)
+        self._ensure_root_span()
         self.faults.fire(SITE_TF_PREPARE, transform=self.transform_id)
         self.targets = self._create_targets()
         self.engine = self._build_rule_engine()
@@ -360,6 +435,7 @@ class Transformation:
         mark = FuzzyMarkRecord(transform_id=self.transform_id,
                                phase="begin", active_txns=tuple(active))
         mark_lsn = self.db.log.append(mark)
+        self._propagation_base_lsn = mark_lsn
         oldest = self.db.txns.oldest_first_lsn(active)
         self._cursor = oldest if oldest != NULL_LSN else mark_lsn
         for name in self.source_tables:
@@ -380,6 +456,11 @@ class Transformation:
         self._iteration_target = self.db.log.end_lsn
         self._iteration_records = 0
         self._iteration_units = 0
+        if self.metrics.enabled:
+            self.metrics.end_span(self._iter_span)
+            self._iter_span = self.metrics.begin_span(
+                "tf.iteration", parent=self._phase_span,
+                transform=self.transform_id, iteration=self._iteration)
 
     #: Relative cost of inspecting-and-skipping a log record vs. applying
     #: one through the rules.  Applies dominating skips is what makes the
@@ -394,17 +475,26 @@ class Transformation:
         record costs 1.0, a skipped one :data:`SKIP_UNIT_COST`)."""
         self.faults.fire(SITE_TF_PROPAGATE_BATCH,
                          transform=self.transform_id, cursor=self._cursor)
+        span = self.metrics.begin_span(
+            "tf.batch", parent=self._batch_span_parent(),
+            cursor=self._cursor) if self.metrics.enabled else None
         units = 0.0
         records = 0
-        end = min(self._iteration_target, self.db.log.end_lsn)
-        while units < budget and self._cursor <= end:
-            record = self.db.log.record_at(self._cursor)
-            self._cursor += 1
-            records += 1
-            applied = self._apply_record(record)
-            units += 1.0 if applied else self.SKIP_UNIT_COST
-        self._iteration_records += records
-        self.stats["propagated_records"] += records
+        try:
+            end = min(self._iteration_target, self.db.log.end_lsn)
+            while units < budget and self._cursor <= end:
+                record = self.db.log.record_at(self._cursor)
+                self._cursor += 1
+                records += 1
+                applied = self._apply_record(record)
+                units += 1.0 if applied else self.SKIP_UNIT_COST
+        finally:
+            self._iteration_records += records
+            self.stats["propagated_records"] += records
+            if span is not None:
+                span.attrs["records"] = records
+                span.attrs["units"] = units
+                self.metrics.end_span(span)
         return units
 
     def _apply_record(self, record: LogRecord) -> bool:
@@ -456,6 +546,7 @@ class Transformation:
         e.g. for draining transactions under blocking commit, simply return
         with zero progress until the condition clears).
         """
+        self._ensure_root_span()
         fault = self.faults.fire(SITE_TF_STEP, transform=self.transform_id,
                                  phase=self.phase.value)
         if isinstance(fault, DelayFault):
@@ -547,6 +638,20 @@ class Transformation:
             units_used=self._iteration_units,
         )
         decision = self.policy.decide(report)
+        # Section 3.3's three analyses, as a per-iteration series: log
+        # records produced since the fuzzy mark vs. consumed by the
+        # propagator, the remaining tail, and the estimated remaining work.
+        base = self._propagation_base_lsn
+        produced = max(0, self.db.log.end_lsn - base) if base != NULL_LSN \
+            else self.stats["propagated_records"]
+        point = self.convergence.observe_iteration(
+            iteration=self._iteration,
+            produced=produced,
+            consumed=self.stats["propagated_records"],
+            lag=report.remaining_records,
+            records=report.records_propagated,
+            units=report.units_used,
+            decision=decision.value)
         if self.metrics.enabled:
             # Propagation-iteration reporting: the analysis input plus the
             # decision it produced, as both aggregates and a trace event.
@@ -557,7 +662,18 @@ class Transformation:
             self.metrics.observe("tf.iteration.units", report.units_used)
             self.metrics.observe("tf.log_tail", report.remaining_records)
             self.metrics.trace("tf.iteration", transform=self.transform_id,
-                               decision=decision.value, **report.as_dict())
+                               decision=decision.value,
+                               produced=point.produced,
+                               consumed=point.consumed,
+                               lag=point.lag,
+                               est_remaining_units=point.est_remaining_units,
+                               **report.as_dict())
+            if self._iter_span is not None:
+                self._iter_span.attrs["records"] = report.records_propagated
+                self._iter_span.attrs["remaining"] = report.remaining_records
+                self._iter_span.attrs["decision"] = decision.value
+                self.metrics.end_span(self._iter_span)
+                self._iter_span = None
         if decision is Decision.SYNCHRONIZE:
             ready, reason = self._ready_to_synchronize()
             if ready:

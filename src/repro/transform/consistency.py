@@ -91,36 +91,48 @@ class ConsistencyChecker:
 
     def _check_one(self, split_key: Tuple) -> int:
         """Perform one CC pass over a split value; returns rows read."""
-        self.db.faults.fire(SITE_CC_CHECK, split_value=split_key)
-        self.stats["started"] += 1
-        self.db.log.append(CCBeginRecord(
-            transform_id=self.engine.transform_id,
-            split_value=split_key))
-        source = self.db.catalog.get_any(self.spec.source_name)
-        from repro.transform.split import SOURCE_SPLIT_INDEX
-        if SOURCE_SPLIT_INDEX in source.indexes:
-            rows = source.lookup(SOURCE_SPLIT_INDEX, split_key)
-        else:
-            rows = [r for r in source.scan()
-                    if (r.values.get(self.spec.split_attr),) == split_key]
-        if not rows:
-            # The S record exists but no contributor is visible yet (the
-            # propagator is behind a delete, or the row is in flux): retry
-            # in a later round.
-            self.stats["skipped"] += 1
-            return 0
-        images = [self.spec.s_part(dict(r.values)) for r in rows]
-        first = images[0]
-        if all(image == first for image in images[1:]):
-            self.db.faults.fire(SITE_CC_OK, split_value=split_key)
-            self.db.log.append(CCOkRecord(
+        metrics = self.db.metrics
+        with metrics.span("cc.pass", transform=self.engine.transform_id,
+                          split_value=split_key) as span:
+            self.db.faults.fire(SITE_CC_CHECK, split_value=split_key)
+            self.stats["started"] += 1
+            self.db.log.append(CCBeginRecord(
                 transform_id=self.engine.transform_id,
-                split_value=split_key, image=dict(first)))
-            self._inconsistent.discard(split_key)
-            self._cooldown.pop(split_key, None)
-            self.stats["ok"] += 1
-        else:
-            self._inconsistent.add(split_key)
-            self._cooldown[split_key] = 8
-            self.stats["inconsistent"] += 1
-        return len(rows)
+                split_value=split_key))
+            source = self.db.catalog.get_any(self.spec.source_name)
+            from repro.transform.split import SOURCE_SPLIT_INDEX
+            if SOURCE_SPLIT_INDEX in source.indexes:
+                rows = source.lookup(SOURCE_SPLIT_INDEX, split_key)
+            else:
+                rows = [r for r in source.scan()
+                        if (r.values.get(self.spec.split_attr),) == split_key]
+            if not rows:
+                # The S record exists but no contributor is visible yet (the
+                # propagator is behind a delete, or the row is in flux):
+                # retry in a later round.
+                self.stats["skipped"] += 1
+                if metrics.enabled:
+                    span.attrs["outcome"] = "skipped"
+                    metrics.inc("cc.skipped")
+                return 0
+            images = [self.spec.s_part(dict(r.values)) for r in rows]
+            first = images[0]
+            if all(image == first for image in images[1:]):
+                self.db.faults.fire(SITE_CC_OK, split_value=split_key)
+                self.db.log.append(CCOkRecord(
+                    transform_id=self.engine.transform_id,
+                    split_value=split_key, image=dict(first)))
+                self._inconsistent.discard(split_key)
+                self._cooldown.pop(split_key, None)
+                self.stats["ok"] += 1
+                outcome = "ok"
+            else:
+                self._inconsistent.add(split_key)
+                self._cooldown[split_key] = 8
+                self.stats["inconsistent"] += 1
+                outcome = "inconsistent"
+            if metrics.enabled:
+                span.attrs["outcome"] = outcome
+                span.attrs["rows"] = len(rows)
+                metrics.inc("cc." + outcome)
+            return len(rows)

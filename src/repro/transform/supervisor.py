@@ -85,6 +85,10 @@ class TransformationSupervisor:
         self.max_budget = max_budget
         self.max_steps_per_attempt = max_steps_per_attempt
         self.on_wait = on_wait
+        #: The database's registry: the retry loop is part of the observed
+        #: pipeline, so attempts show up as spans under ``supervisor`` and
+        #: retries/backoffs/escalations as trace events.
+        self.metrics = db.metrics
         #: What happened, for assertions and operator dashboards.
         self.stats: Dict[str, object] = {
             "attempts": 0, "aborts": 0, "starvations": 0,
@@ -101,35 +105,69 @@ class TransformationSupervisor:
         budget = self.budget
         wait = self.backoff_base
         last_error: Optional[TransformationAbortedError] = None
-        for attempt in range(1, self.max_attempts + 1):
-            self.stats["attempts"] = attempt
-            self.stats["final_budget"] = budget
-            tf = self.factory()
-            try:
-                self._drive(tf, budget)
-                self.history.append({"budget": budget, "outcome": "done"})
-                return tf
-            except TransformationStarvedError as exc:
-                last_error = exc
-                self.stats["aborts"] = int(self.stats["aborts"]) + 1
-                self.stats["starvations"] = \
-                    int(self.stats["starvations"]) + 1
-                self.history.append({"budget": budget,
-                                     "outcome": "starved"})
-                self._ensure_aborted(tf)
-                budget = min(self.max_budget,
-                             budget * self.escalation_factor)
-            except TransformationAbortedError as exc:
-                last_error = exc
-                self.stats["aborts"] = int(self.stats["aborts"]) + 1
-                self.history.append({"budget": budget,
-                                     "outcome": "aborted"})
-                self._ensure_aborted(tf)
-            if attempt < self.max_attempts:
-                self._wait(wait)
-                wait = min(self.backoff_cap, wait * self.backoff_factor)
-        assert last_error is not None
-        raise last_error
+        root = self.metrics.begin_span("supervisor",
+                                       max_attempts=self.max_attempts)
+        try:
+            for attempt in range(1, self.max_attempts + 1):
+                self.stats["attempts"] = attempt
+                self.stats["final_budget"] = budget
+                tf = self.factory()
+                span = self.metrics.begin_span(
+                    "supervisor.attempt", parent=root,
+                    attempt=attempt, budget=budget)
+                tf._span_parent = span
+                try:
+                    self._drive(tf, budget)
+                    self.history.append({"budget": budget,
+                                         "outcome": "done"})
+                    self._attempt_over(span, attempt, budget, "done")
+                    return tf
+                except TransformationStarvedError as exc:
+                    last_error = exc
+                    self.stats["aborts"] = int(self.stats["aborts"]) + 1
+                    self.stats["starvations"] = \
+                        int(self.stats["starvations"]) + 1
+                    self.history.append({"budget": budget,
+                                         "outcome": "starved"})
+                    self._ensure_aborted(tf)
+                    self._attempt_over(span, attempt, budget, "starved")
+                    escalated = min(self.max_budget,
+                                    budget * self.escalation_factor)
+                    if self.metrics.enabled:
+                        self.metrics.inc("supervisor.escalations")
+                        self.metrics.trace("supervisor.escalate",
+                                           attempt=attempt,
+                                           from_budget=budget,
+                                           to_budget=escalated)
+                    budget = escalated
+                except TransformationAbortedError as exc:
+                    last_error = exc
+                    self.stats["aborts"] = int(self.stats["aborts"]) + 1
+                    self.history.append({"budget": budget,
+                                         "outcome": "aborted"})
+                    self._ensure_aborted(tf)
+                    self._attempt_over(span, attempt, budget, "aborted")
+                if attempt < self.max_attempts:
+                    if self.metrics.enabled:
+                        self.metrics.inc("supervisor.retries")
+                        self.metrics.observe("supervisor.backoff_wait", wait)
+                        self.metrics.trace("supervisor.backoff",
+                                           attempt=attempt, wait=wait)
+                    self._wait(wait)
+                    wait = min(self.backoff_cap, wait * self.backoff_factor)
+            assert last_error is not None
+            raise last_error
+        finally:
+            self.metrics.end_span(root)
+
+    def _attempt_over(self, span, attempt: int, budget: int,
+                      outcome: str) -> None:
+        """Close one attempt's span and trace its outcome."""
+        if self.metrics.enabled:
+            span.attrs["outcome"] = outcome
+            self.metrics.end_span(span)
+            self.metrics.trace("supervisor.attempt", attempt=attempt,
+                               budget=budget, outcome=outcome)
 
     # ------------------------------------------------------------------
 

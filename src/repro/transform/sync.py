@@ -117,6 +117,10 @@ class _SyncExecutor:
         #: quantity behind the paper's "< 1 ms" synchronization claim.
         self.latched_units = 0
         self._window_reported = False
+        #: Span covering the latched/blocked critical section; batch spans
+        #: opened inside the window nest under it via the transformation's
+        #: ``_span_parent_hint``.
+        self._window_span = None
         #: Tables this executor currently holds the latch on; the basis of
         #: the exception-safe window (see :meth:`cleanup`).
         self._latched_tables: List[Table] = []
@@ -137,6 +141,12 @@ class _SyncExecutor:
                            transform=self.tf.transform_id,
                            strategy=self.tf.sync_strategy.value,
                            tables=tuple(self.tf.source_tables))
+        if self.metrics.enabled and self._window_span is None:
+            self._window_span = self.metrics.begin_span(
+                "sync.window", parent=self.tf._phase_span,
+                transform=self.tf.transform_id,
+                strategy=self.tf.sync_strategy.value)
+            self.tf._span_parent_hint = self._window_span
 
     def _latch_sources(self) -> None:
         self.faults.fire(SITE_SYNC_LATCH, transform=self.tf.transform_id)
@@ -196,6 +206,12 @@ class _SyncExecutor:
                                transform=self.tf.transform_id,
                                strategy=self.tf.sync_strategy.value,
                                latched_units=self.latched_units)
+        if self._window_span is not None:
+            self._window_span.attrs["latched_units"] = self.latched_units
+            self.metrics.end_span(self._window_span)
+            self._window_span = None
+        if self.tf._span_parent_hint is not None:
+            self.tf._span_parent_hint = None
 
     def _final_propagation(self, budget: int) -> Tuple[int, bool]:
         """Propagate toward the current end of the log; (units, caught_up)."""

@@ -104,8 +104,15 @@ def test_disabled_metrics_record_nothing():
     m.inc("a")
     m.observe("h", 1.0)
     m.trace("evt")
-    assert m.snapshot() == {"counters": {}, "histograms": {},
-                            "trace": {"retained": 0, "appended": 0}}
+    m.set_gauge("g", 1.0)
+    with m.span("s"):
+        pass
+    snap = m.snapshot()
+    assert snap["counters"] == {} and snap["histograms"] == {}
+    assert snap["gauges"] == {}
+    assert snap["trace"] == {"retained": 0, "appended": 0, "dropped": 0}
+    assert snap["spans"] == {"started": 0, "retained": 0, "open": 0,
+                             "dropped": 0}
 
 
 # ---------------------------------------------------------------------------
