@@ -45,12 +45,20 @@ class FuzzyScan:
     which starts from before the scan began.
     """
 
-    def __init__(self, table: Table, chunk_size: int = 256) -> None:
+    def __init__(self, table: Table, chunk_size: int = 256,
+                 rowids: Optional[List[int]] = None) -> None:
+        """Args:
+            table: The table to scan.
+            chunk_size: Rows per chunk.
+            rowids: Restrict the scan to these rowids (a key-space shard,
+                see :mod:`repro.shard`); defaults to every live rowid.
+        """
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         self.table = table
         self.chunk_size = chunk_size
-        self._rowids: List[int] = list(table.rows)
+        self._rowids: List[int] = list(table.rows) if rowids is None \
+            else list(rowids)
         self._position = 0
 
     @property

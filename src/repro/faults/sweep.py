@@ -68,7 +68,11 @@ from repro.wal.records import (
 RowDict = Dict[str, object]
 
 #: Operators the sweep exercises (FOJ and split, Sections 4 and 5).
-SCENARIO_OPERATORS: Tuple[str, ...] = ("foj", "split")
+#: ``name@N`` runs the same scenario through an N-way sharded pipeline
+#: (:mod:`repro.shard`), adding the shard-scoped crash sites -- partial
+#: population, mid-window shard crashes, barrier and merge crashes -- to
+#: the sweep's coverage.
+SCENARIO_OPERATORS: Tuple[str, ...] = ("foj", "split", "foj@2", "split@3")
 
 #: All three synchronization strategies (Section 3.4).
 ALL_STRATEGIES: Tuple[SyncStrategy, ...] = (
@@ -155,9 +159,13 @@ class ScenarioRun:
 
     def __init__(self, operator: str, strategy: SyncStrategy,
                  faults: Optional[FaultInjector] = None) -> None:
-        if operator not in SCENARIO_OPERATORS:
+        base, _, shard_suffix = operator.partition("@")
+        shards = int(shard_suffix) if shard_suffix else 1
+        if base not in ("foj", "split") or shards < 1:
             raise ValueError(f"unknown sweep operator {operator!r}")
         self.operator = operator
+        self.operator_base = base
+        self.shards = shards
         self.strategy = strategy
         self.faults = faults if faults is not None else FaultInjector()
         self.db = Database()
@@ -214,26 +222,31 @@ class ScenarioRun:
             TableSchema("R", ["a", "b", "c"], primary_key=["a"]))
         self.db.create_table(
             TableSchema("S", ["c", "d", "e"], primary_key=["c"]))
+        self.spec = FojSpec.derive(
+            self.db.table("R").schema, self.db.table("S").schema,
+            target_name="T", join_attr_r="c", join_attr_s="c")
+        # Names before the bulk load: an armed crash can fire inside the
+        # load, and the recovery checks need to know what to expect.
+        self.source_names = ("R", "S")
+        self.published_names = ("T",)
         self._txn_do(
             [("i", "R", {"a": i, "b": f"b{i}", "c": i % 5})
              for i in range(10)] +
             [("i", "S", {"c": c, "d": f"d{c}", "e": f"e{c}"})
              for c in range(4)])
-        self.spec = FojSpec.derive(
-            self.db.table("R").schema, self.db.table("S").schema,
-            target_name="T", join_attr_r="c", join_attr_s="c")
-        self.source_names = ("R", "S")
-        self.published_names = ("T",)
         self.tf = FojTransformation(
             self.db, self.spec, sync_strategy=self.strategy,
             policy=RemainingRecordsPolicy(max_remaining=2, patience=200),
-            population_chunk=4)
+            population_chunk=4, shards=self.shards)
         self._l_op = ("u", "R", (0,), {"b": "L0"})
         self._l_zombie_op = ("u", "R", (0,), {"b": "Lz"})
         self._mutations = [
+            # The S update first: it lands while log propagation is still
+            # running, which in the sharded pipeline makes it a barrier
+            # record (S rows fan out across every shard's carriers).
+            lambda: self._txn_do([("u", "S", (1,), {"d": "dX"})]),
             lambda: self._txn_do(
                 [("i", "R", {"a": 20, "b": "b20", "c": 2})]),
-            lambda: self._txn_do([("u", "S", (1,), {"d": "dX"})]),
             lambda: self._txn_do([("d", "R", (5,))]),
             lambda: self._txn_do([("u", "R", (2,), {"b": "mX"})],
                                  abort=True),
@@ -248,6 +261,12 @@ class ScenarioRun:
     def _setup_split(self) -> None:
         self.db.create_table(TableSchema(
             "T", ["id", "name", "zip", "city"], primary_key=["id"]))
+        self.spec = SplitSpec.derive(
+            self.db.table("T").schema, r_name="T_r", s_name="postal",
+            split_attr="zip", s_attrs=["city"])
+        # Names before the bulk load (see _setup_foj).
+        self.source_names = ("T",)
+        self.published_names = ("T_r", "postal")
         rows = []
         for i in range(9):
             z = 7000 + (i % 3)
@@ -256,16 +275,11 @@ class ScenarioRun:
         rows.append(("i", "T", {"id": 9, "name": "n9", "zip": 7009,
                                 "city": "C7009"}))
         self._txn_do(rows)
-        self.spec = SplitSpec.derive(
-            self.db.table("T").schema, r_name="T_r", s_name="postal",
-            split_attr="zip", s_attrs=["city"])
-        self.source_names = ("T",)
-        self.published_names = ("T_r", "postal")
         self.tf = SplitTransformation(
             self.db, self.spec, check_consistency=True,
             on_inconsistent="wait", sync_strategy=self.strategy,
             policy=RemainingRecordsPolicy(max_remaining=2, patience=200),
-            population_chunk=4)
+            population_chunk=4, shards=self.shards)
         self._l_op = ("u", "T", (1,), {"name": "Ln"})
         self._l_zombie_op = ("u", "T", (1,), {"name": "Lz"})
         self._mutations = [
@@ -298,7 +312,7 @@ class ScenarioRun:
     def execute(self) -> None:
         """Run the full scenario; raises :class:`SimulatedCrashError`
         when an armed crash fault fires."""
-        if self.operator == "foj":
+        if self.operator_base == "foj":
             self._setup_foj()
         else:
             self._setup_split()
@@ -362,7 +376,7 @@ class ScenarioRun:
         if not swapped:
             return {name: self.shadow.rows(name)
                     for name in self.source_names}
-        if self.operator == "foj":
+        if self.operator_base == "foj":
             base = {"T": full_outer_join(self.spec, self.shadow.rows("R"),
                                          self.shadow.rows("S"))}
         else:

@@ -1,0 +1,37 @@
+"""Sharded parallel execution of the transformation pipeline.
+
+The paper's framework (Sections 3.2-3.4) runs initial population and log
+propagation as one sequential background process.  This package splits
+that work across ``N`` hash-partitioned key-space shards while leaving
+the propagation rules, the latching protocol and the three Section 3.4
+synchronization strategies untouched:
+
+* :class:`~repro.shard.planner.ShardPlanner` -- deterministic shard maps
+  derived from the source tables' keys;
+* :class:`~repro.shard.populator.ShardedPopulator` -- interleaved
+  per-shard fuzzy-scan chunks behind the ordinary scan interface;
+* :class:`~repro.shard.propagator.ShardPropagator` -- an independent log
+  cursor, LSN window and idempotent rule application per shard, with
+  global records handled as cross-shard barriers;
+* :class:`~repro.shard.coordinator.ShardCoordinator` -- per-shard
+  Section 3.3 convergence analysis, the all-shards-under-threshold latch
+  condition, and the single merge barrier that hands one aligned cursor
+  to the unchanged synchronization executors.
+
+Entry point: construct any :class:`~repro.transform.base.Transformation`
+with ``shards=N``.  ``shards=1`` (the default) never touches this
+package and keeps the original sequential pipeline.
+"""
+
+from repro.shard.coordinator import ShardCoordinator
+from repro.shard.planner import ShardPlanner, stable_shard_hash
+from repro.shard.populator import ShardedPopulator
+from repro.shard.propagator import ShardPropagator
+
+__all__ = [
+    "ShardCoordinator",
+    "ShardPlanner",
+    "ShardPropagator",
+    "ShardedPopulator",
+    "stable_shard_hash",
+]

@@ -1,0 +1,427 @@
+"""Coordinator for the sharded transformation pipeline.
+
+The :class:`ShardCoordinator` is what a :class:`~repro.transform.base.
+Transformation` constructed with ``shards=N > 1`` delegates its population
+and propagation phases to.  It owns:
+
+* the :class:`~repro.shard.planner.ShardPlanner` (one shared shard map),
+* one :class:`~repro.shard.populator.ShardedPopulator` per source table,
+* one :class:`~repro.shard.propagator.ShardPropagator` per shard, and
+* the three pieces of cross-shard machinery the per-shard pipelines
+  cannot do alone: **barrier application** (global records applied exactly
+  once when every cursor has aligned on them), **transaction-end release**
+  (a transaction's propagated locks are dropped only once every shard has
+  passed its end record), and the **merge barrier** (all cursors driven to
+  one common LSN before the Section 3.4 synchronization strategies take
+  over -- the sync executors then run the ordinary sequential pipeline,
+  completely unchanged).
+
+Cost model.  Each coordinator round hands every shard the caller's step
+budget, as if each shard ran on its own core; the work actually performed
+is the sum over shards, but the *reported* step cost is the maximum any
+single shard spent plus the serial barrier cost.  The simulator charges
+wall-clock time per reported unit, so transformation completion time
+scales with the slowest shard -- which is exactly the claim the
+``bench_shard_scaling`` benchmark measures.  Skips are not parallelized
+(every shard scans the whole shared log), so the speed-up follows
+Amdahl's law over the apply/skip cost ratio rather than an idealized
+``1/N``.
+
+The N=1 configuration never constructs a coordinator: ``shards=1`` keeps
+the pre-existing sequential code path, byte for byte.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.faults import register_site
+from repro.shard.planner import ShardPlanner
+from repro.shard.populator import ShardedPopulator
+from repro.shard.propagator import BARRIER, ShardPropagator
+from repro.transform.analysis import Decision, PropagationPolicy
+from repro.wal.records import EndRecord, FuzzyMarkRecord, NULL_LSN
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.table import Table
+    from repro.transform.base import StepReport, Transformation
+
+SITE_SHARD_PLAN = register_site(
+    "shard.plan", "shard",
+    "before a source table's rowids are partitioned into the shard map")
+SITE_SHARD_BARRIER = register_site(
+    "shard.barrier", "shard",
+    "all shard cursors aligned on a global record, before the "
+    "coordinator applies it once (fired with lsn=<lsn>)")
+SITE_SHARD_MERGE = register_site(
+    "shard.merge", "shard",
+    "every shard's lag is under threshold; before the merge barrier "
+    "starts driving all cursors to the common target LSN")
+SITE_SHARD_MERGED = register_site(
+    "shard.merged", "shard",
+    "merge barrier complete, before the sequential synchronization "
+    "pipeline takes over")
+
+
+class ShardCoordinator:
+    """Drives N shard pipelines for one transformation (module docstring)."""
+
+    def __init__(self, tf: "Transformation", n_shards: int) -> None:
+        if n_shards < 2:
+            raise ValueError(
+                "ShardCoordinator requires n_shards >= 2; shards=1 is the "
+                "sequential pipeline and must not build a coordinator")
+        self.tf = tf
+        self.planner = ShardPlanner(n_shards)
+        self.n_shards = n_shards
+        self.propagators: List[ShardPropagator] = []
+        self.populators: Dict[str, ShardedPopulator] = {}
+        #: True once the merge barrier has completed and the sequential
+        #: synchronization pipeline owns the (single) cursor.
+        self.merged = False
+        self._merging = False
+        self._merge_target = NULL_LSN
+        #: End records seen by at least one shard, keyed by LSN, released
+        #: once the slowest cursor passes them.
+        self._ends_seen: Dict[int, int] = {}
+        #: Low-water mark: every record below this LSN has been consumed
+        #: by every shard (drives ``stats["propagated_records"]``, which
+        #: keeps its sequential meaning of *distinct* records consumed).
+        self._consumed_lsn = NULL_LSN
+        self._records_since_mark = 0
+        self._windows_at_mark: List[int] = []
+        self.stats = {"barriers": 0, "global_iterations": 0, "rounds": 0}
+
+    # -- wiring ------------------------------------------------------------
+
+    def policy_for_shard(self, shard_id: int) -> PropagationPolicy:
+        """A private copy of the transformation's analysis policy.
+
+        Policies carry patience counters; each shard's window analyses
+        must not advance its siblings' state.
+        """
+        return copy.deepcopy(self.tf.policy)
+
+    def make_populator(self, table: "Table") -> ShardedPopulator:
+        """Build (and remember) the sharded populator for one source."""
+        self.tf.faults.fire(SITE_SHARD_PLAN, table=table.name,
+                            shards=self.n_shards)
+        populator = ShardedPopulator(table, self.tf.population_chunk,
+                                     self.planner, faults=self.tf.faults)
+        self.populators[table.name] = populator
+        return populator
+
+    def begin_propagation(self, start_lsn: int) -> None:
+        """Create the per-shard propagators, all starting at one LSN."""
+        self.propagators = [
+            ShardPropagator(self, shard_id, start_lsn)
+            for shard_id in range(self.n_shards)
+        ]
+        self._consumed_lsn = start_lsn
+        self._windows_at_mark = [0] * self.n_shards
+
+    # -- phase 2: sharded population ---------------------------------------
+
+    def population_step(self, budget: int) -> "StepReport":
+        """One population step: N shards' worth of work, parallel cost.
+
+        The operator's ``_population_step`` is reused unchanged; it pulls
+        interleaved per-shard chunks through the :class:`ShardedPopulator`
+        facade, so offering it ``N x budget`` units models N shards each
+        doing ``budget`` units on their own core.  The reported step cost
+        is the per-shard share.
+        """
+        from repro.transform.base import (
+            Phase, SITE_TF_POPULATE_CHUNK, SITE_TF_POPULATE_DONE,
+            StepReport,
+        )
+        tf = self.tf
+        tf.faults.fire(SITE_TF_POPULATE_CHUNK, transform=tf.transform_id)
+        units, finished = tf._population_step(budget * self.n_shards)
+        tf.stats["population_units"] += units
+        tf.metrics.inc("tf.units." + Phase.POPULATING.value, units)
+        parallel = math.ceil(units / self.n_shards)
+        if finished:
+            tf.faults.fire(SITE_TF_POPULATE_DONE, transform=tf.transform_id)
+            tf.db.log.append(FuzzyMarkRecord(
+                transform_id=tf.transform_id, phase="cycle"))
+            tf.phase = Phase.PROPAGATING
+            self.begin_propagation(tf._cursor)
+            tf._begin_iteration()
+        return StepReport(tf.phase, max(parallel, 1), False,
+                          info={"shards": self.n_shards,
+                                "population_units_total": units})
+
+    # -- phase 3: sharded propagation --------------------------------------
+
+    def propagation_step(self, budget: int) -> "StepReport":
+        """One propagation step: a round of per-shard window advances."""
+        from repro.transform.base import (
+            Phase, SITE_TF_PROPAGATE_BATCH, StepReport,
+        )
+        tf = self.tf
+        tf.faults.fire(SITE_TF_PROPAGATE_BATCH, transform=tf.transform_id,
+                       cursor=self.min_cursor())
+        self.stats["rounds"] += 1
+        total, parallel = self._round(float(budget))
+        if parallel < budget:
+            # Leftover critical-path budget goes to operator background
+            # work (e.g. the split consistency checker), exactly like the
+            # sequential pipeline; it runs once, not once per shard, so
+            # it is charged serially.
+            extra = tf._background_work(budget - parallel)
+            total += extra
+            parallel += extra
+        tf._iteration_units += parallel
+        tf.metrics.inc("tf.units." + Phase.PROPAGATING.value, total)
+        self._advance_consumed()
+        if total == 0 and not self._merging and \
+                self.min_cursor() > tf.db.log.end_lsn:
+            # Fully caught up with nothing to do: run the idle analysis
+            # every shard, like the sequential pipeline's idle iterations.
+            for p in self.propagators:
+                p.force_empty_window()
+        self._maybe_finish_global_iteration()
+        if not self._merging:
+            self._maybe_enter_merge()
+        if self._merging:
+            self._maybe_complete_merge()
+        stalled = any(p.last_decision is Decision.STALLED
+                      for p in self.propagators)
+        tf._stalled = stalled
+        return StepReport(
+            tf.phase, max(math.ceil(parallel), 1), False, stalled=stalled,
+            info={"remaining": self.max_lag(),
+                  "iteration": tf._iteration,
+                  "shards": self.n_shards,
+                  "shard_lags": [p.lag for p in self.propagators],
+                  "merging": self._merging,
+                  "total_units": total})
+
+    def _round(self, budget: float) -> tuple:
+        """Advance every shard until budgets run out or nothing moves.
+
+        Returns ``(total_units, parallel_units)``: the sum of work done
+        across shards, and the critical-path cost (max spent by any one
+        shard, plus serial barrier applications).
+        """
+        budgets = [budget] * self.n_shards
+        serial = 0.0
+        while True:
+            progressed = False
+            for p in self.propagators:
+                if budgets[p.shard_id] <= 0:
+                    continue
+                if p.window_complete and not self._merging:
+                    p.finish_window()
+                if not p.window_open:
+                    if self._merging:
+                        if p.cursor > self._merge_target:
+                            continue
+                        p.window_end = self._merge_target
+                    elif not p.open_window():
+                        continue
+                if p.at_barrier:
+                    continue
+                used = p.advance(budgets[p.shard_id])
+                budgets[p.shard_id] -= used
+                if used > 0:
+                    progressed = True
+                if p.window_complete and not self._merging:
+                    p.finish_window()
+            barrier_units = self._try_resolve_barrier()
+            if barrier_units:
+                serial += barrier_units
+                progressed = True
+            if not progressed:
+                break
+        for p in self.propagators:
+            if p.window_complete and not self._merging:
+                p.finish_window()
+        spent = [budget - b for b in budgets]
+        return sum(spent) + serial, max(spent) + serial
+
+    def _try_resolve_barrier(self) -> float:
+        """Apply a global record once when every cursor sits on it.
+
+        No shard may pass an unapplied barrier, so if the record under a
+        common cursor classifies as one, every shard is guaranteed to be
+        parked exactly there.  Returns the serial units spent (0.0 if no
+        barrier was resolvable).
+        """
+        tf = self.tf
+        cursors = {p.cursor for p in self.propagators}
+        if len(cursors) != 1:
+            return 0.0
+        lsn = next(iter(cursors))
+        if lsn > tf.db.log.end_lsn or \
+                (self._merging and lsn > self._merge_target):
+            return 0.0
+        record = tf.db.log.record_at(lsn)
+        kind, _ = self.propagators[0].classify(record)
+        if kind != BARRIER:
+            return 0.0
+        tf.faults.fire(SITE_SHARD_BARRIER, lsn=lsn, kind=record.kind,
+                       transform=tf.transform_id)
+        applied = tf._apply_record(record)
+        for p in self.propagators:
+            p.pass_barrier()
+        self.stats["barriers"] += 1
+        tf.metrics.inc("shard.barriers")
+        return 1.0 if applied else tf.SKIP_UNIT_COST
+
+    # -- cross-shard bookkeeping -------------------------------------------
+
+    def note_txn_end(self, record: EndRecord) -> None:
+        """A shard scanned an end record; release once all have."""
+        self._ends_seen[record.lsn] = record.txn_id
+
+    def _advance_consumed(self) -> None:
+        """Move the low-water mark to the slowest cursor; release the
+        propagated locks of transactions whose end record every shard
+        has now passed (the sharded analogue of ``_on_txn_end``)."""
+        tf = self.tf
+        new_min = self.min_cursor()
+        delta = new_min - self._consumed_lsn
+        if delta <= 0:
+            return
+        tf.stats["propagated_records"] += delta
+        tf._iteration_records += delta
+        self._records_since_mark += delta
+        self._consumed_lsn = new_min
+        for lsn in [l for l in self._ends_seen if l < new_min]:
+            txn_id = self._ends_seen.pop(lsn)
+            tf.locks_held.release_txn(txn_id)
+
+    def _maybe_finish_global_iteration(self) -> None:
+        """A *global* iteration ends once every shard has completed at
+        least one window since the last one: write the cycle mark (if
+        anything was propagated) and record the aggregate Section 3.3
+        analysis point, mirroring the sequential ``_finish_iteration``."""
+        from repro.transform.base import SITE_TF_ITERATION_END
+        tf = self.tf
+        if not self.propagators or self._merging:
+            return
+        if not all(p.windows_completed > base for p, base in
+                   zip(self.propagators, self._windows_at_mark)):
+            return
+        self._windows_at_mark = [p.windows_completed
+                                 for p in self.propagators]
+        tf.faults.fire(SITE_TF_ITERATION_END, transform=tf.transform_id,
+                       iteration=tf._iteration)
+        self.stats["global_iterations"] += 1
+        tf.stats["iterations"] += 1
+        if self._records_since_mark > 0:
+            tf.db.log.append(FuzzyMarkRecord(
+                transform_id=tf.transform_id, phase="cycle"))
+            self._records_since_mark = 0
+        decision = self._aggregate_decision()
+        base = tf._propagation_base_lsn
+        produced = max(0, tf.db.log.end_lsn - base) if base != NULL_LSN \
+            else tf.stats["propagated_records"]
+        tf.convergence.observe_iteration(
+            iteration=tf._iteration,
+            produced=produced,
+            consumed=tf.stats["propagated_records"],
+            lag=self.max_lag(),
+            records=tf._iteration_records,
+            units=tf._iteration_units,
+            decision=decision.value)
+        if tf.metrics.enabled:
+            tf.metrics.inc("tf.iterations")
+            tf.metrics.inc("tf.decision." + decision.value)
+            tf.metrics.observe("tf.log_tail", self.max_lag())
+            tf.metrics.trace(
+                "tf.iteration", transform=tf.transform_id,
+                decision=decision.value, shards=self.n_shards,
+                lag=self.max_lag(),
+                shard_lags=[p.lag for p in self.propagators])
+        tf._begin_iteration()
+
+    def _aggregate_decision(self) -> Decision:
+        """Per-shard decisions folded into one: synchronize only when
+        *every* shard's analysis says so; stalled if any shard stalls."""
+        decisions = [p.last_decision for p in self.propagators]
+        if any(d is Decision.STALLED for d in decisions):
+            return Decision.STALLED
+        if all(d is Decision.SYNCHRONIZE for d in decisions):
+            return Decision.SYNCHRONIZE
+        return Decision.ITERATE
+
+    # -- the merge barrier --------------------------------------------------
+
+    def _maybe_enter_merge(self) -> None:
+        """Latch for sync only once every shard's lag is under threshold
+        (its own analysis voted SYNCHRONIZE) and the operator is ready."""
+        tf = self.tf
+        if not self.propagators or \
+                any(p.windows_completed == 0 for p in self.propagators):
+            return
+        if self._aggregate_decision() is not Decision.SYNCHRONIZE:
+            return
+        ready, _reason = tf._ready_to_synchronize()
+        if not ready:
+            return
+        self._merging = True
+        self._merge_target = tf.db.log.end_lsn
+        tf.faults.fire(SITE_SHARD_MERGE, transform=tf.transform_id,
+                       target=self._merge_target)
+        tf.metrics.trace("shard.merge.start", transform=tf.transform_id,
+                         target=self._merge_target,
+                         shard_lags=[p.lag for p in self.propagators])
+
+    def _maybe_complete_merge(self) -> None:
+        """Finish the merge once every cursor reached the common target:
+        hand the single merged cursor to the sequential sync pipeline."""
+        tf = self.tf
+        if any(p.cursor <= self._merge_target for p in self.propagators):
+            return
+        # Every shard passed the target, so every end record at or below
+        # it is fully consumed.
+        for lsn in list(self._ends_seen):
+            if lsn <= self._merge_target:
+                tf.locks_held.release_txn(self._ends_seen.pop(lsn))
+        self._advance_consumed()
+        tf.faults.fire(SITE_SHARD_MERGED, transform=tf.transform_id,
+                       target=self._merge_target)
+        tf.metrics.trace("shard.merge.done", transform=tf.transform_id,
+                         target=self._merge_target)
+        tf._cursor = self._merge_target + 1
+        tf._iteration_target = self._merge_target
+        self.merged = True
+        self._merging = False
+        tf._start_synchronization()
+
+    # -- queries ------------------------------------------------------------
+
+    def min_cursor(self) -> int:
+        if not self.propagators:
+            return self.tf._cursor
+        return min(p.cursor for p in self.propagators)
+
+    def max_lag(self) -> int:
+        """The slowest shard's lag (the latch-gating quantity)."""
+        if not self.propagators:
+            return max(0, self.tf.db.log.end_lsn - self.tf._cursor + 1)
+        return max(p.lag for p in self.propagators)
+
+    def shard_convergence(self) -> Dict[str, List[Dict[str, object]]]:
+        """Per-shard Section 3.3 series, for run reports and benchmarks."""
+        return {f"shard{p.shard_id}": p.convergence.series()
+                for p in self.propagators}
+
+    def shard_summary(self) -> List[Dict[str, object]]:
+        """Per-shard cursor/lag/throughput snapshot (JSON-friendly)."""
+        return [
+            {"shard": p.shard_id, "cursor": p.cursor, "lag": p.lag,
+             "windows": p.windows_completed,
+             "applied": p.stats["applied"], "skipped": p.stats["skipped"],
+             "population_rows": [
+                 pop.rows_per_shard[p.shard_id]
+                 for pop in self.populators.values()],
+             "decision": None if p.last_decision is None
+             else p.last_decision.value}
+            for p in self.propagators
+        ]

@@ -1,0 +1,77 @@
+"""Deterministic hash partitioning of a transformation's key space.
+
+The sharded engine (:mod:`repro.shard`) splits the work of one
+transformation -- initial population and log propagation -- across ``N``
+*key-space shards*.  Everything downstream (which rowids a shard scans,
+which log records a shard applies) is derived from one function: a stable
+hash of the routing key.  Stability matters twice over:
+
+* **across processes** -- Python's built-in ``hash`` for strings is salted
+  per process (``PYTHONHASHSEED``), so it would assign rows to different
+  shards on every run; the planner hashes ``repr`` bytes through CRC-32
+  instead, which is deterministic everywhere;
+* **across phases** -- the populator and the propagator must agree: the
+  shard that populated row ``k`` must be the shard that propagates log
+  records about ``k``, or rule applications would race their own initial
+  image.  Both sides call the same :meth:`ShardPlanner.shard_of`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List, Tuple
+
+from repro.storage.table import Table
+
+
+def stable_shard_hash(key: Tuple) -> int:
+    """Process-independent hash of a routing key tuple.
+
+    ``repr`` is stable for the value types a primary key can hold (ints,
+    strings, floats, None, nested tuples); CRC-32 over its UTF-8 bytes
+    gives a well-mixed 32-bit value without any dependency beyond zlib.
+    """
+    return zlib.crc32(repr(tuple(key)).encode("utf-8"))
+
+
+class ShardPlanner:
+    """Maps routing keys (and table rowids) to one of ``n_shards`` shards.
+
+    The planner is pure bookkeeping -- it holds no table references and no
+    mutable state, so one instance can be shared by the populator, every
+    per-shard propagator and the coordinator.
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+
+    def shard_of(self, key: Tuple) -> int:
+        """Shard index owning the given routing key."""
+        return stable_shard_hash(key) % self.n_shards
+
+    def partition_rowids(self, table: Table) -> List[List[int]]:
+        """Partition a table's live rowids into per-shard lists.
+
+        The routing key of a row is its primary key, matching what the
+        rule engines return from ``shard_route`` for log records about it.
+        Rowid order within each shard follows the table's iteration order,
+        so the union of all shards visits exactly the rows a plain
+        :class:`~repro.engine.fuzzy.FuzzyScan` would.
+        """
+        parts: List[List[int]] = [[] for _ in range(self.n_shards)]
+        key_of = table.schema.key_of
+        for rowid, row in table.rows.items():
+            parts[self.shard_of(key_of(row.values))].append(rowid)
+        return parts
+
+    def histogram(self, keys: Iterable[Tuple]) -> Dict[int, int]:
+        """Shard -> key count over an iterable of keys (balance checks)."""
+        counts: Dict[int, int] = {i: 0 for i in range(self.n_shards)}
+        for key in keys:
+            counts[self.shard_of(key)] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"ShardPlanner(n_shards={self.n_shards})"

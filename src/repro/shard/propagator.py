@@ -1,0 +1,263 @@
+"""One key-space shard of the log-propagation pipeline.
+
+A :class:`ShardPropagator` owns an independent cursor into the shared log
+and an independent LSN window (its own bounded propagation iteration,
+Section 3.3).  Within its window it scans *every* log record -- the log is
+shared, there is no per-shard log -- but it only *applies* the records
+whose routing key hashes to its shard; everything else is inspected and
+skipped at the usual :data:`~repro.transform.base.Transformation.SKIP_UNIT_COST`.
+That asymmetry is the whole speed-up: rule application (index lookups,
+row writes, lock notes) costs ``1.0`` and is divided across shards, while
+the shared scan cost is not.
+
+Records a shard cannot decide alone are **barriers**:
+
+* data changes whose engine routes them globally (``shard_route`` returns
+  ``None`` -- e.g. the FOJ's S-table records, which fan out to carrier
+  rows across every shard), and
+* markers the engine consumes statefully (``marker_scope`` returns
+  ``"global"`` -- the split's consistency-check marks).
+
+A shard that reaches a barrier record stops *at* it and waits; since all
+shards scan the same record sequence in LSN order and none may pass an
+unresolved barrier, every shard arrives at the same barrier LSN, where
+the :class:`~repro.shard.coordinator.ShardCoordinator` applies the record
+exactly once through the ordinary sequential path and releases them all.
+
+End records are neither applied per shard (a lagging peer may still note
+propagated locks for that transaction) nor barriers (they are far too
+frequent); the shard reports them to the coordinator, which releases the
+transaction's propagated locks once **every** cursor has passed the
+record -- the point where the sequential pipeline's "processed the end
+record" condition holds for the merged pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING, Tuple
+
+from repro.faults import register_site
+from repro.obs import ConvergenceMonitor
+from repro.transform.analysis import Decision, IterationReport
+from repro.wal.records import EndRecord, LogRecord, NULL_LSN, data_change_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.shard.coordinator import ShardCoordinator
+
+SITE_SHARD_PROPAGATE_BATCH = register_site(
+    "shard.propagate.batch", "shard",
+    "before one shard advances through its log window in a coordinator "
+    "round (fired with shard=<index>, cursor=<lsn>)")
+
+#: Classification of one log record from a single shard's point of view.
+APPLY = "apply"          # routed to this shard: run the rules, cost 1.0
+SKIP = "skip"            # someone else's (or nobody's): inspect-and-skip
+BARRIER = "barrier"      # global: stop here, the coordinator applies it
+TXN_END = "txn_end"      # end record: skip, but report to the coordinator
+
+
+class ShardPropagator:
+    """Cursor + window + accounting for one shard (see module docstring)."""
+
+    def __init__(self, coordinator: "ShardCoordinator",
+                 shard_id: int, start_lsn: int) -> None:
+        self.coordinator = coordinator
+        self.shard_id = shard_id
+        self.tf = coordinator.tf
+        self.planner = coordinator.planner
+        #: Next LSN this shard will examine.
+        self.cursor = start_lsn
+        #: Inclusive end of the shard's current propagation window
+        #: (``NULL_LSN`` until the first window opens).
+        self.window_end = NULL_LSN
+        self.window_index = 0
+        #: Per-shard convergence series, labelled so the run report can
+        #: plot each shard's lag next to the aggregate.
+        self.convergence = ConvergenceMonitor(
+            self.tf.metrics, f"{self.tf.transform_id}/shard{shard_id}")
+        #: The shard's own copy of the analysis policy (policies carry
+        #: patience counters, so sharing one instance across interleaved
+        #: per-shard decisions would corrupt its state).
+        self.policy = coordinator.policy_for_shard(shard_id)
+        #: Decision of the most recently completed window (``None`` until
+        #: one completes); the coordinator latches for sync only once
+        #: every shard's last decision is SYNCHRONIZE.
+        self.last_decision: Optional[Decision] = None
+        self.windows_completed = 0
+        self._window_records = 0
+        self._window_units = 0.0
+        self.stats = {"applied": 0, "skipped": 0, "windows": 0}
+
+    # -- windows -----------------------------------------------------------
+
+    def open_window(self) -> bool:
+        """Open a fresh window ending at the current end of the log.
+
+        Returns False (and opens nothing) when the shard is fully caught
+        up -- an idle shard must not spin through empty windows.
+        """
+        end = self.tf.db.log.end_lsn
+        if self.cursor > end:
+            return False
+        self.window_index += 1
+        self.window_end = end
+        self._window_records = 0
+        self._window_units = 0.0
+        return True
+
+    @property
+    def window_open(self) -> bool:
+        return self.window_end != NULL_LSN and self.cursor <= self.window_end
+
+    @property
+    def window_complete(self) -> bool:
+        """An opened window whose last record has been consumed, awaiting
+        its end-of-window analysis."""
+        return self.window_end != NULL_LSN and self.cursor > self.window_end
+
+    def force_empty_window(self) -> "Decision":
+        """Run the analysis over an empty window while fully caught up.
+
+        The sequential pipeline keeps running (idle) iterations through
+        the policy even when no records arrive -- fixed-iteration policies
+        depend on it.  A caught-up shard opens no real windows, so the
+        coordinator forces the equivalent empty analysis instead.
+        """
+        self.window_index += 1
+        self._window_records = 0
+        self._window_units = 0.0
+        return self.finish_window()
+
+    @property
+    def lag(self) -> int:
+        """Records between this shard's cursor and the end of the log."""
+        return max(0, self.tf.db.log.end_lsn - self.cursor + 1)
+
+    # -- record classification --------------------------------------------
+
+    def classify(self, record: LogRecord) -> Tuple[str, Optional[Tuple]]:
+        """How this shard must treat one log record."""
+        if isinstance(record, EndRecord):
+            return TXN_END, None
+        change = data_change_of(record)
+        engine = self.tf.engine
+        if change is not None:
+            if change.table not in engine.source_tables:
+                return SKIP, None
+            route = engine.shard_route(change)
+            if route is None:
+                return BARRIER, None
+            if self.planner.shard_of(route) == self.shard_id:
+                return APPLY, route
+            return SKIP, route
+        if engine.marker_scope(record) == "global":
+            return BARRIER, None
+        return SKIP, None
+
+    # -- advancing ---------------------------------------------------------
+
+    def advance(self, budget: float) -> float:
+        """Spend up to ``budget`` units moving the cursor through the
+        window; returns the units consumed.  Stops early at a barrier
+        record or at the end of the window (the caller decides what
+        happens next in either case)."""
+        tf = self.tf
+        if not self.window_open:
+            return 0.0
+        tf.faults.fire(SITE_SHARD_PROPAGATE_BATCH, shard=self.shard_id,
+                       cursor=self.cursor, transform=tf.transform_id)
+        units = 0.0
+        records = 0
+        applied = 0
+        log = tf.db.log
+        span = tf.metrics.begin_span(
+            "tf.shard.batch", parent=tf._batch_span_parent(),
+            shard=self.shard_id, cursor=self.cursor) \
+            if tf.metrics.enabled else None
+        try:
+            while units < budget and self.cursor <= self.window_end:
+                record = log.record_at(self.cursor)
+                kind, route = self.classify(record)
+                if kind == BARRIER:
+                    break
+                self.cursor += 1
+                records += 1
+                if kind == APPLY:
+                    change = data_change_of(record)
+                    touched = tf.engine.apply(change, record.lsn)
+                    for table, key in touched:
+                        tf.locks_held.note(record.txn_id, table.uid, key)
+                    units += 1.0
+                    applied += 1
+                else:
+                    if kind == TXN_END:
+                        self.coordinator.note_txn_end(record)
+                    units += tf.SKIP_UNIT_COST
+        finally:
+            self._window_records += records
+            self._window_units += units
+            self.stats["applied"] += applied
+            self.stats["skipped"] += records - applied
+            if span is not None:
+                span.attrs["records"] = records
+                span.attrs["applied"] = applied
+                span.attrs["units"] = units
+                tf.metrics.end_span(span)
+        return units
+
+    @property
+    def at_barrier(self) -> bool:
+        """Whether the shard is parked on an unapplied barrier record."""
+        if not self.window_open:
+            return False
+        record = self.tf.db.log.record_at(self.cursor)
+        return self.classify(record)[0] == BARRIER
+
+    def pass_barrier(self) -> None:
+        """Move past a barrier record the coordinator just applied."""
+        self.cursor += 1
+        self._window_records += 1
+
+    # -- per-shard Section 3.3 analysis ------------------------------------
+
+    def finish_window(self) -> Decision:
+        """Run the end-of-window analysis for this shard.
+
+        The per-shard equivalent of the sequential pipeline's
+        end-of-iteration analysis: an :class:`IterationReport` over the
+        shard's own window feeds the shard's own policy copy, and the
+        result is recorded on the shard's convergence series.
+        """
+        self.windows_completed += 1
+        self.stats["windows"] += 1
+        report = IterationReport(
+            iteration=self.window_index,
+            records_propagated=self._window_records,
+            remaining_records=self.lag,
+            units_used=self._window_units,
+        )
+        decision = self.policy.decide(report)
+        self.last_decision = decision
+        base = self.tf._propagation_base_lsn
+        produced = max(0, self.tf.db.log.end_lsn - base) \
+            if base != NULL_LSN else self._window_records
+        self.convergence.observe_iteration(
+            iteration=self.window_index,
+            produced=produced,
+            consumed=self.stats["applied"] + self.stats["skipped"],
+            lag=report.remaining_records,
+            records=report.records_propagated,
+            units=report.units_used,
+            decision=decision.value)
+        if self.tf.metrics.enabled:
+            self.tf.metrics.trace(
+                "tf.shard.window", transform=self.tf.transform_id,
+                shard=self.shard_id, window=self.window_index,
+                records=self._window_records, lag=report.remaining_records,
+                decision=decision.value)
+        self.window_end = NULL_LSN
+        return decision
+
+    def __repr__(self) -> str:
+        return (f"ShardPropagator(shard={self.shard_id}, "
+                f"cursor={self.cursor}, lag={self.lag})")

@@ -208,6 +208,28 @@ class RuleEngine:
     def handle_marker(self, record: LogRecord) -> None:
         """Consume a non-data record (CC marks etc.); default: ignore."""
 
+    def shard_route(self, change: LogRecord) -> Optional[Tuple]:
+        """Routing key for hash-sharded propagation (:mod:`repro.shard`).
+
+        Return the key tuple whose hash decides which shard applies this
+        data change, or ``None`` for records that must be applied as a
+        cross-shard *barrier* (they touch target rows owned by several
+        shards).  The contract: two records returning routing keys that
+        hash to different shards may be applied in either relative order
+        without changing the converged target state.  The conservative
+        default routes nothing, so an engine without an override runs
+        correctly -- every record a barrier -- just without parallelism.
+        """
+        return None
+
+    def marker_scope(self, record: LogRecord) -> str:
+        """Sharding scope of a non-data record: ``"ignore"`` markers are
+        skipped by every shard without reaching :meth:`handle_marker`;
+        ``"global"`` markers are applied once, as a barrier.  The default
+        matches the base ``handle_marker`` (a no-op): ignore everything.
+        """
+        return "ignore"
+
     def targets_of_source_lock(self, table_name: str,
                                key: Tuple) -> List[Tuple[Table, Tuple]]:
         """Transformed records corresponding to a locked source record."""
@@ -231,6 +253,14 @@ class Transformation:
         sync_strategy: Which Section 3.4 strategy :meth:`step` enters once
             the policy decides to synchronize.
         population_chunk: Rows per fuzzy-scan chunk.
+        shards: Number of hash-partitioned key-space shards executing the
+            population and propagation phases (:mod:`repro.shard`).  The
+            default ``1`` keeps the paper's sequential pipeline; ``N > 1``
+            delegates both phases to a
+            :class:`~repro.shard.coordinator.ShardCoordinator`, which
+            merges back to a single cursor before synchronization, so the
+            Section 3.4 strategies and the lock mirroring are identical
+            either way.
 
     Subclass contract -- implement:
 
@@ -248,13 +278,21 @@ class Transformation:
     def __init__(self, db: Database, transform_id: Optional[str] = None,
                  policy: Optional[PropagationPolicy] = None,
                  sync_strategy: SyncStrategy = SyncStrategy.NONBLOCKING_ABORT,
-                 population_chunk: int = 256) -> None:
+                 population_chunk: int = 256,
+                 shards: int = 1) -> None:
         self.db = db
         self.transform_id = transform_id or \
             f"{self.kind or 'tf'}-{next(_transform_counter)}"
         self.policy = policy or RemainingRecordsPolicy()
         self.sync_strategy = sync_strategy
         self.population_chunk = population_chunk
+        if int(shards) < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = int(shards)
+        #: The sharded-execution coordinator; built lazily at population
+        #: begin (and only for ``shards > 1``), so ``shards=1`` pays
+        #: nothing and runs the original code path.
+        self._coordinator = None
 
         #: Observability registry, inherited from the database so one
         #: attachment covers the engine and the transformation it runs.
@@ -438,13 +476,24 @@ class Transformation:
         self._propagation_base_lsn = mark_lsn
         oldest = self.db.txns.oldest_first_lsn(active)
         self._cursor = oldest if oldest != NULL_LSN else mark_lsn
+        if self.shards > 1 and self._coordinator is None:
+            from repro.shard import ShardCoordinator
+            self._coordinator = ShardCoordinator(self, self.shards)
         for name in self.source_tables:
             table = self.db.catalog.get(name)
-            self._scans[name] = FuzzyScan(table, self.population_chunk)
+            if self._coordinator is not None:
+                self._scans[name] = self._coordinator.make_populator(table)
+            else:
+                self._scans[name] = FuzzyScan(table, self.population_chunk)
         self.phase = Phase.POPULATING
 
     def _source_scan(self, name: str) -> FuzzyScan:
-        """The fuzzy scan of one source table (for subclasses)."""
+        """The fuzzy scan of one source table (for subclasses).
+
+        Under sharded execution this is a
+        :class:`~repro.shard.populator.ShardedPopulator` -- same chunked
+        interface, rows interleaved across the per-shard scans.
+        """
         return self._scans[name]
 
     # ------------------------------------------------------------------
@@ -532,6 +581,8 @@ class Transformation:
             self.db._notify_woken(woken)
 
     def _remaining(self) -> int:
+        if self._coordinator is not None and not self._coordinator.merged:
+            return self._coordinator.max_lag()
         return max(0, self.db.log.end_lsn - self._cursor + 1)
 
     # ------------------------------------------------------------------
@@ -577,6 +628,8 @@ class Transformation:
             self._begin_population()
 
         if self.phase is Phase.POPULATING:
+            if self._coordinator is not None:
+                return self._coordinator.population_step(budget)
             self.faults.fire(SITE_TF_POPULATE_CHUNK,
                              transform=self.transform_id)
             units, finished = self._population_step(budget)
@@ -592,6 +645,8 @@ class Transformation:
             return StepReport(self.phase, max(units, 1), False)
 
         if self.phase is Phase.PROPAGATING:
+            if self._coordinator is not None:
+                return self._coordinator.propagation_step(budget)
             units = self._propagate_batch(budget)
             if units < budget:
                 # Leftover budget goes to operator background work, e.g.
@@ -774,6 +829,18 @@ class Transformation:
     def done(self) -> bool:
         """Whether the transformation completed successfully."""
         return self.phase is Phase.DONE
+
+    def shard_convergence(self) -> Dict[str, List[Dict[str, object]]]:
+        """Per-shard Section 3.3 convergence series (empty for shards=1)."""
+        if self._coordinator is None:
+            return {}
+        return self._coordinator.shard_convergence()
+
+    def shard_summary(self) -> List[Dict[str, object]]:
+        """Per-shard execution snapshot (empty for shards=1)."""
+        if self._coordinator is None:
+            return []
+        return self._coordinator.shard_summary()
 
     @property
     def sync_urgent(self) -> bool:

@@ -157,6 +157,26 @@ class FojRuleEngine(RuleEngine):
         return {k: v for k, v in change.changes.items()
                 if k in self._s_attr_set}
 
+    # -- sharding (repro.shard) ---------------------------------------------
+
+    def shard_route(self, change: LogRecord):
+        """R-table records are routed by R's primary key; S-table records
+        are cross-shard barriers.
+
+        Every T row carrying R key ``a`` is written only by rules applied
+        to ``a``'s own log records, so routing by R key gives each shard
+        an ordered per-key history; the shared auxiliaries (``t^null_x``
+        rows, the copied S parts) are maintained state-drivenly and
+        converge under cross-key interleaving.  An S-table record, by
+        contrast, fans out to all carrier rows of its join value -- rows
+        owned by many shards -- so it must be applied once, with every
+        shard aligned (between such barriers the S side is stable, which
+        is what keeps the copied S parts identical across carriers).
+        """
+        if change.table == self.spec.r_name:
+            return tuple(change.key)
+        return None
+
     # -- dispatch -----------------------------------------------------------
 
     def apply(self, change: LogRecord,

@@ -158,6 +158,29 @@ class SplitRuleEngine(RuleEngine):
         return {k: v for k, v in change.changes.items()
                 if k in self._r_attr_set}
 
+    # -- sharding (repro.shard) -----------------------------------------------
+
+    def shard_route(self, change: LogRecord):
+        """Route every T record by T's primary key.
+
+        R-side effects are confined to the row with that key.  S-side
+        effects from different T keys can target the same S record, but
+        they commute: the duplicate counter is add/subtract and the value
+        image is guarded by a take-the-max LSN rule, so any interleaving
+        of whole-record applications converges to the sequential result
+        (for FD-consistent histories -- the same domain in which the
+        sequential rules themselves are exact, Section 5.2).
+        """
+        return tuple(change.key)
+
+    def marker_scope(self, record: LogRecord) -> str:
+        """The owning transformation's CC marks mutate checker state
+        (`_cc_inflight`, flag repairs) and must be applied exactly once."""
+        if isinstance(record, (CCBeginRecord, CCOkRecord)) and \
+                record.transform_id == self.transform_id:
+            return "global"
+        return "ignore"
+
     # -- dispatch -------------------------------------------------------------
 
     def apply(self, change: LogRecord,

@@ -59,6 +59,11 @@ class TransformationSupervisor:
         max_steps_per_attempt: Safety net against a wedged attempt.
         on_wait: Optional callback receiving each backoff duration in wait
             units (e.g. ``time.sleep`` or a simulator clock advance).
+        shards: When given, override each attempt's transformation to run
+            its population and propagation across this many key-space
+            shards (see :mod:`repro.shard`), regardless of what the
+            factory configured.  ``None`` leaves the factory's own
+            ``shards`` setting untouched.
     """
 
     def __init__(self, db: Database,
@@ -71,9 +76,12 @@ class TransformationSupervisor:
                  escalation_factor: int = 4,
                  max_budget: int = 1 << 20,
                  max_steps_per_attempt: int = 1_000_000,
-                 on_wait: Optional[Callable[[float], None]] = None) -> None:
+                 on_wait: Optional[Callable[[float], None]] = None,
+                 shards: Optional[int] = None) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1")
         self.db = db
         self.factory = factory
         self.budget = budget
@@ -85,6 +93,7 @@ class TransformationSupervisor:
         self.max_budget = max_budget
         self.max_steps_per_attempt = max_steps_per_attempt
         self.on_wait = on_wait
+        self.shards = shards
         #: The database's registry: the retry loop is part of the observed
         #: pipeline, so attempts show up as spans under ``supervisor`` and
         #: retries/backoffs/escalations as trace events.
@@ -112,6 +121,11 @@ class TransformationSupervisor:
                 self.stats["attempts"] = attempt
                 self.stats["final_budget"] = budget
                 tf = self.factory()
+                if self.shards is not None:
+                    # Safe pre-population: the shard coordinator is only
+                    # built when the transformation first populates, so an
+                    # attempt fresh from the factory can still be re-routed.
+                    tf.shards = self.shards
                 span = self.metrics.begin_span(
                     "supervisor.attempt", parent=root,
                     attempt=attempt, budget=budget)

@@ -144,7 +144,12 @@ class LogManager:
         ``to_lsn`` defaults to the current end of the log, *fixed at call
         time*: records appended while the caller iterates are not included,
         which is exactly the bounded-cycle behaviour a log-propagation
-        iteration needs.
+        iteration needs.  The snapshot really is taken when :meth:`scan`
+        is *called*, not when iteration starts -- a generator body would
+        only read ``end_lsn`` at the first ``next()``, silently widening
+        the window for callers that append between creating the iterator
+        and draining it (concurrent per-shard propagators do exactly
+        that).
 
         Boundary contract: scanning an empty log yields nothing;
         ``from_lsn`` below :data:`FIRST_LSN` starts at the log head;
@@ -158,8 +163,12 @@ class LogManager:
         end = self.end_lsn if to_lsn is None else to_lsn
         start_index = max(0, from_lsn - FIRST_LSN)
         end_index = min(len(self._records), end - FIRST_LSN + 1)
-        for index in range(start_index, end_index):
-            yield self._records[index]
+
+        def _iterate() -> Iterator[LogRecord]:
+            for index in range(start_index, end_index):
+                yield self._records[index]
+
+        return _iterate()
 
     def records_between(self, from_lsn: int, to_lsn: int) -> int:
         """Number of records in the closed LSN interval (for analysis)."""

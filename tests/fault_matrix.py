@@ -40,4 +40,5 @@ def test_sweep_coverage_spans_all_layers():
     assert summary["violations"] == 0
     assert summary["covered_sites"] >= 30
     assert set(summary["layers"]) >= {
-        "wal", "storage", "engine", "transform", "sync", "consistency"}
+        "wal", "storage", "engine", "transform", "sync", "consistency",
+        "shard"}

@@ -344,6 +344,107 @@ def test_merge_converges_for_any_history(script):
     assert rows_equal(values_of(db, "M"), expected)
 
 
+# ---------------------------------------------------------------------------
+# Sharded pipeline equivalence (repro.shard)
+# ---------------------------------------------------------------------------
+
+
+def _run_foj_pipeline(script, shards):
+    """Drive one FOJ pipeline over ``script``; returns (T rows, oracle).
+
+    The op sequence and step budgets are fixed by the script, so two
+    pipelines run over the same script see identical workloads -- the
+    only degree of freedom is the shard count.
+    """
+    db = build_foj_db(script)
+    spec = FojSpec.derive(db.table("R").schema, db.table("S").schema,
+                          "T", "c", "c")
+    tf = FojTransformation(db, spec, population_chunk=3, shards=shards)
+    for i, (kind, key, join_value, budget) in enumerate(script):
+        apply_foj_op(db, kind, key, join_value, i)
+        if not tf.done and tf.phase is not Phase.SYNCHRONIZING:
+            tf.step(budget)
+    r_rows, s_rows = values_of(db, "R"), values_of(db, "S")
+    tf.run()
+    return values_of(db, "T"), full_outer_join(spec, r_rows, s_rows)
+
+
+@given(st.lists(op_strategy, min_size=0, max_size=40),
+       st.sampled_from([2, 3, 7]))
+@settings(max_examples=40, deadline=None)
+def test_sharded_foj_identical_to_sequential(script, shards):
+    """The N-shard FOJ pipeline produces row-for-row the same target as
+    the sequential (N=1) pipeline under any concurrent history."""
+    base_rows, base_oracle = _run_foj_pipeline(script, shards=1)
+    sharded_rows, sharded_oracle = _run_foj_pipeline(script, shards=shards)
+    assert rows_equal(base_oracle, sharded_oracle)  # same final sources
+    assert rows_equal(sharded_rows, base_rows)
+    assert rows_equal(sharded_rows, sharded_oracle)
+
+
+def _run_split_pipeline(script, shards):
+    """Drive one split pipeline over ``script``; returns
+    (Tr rows, Ts rows, Ts counters, final T rows)."""
+    db = Database()
+    db.create_table(TableSchema("T", ["id", "name", "zip", "city"],
+                                primary_key=["id"]))
+    city = {z: f"C{z}" for z in range(6)}
+    with Session(db) as s:
+        for i in range(12):
+            z = i % 6
+            s.insert("T", {"id": i, "name": i, "zip": z, "city": city[z]})
+    spec = SplitSpec.derive(db.table("T").schema, "Tr", "Ts", "zip",
+                            s_attrs=["city"])
+    tf = SplitTransformation(db, spec, population_chunk=3, shards=shards)
+    for i, (kind, key, z, budget) in enumerate(script):
+        try:
+            if kind == "ins":
+                with Session(db) as s:
+                    s.insert("T", {"id": 100 + i, "name": i, "zip": z,
+                                   "city": city[z]})
+            elif kind == "del":
+                with Session(db) as s:
+                    s.delete("T", (key % 12,))
+            elif kind == "move":
+                with Session(db) as s:
+                    s.update("T", (key % 12,), {"zip": z, "city": city[z]})
+            elif kind == "upd_name":
+                with Session(db) as s:
+                    s.update("T", (key % 12,), {"name": f"n{i}"})
+            elif kind == "abort_move":
+                txn = db.begin()
+                try:
+                    db.update(txn, "T", (key % 12,),
+                              {"zip": z, "city": city[z]})
+                finally:
+                    db.abort(txn)
+        except (NoSuchRowError, DuplicateKeyError):
+            pass
+        if not tf.done and tf.phase is not Phase.SYNCHRONIZING:
+            tf.step(budget)
+    t_rows = values_of(db, "T")
+    tf.run()
+    return (values_of(db, "Tr"), values_of(db, "Ts"),
+            table_counters(db, "Ts"), t_rows)
+
+
+@given(st.lists(split_op_strategy, min_size=0, max_size=40),
+       st.sampled_from([2, 3, 7]))
+@settings(max_examples=40, deadline=None)
+def test_sharded_split_identical_to_sequential(script, shards):
+    """The N-shard split pipeline matches the sequential pipeline row for
+    row -- including the S-table reference counters, whose commutative
+    updates are what makes per-key routing sound."""
+    base_r, base_s, base_counters, base_t = \
+        _run_split_pipeline(script, shards=1)
+    shard_r, shard_s, shard_counters, shard_t = \
+        _run_split_pipeline(script, shards=shards)
+    assert rows_equal(base_t, shard_t)  # same final sources
+    assert rows_equal(shard_r, base_r)
+    assert rows_equal(shard_s, base_s)
+    assert shard_counters == base_counters
+
+
 @given(st.lists(op_strategy, min_size=0, max_size=30))
 @settings(max_examples=40, deadline=None)
 def test_materialized_view_converges_for_any_history(script):

@@ -2,6 +2,7 @@
 trace wiring of the supervisor, recovery and the simulated experiments."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -184,6 +185,22 @@ def test_report_cli_renders_file(tmp_path, capsys):
     assert report_main([str(path)]) == 0
     out = capsys.readouterr().out
     assert "run report: render-test" in out
+
+
+def test_report_cli_renders_committed_fixture(capsys):
+    """The committed sample report stays renderable.
+
+    Generated results under ``benchmarks/results/`` are gitignored; this
+    trimmed fixture (one ``observability_smoke`` strategy section) is the
+    committed stand-in that pins the on-disk report schema.
+    """
+    fixture = pathlib.Path(__file__).parent / "fixtures" \
+        / "run_report_trimmed.json"
+    assert report_main([str(fixture)]) == 0
+    out = capsys.readouterr().out
+    assert "run report: observability_smoke" in out
+    assert "run: nonblocking_abort" in out
+    assert "phase timeline:" in out
 
 
 # ---------------------------------------------------------------------------

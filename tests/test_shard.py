@@ -1,0 +1,352 @@
+"""Tests for the sharded transformation engine (:mod:`repro.shard`).
+
+Covers the shard map (determinism, balance), the interleaved sharded
+populator, per-shard propagation with barrier records, the merge
+handover into the unchanged synchronization pipeline, partial-shard
+crash recovery, and the WAL scan-snapshot contract the shards rely on.
+"""
+
+import pytest
+
+from repro import (
+    Database,
+    FojTransformation,
+    Phase,
+    Session,
+    SplitTransformation,
+    TableSchema,
+    TransformationSupervisor,
+    restart,
+)
+from repro.common.errors import SimulatedCrashError
+from repro.faults import CrashFault, FaultInjector, FaultPlan
+from repro.relational import full_outer_join, rows_equal, split
+from repro.shard import (
+    ShardCoordinator,
+    ShardPlanner,
+    ShardedPopulator,
+    stable_shard_hash,
+)
+from repro.transform.analysis import FixedIterationsPolicy
+
+from tests.conftest import (
+    foj_spec,
+    load_foj_data,
+    load_split_data,
+    split_spec,
+    values_of,
+)
+
+
+# ---------------------------------------------------------------------------
+# Planner: the shard map
+# ---------------------------------------------------------------------------
+
+
+def test_stable_hash_is_deterministic_across_processes():
+    # crc32 of the key's repr: no dependence on PYTHONHASHSEED.
+    assert stable_shard_hash((1, "x")) == stable_shard_hash((1, "x"))
+    assert stable_shard_hash((7,)) == stable_shard_hash((7,))
+    assert stable_shard_hash([7]) == stable_shard_hash((7,))
+
+
+def test_planner_routes_every_key_to_one_shard():
+    planner = ShardPlanner(4)
+    for key in [(i,) for i in range(100)]:
+        shard = planner.shard_of(key)
+        assert 0 <= shard < 4
+        assert planner.shard_of(key) == shard  # stable
+
+
+def test_planner_balance_is_reasonable():
+    planner = ShardPlanner(4)
+    hist = planner.histogram([(i,) for i in range(1000)])
+    assert sum(hist.values()) == 1000
+    assert min(hist.values()) > 150  # no starved shard on uniform keys
+
+
+def test_planner_partition_rowids_covers_table_exactly_once(foj_db):
+    load_foj_data(foj_db, n_r=30, n_s=5)
+    planner = ShardPlanner(3)
+    parts = planner.partition_rowids(foj_db.table("R"))
+    combined = sorted(r for part in parts for r in part)
+    assert combined == sorted(foj_db.table("R").rows)
+
+
+# ---------------------------------------------------------------------------
+# Sharded population
+# ---------------------------------------------------------------------------
+
+
+def test_sharded_populator_interleaves_per_shard_chunks(foj_db):
+    load_foj_data(foj_db, n_r=24, n_s=5)
+    populator = ShardedPopulator(foj_db.table("R"), 4, ShardPlanner(2))
+    seen = []
+    while not populator.exhausted:
+        seen.extend(populator.next_chunk())
+    assert len(seen) == 24
+    assert len({row.values["a"] for row in seen}) == 24
+    assert sum(populator.rows_per_shard) == 24
+    assert all(n > 0 for n in populator.rows_per_shard)
+
+
+def test_sharded_population_matches_sequential(foj_db):
+    load_foj_data(foj_db, n_r=25, n_s=6)
+    spec = foj_spec(foj_db)
+    tf = FojTransformation(foj_db, spec, shards=3, population_chunk=4)
+    tf.run()
+    assert rows_equal(
+        values_of(foj_db, "T"),
+        full_outer_join(spec, *_foj_source_rows()))
+
+
+def _foj_source_rows():
+    oracle_db = Database()
+    oracle_db.create_table(TableSchema("R", ["a", "b", "c"],
+                                       primary_key=["a"]))
+    oracle_db.create_table(TableSchema("S", ["c", "d", "e"],
+                                       primary_key=["c"]))
+    load_foj_data(oracle_db, n_r=25, n_s=6)
+    return values_of(oracle_db, "R"), values_of(oracle_db, "S")
+
+
+# ---------------------------------------------------------------------------
+# Coordinator wiring
+# ---------------------------------------------------------------------------
+
+
+def test_shards_1_never_builds_a_coordinator(split_db):
+    load_split_data(split_db, n=15)
+    tf = SplitTransformation(split_db, split_spec(split_db), shards=1)
+    tf.run()
+    assert tf._coordinator is None
+    assert tf.shard_summary() == []
+    assert tf.shard_convergence() == {}
+
+
+def test_shards_validation(split_db):
+    load_split_data(split_db, n=5)
+    with pytest.raises(ValueError):
+        SplitTransformation(split_db, split_spec(split_db), shards=0)
+    with pytest.raises(ValueError):
+        TransformationSupervisor(split_db, lambda: None, shards=0)
+
+
+def test_coordinator_rejects_single_shard(split_db):
+    load_split_data(split_db, n=5)
+    tf = SplitTransformation(split_db, split_spec(split_db))
+    with pytest.raises(ValueError):
+        ShardCoordinator(tf, 1)
+
+
+def test_supervisor_shards_knob_overrides_factory(split_db):
+    load_split_data(split_db, n=20)
+
+    def factory():
+        return SplitTransformation(split_db, split_spec(split_db),
+                                   population_chunk=4)
+
+    sup = TransformationSupervisor(split_db, factory, budget=32, shards=2)
+    tf = sup.run()
+    assert tf.done
+    assert tf.shards == 2
+    assert tf._coordinator is not None
+    assert len(tf.shard_summary()) == 2
+
+
+# ---------------------------------------------------------------------------
+# Barriers and per-shard windows
+# ---------------------------------------------------------------------------
+
+
+def _drive_with_workload(db, tf, ops, budget=12, max_steps=2000):
+    """Step ``tf``, popping one workload thunk between steps.
+
+    Returns the number of thunks that actually ran (the pipeline may
+    reach synchronization before the list drains)."""
+    ops = list(ops)
+    ran = 0
+    for _ in range(max_steps):
+        report = tf.step(budget)
+        if report.done:
+            return ran
+        if ops and tf.phase in (Phase.POPULATING, Phase.PROPAGATING):
+            ops.pop(0)()
+            ran += 1
+    raise AssertionError(f"not done; phase={tf.phase.value}")
+
+
+def test_foj_s_records_resolve_as_barriers(foj_db):
+    load_foj_data(foj_db, n_r=30, n_s=6)
+    spec = foj_spec(foj_db)
+    tf = FojTransformation(foj_db, spec, shards=2, population_chunk=4,
+                           policy=FixedIterationsPolicy(4))
+    s_key = next(iter(values_of(foj_db, "S")))["c"]
+
+    def update_s():
+        with Session(foj_db) as s:
+            s.update("S", (s_key,), {"d": "fresh"})
+
+    _drive_with_workload(foj_db, tf, [update_s, update_s])
+    assert tf._coordinator.stats["barriers"] >= 1
+    carriers = [r for r in values_of(foj_db, "T") if r["c"] == s_key]
+    assert carriers and all(r["d"] == "fresh" for r in carriers)
+
+
+def test_split_updates_route_without_barriers(split_db):
+    load_split_data(split_db, n=30, n_zip=5)
+    tf = SplitTransformation(split_db, split_spec(split_db), shards=2,
+                             population_chunk=4,
+                             policy=FixedIterationsPolicy(3))
+
+    def update_t(i):
+        def run():
+            with Session(split_db) as s:
+                s.update("T", (i,), {"name": f"u{i}"})
+        return run
+
+    ran = _drive_with_workload(split_db, tf,
+                               [update_t(i) for i in range(6)])
+    # Data changes are per-key routed; only a consistency-check marker
+    # could be a barrier, and this transformation runs without one.
+    assert tf._coordinator.stats["barriers"] == 0
+    assert ran >= 3
+    t_rows = values_of(split_db, "T_r")
+    updated = {r["id"] for r in t_rows if str(r["name"]).startswith("u")}
+    assert updated == set(range(ran))
+
+
+def test_merge_hands_over_to_unchanged_sync(split_db):
+    load_split_data(split_db, n=25)
+    tf = SplitTransformation(split_db, split_spec(split_db), shards=4,
+                             population_chunk=4)
+    tf.run()
+    co = tf._coordinator
+    assert co.merged
+    assert tf.done
+    # After the merge every shard's cursor sits past the common target.
+    assert all(p.cursor > co._merge_target for p in co.propagators)
+    r_rows, s_rows, counters, _ = split(
+        tf.spec, _committed_split_rows(n=25))
+    assert rows_equal(values_of(split_db, "T_r"), r_rows)
+    assert rows_equal(values_of(split_db, "postal"), s_rows)
+
+
+def _committed_split_rows(n):
+    oracle = Database()
+    oracle.create_table(TableSchema("T", ["id", "name", "zip", "city"],
+                                    primary_key=["id"]))
+    load_split_data(oracle, n=n)
+    return values_of(oracle, "T")
+
+
+def test_sharded_run_reports_per_shard_convergence(split_db):
+    load_split_data(split_db, n=25)
+    tf = SplitTransformation(split_db, split_spec(split_db), shards=2,
+                             population_chunk=4)
+    tf.run()
+    series = tf.shard_convergence()
+    assert set(series) == {"shard0", "shard1"}
+    assert all(len(points) >= 1 for points in series.values())
+    summary = tf.shard_summary()
+    assert [s["shard"] for s in summary] == [0, 1]
+    assert all(s["windows"] >= 1 for s in summary)
+
+
+def test_idle_shards_still_run_policy_analysis(split_db):
+    """A caught-up sharded pipeline must keep feeding its policies empty
+    windows, or a fixed-iterations policy would never release it."""
+    load_split_data(split_db, n=12)
+    tf = SplitTransformation(split_db, split_spec(split_db), shards=2,
+                             population_chunk=6,
+                             policy=FixedIterationsPolicy(5))
+    tf.run()  # would spin forever if idle windows were not forced
+    assert tf.done
+
+
+# ---------------------------------------------------------------------------
+# Partial-shard crash recovery
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("site, hit", [
+    ("shard.populate.chunk", 2),
+    ("shard.propagate.batch", 3),
+    ("shard.merge", 1),
+])
+def test_crash_mid_shard_recovers_committed_state(site, hit):
+    """A crash inside one shard's work (partial-shard failure) must leave
+    recovery with exactly the committed source rows."""
+    faults = FaultInjector(FaultPlan().arm(site, CrashFault(), hit=hit))
+    db = Database()
+    db.attach_faults(faults)
+    db.create_table(TableSchema("T", ["id", "name", "zip", "city"],
+                                primary_key=["id"]))
+    with Session(db) as s:
+        for i in range(20):
+            z = 7000 + i % 4
+            s.insert("T", {"id": i, "name": f"n{i}", "zip": z,
+                           "city": f"C{z}"})
+    committed = values_of(db, "T")
+    tf = SplitTransformation(db, split_spec(db), shards=2,
+                             population_chunk=3)
+
+    def mutate(i):
+        def run():
+            with Session(db) as s:
+                s.update("T", (i,), {"name": f"u{i}"})
+            committed_rows = [r for r in committed if r["id"] == i]
+            committed_rows[0]["name"] = f"u{i}"
+        return run
+
+    with pytest.raises(SimulatedCrashError):
+        _drive_with_workload(db, tf, [mutate(0), mutate(1), mutate(2)])
+    db.log.faults = FaultInjector()  # the log survives the crash
+    recovered = restart(db.log)
+    # Transient targets are discarded; committed sources are intact.
+    assert sorted(recovered.catalog.table_names()) == ["T"]
+    got = values_of(recovered, "T")
+    expected = {r["id"]: r for r in committed}
+    seen = {r["id"]: r for r in got}
+    assert set(seen) == set(expected)
+    for key, row in expected.items():
+        # In-flight mutations resolve like recovery does; committed ones
+        # must match exactly.
+        assert seen[key] == row
+
+
+# ---------------------------------------------------------------------------
+# WAL scan snapshot (the contract concurrent shard cursors rely on)
+# ---------------------------------------------------------------------------
+
+
+def test_wal_scan_bounds_snapshot_at_call_time():
+    db = Database()
+    db.create_table(TableSchema("T", ["id", "v"], primary_key=["id"]))
+    with Session(db) as s:
+        for i in range(3):
+            s.insert("T", {"id": i, "v": i})
+    end_before = db.log.end_lsn
+    iterator = db.log.scan()
+    # Appends between scan() and iteration must NOT widen the window.
+    with Session(db) as s:
+        s.insert("T", {"id": 99, "v": 99})
+    records = list(iterator)
+    assert records
+    assert records[-1].lsn == end_before
+    assert all(r.lsn <= end_before for r in records)
+    # A fresh scan sees the newly appended records.
+    assert db.log.end_lsn > end_before
+    assert list(db.log.scan())[-1].lsn == db.log.end_lsn
+
+
+def test_wal_scan_explicit_bounds_still_clamp():
+    db = Database()
+    db.create_table(TableSchema("T", ["id", "v"], primary_key=["id"]))
+    with Session(db) as s:
+        s.insert("T", {"id": 0, "v": 0})
+    end = db.log.end_lsn
+    assert [r.lsn for r in db.log.scan(from_lsn=end + 5)] == []
+    assert [r.lsn for r in db.log.scan(to_lsn=end + 100)][-1] == end
+    with pytest.raises(ValueError):
+        db.log.scan(from_lsn=-1)
