@@ -12,9 +12,9 @@ as the threshold tightens.
 
 import pytest
 
+from repro.api import RemainingRecordsPolicy, TransformOptions
 from repro.sim import RunSettings, run_once
 from repro.sim.experiments import clients_for_workload
-from repro.transform.analysis import RemainingRecordsPolicy
 
 from benchmarks.harness import (
     n_max_for,
@@ -39,7 +39,8 @@ def measure():
         iterations = []
         for seed in seed_list():
             builder = split_builder(0.2, tf_kwargs={
-                "policy": RemainingRecordsPolicy(max_remaining=threshold)})
+                "options": TransformOptions(
+                    policy=RemainingRecordsPolicy(max_remaining=threshold))})
             run = run_once(builder, RunSettings(
                 n_clients=n_clients, priority=0.2, window_ms=10**18,
                 stop_after_window=False, t_max_ms=8000.0, seed=seed))
@@ -63,7 +64,9 @@ def bench_ablation_analysis(benchmark, capsys):
     save_bench_report(
         "ablation_analysis",
         split_builder(0.2, tf_kwargs={
-            "policy": RemainingRecordsPolicy(max_remaining=THRESHOLDS[1])}),
+            "options": TransformOptions(
+                policy=RemainingRecordsPolicy(
+                    max_remaining=THRESHOLDS[1]))}),
         meta={"thresholds": list(THRESHOLDS),
               "observed_threshold": THRESHOLDS[1]})
     by_threshold = {t: latch for t, latch, _ in rows}

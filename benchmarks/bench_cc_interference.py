@@ -10,7 +10,7 @@ population-phase interference against the plain split's.
 import pytest
 
 from repro.sim import RunSettings
-from repro.transform.base import Phase
+from repro.api import Phase
 
 from benchmarks.harness import (
     averaged_relative,

@@ -9,7 +9,7 @@ workload and grows as the server saturates.
 import pytest
 
 from repro.sim import RunSettings
-from repro.transform.base import Phase
+from repro.api import Phase
 
 from benchmarks.harness import (
     PAPER,

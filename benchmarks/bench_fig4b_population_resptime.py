@@ -10,7 +10,7 @@ with workload; our closed-loop model yields smaller absolute inflation
 import pytest
 
 from repro.sim import RunSettings
-from repro.transform.base import Phase
+from repro.api import Phase
 
 from benchmarks.harness import (
     PAPER,

@@ -15,7 +15,7 @@ import pytest
 
 from repro.sim import RunSettings, ServerConfig, keep_up_priority, run_once
 from repro.sim.experiments import clients_for_workload
-from repro.transform.base import Phase
+from repro.api import Phase
 
 from benchmarks.harness import (
     PAPER,

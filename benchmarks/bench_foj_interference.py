@@ -10,7 +10,7 @@ same band as the split series.
 import pytest
 
 from repro.sim import RunSettings
-from repro.transform.base import Phase
+from repro.api import Phase
 
 from benchmarks.harness import (
     averaged_relative,

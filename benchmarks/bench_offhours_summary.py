@@ -9,7 +9,7 @@ on throughput is still acceptable at approximately 2.5%."
 import pytest
 
 from repro.sim import RunSettings
-from repro.transform.base import Phase
+from repro.api import Phase
 
 from benchmarks.harness import (
     PAPER,

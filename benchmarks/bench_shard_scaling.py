@@ -23,7 +23,7 @@ import json
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
-from repro.obs import build_run_report
+from repro.api import TransformOptions, build_run_report
 from repro.sim import RunSettings, build_split_scenario, run_once
 
 from benchmarks.harness import (
@@ -55,7 +55,8 @@ def shard_builder(shards: Optional[int]) -> Callable:
     ``shards=None`` omits the knob entirely -- the construction path a
     pre-sharding caller would take -- for the N=1 equivalence check.
     """
-    tf_kwargs = {"shards": shards} if shards is not None else None
+    tf_kwargs = ({"options": TransformOptions(shards=shards)}
+                 if shards is not None else None)
 
     def build(seed: int):
         return build_split_scenario(seed, rows=ROWS, dummy_rows=DUMMY_ROWS,

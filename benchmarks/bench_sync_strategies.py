@@ -16,9 +16,9 @@ duration.
 
 import pytest
 
+from repro.api import SyncStrategy, TransformOptions
 from repro.sim import RunSettings, run_once
 from repro.sim.experiments import Scenario, clients_for_workload
-from repro.transform.base import SyncStrategy
 
 from benchmarks.harness import (
     n_max_for,
@@ -33,7 +33,8 @@ from benchmarks.harness import (
 
 
 def builder_for(strategy: SyncStrategy):
-    return split_builder(0.2, tf_kwargs={"sync_strategy": strategy})
+    return split_builder(
+        0.2, tf_kwargs={"options": TransformOptions(sync=strategy)})
 
 
 def measure():

@@ -23,9 +23,21 @@ import pathlib
 from dataclasses import replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro import Database, SplitSpec, TableSchema, bulk_load
-from repro.common.errors import LockWaitError
-from repro.obs import Metrics, build_run_report, run_section
+from repro.api import (
+    Database,
+    FixedIterationsPolicy,
+    LockWaitError,
+    Metrics,
+    Phase,
+    SplitSpec,
+    SplitTransformation,
+    SyncStrategy,
+    TableSchema,
+    TransformOptions,
+    build_run_report,
+    bulk_load,
+    run_section,
+)
 from repro.sim import (
     RelativeResult,
     RunSettings,
@@ -38,9 +50,6 @@ from repro.sim import (
     run_once,
     run_relative,
 )
-from repro.transform.analysis import FixedIterationsPolicy
-from repro.transform.base import Phase, SyncStrategy
-from repro.transform.split import SplitTransformation
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: Repo root, home of the ``BENCH_*.json`` perf-trajectory files.
@@ -108,8 +117,8 @@ def foj_builder(source_fraction: float = 0.2,
 def propagation_builder(source_fraction: float) -> Callable:
     """Split scenario whose transformation never synchronizes (for
     steady-state propagation measurements, Figure 4(c))."""
-    return split_builder(source_fraction,
-                         tf_kwargs={"policy": FixedIterationsPolicy(10**9)})
+    return split_builder(source_fraction, tf_kwargs={
+        "options": TransformOptions(policy=FixedIterationsPolicy(10**9))})
 
 
 def n_max_for(builder: Callable, key: str) -> int:
@@ -338,8 +347,8 @@ def observability_smoke(rows: int = 400,
         spec = SplitSpec.derive(db.table("T").schema, r_name="T_r",
                                 s_name="T_s", split_attr="grp",
                                 s_attrs=["info"])
-        tf = SplitTransformation(db, spec, sync_strategy=strategy,
-                                 population_chunk=64)
+        tf = SplitTransformation(db, spec, options=TransformOptions(
+            sync=strategy, population_chunk=64))
         # A transaction kept open across synchronization makes the
         # non-blocking strategies exercise their BACKGROUND phase (the
         # blocking strategy must see it end before its drain completes).

@@ -18,7 +18,7 @@ This example shows:
 Run:  python examples/address_split.py
 """
 
-from repro import (
+from repro.api import (
     Database,
     Session,
     SplitSpec,

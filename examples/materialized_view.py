@@ -16,15 +16,18 @@ Run:  python examples/materialized_view.py
 
 import random
 
-from repro import (
+from repro.api import (
     Database,
     FojSpec,
+    LockWaitError,
     MaterializedFojView,
+    NoSuchRowError,
     Session,
     TableSchema,
+    TransformOptions,
+    full_outer_join,
+    rows_equal,
 )
-from repro.common.errors import LockWaitError, NoSuchRowError
-from repro.relational import full_outer_join, rows_equal
 
 RNG = random.Random(99)
 N_ACCOUNTS, N_BRANCHES = 300, 12
@@ -51,7 +54,8 @@ def main() -> None:
                           db.table("branch").schema,
                           target_name="account_report",
                           join_attr_r="branch_id", join_attr_s="branch_id")
-    view = MaterializedFojView(db, spec, population_chunk=32)
+    view = MaterializedFojView(
+        db, spec, options=TransformOptions(population_chunk=32))
 
     # Build the view while banking transactions run.
     banked = 0

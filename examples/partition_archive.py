@@ -14,16 +14,17 @@ Run:  python examples/partition_archive.py
 
 import random
 
-from repro import (
+from repro.api import (
     Database,
+    LockWaitError,
+    NoSuchRowError,
     PartitionSpec,
     PartitionTransformation,
     Session,
     TableSchema,
+    TransformOptions,
+    rows_equal,
 )
-from repro.common.errors import LockWaitError, NoSuchRowError
-from repro.relational import rows_equal
-from repro.transform.partition import partition_rows
 
 N_ORDERS = 300
 RNG = random.Random(7)
@@ -45,7 +46,8 @@ def main() -> None:
         "orders", "orders_archive", "orders_active",
         predicate=lambda row: row["status"] == "closed",
         predicate_desc="status == 'closed'")
-    transformation = PartitionTransformation(db, spec, population_chunk=16)
+    transformation = PartitionTransformation(
+        db, spec, options=TransformOptions(population_chunk=16))
 
     processed = migrated = 0
     while not transformation.done:

@@ -8,7 +8,7 @@ transformation (Figure 3), and prints the before/after schemas and rows.
 Run:  python examples/quickstart.py
 """
 
-from repro import (
+from repro.api import (
     Database,
     FojSpec,
     FojTransformation,

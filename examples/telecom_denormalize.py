@@ -26,22 +26,21 @@ Run:  python examples/telecom_denormalize.py
 
 import random
 
-from repro import (
+from repro.api import (
     Database,
     FojSpec,
     FojTransformation,
-    Phase,
-    Session,
-    SyncStrategy,
-    TableSchema,
-    TransactionAbortedError,
-)
-from repro.common.errors import (
     LockWaitError,
     NoSuchRowError,
     NoSuchTableError,
+    Phase,
+    Session,
+    TableSchema,
+    TransactionAbortedError,
+    TransformOptions,
+    full_outer_join,
+    rows_equal,
 )
-from repro.relational import full_outer_join, rows_equal
 
 N_SUBSCRIBERS = 400
 N_PLANS = 20
@@ -102,8 +101,8 @@ def main() -> None:
         target_name="subscriber_denorm",
         join_attr_r="plan_id", join_attr_s="plan_id")
     transformation = FojTransformation(
-        db, spec, sync_strategy=SyncStrategy.NONBLOCKING_ABORT,
-        population_chunk=32)
+        db, spec, options=TransformOptions(
+            sync="nonblocking_abort", population_chunk=32))
 
     rated = aborted = latched = steps = 0
     # Interleave: one rating transaction, one small transformation step.

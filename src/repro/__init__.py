@@ -61,6 +61,9 @@ from repro.obs import (
     Histogram,
     Metrics,
     TraceEvent,
+    build_run_report,
+    render_report,
+    run_section,
 )
 from repro.engine import (
     Database,
@@ -94,11 +97,19 @@ from repro.transform import (
     Phase,
     RemainingRecordsPolicy,
     SplitTransformation,
+    SYNC_STRATEGIES,
     SyncStrategy,
     TransformationSupervisor,
+    TransformOptions,
     add_attribute,
     remove_attribute,
     rename_attribute,
+    resolve_sync_strategy,
+)
+from repro.wal import (
+    FlushPolicy,
+    GROUP_FLUSH,
+    IMMEDIATE_FLUSH,
 )
 
 __version__ = "1.0.0"
@@ -115,10 +126,13 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FixedIterationsPolicy",
+    "FlushPolicy",
     "FojSpec",
     "FojTransformation",
     "FunctionalDependency",
     "FuzzyScan",
+    "GROUP_FLUSH",
+    "IMMEDIATE_FLUSH",
     "EventRing",
     "Histogram",
     "InconsistentDataError",
@@ -138,6 +152,7 @@ __all__ = [
     "RemainingRecordsPolicy",
     "ReproError",
     "SITE_REGISTRY",
+    "SYNC_STRATEGIES",
     "SchemaError",
     "Session",
     "SimulatedCrashError",
@@ -149,16 +164,21 @@ __all__ = [
     "TransactionAbortedError",
     "TransformationAbortedError",
     "TransformationError",
+    "TransformOptions",
     "TransformationStarvedError",
     "TransformationSupervisor",
     "add_attribute",
+    "build_run_report",
     "bulk_load",
     "full_outer_join",
     "fuzzy_copy",
     "register_site",
     "remove_attribute",
     "rename_attribute",
+    "render_report",
+    "resolve_sync_strategy",
     "restart",
+    "run_section",
     "rows_equal",
     "sites_by_layer",
     "split",

@@ -1,0 +1,192 @@
+"""Stable public API facade for the repro package.
+
+``repro.api`` is the one import surface that examples, benchmarks and
+external callers should use::
+
+    from repro.api import (
+        Database, Session, TableSchema,
+        FojSpec, FojTransformation,
+        SplitSpec, SplitTransformation,
+        TransformationSupervisor, TransformOptions,
+    )
+
+    db = Database()
+    ...
+    tf = FojTransformation(db, spec, options=TransformOptions(
+        sync="nonblocking_commit", shards=4, propagation_batch=64))
+    tf.run()
+
+Everything here is re-exported from its home module; the deep import
+paths (``repro.engine.database``, ``repro.transform.foj``, ...) keep
+working, but only the names below are covered by the API-surface
+snapshot test (``tests/test_api_surface.py``) and hence by the
+compatibility promise.
+
+Configuration goes through :class:`TransformOptions` -- a frozen
+dataclass bundling the synchronization strategy (selectable by registry
+string, e.g. ``sync="nonblocking_commit"``), shard count, population and
+propagation batch sizes, the group-commit :class:`FlushPolicy`,
+simulator priority, and observability/fault attachments.  The legacy
+per-call kwargs (``sync_strategy=``, ``shards=``, ...) still work but
+emit :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+# -- engine: database, sessions, recovery -----------------------------------
+from repro.engine import (
+    Database,
+    FuzzyScan,
+    Session,
+    bulk_load,
+    fuzzy_copy,
+    restart,
+)
+
+# -- schemas and transformation specs ---------------------------------------
+from repro.storage import (
+    Attribute,
+    FunctionalDependency,
+    TableSchema,
+)
+from repro.relational import (
+    FojSpec,
+    SplitSpec,
+    full_outer_join,
+    rows_equal,
+    split,
+)
+
+# -- transformations and their configuration --------------------------------
+from repro.transform import (
+    FixedIterationsPolicy,
+    FojTransformation,
+    Many2ManyFojTransformation,
+    MaterializedFojView,
+    MergeSpec,
+    MergeTransformation,
+    PartitionSpec,
+    PartitionTransformation,
+    Phase,
+    RemainingRecordsPolicy,
+    SplitTransformation,
+    SYNC_STRATEGIES,
+    SyncStrategy,
+    TransformationSupervisor,
+    TransformOptions,
+    add_attribute,
+    remove_attribute,
+    rename_attribute,
+    resolve_sync_strategy,
+)
+
+# -- WAL group commit --------------------------------------------------------
+from repro.wal import (
+    FlushPolicy,
+    GROUP_FLUSH,
+    IMMEDIATE_FLUSH,
+)
+
+# -- observability: metrics and run reports ---------------------------------
+from repro.obs import (
+    Metrics,
+    NULL_METRICS,
+    build_run_report,
+    render_report,
+    run_section,
+)
+
+# -- fault injection ---------------------------------------------------------
+from repro.faults import (
+    AbortFault,
+    CrashFault,
+    DelayFault,
+    FaultInjector,
+    FaultPlan,
+)
+
+# -- errors callers are expected to catch -----------------------------------
+from repro.common.errors import (
+    DeadlockError,
+    DuplicateKeyError,
+    InconsistentDataError,
+    LockWaitError,
+    NoSuchRowError,
+    NoSuchTableError,
+    ReproError,
+    SchemaError,
+    SimulatedCrashError,
+    TransactionAbortedError,
+    TransformationAbortedError,
+    TransformationError,
+    TransformationStarvedError,
+)
+
+__all__ = [
+    # engine
+    "Database",
+    "FuzzyScan",
+    "Session",
+    "bulk_load",
+    "fuzzy_copy",
+    "restart",
+    # schemas / specs
+    "Attribute",
+    "FojSpec",
+    "FunctionalDependency",
+    "SplitSpec",
+    "TableSchema",
+    "full_outer_join",
+    "rows_equal",
+    "split",
+    # transformations + configuration
+    "FixedIterationsPolicy",
+    "FojTransformation",
+    "Many2ManyFojTransformation",
+    "MaterializedFojView",
+    "MergeSpec",
+    "MergeTransformation",
+    "PartitionSpec",
+    "PartitionTransformation",
+    "Phase",
+    "RemainingRecordsPolicy",
+    "SplitTransformation",
+    "SYNC_STRATEGIES",
+    "SyncStrategy",
+    "TransformOptions",
+    "TransformationSupervisor",
+    "add_attribute",
+    "remove_attribute",
+    "rename_attribute",
+    "resolve_sync_strategy",
+    # WAL group commit
+    "FlushPolicy",
+    "GROUP_FLUSH",
+    "IMMEDIATE_FLUSH",
+    # observability
+    "Metrics",
+    "NULL_METRICS",
+    "build_run_report",
+    "render_report",
+    "run_section",
+    # fault injection
+    "AbortFault",
+    "CrashFault",
+    "DelayFault",
+    "FaultInjector",
+    "FaultPlan",
+    # errors
+    "DeadlockError",
+    "DuplicateKeyError",
+    "InconsistentDataError",
+    "LockWaitError",
+    "NoSuchRowError",
+    "NoSuchTableError",
+    "ReproError",
+    "SchemaError",
+    "SimulatedCrashError",
+    "TransactionAbortedError",
+    "TransformationAbortedError",
+    "TransformationError",
+    "TransformationStarvedError",
+]

@@ -49,7 +49,7 @@ from repro.obs import NULL_METRICS, Metrics
 from repro.storage.catalog import Catalog
 from repro.storage.schema import TableSchema
 from repro.storage.table import Table
-from repro.wal.log import LogManager
+from repro.wal.log import FlushPolicy, LogManager
 from repro.wal.records import (
     NULL_LSN,
     AbortRecord,
@@ -88,7 +88,8 @@ class Database:
 
     def __init__(self, log: Optional[LogManager] = None,
                  metrics: Optional[Metrics] = None,
-                 faults: Optional[FaultInjector] = None) -> None:
+                 faults: Optional[FaultInjector] = None,
+                 flush_policy: Optional[FlushPolicy] = None) -> None:
         #: Observability registry shared by the engine, its log manager
         #: and its lock manager; the no-op singleton unless one is passed
         #: here (or attached later via :meth:`attach_metrics`).
@@ -101,6 +102,8 @@ class Database:
         self.log = log if log is not None else LogManager(self.metrics)
         if metrics is not None and self.log.metrics is NULL_METRICS:
             self.log.metrics = self.metrics
+        if flush_policy is not None:
+            self.log.flush_policy = flush_policy
         if faults is not None:
             self.attach_faults(faults)
         self.locks = LockManager(self.metrics)
@@ -206,7 +209,7 @@ class Database:
         txn.note_record(lsn)
         self.log.append(EndRecord(txn_id=txn.txn_id, committed=True),
                         prev_lsn=txn.last_lsn)
-        self.log.flush()
+        self.log.request_flush()
         self.faults.fire(SITE_TXN_COMMIT_LOGGED, txn_id=txn.txn_id)
         txn.state = TxnState.COMMITTED
         self.stats["commit"] += 1
@@ -227,7 +230,7 @@ class Database:
         self._rollback(txn)
         self.log.append(EndRecord(txn_id=txn.txn_id, committed=False),
                         prev_lsn=txn.last_lsn)
-        self.log.flush()
+        self.log.request_flush()
         txn.state = TxnState.ABORTED
         self.stats["abort"] += 1
         self._release_locks(txn)

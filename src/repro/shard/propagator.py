@@ -175,24 +175,27 @@ class ShardPropagator:
             shard=self.shard_id, cursor=self.cursor) \
             if tf.metrics.enabled else None
         try:
-            while units < budget and self.cursor <= self.window_end:
-                record = log.record_at(self.cursor)
-                kind, route = self.classify(record)
-                if kind == BARRIER:
-                    break
-                self.cursor += 1
-                records += 1
-                if kind == APPLY:
-                    change = data_change_of(record)
-                    touched = tf.engine.apply(change, record.lsn)
-                    for table, key in touched:
-                        tf.locks_held.note(record.txn_id, table.uid, key)
-                    units += 1.0
-                    applied += 1
-                else:
-                    if kind == TXN_END:
-                        self.coordinator.note_txn_end(record)
-                    units += tf.SKIP_UNIT_COST
+            if tf.propagation_batch > 1:
+                units, records, applied = self._advance_batched(budget)
+            else:
+                while units < budget and self.cursor <= self.window_end:
+                    record = log.record_at(self.cursor)
+                    kind, route = self.classify(record)
+                    if kind == BARRIER:
+                        break
+                    self.cursor += 1
+                    records += 1
+                    if kind == APPLY:
+                        change = data_change_of(record)
+                        touched = tf.engine.apply(change, record.lsn)
+                        for table, key in touched:
+                            tf.locks_held.note(record.txn_id, table.uid, key)
+                        units += 1.0
+                        applied += 1
+                    else:
+                        if kind == TXN_END:
+                            self.coordinator.note_txn_end(record)
+                        units += tf.SKIP_UNIT_COST
         finally:
             self._window_records += records
             self._window_units += units
@@ -204,6 +207,77 @@ class ShardPropagator:
                 span.attrs["units"] = units
                 tf.metrics.end_span(span)
         return units
+
+    def _advance_batched(self, budget: float) -> Tuple[float, int, int]:
+        """Batched advance: fetch log slices, group this shard's
+        consecutive (table, rule) runs before applying (mirrors
+        :meth:`repro.transform.base.Transformation._propagate_vectorized`).
+        Never reorders records; stops at barriers exactly like the
+        record-at-a-time loop.  Returns ``(units, records, applied)``.
+        """
+        tf = self.tf
+        log = tf.db.log
+        engine = tf.engine
+        classify = self.classify
+        note_txn_end = self.coordinator.note_txn_end
+        skip_cost = tf.SKIP_UNIT_COST
+        batch_size = tf.propagation_batch
+        apply_run = self._apply_shard_run
+        units = 0.0
+        records = 0
+        applied = 0
+        while units < budget and self.cursor <= self.window_end:
+            take = min(batch_size, int(budget - units) + 1)
+            hi = min(self.window_end, self.cursor + take - 1)
+            batch = log.records_slice(self.cursor, hi)
+            run: List[Tuple[LogRecord, int, int]] = []
+            run_table = ""
+            run_kind: type = LogRecord
+            hit_barrier = False
+            for record in batch:
+                kind, _route = classify(record)
+                if kind == BARRIER:
+                    hit_barrier = True
+                    break
+                self.cursor += 1
+                records += 1
+                if kind == APPLY:
+                    change = data_change_of(record)
+                    if run and (change.table != run_table
+                                or change.__class__ is not run_kind):
+                        units += apply_run(run_table, run_kind, run)
+                        applied += len(run)
+                        run = []
+                    if not run:
+                        run_table = change.table
+                        run_kind = change.__class__
+                    run.append((change, record.lsn, record.txn_id))
+                else:
+                    if kind == TXN_END:
+                        if run:
+                            units += apply_run(run_table, run_kind, run)
+                            applied += len(run)
+                            run = []
+                        note_txn_end(record)
+                    units += skip_cost
+            if run:
+                units += apply_run(run_table, run_kind, run)
+                applied += len(run)
+            if hit_barrier:
+                break
+        return units, records, applied
+
+    def _apply_shard_run(self, table_name: str, kind: type,
+                         items: List[Tuple[LogRecord, int, int]]) -> float:
+        """Apply one consecutive run routed to this shard; returns units."""
+        engine = self.tf.engine
+        touched_lists = engine.apply_run(
+            table_name, kind, [(change, lsn) for change, lsn, _ in items])
+        note = self.tf.locks_held.note
+        for (change, lsn, txn_id), touched in zip(items, touched_lists):
+            for table, key in touched:
+                note(txn_id, table.uid, key)
+        return float(len(items))
 
     @property
     def at_barrier(self) -> bool:

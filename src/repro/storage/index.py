@@ -14,18 +14,23 @@ still holding ``t^null_x`` rows whose R part is entirely NULL.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.common.errors import DuplicateKeyError
+
+#: Default capacity (distinct keys) of the per-index LRU probe cache.
+DEFAULT_PROBE_CACHE_SIZE = 256
 
 
 def index_key(values: Dict[str, object],
               attrs: Tuple[str, ...]) -> Optional[Tuple]:
     """Extract the index key for ``attrs``; ``None`` if any part is NULL."""
+    if len(attrs) == 1:
+        part = values.get(attrs[0])
+        return None if part is None else (part,)
     key = tuple(values.get(a) for a in attrs)
-    if any(part is None for part in key):
-        return None
-    return key
+    return None if None in key else key
 
 
 class HashIndex:
@@ -40,12 +45,22 @@ class HashIndex:
     """
 
     def __init__(self, name: str, attrs: Tuple[str, ...], unique: bool,
-                 table_name: str = "") -> None:
+                 table_name: str = "",
+                 probe_cache_size: int = DEFAULT_PROBE_CACHE_SIZE) -> None:
         self.name = name
         self.attrs = tuple(attrs)
         self.unique = unique
         self.table_name = table_name
         self._map: Dict[Tuple, Set[int]] = {}
+        # Bounded LRU cache of sorted probe results, keyed by index key.
+        # The propagation rules probe the same join values over and over
+        # (every S-side change probes all matching T rows); caching the
+        # sorted rowid tuple amortizes the sort.  Writes invalidate only
+        # the keys they touch, so a hit is always exact.
+        self._probe_cache: "OrderedDict[Tuple, Tuple[int, ...]]" \
+            = OrderedDict()
+        self._probe_cache_size = max(0, probe_cache_size)
+        self.probe_stats = {"hits": 0, "misses": 0, "invalidations": 0}
 
     # -- maintenance ---------------------------------------------------------
 
@@ -54,6 +69,7 @@ class HashIndex:
         key = index_key(values, self.attrs)
         if key is None:
             return
+        self._invalidate(key)
         bucket = self._map.get(key)
         if bucket is None:
             self._map[key] = {rowid}
@@ -67,6 +83,7 @@ class HashIndex:
         key = index_key(values, self.attrs)
         if key is None:
             return
+        self._invalidate(key)
         bucket = self._map.get(key)
         if bucket is not None:
             bucket.discard(rowid)
@@ -88,6 +105,12 @@ class HashIndex:
     def clear(self) -> None:
         """Drop all entries."""
         self._map.clear()
+        self._probe_cache.clear()
+
+    def _invalidate(self, key: Tuple) -> None:
+        """Drop the cached probe result for a key a write touched."""
+        if self._probe_cache.pop(key, None) is not None:
+            self.probe_stats["invalidations"] += 1
 
     # -- lookup ---------------------------------------------------------------
 
@@ -95,8 +118,21 @@ class HashIndex:
         """Rowids with exactly this key (empty for NULL-containing keys)."""
         if any(part is None for part in key):
             return []
-        bucket = self._map.get(tuple(key))
-        return sorted(bucket) if bucket else []
+        key = tuple(key)
+        cache = self._probe_cache
+        cached = cache.get(key)
+        if cached is not None:
+            cache.move_to_end(key)
+            self.probe_stats["hits"] += 1
+            return list(cached)
+        self.probe_stats["misses"] += 1
+        bucket = self._map.get(key)
+        result = sorted(bucket) if bucket else []
+        if self._probe_cache_size:
+            cache[key] = tuple(result)
+            if len(cache) > self._probe_cache_size:
+                cache.popitem(last=False)
+        return result
 
     def lookup_one(self, key: Tuple) -> Optional[int]:
         """Single rowid for a unique index, ``None`` if absent."""

@@ -72,6 +72,7 @@ class Table:
             table_name=schema.name,
         )
         self.indexes[PRIMARY_INDEX] = self._primary
+        self._refresh_indexed_attrs()
         for i, ck in enumerate(schema.candidate_keys):
             self.create_index(f"__ck{i}__", ck, unique=True)
 
@@ -105,6 +106,7 @@ class Table:
         for row in self.rows.values():
             index.insert(row.values, row.rowid)
         self.indexes[name] = index
+        self._refresh_indexed_attrs()
         return index
 
     def drop_index(self, name: str) -> None:
@@ -114,6 +116,14 @@ class Table:
         if name not in self.indexes:
             raise NoSuchIndexError(f"no index {name!r} on {self.name!r}")
         del self.indexes[name]
+        self._refresh_indexed_attrs()
+
+    def _refresh_indexed_attrs(self) -> None:
+        """Recompute the set of attributes any index covers (the
+        ``update_rowid`` fast path skips all index bookkeeping when the
+        changed attributes are disjoint from it)."""
+        self._indexed_attrs = frozenset(
+            attr for index in self.indexes.values() for attr in index.attrs)
 
     def index(self, name: str) -> HashIndex:
         """Return an index by name."""
@@ -172,6 +182,19 @@ class Table:
         row = self.rows.get(rowid)
         if row is None:
             raise NoSuchRowError(self.name, (rowid,))
+        if self._indexed_attrs.isdisjoint(changes):
+            # No indexed attribute changes: skip the unique pre-checks,
+            # the before-image copies and the per-index re-bucketing.
+            has_attribute = self.schema.has_attribute
+            for attr in changes:
+                if not has_attribute(attr):
+                    raise SchemaError(
+                        f"unknown attribute {attr!r} for table "
+                        f"{self.name!r}")
+            row.values.update(changes)
+            if lsn is not None:
+                row.lsn = lsn
+            return row
         old_values = dict(row.values)
         new_values = dict(old_values)
         for attr, value in changes.items():
@@ -221,6 +244,7 @@ class Table:
             index = self.indexes[index_name]
             if drop_set & set(index.attrs):
                 del self.indexes[index_name]
+        self._refresh_indexed_attrs()
         keep = [a for a in self.schema.attributes
                 if a.name not in drop_set]
         self.schema = TableSchema(self.schema.name, keep,

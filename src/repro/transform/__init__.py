@@ -29,6 +29,11 @@ from repro.transform.base import (
     proxy_owner,
 )
 from repro.transform.consistency import ConsistencyChecker
+from repro.transform.options import (
+    SYNC_STRATEGIES,
+    TransformOptions,
+    resolve_sync_strategy,
+)
 from repro.transform.foj import (
     FojRuleEngine,
     FojTransformation,
@@ -181,11 +186,14 @@ __all__ = [
     "RuleEngine",
     "SplitRuleEngine",
     "SplitTransformation",
+    "SYNC_STRATEGIES",
     "StepReport",
     "SyncStrategy",
+    "TransformOptions",
     "Transformation",
     "TransformationSupervisor",
     "add_attribute",
+    "resolve_sync_strategy",
     "build_sync_executor",
     "merge_rows",
     "partition_rows",

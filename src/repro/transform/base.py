@@ -33,6 +33,7 @@ it to completion for single-threaded use.
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -55,11 +56,20 @@ from repro.transform.analysis import (
     PropagationPolicy,
     RemainingRecordsPolicy,
 )
+from repro.transform.options import (
+    SyncStrategy,
+    TransformOptions,
+    resolve_sync_strategy,
+)
 from repro.wal.records import (
     NULL_LSN,
+    CLRecord,
+    DeleteRecord,
     EndRecord,
     FuzzyMarkRecord,
+    InsertRecord,
     LogRecord,
+    UpdateRecord,
     data_change_of,
 )
 
@@ -86,6 +96,10 @@ SITE_TF_POPULATE_DONE = register_site(
 SITE_TF_PROPAGATE_BATCH = register_site(
     "tf.propagate.batch", "transform",
     "before each bounded log-propagation batch")
+SITE_TF_PROPAGATE_GROUP = register_site(
+    "tf.propagate.group", "transform",
+    "inside the batched propagation loop, before a fetched record "
+    "group is classified and applied")
 SITE_TF_ITERATION_END = register_site(
     "tf.iteration.end", "transform",
     "end of a propagation iteration, before the analysis runs")
@@ -109,14 +123,6 @@ class Phase(Enum):
     BACKGROUND = "background"
     DONE = "done"
     ABORTED = "aborted"
-
-
-class SyncStrategy(Enum):
-    """The three synchronization strategies of Section 3.4."""
-
-    BLOCKING_COMMIT = "blocking_commit"
-    NONBLOCKING_ABORT = "nonblocking_abort"
-    NONBLOCKING_COMMIT = "nonblocking_commit"
 
 
 @dataclass
@@ -191,6 +197,14 @@ class RuleEngine:
     #: Names of the source tables whose log records this engine consumes.
     source_tables: Tuple[str, ...] = ()
 
+    #: Record classes :meth:`handle_marker` actually consumes, or ``None``
+    #: for "unknown -- call it for every non-data record".  The batched
+    #: propagation loop uses this to skip the call for begin/commit/abort
+    #: records an engine provably ignores; engines overriding
+    #: :meth:`handle_marker` should declare their classes here (see
+    #: :class:`repro.transform.split.SplitRuleEngine`).
+    marker_classes: Optional[Tuple[type, ...]] = None
+
     def apply(self, change: LogRecord,
               lsn: int) -> List[Tuple[Table, Tuple]]:
         """Apply one data-change record; returns touched target records.
@@ -204,6 +218,22 @@ class RuleEngine:
                 identifier).
         """
         raise NotImplementedError
+
+    def apply_run(self, table_name: str, kind: type,
+                  items: Sequence[Tuple[LogRecord, int]]
+                  ) -> List[List[Tuple[Table, Tuple]]]:
+        """Apply a consecutive run of same-(table, rule) data changes.
+
+        ``items`` holds ``(change, lsn)`` pairs in LSN order; ``kind`` is
+        the record class shared by every change in the run.  The return
+        value is the per-change touched-record lists, positionally
+        matching ``items``.  The default simply loops :meth:`apply`;
+        engines with a cheap per-(table, kind) rule dispatch override
+        this to resolve the rule once per run (see
+        :meth:`repro.transform.foj.FojRuleEngine.apply_run`).
+        """
+        apply_ = self.apply
+        return [apply_(change, lsn) for change, lsn in items]
 
     def handle_marker(self, record: LogRecord) -> None:
         """Consume a non-data record (CC marks etc.); default: ignore."""
@@ -246,17 +276,19 @@ class Transformation:
 
     Args:
         db: The database to transform.
-        transform_id: Stable identifier used in fuzzy marks and latches;
-            generated when omitted.
-        policy: End-of-iteration analysis policy (default: remaining-record
-            count with the paper's "few records left" criterion).
-        sync_strategy: Which Section 3.4 strategy :meth:`step` enters once
-            the policy decides to synchronize.
-        population_chunk: Rows per fuzzy-scan chunk.
-        shards: Number of hash-partitioned key-space shards executing the
-            population and propagation phases (:mod:`repro.shard`).  The
-            default ``1`` keeps the paper's sequential pipeline; ``N > 1``
-            delegates both phases to a
+        options: A :class:`~repro.transform.options.TransformOptions`
+            carrying every knob (sync strategy, shards, batch sizes,
+            flush policy, metrics, faults, analysis policy, id).  The
+            per-knob keyword arguments below are the deprecated legacy
+            surface; passing any of them emits :class:`DeprecationWarning`
+            and folds the value into ``options``.
+        transform_id: Deprecated -- use ``options.transform_id``.
+        policy: Deprecated -- use ``options.policy``.
+        sync_strategy: Deprecated -- use ``options.sync`` (enum member or
+            registry string).
+        population_chunk: Deprecated -- use ``options.population_chunk``.
+        shards: Deprecated -- use ``options.shards``.  ``N > 1``
+            delegates population and propagation to a
             :class:`~repro.shard.coordinator.ShardCoordinator`, which
             merges back to a single cursor before synchronization, so the
             Section 3.4 strategies and the lock mirroring are identical
@@ -275,20 +307,54 @@ class Transformation:
     #: Transformation kind registered with recovery (e.g. ``"foj"``).
     kind: str = ""
 
-    def __init__(self, db: Database, transform_id: Optional[str] = None,
+    #: Legacy constructor kwargs and the TransformOptions field each maps
+    #: to (the deprecation shim below folds them in).
+    _LEGACY_OPTION_KWARGS = {
+        "transform_id": "transform_id",
+        "policy": "policy",
+        "sync_strategy": "sync",
+        "population_chunk": "population_chunk",
+        "shards": "shards",
+    }
+
+    def __init__(self, db: Database,
+                 options: Optional[TransformOptions] = None,
+                 transform_id: Optional[str] = None,
                  policy: Optional[PropagationPolicy] = None,
-                 sync_strategy: SyncStrategy = SyncStrategy.NONBLOCKING_ABORT,
-                 population_chunk: int = 256,
-                 shards: int = 1) -> None:
+                 sync_strategy: Optional[SyncStrategy] = None,
+                 population_chunk: Optional[int] = None,
+                 shards: Optional[int] = None) -> None:
+        legacy = {name: value for name, value in (
+            ("transform_id", transform_id), ("policy", policy),
+            ("sync_strategy", sync_strategy),
+            ("population_chunk", population_chunk), ("shards", shards),
+        ) if value is not None}
+        if legacy:
+            warnings.warn(
+                f"per-call transformation kwargs "
+                f"({', '.join(sorted(legacy))}) are deprecated; pass a "
+                f"repro.api.TransformOptions instead",
+                DeprecationWarning, stacklevel=3)
+            folded = {self._LEGACY_OPTION_KWARGS[k]: v
+                      for k, v in legacy.items()}
+            options = (options or TransformOptions()).evolve(**folded)
+        self.options = options if options is not None else TransformOptions()
         self.db = db
-        self.transform_id = transform_id or \
+        self.transform_id = self.options.transform_id or \
             f"{self.kind or 'tf'}-{next(_transform_counter)}"
-        self.policy = policy or RemainingRecordsPolicy()
-        self.sync_strategy = sync_strategy
-        self.population_chunk = population_chunk
-        if int(shards) < 1:
-            raise ValueError(f"shards must be >= 1, got {shards}")
-        self.shards = int(shards)
+        self.policy = self.options.policy or RemainingRecordsPolicy()
+        self.sync_strategy = self.options.sync_strategy
+        self.population_chunk = int(self.options.population_chunk)
+        #: Records fetched and grouped per propagation batch; 1 runs the
+        #: original record-at-a-time loop.
+        self.propagation_batch = int(self.options.propagation_batch)
+        self.shards = int(self.options.shards)
+        if self.options.metrics is not None:
+            db.attach_metrics(self.options.metrics)
+        if self.options.faults is not None:
+            db.attach_faults(self.options.faults)
+        if self.options.flush_policy is not None:
+            db.log.flush_policy = self.options.flush_policy
         #: The sharded-execution coordinator; built lazily at population
         #: begin (and only for ``shards > 1``), so ``shards=1`` pays
         #: nothing and runs the original code path.
@@ -346,6 +412,34 @@ class Transformation:
         """The database's fault injector, read dynamically so an injector
         attached after construction is honoured."""
         return self.db.faults
+
+    def apply_options(self, options: TransformOptions) -> None:
+        """Re-configure a transformation that has not started populating.
+
+        The supervisor uses this to override each attempt's factory
+        configuration wholesale.  Rejected once population has begun:
+        the shard coordinator and fuzzy scans are built from these knobs.
+        """
+        self._expect(Phase.CREATED, Phase.PREPARED)
+        self.options = options
+        self.policy = options.policy or self.policy
+        self.sync_strategy = options.sync_strategy
+        self.population_chunk = int(options.population_chunk)
+        self.propagation_batch = int(options.propagation_batch)
+        self.shards = int(options.shards)
+        if options.transform_id:
+            self.transform_id = options.transform_id
+            self.convergence = ConvergenceMonitor(self.metrics,
+                                                  self.transform_id)
+        if options.metrics is not None:
+            self.db.attach_metrics(options.metrics)
+            self.metrics = options.metrics
+            self.convergence = ConvergenceMonitor(self.metrics,
+                                                  self.transform_id)
+        if options.faults is not None:
+            self.db.attach_faults(options.faults)
+        if options.flush_policy is not None:
+            self.db.log.flush_policy = options.flush_policy
 
     # ------------------------------------------------------------------
     # Phase tracking + span lifecycle
@@ -521,7 +615,14 @@ class Transformation:
     def _propagate_batch(self, budget: float) -> float:
         """Propagate records toward the iteration target, spending up to
         ``budget`` cost units; returns the units consumed (an applied
-        record costs 1.0, a skipped one :data:`SKIP_UNIT_COST`)."""
+        record costs 1.0, a skipped one :data:`SKIP_UNIT_COST`).
+
+        With ``propagation_batch > 1`` the log tail is fetched in slices
+        and records are grouped into consecutive (table, rule) runs
+        before the rules apply them (:meth:`_propagate_vectorized`);
+        ``propagation_batch=1`` runs the original record-at-a-time loop,
+        byte-identical to the pre-batching pipeline.
+        """
         self.faults.fire(SITE_TF_PROPAGATE_BATCH,
                          transform=self.transform_id, cursor=self._cursor)
         span = self.metrics.begin_span(
@@ -531,12 +632,15 @@ class Transformation:
         records = 0
         try:
             end = min(self._iteration_target, self.db.log.end_lsn)
-            while units < budget and self._cursor <= end:
-                record = self.db.log.record_at(self._cursor)
-                self._cursor += 1
-                records += 1
-                applied = self._apply_record(record)
-                units += 1.0 if applied else self.SKIP_UNIT_COST
+            if self.propagation_batch > 1:
+                units, records = self._propagate_vectorized(budget, end)
+            else:
+                while units < budget and self._cursor <= end:
+                    record = self.db.log.record_at(self._cursor)
+                    self._cursor += 1
+                    records += 1
+                    applied = self._apply_record(record)
+                    units += 1.0 if applied else self.SKIP_UNIT_COST
         finally:
             self._iteration_records += records
             self.stats["propagated_records"] += records
@@ -545,6 +649,113 @@ class Transformation:
                 span.attrs["units"] = units
                 self.metrics.end_span(span)
         return units
+
+    def _propagate_vectorized(self, budget: float,
+                              end: int) -> Tuple[float, int]:
+        """Batched propagation: fetch log slices, group consecutive
+        records by (table, rule) and apply each run through the engine's
+        batch entry point.  Runs never reorder records -- grouping only
+        amortizes dispatch -- so the converged target state is identical
+        to the sequential loop's.  Returns ``(units, records)``.
+        """
+        engine = self.engine
+        assert engine is not None
+        log = self.db.log
+        fire = self.faults.fire
+        sources = engine.source_tables
+        handle_marker = engine.handle_marker
+        skip_cost = self.SKIP_UNIT_COST
+        apply_group = self._apply_group
+        on_txn_end = self._on_txn_end
+        # Engines declare which non-data records handle_marker consumes;
+        # an engine that never overrode it consumes none.  None means
+        # "unknown override": call it for every marker, like the
+        # sequential loop does.
+        marker_set = engine.marker_classes
+        if marker_set is None and \
+                type(engine).handle_marker is RuleEngine.handle_marker:
+            marker_set = ()
+        if marker_set is not None:
+            marker_set = frozenset(marker_set)
+        units = 0.0
+        records = 0
+        while units < budget and self._cursor <= end:
+            # Cap the slice so a fully-applied batch lands within one
+            # unit of the budget -- the same overshoot bound as the
+            # sequential loop's per-record check.
+            take = min(self.propagation_batch, int(budget - units) + 1)
+            hi = min(end, self._cursor + take - 1)
+            batch = log.records_slice(self._cursor, hi)
+            fire(SITE_TF_PROPAGATE_GROUP, transform=self.transform_id,
+                 cursor=self._cursor, n=len(batch))
+            self._cursor = hi + 1
+            records += len(batch)
+            run: List[Tuple[LogRecord, int, int]] = []
+            run_table = ""
+            run_kind: type = LogRecord
+            skips = 0
+            for record in batch:
+                # Class-identity dispatch: records are never subclassed,
+                # so `is` comparisons replace the isinstance chains of
+                # data_change_of() on this hot path.
+                cls = record.__class__
+                if cls is InsertRecord or cls is UpdateRecord \
+                        or cls is DeleteRecord:
+                    change = record
+                elif cls is CLRecord:
+                    change = record.action
+                elif cls is EndRecord:
+                    if run:
+                        units += apply_group(run_table, run_kind, run)
+                        run = []
+                    on_txn_end(record)
+                    skips += 1
+                    continue
+                else:
+                    # Begin/commit/abort records an engine provably
+                    # ignores don't break runs; real markers (CC marks)
+                    # flush first to keep their ordering vs. applies.
+                    if marker_set is None or cls in marker_set:
+                        if run:
+                            units += apply_group(run_table, run_kind, run)
+                            run = []
+                        handle_marker(record)
+                    skips += 1
+                    continue
+                if change.table in sources:
+                    if run and (change.table != run_table
+                                or change.__class__ is not run_kind):
+                        units += apply_group(run_table, run_kind, run)
+                        run = []
+                    if not run:
+                        run_table = change.table
+                        run_kind = change.__class__
+                    run.append((change, record.lsn, record.txn_id))
+                else:
+                    skips += 1
+            if run:
+                units += apply_group(run_table, run_kind, run)
+            units += skips * skip_cost
+        return units, records
+
+    def _apply_group(self, table_name: str, kind: type,
+                     items: List[Tuple[LogRecord, int, int]]) -> float:
+        """Apply one consecutive (table, rule) run; returns its units.
+
+        ``items`` holds ``(change, lsn, txn_id)`` triples in LSN order.
+        The touched target records feed the propagated lock table exactly
+        as in the sequential path.
+        """
+        assert self.engine is not None
+        touched_lists = self.engine.apply_run(
+            table_name, kind, [(change, lsn) for change, lsn, _ in items])
+        note = self.locks_held.note
+        for (change, lsn, txn_id), touched in zip(items, touched_lists):
+            for table, key in touched:
+                note(txn_id, table.uid, key)
+        if self.metrics.enabled:
+            self.metrics.observe("tf.batch.group_size", len(items))
+        return float(len(items))
 
     def _apply_record(self, record: LogRecord) -> bool:
         """Route one log record through the rule engine and bookkeeping.

@@ -215,6 +215,36 @@ class FojRuleEngine(RuleEngine):
                     self._rule7_update_s_other(change, touched)
         return touched
 
+    def apply_run(self, table_name: str, kind: type,
+                  items) -> List[List[Tuple[Table, Tuple]]]:
+        """Batched dispatch: resolve Rules 1-4 once per run.
+
+        Inserts and deletes map straight to one rule per (table, kind);
+        updates keep the per-record join-attribute test (Rule 5/6 vs. 7)
+        and fall back to :meth:`apply`.  Records stay in LSN order.
+        """
+        spec = self.spec
+        rule = None
+        if table_name == spec.r_name:
+            if kind is InsertRecord:
+                rule = self._rule1_insert_r
+            elif kind is DeleteRecord:
+                rule = self._rule3_delete_r
+        elif table_name == spec.s_name:
+            if kind is InsertRecord:
+                rule = self._rule2_insert_s
+            elif kind is DeleteRecord:
+                rule = self._rule4_delete_s
+        if rule is None:
+            apply_ = self.apply
+            return [apply_(change, lsn) for change, lsn in items]
+        out: List[List[Tuple[Table, Tuple]]] = []
+        for change, _lsn in items:
+            touched: List[Tuple[Table, Tuple]] = []
+            rule(change, touched)
+            out.append(touched)
+        return out
+
     # -- Rule 1 (Insert r^y_x into R) ------------------------------------------
 
     def _rule1_insert_r(self, change: InsertRecord,

@@ -1,0 +1,156 @@
+"""Unified configuration for the transformation framework.
+
+:class:`TransformOptions` is the single, immutable bag of knobs accepted
+by :class:`~repro.transform.base.Transformation` (and hence the FOJ and
+split transformations), by
+:class:`~repro.transform.supervisor.TransformationSupervisor`, and by the
+simulator's scenario builders.  It replaces the per-call kwargs that used
+to be scattered across constructors (``sync_strategy=``, ``shards=``,
+``population_chunk=``, ...); those still work through a shim that emits
+:class:`DeprecationWarning`.
+
+Synchronization strategies are selectable by *registry string* as well as
+by enum member -- ``TransformOptions(sync="nonblocking_commit")`` -- so
+callers of the stable :mod:`repro.api` facade never need to import the
+enum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from enum import Enum
+from typing import Optional, Union
+
+from repro.faults import FaultInjector
+from repro.obs import Metrics
+from repro.transform.analysis import PropagationPolicy
+from repro.wal.log import FlushPolicy
+
+
+class SyncStrategy(Enum):
+    """The three synchronization strategies of Section 3.4."""
+
+    BLOCKING_COMMIT = "blocking_commit"
+    NONBLOCKING_ABORT = "nonblocking_abort"
+    NONBLOCKING_COMMIT = "nonblocking_commit"
+
+
+#: Registry of synchronization strategies addressable by string.  The
+#: strings are the Section 3.4 names, identical to the enum values.
+SYNC_STRATEGIES = {member.value: member for member in SyncStrategy}
+
+#: Default number of log records fetched and grouped per propagation
+#: batch (`propagation_batch`); 1 disables batching entirely and runs
+#: the original record-at-a-time loop.
+DEFAULT_PROPAGATION_BATCH = 32
+
+
+def resolve_sync_strategy(
+        sync: Union[SyncStrategy, str]) -> SyncStrategy:
+    """Map a registry string (or enum member) to a :class:`SyncStrategy`.
+
+    Raises :class:`ValueError` naming the available strategies when the
+    string is unknown.
+    """
+    if isinstance(sync, SyncStrategy):
+        return sync
+    try:
+        return SYNC_STRATEGIES[str(sync)]
+    except KeyError:
+        raise ValueError(
+            f"unknown sync strategy {sync!r}; available: "
+            f"{sorted(SYNC_STRATEGIES)}") from None
+
+
+@dataclass(frozen=True)
+class TransformOptions:
+    """Immutable configuration of one transformation run.
+
+    Attributes:
+        sync: Synchronization strategy (Section 3.4) -- an enum member or
+            its registry string (``"blocking_commit"``,
+            ``"nonblocking_abort"``, ``"nonblocking_commit"``).
+        shards: Hash-partitioned key-space shards for population +
+            propagation (:mod:`repro.shard`); 1 is the paper's sequential
+            pipeline.
+        population_chunk: Rows per fuzzy-scan population chunk.
+        propagation_batch: Log records fetched and grouped by
+            (table, rule) per propagation batch.  1 disables batching and
+            is behaviourally identical to the pre-batching pipeline.
+        flush_policy: Group-commit policy installed on the database's
+            log manager (``None`` leaves the log's policy untouched).
+        priority: Fraction of server capacity granted to the
+            transformation when run under the simulator (the paper's
+            Figure 4(d) knob); ``None`` defers to the run settings.
+        metrics: Observability registry attached to the database
+            (``None`` leaves the current attachment untouched).
+        faults: Fault injector attached to the database (``None``
+            leaves the current attachment untouched).
+        policy: End-of-iteration analysis policy (Section 3.3 analyses);
+            ``None`` selects the default remaining-records policy.
+        transform_id: Stable identifier used in fuzzy marks and latches;
+            generated when ``None``.
+    """
+
+    sync: Union[SyncStrategy, str] = SyncStrategy.NONBLOCKING_ABORT
+    shards: int = 1
+    population_chunk: int = 256
+    propagation_batch: int = DEFAULT_PROPAGATION_BATCH
+    flush_policy: Optional[FlushPolicy] = None
+    priority: Optional[float] = None
+    metrics: Optional[Metrics] = None
+    faults: Optional[FaultInjector] = None
+    policy: Optional[PropagationPolicy] = None
+    transform_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Validate eagerly so a bad option surfaces at construction, not
+        # mid-transformation.
+        resolve_sync_strategy(self.sync)
+        if int(self.shards) < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if int(self.population_chunk) < 1:
+            raise ValueError(
+                f"population_chunk must be >= 1, "
+                f"got {self.population_chunk}")
+        if int(self.propagation_batch) < 1:
+            raise ValueError(
+                f"propagation_batch must be >= 1, "
+                f"got {self.propagation_batch}")
+        if self.priority is not None and \
+                not 0.0 < float(self.priority) <= 1.0:
+            raise ValueError(
+                f"priority must be in (0, 1], got {self.priority}")
+        if self.flush_policy is not None and \
+                not isinstance(self.flush_policy, FlushPolicy):
+            raise TypeError(
+                f"flush_policy must be a FlushPolicy, "
+                f"got {type(self.flush_policy).__name__}")
+
+    @property
+    def sync_strategy(self) -> SyncStrategy:
+        """The resolved synchronization strategy enum member."""
+        return resolve_sync_strategy(self.sync)
+
+    def evolve(self, **changes: object) -> "TransformOptions":
+        """Return a copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def field_names(cls) -> tuple:
+        """The option names, in declaration order (for shims/tests)."""
+        return tuple(f.name for f in fields(cls))
+
+
+def non_default_fields(options: TransformOptions) -> dict:
+    """Fields of ``options`` that differ from the defaults, as a dict.
+
+    The supervisor uses this to *merge* its override options over each
+    attempt's factory-built configuration: only knobs the caller
+    explicitly moved off their defaults win; everything else keeps the
+    factory's setting.
+    """
+    defaults = TransformOptions()
+    return {f.name: getattr(options, f.name)
+            for f in fields(TransformOptions)
+            if getattr(options, f.name) != getattr(defaults, f.name)}

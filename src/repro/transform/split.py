@@ -115,6 +115,10 @@ def upsert_split_row(r_table: Table, s_table: Table, spec: SplitSpec,
 class SplitRuleEngine(RuleEngine):
     """Log-propagation rules 8-11 for a vertical split."""
 
+    #: handle_marker only consumes the transformation's own CC marks;
+    #: the batched propagation loop skips the call for everything else.
+    marker_classes = (CCBeginRecord, CCOkRecord)
+
     def __init__(self, db: Database, spec: SplitSpec, r_table: Table,
                  s_table: Table, check_consistency: bool = False,
                  transform_id: str = "") -> None:
@@ -196,6 +200,30 @@ class SplitRuleEngine(RuleEngine):
         elif isinstance(change, UpdateRecord):
             self._rules10_11_update(change, lsn, touched)
         return touched
+
+    def apply_run(self, table_name: str, kind: type,
+                  items) -> List[List[Tuple[Table, Tuple]]]:
+        """Batched dispatch: resolve Rules 8-11 once per run.
+
+        The run's records stay in LSN order; only the per-record
+        table-name and isinstance checks are hoisted out of the loop.
+        """
+        if table_name != self.spec.source_name:
+            return [[] for _ in items]
+        if kind is InsertRecord:
+            rule = self._rule8_insert
+        elif kind is DeleteRecord:
+            rule = self._rule9_delete
+        elif kind is UpdateRecord:
+            rule = self._rules10_11_update
+        else:
+            return [self.apply(change, lsn) for change, lsn in items]
+        out: List[List[Tuple[Table, Tuple]]] = []
+        for change, lsn in items:
+            touched: List[Tuple[Table, Tuple]] = []
+            rule(change, lsn, touched)
+            out.append(touched)
+        return out
 
     # -- Rule 8 (Insert t^y_x into T) ---------------------------------------------
 

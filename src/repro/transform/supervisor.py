@@ -26,6 +26,7 @@ simulated time.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import (
@@ -34,6 +35,7 @@ from repro.common.errors import (
 )
 from repro.engine.database import Database
 from repro.transform.base import Phase, Transformation
+from repro.transform.options import TransformOptions, non_default_fields
 
 
 class TransformationSupervisor:
@@ -59,11 +61,14 @@ class TransformationSupervisor:
         max_steps_per_attempt: Safety net against a wedged attempt.
         on_wait: Optional callback receiving each backoff duration in wait
             units (e.g. ``time.sleep`` or a simulator clock advance).
-        shards: When given, override each attempt's transformation to run
-            its population and propagation across this many key-space
-            shards (see :mod:`repro.shard`), regardless of what the
-            factory configured.  ``None`` leaves the factory's own
-            ``shards`` setting untouched.
+        options: When given, merge these
+            :class:`~repro.transform.options.TransformOptions` over each
+            attempt's factory-built configuration before it populates:
+            fields moved off their defaults (shards, batch sizes, sync
+            strategy, ...) override the factory's; defaulted fields keep
+            the factory's setting.  ``None`` leaves the configuration
+            untouched.
+        shards: Deprecated -- use ``options=TransformOptions(shards=N)``.
     """
 
     def __init__(self, db: Database,
@@ -77,11 +82,16 @@ class TransformationSupervisor:
                  max_budget: int = 1 << 20,
                  max_steps_per_attempt: int = 1_000_000,
                  on_wait: Optional[Callable[[float], None]] = None,
+                 options: Optional[TransformOptions] = None,
                  shards: Optional[int] = None) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
-        if shards is not None and shards < 1:
-            raise ValueError("shards must be >= 1")
+        if shards is not None:
+            warnings.warn(
+                "the shards= supervisor kwarg is deprecated; pass "
+                "options=TransformOptions(shards=N) instead",
+                DeprecationWarning, stacklevel=2)
+            options = (options or TransformOptions()).evolve(shards=shards)
         self.db = db
         self.factory = factory
         self.budget = budget
@@ -93,7 +103,7 @@ class TransformationSupervisor:
         self.max_budget = max_budget
         self.max_steps_per_attempt = max_steps_per_attempt
         self.on_wait = on_wait
-        self.shards = shards
+        self.options = options
         #: The database's registry: the retry loop is part of the observed
         #: pipeline, so attempts show up as spans under ``supervisor`` and
         #: retries/backoffs/escalations as trace events.
@@ -121,11 +131,15 @@ class TransformationSupervisor:
                 self.stats["attempts"] = attempt
                 self.stats["final_budget"] = budget
                 tf = self.factory()
-                if self.shards is not None:
-                    # Safe pre-population: the shard coordinator is only
-                    # built when the transformation first populates, so an
-                    # attempt fresh from the factory can still be re-routed.
-                    tf.shards = self.shards
+                if self.options is not None:
+                    # Safe pre-population: the shard coordinator and sync
+                    # executor are only built once the transformation
+                    # starts populating, so an attempt fresh from the
+                    # factory can still be re-configured.  Only knobs
+                    # explicitly moved off their defaults override.
+                    overrides = non_default_fields(self.options)
+                    if overrides:
+                        tf.apply_options(tf.options.evolve(**overrides))
                 span = self.metrics.begin_span(
                     "supervisor.attempt", parent=root,
                     attempt=attempt, budget=budget)

@@ -276,12 +276,17 @@ class _SyncExecutor:
 
     def _finish(self) -> None:
         self.faults.fire(SITE_SYNC_FINISH, transform=self.tf.transform_id)
+        records = []
         for name in self.tf.source_tables:
             if self.db.catalog.is_zombie(name):
                 self.db.catalog.drop_zombie(name)
-                self.db.log.append(DropTableRecord(table=name))
-        self.db.log.append(FuzzyMarkRecord(
+                records.append(DropTableRecord(table=name))
+        records.append(FuzzyMarkRecord(
             transform_id=self.tf.transform_id, phase="end"))
+        # One dense batch: the zombie drops and the end mark land together
+        # (recovery tolerates losing the whole batch -- the swap record
+        # already republished the targets).
+        self.db.log.append_batch(records)
         self.tf.phase = Phase.DONE
 
     def _background_step(self, budget: int) -> int:
@@ -405,10 +410,14 @@ class NonBlockingAbortSync(_SyncExecutor):
             # the background propagator.
             self.faults.fire(SITE_SYNC_DOOM, transform=self.tf.transform_id,
                              doomed=tuple(sorted(self.tf._old_txn_ids)))
-            for txn in old_txns:
-                txn.doom(f"aborted by transformation "
-                         f"{self.tf.transform_id} (non-blocking abort)")
-                self.db.abort(txn)
+            # Each abort used to force its own log flush -- N redundant
+            # flushes inside the latched window.  Coalescing defers them
+            # into one group flush when the window's work is logged.
+            with self.db.log.coalescing():
+                for txn in old_txns:
+                    txn.doom(f"aborted by transformation "
+                             f"{self.tf.transform_id} (non-blocking abort)")
+                    self.db.abort(txn)
             self._unlatch_sources(sources)
             if old_txns:
                 self.tf.phase = Phase.BACKGROUND

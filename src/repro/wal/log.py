@@ -13,7 +13,9 @@ forces the log -- but is a no-op physically.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from repro.faults import NULL_FAULTS, FaultInjector, register_site
 from repro.obs import NULL_METRICS, Metrics
@@ -28,6 +30,63 @@ SITE_WAL_APPEND_DONE = register_site(
     "wal.append.done", "wal", "after a record is stored, before observers")
 SITE_WAL_FLUSH = register_site(
     "wal.flush", "wal", "before the durability horizon advances")
+SITE_WAL_APPEND_BATCH = register_site(
+    "wal.append_batch", "wal",
+    "before a batch of records is assigned LSNs and stored")
+SITE_WAL_APPEND_BATCH_DONE = register_site(
+    "wal.append_batch.done", "wal",
+    "after a batch is stored, before observers see its records")
+SITE_WAL_GROUP_FLUSH = register_site(
+    "wal.group_flush", "wal",
+    "before a coalesced (group-commit) flush advances the horizon")
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """Group-commit knobs: when a requested flush may be deferred.
+
+    A *flush request* (``LogManager.request_flush``) is what commit and
+    abort issue.  With the default policy every request flushes
+    immediately -- byte-identical to the pre-group-commit behaviour.  A
+    policy with larger thresholds lets requests coalesce: the durability
+    horizon only advances once either threshold trips (or on an explicit
+    ``flush``/drain), so N commits share one flush -- classic group
+    commit.  Physically flushes are no-ops in this main-memory system, so
+    deferral is recovery-neutral: the surviving log is identical.
+
+    Attributes:
+        max_pending_requests: Count threshold -- a real flush is forced
+            once this many requests have coalesced.
+        max_pending_records: Size threshold -- a real flush is forced
+            once the unflushed log tail reaches this many records.
+    """
+
+    max_pending_requests: int = 1
+    max_pending_records: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_pending_requests < 1:
+            raise ValueError(
+                f"max_pending_requests must be >= 1: "
+                f"{self.max_pending_requests}")
+        if self.max_pending_records < 1:
+            raise ValueError(
+                f"max_pending_records must be >= 1: "
+                f"{self.max_pending_records}")
+
+    @property
+    def immediate(self) -> bool:
+        """True when every request flushes at once (no coalescing)."""
+        return self.max_pending_requests <= 1 and \
+            self.max_pending_records <= 1
+
+
+#: The default, non-coalescing policy: every flush request flushes.
+IMMEDIATE_FLUSH = FlushPolicy()
+
+#: A reasonable group-commit policy for batched runs (see
+#: ``benchmarks/bench_batching.py``).
+GROUP_FLUSH = FlushPolicy(max_pending_requests=8, max_pending_records=64)
 
 
 class LogManager:
@@ -45,9 +104,16 @@ class LogManager:
     """
 
     def __init__(self, metrics: Optional[Metrics] = None,
-                 faults: Optional[FaultInjector] = None) -> None:
+                 faults: Optional[FaultInjector] = None,
+                 flush_policy: Optional[FlushPolicy] = None) -> None:
         self._records: List[LogRecord] = []
         self._flushed_lsn = NULL_LSN
+        #: Group-commit policy applied by :meth:`request_flush`.
+        self.flush_policy = flush_policy if flush_policy is not None \
+            else IMMEDIATE_FLUSH
+        self._pending_requests = 0
+        self._pending_target = NULL_LSN
+        self._coalesce_depth = 0
         #: Observability registry (``wal.appends``, ``wal.flushes``,
         #: ``wal.tail_depth``); the shared no-op singleton by default.
         self.metrics = metrics if metrics is not None else NULL_METRICS
@@ -82,6 +148,53 @@ class LogManager:
             observer(record)
         return record.lsn
 
+    def append_batch(self, records: Sequence[LogRecord],
+                     prev_lsns: Optional[Sequence[int]] = None) -> List[int]:
+        """Append ``records`` contiguously; return their new LSNs.
+
+        The batch is assigned a dense LSN range in order, exactly as if
+        each record had been :meth:`append`-ed individually -- same LSNs,
+        same back-chains, same observer calls -- but the fault sites and
+        the per-record bookkeeping are amortized over the batch.  An
+        empty batch is a no-op.
+
+        Args:
+            records: Records to append; each ``lsn`` must be unassigned.
+            prev_lsns: Optional parallel sequence of back-chain pointers
+                (``NULL_LSN`` entries for records with no predecessor).
+                Defaults to ``NULL_LSN`` for every record.
+        """
+        if not records:
+            return []
+        if prev_lsns is not None and len(prev_lsns) != len(records):
+            raise ValueError(
+                f"prev_lsns length {len(prev_lsns)} != "
+                f"records length {len(records)}")
+        for record in records:
+            if record.lsn != NULL_LSN:
+                raise ValueError(
+                    f"record already appended: lsn={record.lsn}")
+        self.faults.fire(SITE_WAL_APPEND_BATCH, n=len(records),
+                         kind=records[0].kind)
+        lsns: List[int] = []
+        base = FIRST_LSN + len(self._records)
+        for i, record in enumerate(records):
+            record.lsn = base + i
+            record.prev_lsn = prev_lsns[i] if prev_lsns is not None \
+                else NULL_LSN
+            self._records.append(record)
+            lsns.append(record.lsn)
+        self.faults.fire(SITE_WAL_APPEND_BATCH_DONE, n=len(records),
+                         last_lsn=lsns[-1])
+        if self.metrics.enabled:
+            self.metrics.inc("wal.appends", len(records))
+            self.metrics.inc("wal.append_batches")
+            self.metrics.observe("wal.batch_size", len(records))
+        for record in records:
+            for observer in self.observers:
+                observer(record)
+        return lsns
+
     def flush(self, up_to_lsn: Optional[int] = None) -> None:
         """Force the log up to ``up_to_lsn`` (default: everything).
 
@@ -100,6 +213,69 @@ class LogManager:
             self.metrics.observe("wal.tail_depth",
                                  max(0, self.end_lsn - self._flushed_lsn))
         self._flushed_lsn = max(self._flushed_lsn, target)
+        if self._flushed_lsn >= self._pending_target:
+            self._pending_requests = 0
+            self._pending_target = NULL_LSN
+
+    def request_flush(self, up_to_lsn: Optional[int] = None) -> bool:
+        """Policy-aware flush: coalesce with neighbours when allowed.
+
+        This is the group-commit entry point commit/abort use.  With the
+        default :data:`IMMEDIATE_FLUSH` policy (and outside any
+        :meth:`coalescing` window) it degenerates to :meth:`flush` --
+        identical behaviour, identical counters.  Under a coalescing
+        policy the request only records the desired horizon; a real flush
+        happens once either threshold trips.  Returns ``True`` iff a real
+        flush happened.
+        """
+        target = self.end_lsn if up_to_lsn is None \
+            else min(up_to_lsn, self.end_lsn)
+        self._pending_requests += 1
+        self._pending_target = max(self._pending_target, target)
+        if self._coalesce_depth > 0:
+            return False
+        policy = self.flush_policy
+        if policy.immediate \
+                or self._pending_requests >= policy.max_pending_requests \
+                or (self.end_lsn - self._flushed_lsn
+                    >= policy.max_pending_records):
+            self._group_flush()
+            return True
+        self.metrics.inc("wal.flushes.deferred")
+        return False
+
+    def drain_flushes(self) -> None:
+        """Force any deferred flush requests to complete now."""
+        if self._pending_target > self._flushed_lsn:
+            self._group_flush()
+        else:
+            self._pending_requests = 0
+            self._pending_target = NULL_LSN
+
+    def _group_flush(self) -> None:
+        coalesced = self._pending_requests
+        self.faults.fire(SITE_WAL_GROUP_FLUSH, coalesced=coalesced)
+        if self.metrics.enabled and coalesced > 1:
+            self.metrics.observe("wal.group_flush.coalesced", coalesced)
+        self.flush(self._pending_target if self._pending_target else None)
+
+    @contextmanager
+    def coalescing(self) -> Iterator[None]:
+        """Defer all flush requests until the window closes.
+
+        Used around latched windows (synchronization dooming a batch of
+        old transactions aborts each one, and each abort requests a
+        flush): inside the window requests only accumulate; one group
+        flush covering the highest requested horizon runs on exit.
+        Reentrant -- only the outermost window drains.
+        """
+        self._coalesce_depth += 1
+        try:
+            yield
+        finally:
+            self._coalesce_depth -= 1
+            if self._coalesce_depth == 0:
+                self.drain_flushes()
 
     # -- positions ----------------------------------------------------------
 
@@ -169,6 +345,21 @@ class LogManager:
                 yield self._records[index]
 
         return _iterate()
+
+    def records_slice(self, from_lsn: int,
+                      to_lsn: int) -> List[LogRecord]:
+        """Records in the closed LSN interval, as a list.
+
+        The batch-propagation fetch path: one C-level list slice instead
+        of per-record :meth:`record_at` calls.  Bounds follow the
+        :meth:`scan` contract (clamping, :class:`ValueError` on negative
+        LSNs); the returned list is a copy, safe against later appends.
+        """
+        if from_lsn < 0 or to_lsn < 0:
+            raise ValueError(f"negative lsn: {min(from_lsn, to_lsn)}")
+        start = max(0, from_lsn - FIRST_LSN)
+        stop = min(len(self._records), to_lsn - FIRST_LSN + 1)
+        return self._records[start:stop]
 
     def records_between(self, from_lsn: int, to_lsn: int) -> int:
         """Number of records in the closed LSN interval (for analysis)."""

@@ -1,0 +1,76 @@
+"""Snapshot of the stable public API surface.
+
+``repro.api`` is the compatibility promise: every name below must keep
+importing from ``repro.api`` (and from ``repro`` itself, whose ``__all__``
+is a superset).  A failure here means a PR changed the public surface --
+either restore the name or consciously update the snapshot (a breaking
+change worth calling out in the changelog).
+"""
+
+import warnings
+
+import repro
+import repro.api as api
+
+#: The frozen surface of ``repro.api``.  Keep sorted.
+API_SURFACE = sorted([
+    # engine
+    "Database", "FuzzyScan", "Session", "bulk_load", "fuzzy_copy",
+    "restart",
+    # schemas / specs / oracles
+    "Attribute", "FojSpec", "FunctionalDependency", "SplitSpec",
+    "TableSchema", "full_outer_join", "rows_equal", "split",
+    # transformations + configuration
+    "FixedIterationsPolicy", "FojTransformation",
+    "Many2ManyFojTransformation", "MaterializedFojView", "MergeSpec",
+    "MergeTransformation", "PartitionSpec", "PartitionTransformation",
+    "Phase", "RemainingRecordsPolicy", "SplitTransformation",
+    "SYNC_STRATEGIES", "SyncStrategy", "TransformOptions",
+    "TransformationSupervisor", "add_attribute", "remove_attribute",
+    "rename_attribute", "resolve_sync_strategy",
+    # WAL group commit
+    "FlushPolicy", "GROUP_FLUSH", "IMMEDIATE_FLUSH",
+    # observability
+    "Metrics", "NULL_METRICS", "build_run_report", "render_report",
+    "run_section",
+    # fault injection
+    "AbortFault", "CrashFault", "DelayFault", "FaultInjector",
+    "FaultPlan",
+    # errors
+    "DeadlockError", "DuplicateKeyError", "InconsistentDataError",
+    "LockWaitError", "NoSuchRowError", "NoSuchTableError", "ReproError",
+    "SchemaError", "SimulatedCrashError", "TransactionAbortedError",
+    "TransformationAbortedError", "TransformationError",
+    "TransformationStarvedError",
+])
+
+
+def test_api_surface_matches_snapshot():
+    assert sorted(api.__all__) == API_SURFACE
+
+
+def test_every_api_name_importable():
+    missing = [name for name in API_SURFACE if not hasattr(api, name)]
+    assert not missing, f"repro.api lost: {missing}"
+
+
+def test_repro_package_exports_superset_of_api():
+    """``from repro import X`` keeps working for everything in the
+    facade (minus the flat helpers that only live there)."""
+    package = set(repro.__all__)
+    for name in API_SURFACE:
+        assert hasattr(repro, name), f"repro lost attribute {name}"
+    # The package __all__ covers the facade's transformation/config core.
+    for name in ("Database", "TransformOptions", "FlushPolicy",
+                 "SYNC_STRATEGIES", "FojTransformation",
+                 "SplitTransformation", "TransformationSupervisor",
+                 "restart"):
+        assert name in package
+
+
+def test_api_import_emits_no_warnings():
+    """Importing the facade must never trip its own deprecation shims."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        import importlib
+        importlib.reload(api)

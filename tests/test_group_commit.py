@@ -1,0 +1,171 @@
+"""Group-commit WAL semantics: FlushPolicy, batched appends, flush
+coalescing, and recovery equivalence under a deferring policy."""
+
+import pytest
+
+from repro.api import (
+    Database,
+    FlushPolicy,
+    GROUP_FLUSH,
+    IMMEDIATE_FLUSH,
+    Metrics,
+    Session,
+    TableSchema,
+    restart,
+    rows_equal,
+)
+from repro.wal import (
+    BeginRecord,
+    FIRST_LSN,
+    InsertRecord,
+    LogManager,
+    NULL_LSN,
+)
+
+from tests.conftest import values_of
+
+
+# -- FlushPolicy -------------------------------------------------------------
+
+
+def test_flush_policy_validation_and_immediate():
+    assert IMMEDIATE_FLUSH.immediate
+    assert not GROUP_FLUSH.immediate
+    assert FlushPolicy(max_pending_requests=2).immediate is False
+    with pytest.raises(ValueError):
+        FlushPolicy(max_pending_requests=0)
+    with pytest.raises(ValueError):
+        FlushPolicy(max_pending_records=0)
+
+
+# -- append_batch ------------------------------------------------------------
+
+
+def test_append_batch_assigns_dense_lsns():
+    log = LogManager()
+    log.append(BeginRecord(txn_id=1))
+    lsns = log.append_batch([
+        InsertRecord(txn_id=1, table="t", key=(i,), values={"a": i})
+        for i in range(4)])
+    assert lsns == [FIRST_LSN + 1 + i for i in range(4)]
+    assert log.end_lsn == lsns[-1]
+    assert [log.record_at(lsn).key for lsn in lsns] == \
+        [(0,), (1,), (2,), (3,)]
+
+
+def test_append_batch_prev_lsn_chain_and_validation():
+    log = LogManager()
+    first = log.append(BeginRecord(txn_id=1))
+    recs = [InsertRecord(txn_id=1, table="t", key=(i,), values={})
+            for i in range(2)]
+    lsns = log.append_batch(recs, prev_lsns=[first, first])
+    assert [log.record_at(lsn).prev_lsn for lsn in lsns] == [first, first]
+    with pytest.raises(ValueError):
+        log.append_batch([BeginRecord(txn_id=2)], prev_lsns=[1, 2])
+    with pytest.raises(ValueError):
+        log.append_batch([log.record_at(first)])  # already assigned
+
+
+def test_append_batch_empty_is_noop():
+    log = LogManager()
+    assert log.append_batch([]) == []
+    assert log.end_lsn == NULL_LSN
+
+
+def test_append_batch_notifies_observers_per_record():
+    log = LogManager()
+    seen = []
+    log.observers.append(lambda r: seen.append(r.lsn))
+    lsns = log.append_batch([BeginRecord(txn_id=i) for i in (1, 2, 3)])
+    assert seen == lsns
+
+
+# -- request_flush under policy ----------------------------------------------
+
+
+def test_immediate_policy_flushes_every_request():
+    log = LogManager()
+    lsn = log.append(BeginRecord(txn_id=1))
+    assert log.request_flush() is True
+    assert log.flushed_lsn == lsn
+
+
+def test_group_policy_defers_until_threshold():
+    metrics = Metrics()
+    log = LogManager(metrics=metrics,
+                     flush_policy=FlushPolicy(max_pending_requests=3,
+                                              max_pending_records=1000))
+    lsns = [log.append(BeginRecord(txn_id=i)) for i in (1, 2, 3)]
+    assert log.request_flush(lsns[0]) is False     # deferred
+    assert log.request_flush(lsns[1]) is False     # deferred
+    assert log.flushed_lsn == NULL_LSN
+    assert log.request_flush(lsns[2]) is True      # threshold trips
+    assert log.flushed_lsn == lsns[2]              # coalesced to the max
+    assert metrics.counter_value("wal.flushes.deferred") == 2
+
+
+def test_record_threshold_trips_group_flush():
+    log = LogManager(flush_policy=FlushPolicy(max_pending_requests=100,
+                                              max_pending_records=2))
+    log.append(BeginRecord(txn_id=1))
+    assert log.request_flush() is False
+    lsn = log.append(BeginRecord(txn_id=2))
+    assert log.request_flush() is True             # 2 pending records
+    assert log.flushed_lsn == lsn
+
+
+def test_drain_flushes_releases_pending():
+    log = LogManager(flush_policy=FlushPolicy(max_pending_requests=100,
+                                              max_pending_records=100))
+    lsn = log.append(BeginRecord(txn_id=1))
+    log.request_flush()
+    assert log.flushed_lsn == NULL_LSN
+    log.drain_flushes()
+    assert log.flushed_lsn == lsn
+
+
+def test_coalescing_window_defers_even_immediate_policy():
+    log = LogManager()  # immediate policy
+    with log.coalescing():
+        lsn = log.append(BeginRecord(txn_id=1))
+        assert log.request_flush() is False
+        with log.coalescing():                     # reentrant
+            log.request_flush()
+        assert log.flushed_lsn == NULL_LSN         # inner exit: still open
+    assert log.flushed_lsn == lsn                  # outer exit drains
+
+
+# -- database-level behavior -------------------------------------------------
+
+
+def _commit_rows(db, n):
+    with Session(db) as s:
+        for i in range(n):
+            s.insert("t", {"k": i, "v": f"v{i}"})
+
+
+def test_commit_durable_under_group_policy():
+    """Deferral never lets a committed transaction's records escape the
+    recovery horizon: a restart from the log reproduces every commit,
+    whether or not the deferred flush was drained."""
+    db = Database(flush_policy=FlushPolicy(max_pending_requests=64,
+                                           max_pending_records=4096))
+    db.create_table(TableSchema("t", ["k", "v"], primary_key=["k"]))
+    _commit_rows(db, 10)
+    recovered = restart(db.log)
+    assert rows_equal(values_of(recovered, "t"), values_of(db, "t"))
+    assert len(values_of(recovered, "t")) == 10
+
+
+def test_group_policy_reduces_flush_count():
+    def run(policy):
+        metrics = Metrics()
+        db = Database(metrics=metrics, flush_policy=policy)
+        db.create_table(TableSchema("t", ["k", "v"], primary_key=["k"]))
+        _commit_rows(db, 20)
+        return metrics.counter_value("wal.flushes")
+
+    immediate = run(IMMEDIATE_FLUSH)
+    grouped = run(FlushPolicy(max_pending_requests=8,
+                              max_pending_records=4096))
+    assert grouped < immediate

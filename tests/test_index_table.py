@@ -260,3 +260,56 @@ def test_row_matches_predicate():
     row = table.insert_row({"id": 1, "x": "a"})
     assert row.matches({"x": "a"})
     assert not row.matches({"x": "b"})
+
+
+# ---------------------------------------------------------------------------
+# LRU probe cache
+# ---------------------------------------------------------------------------
+
+
+def test_probe_cache_hits_and_misses():
+    idx = HashIndex("i", ("a",), unique=False)
+    for rid in (10, 11, 12):
+        idx.insert({"a": 1}, rid)
+    assert idx.lookup((1,)) == [10, 11, 12]       # miss: fills the cache
+    assert idx.lookup((1,)) == [10, 11, 12]       # hit
+    assert idx.probe_stats["misses"] == 1
+    assert idx.probe_stats["hits"] == 1
+
+
+def test_probe_cache_invalidated_by_writes():
+    idx = HashIndex("i", ("a",), unique=False)
+    idx.insert({"a": 1}, 10)
+    assert idx.lookup((1,)) == [10]
+    idx.insert({"a": 1}, 11)                      # invalidates key (1,)
+    assert idx.lookup((1,)) == [10, 11]           # fresh result, not stale
+    idx.remove({"a": 1}, 10)
+    assert idx.lookup((1,)) == [11]
+    assert idx.probe_stats["invalidations"] >= 2
+
+
+def test_probe_cache_result_is_a_private_copy():
+    idx = HashIndex("i", ("a",), unique=False)
+    idx.insert({"a": 1}, 10)
+    first = idx.lookup((1,))
+    first.append(999)                             # caller mutates its copy
+    assert idx.lookup((1,)) == [10]
+
+
+def test_probe_cache_bounded_lru_eviction():
+    idx = HashIndex("i", ("a",), unique=False, probe_cache_size=2)
+    for a in range(4):
+        idx.insert({"a": a}, 100 + a)
+        idx.lookup((a,))
+    assert len(idx._probe_cache) <= 2             # bounded
+    # Evicted keys just re-miss; results stay correct.
+    assert idx.lookup((0,)) == [100]
+
+
+def test_probe_cache_cleared_with_index():
+    idx = HashIndex("i", ("a",), unique=False)
+    idx.insert({"a": 1}, 10)
+    idx.lookup((1,))
+    idx.clear()
+    assert idx.lookup((1,)) == []
+    assert len(idx._probe_cache) <= 1

@@ -1,0 +1,207 @@
+"""TransformOptions: validation, registry strings, the deprecation shim,
+and how options thread through transformations and the supervisor."""
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    Database,
+    FlushPolicy,
+    FojSpec,
+    FojTransformation,
+    GROUP_FLUSH,
+    Metrics,
+    Session,
+    SplitSpec,
+    SplitTransformation,
+    SyncStrategy,
+    SYNC_STRATEGIES,
+    TableSchema,
+    TransformationSupervisor,
+    TransformOptions,
+    resolve_sync_strategy,
+)
+from repro.transform.options import non_default_fields
+
+
+def build_db():
+    db = Database()
+    db.create_table(TableSchema("R", ["a", "b", "c"], primary_key=["a"]))
+    db.create_table(TableSchema("S", ["c", "d"], primary_key=["c"]))
+    with Session(db) as s:
+        for i in range(6):
+            s.insert("R", {"a": i, "b": i, "c": i % 3})
+        for c in range(3):
+            s.insert("S", {"c": c, "d": f"d{c}"})
+    return db
+
+
+def foj_spec(db):
+    return FojSpec.derive(db.table("R").schema, db.table("S").schema,
+                          "T", "c", "c")
+
+
+# -- validation --------------------------------------------------------------
+
+
+def test_defaults_are_valid_and_frozen():
+    opts = TransformOptions()
+    assert opts.sync_strategy is SyncStrategy.NONBLOCKING_ABORT
+    assert opts.shards == 1
+    assert opts.propagation_batch > 1  # batching is on by default
+    with pytest.raises(AttributeError):
+        opts.shards = 2
+
+
+@pytest.mark.parametrize("bad", [
+    {"shards": 0}, {"population_chunk": 0}, {"propagation_batch": 0},
+    {"priority": 0.0}, {"priority": 1.5}, {"sync": "no_such_strategy"},
+])
+def test_invalid_options_raise_value_error(bad):
+    with pytest.raises(ValueError):
+        TransformOptions(**bad)
+
+
+def test_flush_policy_type_checked():
+    with pytest.raises(TypeError):
+        TransformOptions(flush_policy="group")
+    assert TransformOptions(flush_policy=GROUP_FLUSH).flush_policy \
+        is GROUP_FLUSH
+
+
+def test_evolve_revalidates():
+    opts = TransformOptions()
+    assert opts.evolve(shards=4).shards == 4
+    with pytest.raises(ValueError):
+        opts.evolve(shards=-1)
+
+
+# -- sync strategy registry --------------------------------------------------
+
+
+def test_sync_selectable_by_registry_string():
+    assert set(SYNC_STRATEGIES) == {
+        "blocking_commit", "nonblocking_abort", "nonblocking_commit"}
+    opts = TransformOptions(sync="nonblocking_commit")
+    assert opts.sync_strategy is SyncStrategy.NONBLOCKING_COMMIT
+    assert resolve_sync_strategy(SyncStrategy.BLOCKING_COMMIT) \
+        is SyncStrategy.BLOCKING_COMMIT
+    with pytest.raises(ValueError, match="available"):
+        resolve_sync_strategy("eventual")
+
+
+def test_registry_string_drives_transformation():
+    db = build_db()
+    tf = FojTransformation(db, foj_spec(db), options=TransformOptions(
+        sync="blocking_commit"))
+    assert tf.sync_strategy is SyncStrategy.BLOCKING_COMMIT
+    tf.run()
+    assert db.table("T").row_count > 0
+
+
+# -- deprecation shim --------------------------------------------------------
+
+
+def test_legacy_kwargs_warn_and_fold_into_options():
+    db = build_db()
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        tf = FojTransformation(
+            db, foj_spec(db), population_chunk=5, shards=2,
+            sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+    assert tf.options.population_chunk == 5
+    assert tf.options.shards == 2
+    assert tf.options.sync_strategy is SyncStrategy.NONBLOCKING_COMMIT
+    assert tf.population_chunk == 5
+    assert tf.shards == 2
+
+
+def test_legacy_kwargs_round_trip_equivalent_to_options():
+    """The shim must configure the transformation identically to passing
+    TransformOptions directly."""
+    db1, db2 = build_db(), build_db()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = SplitTransformation(
+            db1, SplitSpec.derive(db1.table("R").schema, "Rr", "Rs", "c",
+                                  s_attrs=[]),
+            population_chunk=4, shards=3)
+    modern = SplitTransformation(
+        db2, SplitSpec.derive(db2.table("R").schema, "Rr", "Rs", "c",
+                              s_attrs=[]),
+        options=TransformOptions(population_chunk=4, shards=3))
+    for field in ("population_chunk", "shards", "propagation_batch"):
+        assert getattr(legacy.options, field) == \
+            getattr(modern.options, field)
+    assert legacy.sync_strategy is modern.sync_strategy
+
+
+def test_options_free_construction_does_not_warn():
+    db = build_db()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        FojTransformation(db, foj_spec(db),
+                          options=TransformOptions(population_chunk=5))
+
+
+# -- options threading -------------------------------------------------------
+
+
+def test_flush_policy_and_metrics_attach_through_options():
+    db = build_db()
+    metrics = Metrics()
+    policy = FlushPolicy(max_pending_requests=4, max_pending_records=32)
+    tf = FojTransformation(db, foj_spec(db), options=TransformOptions(
+        metrics=metrics, flush_policy=policy))
+    assert db.log.flush_policy is policy
+    assert db.metrics is metrics
+    tf.run()
+    assert metrics.counter_value("wal.appends") > 0
+
+
+def test_propagation_batch_one_runs_and_converges():
+    db = build_db()
+    tf = FojTransformation(db, foj_spec(db), options=TransformOptions(
+        propagation_batch=1, population_chunk=2))
+    tf.run()
+    assert db.table("T").row_count > 0
+
+
+# -- supervisor override merge ----------------------------------------------
+
+
+def test_non_default_fields_only_reports_moved_knobs():
+    assert non_default_fields(TransformOptions()) == {}
+    moved = non_default_fields(TransformOptions(shards=2, priority=0.5))
+    assert moved == {"shards": 2, "priority": 0.5}
+
+
+def test_supervisor_merges_options_over_factory():
+    """Supervisor options override only the knobs moved off defaults; the
+    factory's own configuration survives for the rest."""
+    db = build_db()
+    spec = foj_spec(db)
+
+    def factory():
+        return FojTransformation(db, spec, options=TransformOptions(
+            sync="nonblocking_commit", population_chunk=2))
+
+    sup = TransformationSupervisor(
+        db, factory, budget=512,
+        options=TransformOptions(propagation_batch=7))
+    tf = sup.run()
+    assert tf.done
+    assert tf.propagation_batch == 7          # supervisor override
+    assert tf.population_chunk == 2           # factory setting kept
+    assert tf.sync_strategy is SyncStrategy.NONBLOCKING_COMMIT
+
+
+def test_supervisor_shards_kwarg_deprecated():
+    db = build_db()
+    with pytest.warns(DeprecationWarning, match="shards"):
+        sup = TransformationSupervisor(db, lambda: None, shards=2)
+    assert sup.options.shards == 2
+    with pytest.raises(ValueError):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            TransformationSupervisor(db, lambda: None, shards=0)

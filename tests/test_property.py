@@ -20,6 +20,7 @@ from repro import (
     SplitSpec,
     SplitTransformation,
     TableSchema,
+    TransformOptions,
 )
 from repro.common.errors import DuplicateKeyError, NoSuchRowError
 from repro.engine.fuzzy import apply_log_with_lsn_guard, fuzzy_copy
@@ -349,17 +350,20 @@ def test_merge_converges_for_any_history(script):
 # ---------------------------------------------------------------------------
 
 
-def _run_foj_pipeline(script, shards):
+def _run_foj_pipeline(script, shards, batch=None):
     """Drive one FOJ pipeline over ``script``; returns (T rows, oracle).
 
     The op sequence and step budgets are fixed by the script, so two
     pipelines run over the same script see identical workloads -- the
-    only degree of freedom is the shard count.
+    only degrees of freedom are the shard count and propagation batch.
     """
     db = build_foj_db(script)
     spec = FojSpec.derive(db.table("R").schema, db.table("S").schema,
                           "T", "c", "c")
-    tf = FojTransformation(db, spec, population_chunk=3, shards=shards)
+    options = TransformOptions(population_chunk=3, shards=shards)
+    if batch is not None:
+        options = options.evolve(propagation_batch=batch)
+    tf = FojTransformation(db, spec, options=options)
     for i, (kind, key, join_value, budget) in enumerate(script):
         apply_foj_op(db, kind, key, join_value, i)
         if not tf.done and tf.phase is not Phase.SYNCHRONIZING:
@@ -382,7 +386,7 @@ def test_sharded_foj_identical_to_sequential(script, shards):
     assert rows_equal(sharded_rows, sharded_oracle)
 
 
-def _run_split_pipeline(script, shards):
+def _run_split_pipeline(script, shards, batch=None):
     """Drive one split pipeline over ``script``; returns
     (Tr rows, Ts rows, Ts counters, final T rows)."""
     db = Database()
@@ -395,7 +399,10 @@ def _run_split_pipeline(script, shards):
             s.insert("T", {"id": i, "name": i, "zip": z, "city": city[z]})
     spec = SplitSpec.derive(db.table("T").schema, "Tr", "Ts", "zip",
                             s_attrs=["city"])
-    tf = SplitTransformation(db, spec, population_chunk=3, shards=shards)
+    options = TransformOptions(population_chunk=3, shards=shards)
+    if batch is not None:
+        options = options.evolve(propagation_batch=batch)
+    tf = SplitTransformation(db, spec, options=options)
     for i, (kind, key, z, budget) in enumerate(script):
         try:
             if kind == "ins":
@@ -468,3 +475,40 @@ def test_materialized_view_converges_for_any_history(script):
     assert rows_equal(
         values_of(db, "V"),
         full_outer_join(spec, values_of(db, "R"), values_of(db, "S")))
+
+
+# ---------------------------------------------------------------------------
+# Batched propagation equivalence (propagation_batch)
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(op_strategy, min_size=0, max_size=40),
+       st.sampled_from([7, 64]),
+       st.sampled_from([1, 3]))
+@settings(max_examples=30, deadline=None)
+def test_batched_foj_identical_to_record_at_a_time(script, batch, shards):
+    """Vectorized propagation (grouping consecutive (table, rule) runs)
+    is row-for-row identical to the record-at-a-time loop (batch=1) under
+    any concurrent history, sequential and sharded alike."""
+    base_rows, base_oracle = _run_foj_pipeline(script, shards, batch=1)
+    fast_rows, fast_oracle = _run_foj_pipeline(script, shards, batch=batch)
+    assert rows_equal(base_oracle, fast_oracle)  # same final sources
+    assert rows_equal(fast_rows, base_rows)
+    assert rows_equal(fast_rows, fast_oracle)
+
+
+@given(st.lists(split_op_strategy, min_size=0, max_size=40),
+       st.sampled_from([7, 64]),
+       st.sampled_from([1, 3]))
+@settings(max_examples=30, deadline=None)
+def test_batched_split_identical_to_record_at_a_time(script, batch, shards):
+    """Same equivalence for the split pipeline, including the S-table
+    reference counters Rules 8--11 maintain."""
+    base_r, base_s, base_counters, base_t = \
+        _run_split_pipeline(script, shards, batch=1)
+    fast_r, fast_s, fast_counters, fast_t = \
+        _run_split_pipeline(script, shards, batch=batch)
+    assert rows_equal(base_t, fast_t)  # same final sources
+    assert rows_equal(fast_r, base_r)
+    assert rows_equal(fast_s, base_s)
+    assert fast_counters == base_counters
