@@ -95,6 +95,7 @@ from repro.transform import (
     PartitionSpec,
     PartitionTransformation,
     Phase,
+    POPULATION_MODES,
     RemainingRecordsPolicy,
     SplitTransformation,
     SYNC_STRATEGIES,
@@ -149,6 +150,7 @@ __all__ = [
     "PartitionSpec",
     "PartitionTransformation",
     "Phase",
+    "POPULATION_MODES",
     "RemainingRecordsPolicy",
     "ReproError",
     "SITE_REGISTRY",

@@ -111,6 +111,11 @@ class Database:
         #: Mirror objects consulted on every record-lock acquisition; see
         #: :class:`repro.transform.sync.LockMirror`.
         self.lock_mirrors: List[object] = []
+        #: Hooks fired on record reads/updates, after the record lock is
+        #: granted and before the row is fetched; lazy population's
+        #: migrate-on-read path (:class:`repro.transform.lazy.LazyMigrator`)
+        #: installs itself here for the duration of POPULATING.
+        self.access_hooks: List[object] = []
         self._triggers: Dict[str, List[TriggerFn]] = {}
         self._blocked_waiters: Dict[str, List[int]] = {}
         #: Callback invoked with the ids of transactions woken by a lock
@@ -394,6 +399,18 @@ class Database:
         for mirror in self.lock_mirrors:
             mirror.on_lock(self, txn, table, key, mode)
 
+    def _fire_access_hooks(self, txn: Transaction, table_name: str,
+                           key: Tuple) -> None:
+        """Run the installed access hooks for a locked read/update target.
+
+        Runs synchronously inside the accessing transaction, after the
+        record lock is granted (so the row the hook sees is stable) and
+        before the row is fetched (so a migrate-on-read hook completes
+        before the caller observes the record).
+        """
+        for hook in self.access_hooks:
+            hook.on_access(self, txn, table_name, key)
+
     def lock_table(self, txn: Transaction, table_name: str,
                    mode: LockMode = LockMode.S) -> None:
         """Take an explicit table-granularity lock (S/X, or SIX).
@@ -473,6 +490,7 @@ class Database:
         table.schema.validate_changes(changes)
         key = tuple(key)
         self._lock_record(txn, table, key, LockMode.X)
+        self._fire_access_hooks(txn, table.name, key)
         row = table.get(key)
         if row is None:
             raise NoSuchRowError(table.name, key)
@@ -493,6 +511,7 @@ class Database:
         table = self._resolve(txn, table_name)
         key = tuple(key)
         self._lock_record(txn, table, key, LockMode.S)
+        self._fire_access_hooks(txn, table.name, key)
         txn.tables_touched.add(table.name)
         self.stats["read"] += 1
         row = table.get(key)

@@ -80,10 +80,15 @@ class FuzzyScan:
         Args:
             limit: Cap on the number of rows returned (defaults to the
                 scan's chunk size); lets a budget-driven caller take less
-                than a full chunk.
+                than a full chunk.  ``limit <= 0`` means the caller has no
+                budget at all: the scan returns ``[]`` without advancing.
         """
-        take = self.chunk_size if limit is None \
-            else max(1, min(self.chunk_size, int(limit)))
+        if limit is None:
+            take = self.chunk_size
+        else:
+            take = min(self.chunk_size, int(limit))
+            if take <= 0:
+                return []
         chunk: List[Row] = []
         rows = self.table.rows
         while self._position < len(self._rowids) and \

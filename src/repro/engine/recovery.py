@@ -51,6 +51,7 @@ from repro.wal.records import (
     InsertRecord,
     LogRecord,
     RenameTableRecord,
+    TransformRetireRecord,
     TransformSwapRecord,
     UpdateRecord,
     data_change_of,
@@ -97,6 +98,16 @@ def restart(log: LogManager, metrics=None) -> Database:
                 pass_span.attrs["in_commit"] = len(in_commit)
         propagators: List[object] = []
         transient_names: Set[str] = set()
+        # Transformations retired after publication (e.g. a dropped
+        # materialized view): their swap records must not be replayed --
+        # rebuilding the artefact just to drop it again wastes the redo
+        # pass, and the resurrected rule engine would be fed post-drop
+        # source changes the live system only accepted because the
+        # artefact was already gone.
+        retired_ids: Set[str] = {
+            record.transform_id
+            for record in log.scan(to_lsn=end_lsn)
+            if isinstance(record, TransformRetireRecord)}
 
         # ---- redo --------------------------------------------------------
         with obs.span("recovery.redo") as pass_span:
@@ -123,6 +134,8 @@ def restart(log: LogManager, metrics=None) -> Database:
                         db.catalog.rename_table(record.old_name,
                                                 record.new_name)
                 elif isinstance(record, TransformSwapRecord):
+                    if record.transform_id in retired_ids:
+                        continue
                     propagator = _replay_swap(db, record, transient_names)
                     if propagator is not None:
                         propagators.append(propagator)

@@ -57,6 +57,7 @@ from repro.storage.schema import TableSchema
 from repro.transform.analysis import RemainingRecordsPolicy
 from repro.transform.base import Phase, SyncStrategy, Transformation
 from repro.transform.foj import FojTransformation
+from repro.transform.options import TransformOptions
 from repro.transform.split import SplitTransformation
 from repro.wal.records import (
     BeginRecord,
@@ -71,8 +72,13 @@ RowDict = Dict[str, object]
 #: ``name@N`` runs the same scenario through an N-way sharded pipeline
 #: (:mod:`repro.shard`), adding the shard-scoped crash sites -- partial
 #: population, mid-window shard crashes, barrier and merge crashes -- to
-#: the sweep's coverage.
-SCENARIO_OPERATORS: Tuple[str, ...] = ("foj", "split", "foj@2", "split@3")
+#: the sweep's coverage.  ``name:lazy`` runs the scenario with
+#: access-triggered population (``population_mode="lazy"``), interleaving
+#: user reads with small sweep steps so both migrate-on-read crash sites
+#: (``lazy.miss.transform``, ``lazy.sweep.chunk``) are crossed; the two
+#: notations compose (``split:lazy@3``).
+SCENARIO_OPERATORS: Tuple[str, ...] = (
+    "foj", "split", "foj@2", "split@3", "foj:lazy", "split:lazy@3")
 
 #: All three synchronization strategies (Section 3.4).
 ALL_STRATEGIES: Tuple[SyncStrategy, ...] = (
@@ -161,11 +167,15 @@ class ScenarioRun:
                  faults: Optional[FaultInjector] = None) -> None:
         base, _, shard_suffix = operator.partition("@")
         shards = int(shard_suffix) if shard_suffix else 1
-        if base not in ("foj", "split") or shards < 1:
+        base, _, mode = base.partition(":")
+        mode = mode or "eager"
+        if base not in ("foj", "split") or shards < 1 or \
+                mode not in ("eager", "lazy"):
             raise ValueError(f"unknown sweep operator {operator!r}")
         self.operator = operator
         self.operator_base = base
         self.shards = shards
+        self.population_mode = mode
         self.strategy = strategy
         self.faults = faults if faults is not None else FaultInjector()
         self.db = Database()
@@ -180,7 +190,15 @@ class ScenarioRun:
         self._l_txn: Optional[Transaction] = None
         self._l_op: Optional[Tuple] = None
         self._l_zombie_op: Optional[Tuple] = None
+        self._lazy_reads: List[Tuple[str, Tuple]] = []
         self._probes: List[Tuple[str, RowDict]] = []
+
+    def _tf_options(self) -> TransformOptions:
+        return TransformOptions(
+            sync=self.strategy,
+            policy=RemainingRecordsPolicy(max_remaining=2, patience=200),
+            population_chunk=4, shards=self.shards,
+            population_mode=self.population_mode)
 
     # -- committed-state bookkeeping ------------------------------------
 
@@ -235,11 +253,11 @@ class ScenarioRun:
             [("i", "S", {"c": c, "d": f"d{c}", "e": f"e{c}"})
              for c in range(4)])
         self.tf = FojTransformation(
-            self.db, self.spec, sync_strategy=self.strategy,
-            policy=RemainingRecordsPolicy(max_remaining=2, patience=200),
-            population_chunk=4, shards=self.shards)
+            self.db, self.spec, options=self._tf_options())
         self._l_op = ("u", "R", (0,), {"b": "L0"})
         self._l_zombie_op = ("u", "R", (0,), {"b": "Lz"})
+        self._lazy_reads = [("R", (1,)), ("R", (4,)), ("R", (7,)),
+                            ("S", (2,))]
         self._mutations = [
             # The S update first: it lands while log propagation is still
             # running, which in the sharded pipeline makes it a barrier
@@ -277,11 +295,10 @@ class ScenarioRun:
         self._txn_do(rows)
         self.tf = SplitTransformation(
             self.db, self.spec, check_consistency=True,
-            on_inconsistent="wait", sync_strategy=self.strategy,
-            policy=RemainingRecordsPolicy(max_remaining=2, patience=200),
-            population_chunk=4, shards=self.shards)
+            on_inconsistent="wait", options=self._tf_options())
         self._l_op = ("u", "T", (1,), {"name": "Ln"})
         self._l_zombie_op = ("u", "T", (1,), {"name": "Lz"})
+        self._lazy_reads = [("T", (2,)), ("T", (5,)), ("T", (8,))]
         self._mutations = [
             lambda: self._txn_do(
                 [("i", "T", {"id": 20, "name": "n20", "zip": 7001,
@@ -323,6 +340,18 @@ class ScenarioRun:
         self._l_txn = self.db.begin()
         self.shadow.begin(self._l_txn.txn_id)
         self._apply(self._l_txn, self._l_op)
+
+        if self.population_mode == "lazy":
+            # One deliberately tiny first step keeps POPULATING open
+            # (the coordinator multiplies the budget by the shard count,
+            # so even budget 1 sweeps a few rows), and the interleaved
+            # reads then hit not-yet-migrated source records, crossing
+            # the migrate-on-read crash sites.
+            self.tf.step(1)
+            txn = self.db.begin()
+            for table_name, key in self._lazy_reads:
+                self.db.read(txn, table_name, key)
+            self.db.commit(txn)
 
         mutations = list(self._mutations)
         l_active = True

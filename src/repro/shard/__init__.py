@@ -16,7 +16,10 @@ synchronization strategies untouched:
 * :class:`~repro.shard.coordinator.ShardCoordinator` -- per-shard
   Section 3.3 convergence analysis, the all-shards-under-threshold latch
   condition, and the single merge barrier that hands one aligned cursor
-  to the unchanged synchronization executors.
+  to the unchanged synchronization executors;
+* :class:`~repro.shard.sweeper.LazySweeper` -- per-shard high-water
+  cursors and chunked draining of not-yet-migrated rows for the lazy
+  (migrate-on-read) population mode.
 
 Entry point: construct any :class:`~repro.transform.base.Transformation`
 with ``shards=N``.  ``shards=1`` (the default) never touches this
@@ -27,8 +30,10 @@ from repro.shard.coordinator import ShardCoordinator
 from repro.shard.planner import ShardPlanner, stable_shard_hash
 from repro.shard.populator import ShardedPopulator
 from repro.shard.propagator import ShardPropagator
+from repro.shard.sweeper import LazySweeper
 
 __all__ = [
+    "LazySweeper",
     "ShardCoordinator",
     "ShardPlanner",
     "ShardPropagator",

@@ -113,6 +113,23 @@ class ShardCoordinator:
         self.populators[table.name] = populator
         return populator
 
+    def make_sweeper(self, table: "Table"):
+        """Build (and remember) the lazy-mode sweeper for one source.
+
+        Shares the coordinator's shard map, so access-triggered claims
+        and the sweeper's per-shard high-water cursors partition the key
+        space exactly like eager sharded population would.  Stored in
+        ``populators`` -- it exposes the same ``rows_per_shard`` surface
+        the per-shard summaries read.
+        """
+        from repro.shard.sweeper import LazySweeper
+        self.tf.faults.fire(SITE_SHARD_PLAN, table=table.name,
+                            shards=self.n_shards)
+        sweeper = LazySweeper(table, self.tf.population_chunk,
+                              self.planner, faults=self.tf.faults)
+        self.populators[table.name] = sweeper
+        return sweeper
+
     def begin_propagation(self, start_lsn: int) -> None:
         """Create the per-shard propagators, all starting at one LSN."""
         self.propagators = [
@@ -139,12 +156,13 @@ class ShardCoordinator:
         )
         tf = self.tf
         tf.faults.fire(SITE_TF_POPULATE_CHUNK, transform=tf.transform_id)
-        units, finished = tf._population_step(budget * self.n_shards)
+        units, finished = tf._population_dispatch(budget * self.n_shards)
         tf.stats["population_units"] += units
         tf.metrics.inc("tf.units." + Phase.POPULATING.value, units)
         parallel = math.ceil(units / self.n_shards)
         if finished:
             tf.faults.fire(SITE_TF_POPULATE_DONE, transform=tf.transform_id)
+            tf._uninstall_lazy_hook()
             tf.db.log.append(FuzzyMarkRecord(
                 transform_id=tf.transform_id, phase="cycle"))
             tf.phase = Phase.PROPAGATING

@@ -67,19 +67,33 @@ class ShardedPopulator:
 
     def next_chunk(self, limit: Optional[int] = None) -> List[Row]:
         """Snapshot the next chunk, taken from the next non-empty shard
-        in round-robin order; empty list once every shard is exhausted."""
-        for _ in range(self.planner.n_shards):
-            shard = self._next_shard
-            self._next_shard = (shard + 1) % self.planner.n_shards
-            scan = self.shard_scans[shard]
-            if scan.exhausted:
-                continue
-            self.faults.fire(SITE_SHARD_POPULATE_CHUNK, shard=shard,
-                             table=self.table.name)
-            chunk = scan.next_chunk(limit)
-            self.rows_per_shard[shard] += len(chunk)
-            if chunk:
-                return chunk
+        in round-robin order; empty list once every shard is exhausted.
+
+        A shard whose next chunk holds only dead rowids yields an empty
+        chunk without being exhausted yet; the facade keeps draining --
+        an empty return here means *true* exhaustion (or ``limit <= 0``),
+        never a transient gap, so callers may treat it as end-of-scan.
+        """
+        if limit is not None and int(limit) <= 0:
+            return []
+        while not self.exhausted:
+            progressed = False
+            for _ in range(self.planner.n_shards):
+                shard = self._next_shard
+                self._next_shard = (shard + 1) % self.planner.n_shards
+                scan = self.shard_scans[shard]
+                if scan.exhausted:
+                    continue
+                self.faults.fire(SITE_SHARD_POPULATE_CHUNK, shard=shard,
+                                 table=self.table.name)
+                before = scan.remaining
+                chunk = scan.next_chunk(limit)
+                self.rows_per_shard[shard] += len(chunk)
+                progressed = progressed or scan.remaining < before
+                if chunk:
+                    return chunk
+            if not progressed:
+                break
         return []
 
     def __iter__(self):

@@ -29,7 +29,9 @@ from repro.transform.base import (
     proxy_owner,
 )
 from repro.transform.consistency import ConsistencyChecker
+from repro.transform.lazy import LazyMigrator
 from repro.transform.options import (
+    POPULATION_MODES,
     SYNC_STRATEGIES,
     TransformOptions,
     resolve_sync_strategy,
@@ -168,6 +170,7 @@ __all__ = [
     "FojRuleEngine",
     "FojTransformation",
     "IterationReport",
+    "LazyMigrator",
     "LockMirror",
     "Many2ManyFojRuleEngine",
     "Many2ManyFojTransformation",
@@ -178,6 +181,7 @@ __all__ = [
     "PartitionRuleEngine",
     "PartitionSpec",
     "PartitionTransformation",
+    "POPULATION_MODES",
     "Phase",
     "PropagatedLockTable",
     "PropagationPolicy",

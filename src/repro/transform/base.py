@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import (
     TransformationAbortedError,
+    TransformationError,
     TransformationStarvedError,
     TransformationStateError,
 )
@@ -205,6 +206,11 @@ class RuleEngine:
     #: :class:`repro.transform.split.SplitRuleEngine`).
     marker_classes: Optional[Tuple[type, ...]] = None
 
+    #: Whether the engine implements :meth:`migrate_row` -- the
+    #: per-record population path lazy mode needs.  Engines without it
+    #: reject ``population_mode="lazy"`` at population begin.
+    supports_lazy: bool = False
+
     def apply(self, change: LogRecord,
               lsn: int) -> List[Tuple[Table, Tuple]]:
         """Apply one data-change record; returns touched target records.
@@ -259,6 +265,28 @@ class RuleEngine:
         matches the base ``handle_marker`` (a no-op): ignore everything.
         """
         return "ignore"
+
+    def migrate_row(self, table_name: str, values: Dict[str, object],
+                    lsn: int = NULL_LSN) -> List[Tuple[Table, Tuple]]:
+        """Transform one source row (its current snapshot) into the target.
+
+        The per-record population path of lazy mode: called once per
+        source rowid, by the miss hook or the background sweeper, with
+        the row's current values and LSN.  Must be idempotent and built
+        from the same state-driven / LSN-guarded primitives as the
+        propagation rules, so later log replay converges the result
+        exactly as it does for an eager fuzzy-scan image.
+        """
+        raise NotImplementedError
+
+    def migration_partners(self, table_name: str,
+                           values: Dict[str, object]
+                           ) -> List[Tuple[str, Tuple]]:
+        """Join partners to migrate together with a just-missed record.
+
+        Returns ``(source_table, key)`` pairs; default: none.
+        """
+        return []
 
     def targets_of_source_lock(self, table_name: str,
                                key: Tuple) -> List[Tuple[Table, Tuple]]:
@@ -349,6 +377,9 @@ class Transformation:
         #: original record-at-a-time loop.
         self.propagation_batch = int(self.options.propagation_batch)
         self.shards = int(self.options.shards)
+        #: ``"eager"`` (fuzzy snapshot scan) or ``"lazy"``
+        #: (migrate-on-read + budgeted background sweeper).
+        self.population_mode = str(self.options.population_mode)
         if self.options.metrics is not None:
             db.attach_metrics(self.options.metrics)
         if self.options.faults is not None:
@@ -398,6 +429,8 @@ class Transformation:
         self._sync_executor = None       # set when synchronization starts
         self._old_txn_ids: Set[int] = set()
         self._stalled = False
+        #: The access hook installed for lazy population, while installed.
+        self._lazy_hook = None
         #: Proxy owners whose materialized locks abort() must release even
         #: after the owning end record was propagated mid-crash.
         self._proxied_txn_ids: Set[int] = set()
@@ -405,6 +438,7 @@ class Transformation:
         self.stats: Dict[str, int] = {
             "population_units": 0, "propagated_records": 0,
             "iterations": 0, "sync_latch_units": 0,
+            "lazy_miss_migrations": 0, "lazy_sweep_rows": 0,
         }
 
     @property
@@ -427,6 +461,7 @@ class Transformation:
         self.population_chunk = int(options.population_chunk)
         self.propagation_batch = int(options.propagation_batch)
         self.shards = int(options.shards)
+        self.population_mode = str(options.population_mode)
         if options.transform_id:
             self.transform_id = options.transform_id
             self.convergence = ConvergenceMonitor(self.metrics,
@@ -561,6 +596,13 @@ class Transformation:
     # ------------------------------------------------------------------
 
     def _begin_population(self) -> None:
+        lazy = self.population_mode == "lazy"
+        if lazy and not (self.engine is not None
+                         and self.engine.supports_lazy):
+            raise TransformationError(
+                f"{self.transform_id}: population_mode='lazy' requires an "
+                f"engine with per-record migration (supports_lazy); "
+                f"{type(self.engine).__name__} is eager-only")
         self.faults.fire(SITE_TF_POPULATE_BEGIN, transform=self.transform_id)
         active = sorted(
             t.txn_id for t in self.db.txns.active_on(self.source_tables))
@@ -575,20 +617,102 @@ class Transformation:
             self._coordinator = ShardCoordinator(self, self.shards)
         for name in self.source_tables:
             table = self.db.catalog.get(name)
-            if self._coordinator is not None:
+            if lazy:
+                self._scans[name] = self._make_sweeper(table)
+            elif self._coordinator is not None:
                 self._scans[name] = self._coordinator.make_populator(table)
             else:
                 self._scans[name] = FuzzyScan(table, self.population_chunk)
+        if lazy:
+            self._install_lazy_hook()
         self.phase = Phase.POPULATING
+
+    def _make_sweeper(self, table: Table):
+        """Build the lazy-mode sweeper for one source table."""
+        from repro.shard import LazySweeper, ShardPlanner
+        if self._coordinator is not None:
+            return self._coordinator.make_sweeper(table)
+        return LazySweeper(table, self.population_chunk,
+                           ShardPlanner(1), faults=self.faults)
+
+    def _install_lazy_hook(self) -> None:
+        from repro.transform.lazy import LazyMigrator
+        self._lazy_hook = LazyMigrator(self)
+        self.db.access_hooks.append(self._lazy_hook)
+
+    def _uninstall_lazy_hook(self) -> None:
+        """Remove the migrate-on-read hook (population done, or abort)."""
+        if self._lazy_hook is None:
+            return
+        try:
+            self.db.access_hooks.remove(self._lazy_hook)
+        except ValueError:
+            pass
+        self._lazy_hook = None
 
     def _source_scan(self, name: str) -> FuzzyScan:
         """The fuzzy scan of one source table (for subclasses).
 
         Under sharded execution this is a
         :class:`~repro.shard.populator.ShardedPopulator` -- same chunked
-        interface, rows interleaved across the per-shard scans.
+        interface, rows interleaved across the per-shard scans.  Under
+        lazy population it is a
+        :class:`~repro.shard.sweeper.LazySweeper`.
         """
         return self._scans[name]
+
+    def _population_dispatch(self, budget: int) -> Tuple[int, bool]:
+        """One population step, routed by population mode.
+
+        Called by the step driver and by the shard coordinator; returns
+        ``(units, finished)`` like :meth:`_population_step`.
+        """
+        if self.population_mode == "lazy":
+            return self._lazy_population_step(budget)
+        return self._population_step(budget)
+
+    def _lazy_population_step(self, budget: int) -> Tuple[int, bool]:
+        """Background-sweeper drain: migrate up to ``budget`` unmigrated
+        rows through the engine's per-record path.
+
+        The same ``step`` budget that throttles eager population
+        throttles the sweeper, so supervisor priority escalation applies
+        unchanged.  Finished when every sweeper's per-shard cursors have
+        met the end of their key lists (access-triggered migrations are
+        ``claim``-ed and skipped by the cursors, never double-applied).
+        """
+        units = 0
+        for name in self.source_tables:
+            sweeper = self._scans[name]
+            while units < budget:
+                chunk = sweeper.next_chunk(budget - units)
+                if not chunk:
+                    break
+                for row in chunk:
+                    self._migrate_row(name, row)
+                units += len(chunk)
+                self.stats["lazy_sweep_rows"] += len(chunk)
+        finished = all(self._scans[name].exhausted
+                       for name in self.source_tables)
+        return units, finished
+
+    def _migrate_row(self, table_name: str, row, on_miss: bool = False
+                     ) -> None:
+        """Migrate one source-row snapshot through the engine.
+
+        Shared by the sweeper loop and the access-miss hook.  The
+        engine's :meth:`RuleEngine.migrate_row` is idempotent and built
+        from the propagation rules' primitives, so replaying the log
+        tail over an already-migrated row converges exactly as it does
+        over an eager fuzzy-scan image.
+        """
+        assert self.engine is not None
+        self.engine.migrate_row(table_name, dict(row.values), row.lsn)
+        if on_miss:
+            self.stats["lazy_miss_migrations"] += 1
+            self.metrics.inc("tf.lazy.miss")
+        else:
+            self.metrics.inc("tf.lazy.swept")
 
     # ------------------------------------------------------------------
     # Phase 3: log propagation
@@ -843,12 +967,13 @@ class Transformation:
                 return self._coordinator.population_step(budget)
             self.faults.fire(SITE_TF_POPULATE_CHUNK,
                              transform=self.transform_id)
-            units, finished = self._population_step(budget)
+            units, finished = self._population_dispatch(budget)
             self.stats["population_units"] += units
             self.metrics.inc("tf.units." + Phase.POPULATING.value, units)
             if finished:
                 self.faults.fire(SITE_TF_POPULATE_DONE,
                                  transform=self.transform_id)
+                self._uninstall_lazy_hook()
                 self.db.log.append(FuzzyMarkRecord(
                     transform_id=self.transform_id, phase="cycle"))
                 self.phase = Phase.PROPAGATING
@@ -1010,6 +1135,7 @@ class Transformation:
             return
         self.faults.fire(SITE_TF_ABORT, transform=self.transform_id,
                          phase=self.phase.value)
+        self._uninstall_lazy_hook()
         if self._sync_executor is not None:
             self._sync_executor.cleanup()
         for name, table in list(self.targets.items()):

@@ -33,6 +33,7 @@ from repro.storage.row import Row
 from repro.storage.table import Table
 from repro.transform.base import RuleEngine, Transformation
 from repro.wal.records import (
+    NULL_LSN,
     DeleteRecord,
     InsertRecord,
     LogRecord,
@@ -450,6 +451,76 @@ class FojRuleEngine(RuleEngine):
             if s_changes:
                 self.t.update_rowid(row.rowid, s_changes)
             self._touch(touched, row)
+
+    # -- lazy population (migrate-on-read) -----------------------------------
+
+    supports_lazy = True
+
+    def migrate_row(self, table_name: str, values: Dict[str, object],
+                    lsn: int = NULL_LSN) -> List[Tuple[Table, Tuple]]:
+        """Migrate one source-row snapshot into T (lazy population).
+
+        Reuses the state-driven tails of Rules 1 and 2, so a migrated
+        record is indistinguishable from one the eager fuzzy scan would
+        have produced: later log replay over it converges identically
+        (Theorem 1).  The ``lsn`` is ignored like everywhere else in the
+        FOJ rules -- a joined row has no single valid state identifier.
+        """
+        touched: List[Tuple[Table, Tuple]] = []
+        spec = self.spec
+        if table_name == spec.r_name:
+            key = tuple(values.get(a) for a in spec.r_key)
+            if self.t.get(key) is not None:
+                return touched  # already migrated or replayed
+            self._attach_r_part(spec.r_part(values),
+                                values.get(spec.join_attr_r), touched)
+        elif table_name == spec.s_name:
+            join_value = values.get(spec.join_attr_s)
+            s_part = spec.s_part(values)
+            if join_value is None:
+                # Pre-existing NULL-join S rows join with rnull, exactly
+                # as the eager scan's leftover pass inserts them (Rule 2
+                # itself rejects NULL joins for *live* inserts).
+                row = spec.null_r_part()
+                row[spec.join_column] = None
+                row.update(s_part)
+                self._touch(touched, self._insert_t(row, True, False))
+                return touched
+            # Rule 2's state-driven tail: fill every snull carrier of the
+            # join value; insert t^null_x when nothing carries it.  An
+            # already-attached S part leaves both branches idle.
+            rows = self._rows_with_join(join_value)
+            for row in rows:
+                if row.meta.get("s_null"):
+                    self.t.update_rowid(row.rowid, s_part)
+                    row.meta["s_null"] = False
+                    self._touch(touched, row)
+            if not rows:
+                t_values = spec.null_r_part()
+                t_values[spec.join_column] = join_value
+                t_values.update(s_part)
+                self._touch(touched, self._insert_t(t_values, True, False))
+        return touched
+
+    def migration_partners(self, table_name: str,
+                           values: Dict[str, object]
+                           ) -> List[Tuple[str, Tuple]]:
+        """The S record joined with a just-missed R record.
+
+        Only resolvable when S is identified by its join attribute (the
+        common case); otherwise the sweeper or log propagation converges
+        the S side and the R record meanwhile reads as joined-with-snull,
+        a legal intermediate the eager scan produces too.
+        """
+        spec = self.spec
+        if table_name != spec.r_name:
+            return []
+        if tuple(spec.s_key) != (spec.join_column,):
+            return []  # S's key in T is not the join column itself
+        join_value = values.get(spec.join_attr_r)
+        if join_value is None:
+            return []
+        return [(spec.s_name, (join_value,))]
 
     # -- lock mapping (synchronization support) ------------------------------------
 

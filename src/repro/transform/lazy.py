@@ -1,0 +1,81 @@
+"""Access-triggered (migrate-on-read) population support.
+
+With ``TransformOptions(population_mode="lazy")`` the transformed table
+starts empty and two producers fill it:
+
+* the **miss hook** below, installed on the database's
+  ``access_hooks`` list for the duration of the POPULATING phase: a user
+  read or update of a source record whose rowid is not yet migrated
+  transforms exactly that record (and its join partners) through the
+  operator's idempotent rule engine, inside the accessing transaction;
+* the **background sweeper** (:class:`~repro.shard.sweeper.LazySweeper`),
+  driven by the ordinary step budget, which drains everything nobody
+  touches until the per-shard high-water cursors meet the end of the
+  key space.
+
+Correctness rests on the same argument as the paper's fuzzy scan: each
+migrated record is a snapshot of the row's *current* state, i.e. the
+same or a newer state than any log record propagation will later replay,
+so the state-driven FOJ rules (Theorem 1) and the LSN-guarded split
+rules converge to the identical result regardless of population order.
+Lazy population is an access-ordered fuzzy scan stretched over time.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.faults import register_site
+
+SITE_LAZY_MISS = register_site(
+    "lazy.miss.transform", "lazy",
+    "a user read/update touched a source record not yet migrated; "
+    "before the record is transformed just in time")
+
+
+class LazyMigrator:
+    """The miss hook: migrates a source record on first user access.
+
+    Registered in ``Database.access_hooks`` while the owning
+    transformation is POPULATING; :meth:`on_access` runs synchronously
+    inside the accessing transaction, right after the record lock is
+    granted (so the snapshot it migrates is stable for the duration).
+    """
+
+    def __init__(self, tf) -> None:
+        self.tf = tf
+
+    def on_access(self, db, txn, table_name: str, key: Tuple) -> None:
+        from repro.transform.base import Phase
+        tf = self.tf
+        if tf.phase is not Phase.POPULATING:
+            return
+        if table_name not in tf.source_tables:
+            return
+        self._migrate_key(db, table_name, tuple(key))
+
+    def _migrate_key(self, db, table_name: str, key: Tuple) -> None:
+        tf = self.tf
+        sweeper = tf._scans.get(table_name)
+        if sweeper is None or not hasattr(sweeper, "claim"):
+            return
+        table = db.catalog.get(table_name)
+        row = table.get(key)
+        if row is None:
+            return  # nothing to migrate; an insert will propagate later
+        if not sweeper.claim(row.rowid):
+            return  # already migrated (swept or missed earlier)
+        try:
+            tf.faults.fire(SITE_LAZY_MISS, transform=tf.transform_id,
+                           table=table_name)
+            tf._migrate_row(table_name, row.snapshot(), on_miss=True)
+        except BaseException:
+            # Leave the rowid unclaimed so the sweeper still migrates it.
+            sweeper._claimed.discard(row.rowid)
+            raise
+        # Pull the record's join partners across too, so the accessing
+        # transaction finds a complete target-side image.
+        engine = tf.engine
+        for partner_table, partner_key in \
+                engine.migration_partners(table_name, dict(row.values)):
+            self._migrate_key(db, partner_table, tuple(partner_key))

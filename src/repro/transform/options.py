@@ -44,6 +44,13 @@ SYNC_STRATEGIES = {member.value: member for member in SyncStrategy}
 #: the original record-at-a-time loop.
 DEFAULT_PROPAGATION_BATCH = 32
 
+#: Initial-population modes: ``"eager"`` is the paper's fuzzy snapshot
+#: scan (Section 3.2); ``"lazy"`` starts the target empty and migrates
+#: each record on first access (read/update miss) while a budgeted
+#: background sweeper drains the remainder -- the SLSM-style
+#: migrate-on-read variant (see docs/paper_mapping.md).
+POPULATION_MODES = ("eager", "lazy")
+
 
 def resolve_sync_strategy(
         sync: Union[SyncStrategy, str]) -> SyncStrategy:
@@ -90,6 +97,10 @@ class TransformOptions:
             ``None`` selects the default remaining-records policy.
         transform_id: Stable identifier used in fuzzy marks and latches;
             generated when ``None``.
+        population_mode: ``"eager"`` (the paper's fuzzy snapshot scan) or
+            ``"lazy"`` (access-triggered migrate-on-read with a budgeted
+            background sweeper; row-identical to eager, only the
+            population *order* differs).
     """
 
     sync: Union[SyncStrategy, str] = SyncStrategy.NONBLOCKING_ABORT
@@ -102,6 +113,7 @@ class TransformOptions:
     faults: Optional[FaultInjector] = None
     policy: Optional[PropagationPolicy] = None
     transform_id: Optional[str] = None
+    population_mode: str = "eager"
 
     def __post_init__(self) -> None:
         # Validate eagerly so a bad option surfaces at construction, not
@@ -126,6 +138,10 @@ class TransformOptions:
             raise TypeError(
                 f"flush_policy must be a FlushPolicy, "
                 f"got {type(self.flush_policy).__name__}")
+        if self.population_mode not in POPULATION_MODES:
+            raise ValueError(
+                f"unknown population_mode {self.population_mode!r}; "
+                f"available: {list(POPULATION_MODES)}")
 
     @property
     def sync_strategy(self) -> SyncStrategy:

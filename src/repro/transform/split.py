@@ -42,6 +42,7 @@ from repro.storage.row import Row
 from repro.storage.table import Table
 from repro.transform.base import RuleEngine, Transformation
 from repro.wal.records import (
+    NULL_LSN,
     CCBeginRecord,
     CCOkRecord,
     DeleteRecord,
@@ -388,6 +389,27 @@ class SplitRuleEngine(RuleEngine):
              if row.meta.get("flag") == FLAG_UNKNOWN),
             key=repr,
         )
+
+    # -- lazy population (migrate-on-read) -----------------------------------
+
+    supports_lazy = True
+
+    def migrate_row(self, table_name: str, values: Dict[str, object],
+                    lsn: int = NULL_LSN) -> List[Tuple[Table, Tuple]]:
+        """Migrate one source-row snapshot into R and S (lazy population).
+
+        Delegates to :func:`upsert_split_row`, the same idempotent helper
+        eager population streams through: the R part is inserted once
+        (keyed on T's key), the S part merges via the duplicate counter
+        and the consistency flag, and both sides are stamped with the
+        row's LSN so Rules 8-11 later guard replay exactly as they do
+        over an eager fuzzy-scan image.
+        """
+        if table_name != self.spec.source_name:
+            return []
+        key = tuple(values.get(a) for a in self.spec.r_key)
+        upsert_split_row(self.r, self.s, self.spec, dict(values), lsn)
+        return [(self.r, key)]
 
     # -- lock mapping (synchronization support) ------------------------------------------
 

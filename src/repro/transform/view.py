@@ -31,7 +31,7 @@ from repro.transform.base import Phase, Transformation
 from repro.transform.foj import FojRuleEngine, create_foj_target
 from repro.transform.foj import FojTransformation
 from repro.transform.sync import _SyncExecutor
-from repro.wal.records import TransformSwapRecord
+from repro.wal.records import TransformRetireRecord, TransformSwapRecord
 
 
 class PublishKeepSync(_SyncExecutor):
@@ -135,7 +135,18 @@ class MaterializedFojView(FojTransformation):
         raise TransformationStateError("refresh did not converge")
 
     def drop(self) -> None:
-        """Drop the view and stop maintaining it."""
+        """Drop the view and stop maintaining it.
+
+        A published view has a :class:`TransformSwapRecord` in the log;
+        dropping only the table would let restart recovery resurrect the
+        view (rebuild it, install a live rule engine) before replaying the
+        drop -- and post-drop source changes that are legal without the
+        view would then crash the redo pass.  Retiring the transform id
+        makes recovery skip the swap record entirely.
+        """
+        if self.published:
+            self.db.log.append(TransformRetireRecord(
+                transform_id=self.transform_id))
         if self.db.catalog.exists(self.spec.target_name):
             self.db.drop_table(self.spec.target_name)
         self.phase = Phase.ABORTED

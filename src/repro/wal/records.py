@@ -310,6 +310,24 @@ class TransformSwapRecord(LogRecord):
 
 
 @dataclass
+class TransformRetireRecord(LogRecord):
+    """A published transformation artefact was retired (dropped).
+
+    Written when a published derived table -- e.g. a materialized view --
+    is dropped while its earlier :class:`TransformSwapRecord` is still in
+    the log.  Restart recovery collects retired transform ids up front and
+    *skips* the matching swap records entirely: no rebuild, no resurrected
+    rule engine fed post-drop source changes the live system legitimately
+    accepted once the artefact was gone.
+
+    Attributes:
+        transform_id: Identifier of the retired transformation.
+    """
+
+    transform_id: str = ""
+
+
+@dataclass
 class CheckpointRecord(LogRecord):
     """Fuzzy checkpoint: snapshot of the active-transaction table.
 

@@ -24,7 +24,8 @@ API_SURFACE = sorted([
     "FixedIterationsPolicy", "FojTransformation",
     "Many2ManyFojTransformation", "MaterializedFojView", "MergeSpec",
     "MergeTransformation", "PartitionSpec", "PartitionTransformation",
-    "Phase", "RemainingRecordsPolicy", "SplitTransformation",
+    "Phase", "POPULATION_MODES", "RemainingRecordsPolicy",
+    "SplitTransformation",
     "SYNC_STRATEGIES", "SyncStrategy", "TransformOptions",
     "TransformationSupervisor", "add_attribute", "remove_attribute",
     "rename_attribute", "resolve_sync_strategy",

@@ -39,6 +39,19 @@ def test_scan_limit_parameter_caps_chunk():
     assert scan.remaining == 0
 
 
+def test_scan_nonpositive_limit_returns_empty_without_advancing():
+    """Regression: ``next_chunk(0)`` used to hand back a chunk anyway;
+    a non-positive limit must be a no-op so budget-exhausted callers can
+    probe without consuming rows."""
+    db = make_db(5)
+    scan = FuzzyScan(db.table("t"), chunk_size=3)
+    assert scan.next_chunk(0) == []
+    assert scan.next_chunk(-2) == []
+    assert scan.remaining == 5
+    assert not scan.exhausted
+    assert [r.values["id"] for r in scan.next_chunk()] == [0, 1, 2]
+
+
 def test_scan_misses_rows_inserted_after_start():
     db = make_db(5)
     scan = FuzzyScan(db.table("t"), chunk_size=2)

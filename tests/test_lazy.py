@@ -1,0 +1,434 @@
+"""Tests for lazy (migrate-on-read) population.
+
+``TransformOptions(population_mode="lazy")`` starts the transformed
+table empty: a user read/update of a not-yet-migrated source record
+triggers just-in-time transformation of exactly that record (plus its
+join partners), while the budgeted :class:`~repro.shard.LazySweeper`
+drains everything nobody touches.  The central property mirrors the
+eager suite's: for ANY interleaved history -- now including reads that
+fire the miss hook mid-population -- lazy converges to the identical
+target as eager population.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Database,
+    FojSpec,
+    FojTransformation,
+    Phase,
+    Session,
+    SplitSpec,
+    SplitTransformation,
+    TableSchema,
+    TransformOptions,
+)
+from repro.common.errors import (
+    DuplicateKeyError,
+    NoSuchRowError,
+    TransformationError,
+)
+from repro.relational import full_outer_join, rows_equal, split
+from repro.shard import LazySweeper, ShardPlanner
+from repro.transform.options import POPULATION_MODES
+
+from tests.conftest import (
+    foj_spec,
+    load_foj_data,
+    split_spec,
+    table_counters,
+    values_of,
+)
+from tests.test_property import apply_foj_op, build_foj_db
+
+
+def _read(db, table_name, key):
+    """One committed read transaction (the miss-hook trigger)."""
+    txn = db.begin()
+    try:
+        db.read(txn, table_name, key)
+    finally:
+        db.commit(txn)
+
+
+# ---------------------------------------------------------------------------
+# Options plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_population_mode_registry_and_validation():
+    assert POPULATION_MODES == ("eager", "lazy")
+    assert TransformOptions().population_mode == "eager"
+    assert TransformOptions(population_mode="lazy").population_mode == "lazy"
+    with pytest.raises(ValueError):
+        TransformOptions(population_mode="sideways")
+    with pytest.raises(ValueError):
+        TransformOptions().evolve(population_mode="")
+
+
+def test_lazy_rejects_engines_without_per_record_migration():
+    """Operators whose engines cannot migrate single records (the
+    many-to-many join) must refuse lazy mode up front, not mid-flight."""
+    from repro import Many2ManyFojTransformation
+    db = Database()
+    db.create_table(TableSchema("R", ["a", "b", "c"], primary_key=["a"]))
+    db.create_table(TableSchema("S", ["k", "c", "d"], primary_key=["k"]))
+    with Session(db) as s:
+        for i in range(6):
+            s.insert("R", {"a": i, "b": i, "c": i % 3})
+            s.insert("S", {"k": i, "c": i % 3, "d": f"d{i}"})
+    spec = FojSpec.derive(db.table("R").schema, db.table("S").schema,
+                          "T", "c", "c", many_to_many=True)
+    tf = Many2ManyFojTransformation(
+        db, spec, options=TransformOptions(population_mode="lazy"))
+    with pytest.raises(TransformationError, match="supports_lazy"):
+        tf.run()
+
+
+# ---------------------------------------------------------------------------
+# LazySweeper unit behaviour
+# ---------------------------------------------------------------------------
+
+
+def _sweeper_db(n=10):
+    db = Database()
+    db.create_table(TableSchema("t", ["id", "x"], primary_key=["id"]))
+    with Session(db) as s:
+        for i in range(n):
+            s.insert("t", {"id": i, "x": i})
+    return db
+
+
+def test_sweeper_drains_every_row_exactly_once():
+    db = _sweeper_db(10)
+    sweeper = LazySweeper(db.table("t"), 3, ShardPlanner(3))
+    seen = []
+    while not sweeper.exhausted:
+        seen.extend(sweeper.next_chunk())
+    assert sorted(r.values["id"] for r in seen) == list(range(10))
+    assert sum(sweeper.rows_per_shard) == 10
+    assert sweeper.next_chunk() == []
+    assert sweeper.remaining == 0
+
+
+def test_sweeper_claimed_rows_are_skipped():
+    db = _sweeper_db(6)
+    sweeper = LazySweeper(db.table("t"), 2, ShardPlanner(1))
+    claimed_rowid = db.table("t").get((4,)).rowid
+    assert sweeper.claim(claimed_rowid) is True
+    assert sweeper.claim(claimed_rowid) is False  # second claim is a no-op
+    assert sweeper.miss_claims == 1
+    seen = [r.values["id"] for c in sweeper for r in c]
+    assert sorted(seen) == [0, 1, 2, 3, 5]  # 4 migrated out of band
+
+
+def test_sweeper_claim_accepts_unknown_rowids():
+    """Rows inserted after population began are not in the shard map but
+    must still be claimable by the miss hook."""
+    db = _sweeper_db(3)
+    sweeper = LazySweeper(db.table("t"), 2, ShardPlanner(2))
+    assert sweeper.claim(99_999) is True
+    seen = [r.values["id"] for c in sweeper for r in c]
+    assert sorted(seen) == [0, 1, 2]
+
+
+def test_sweeper_nonpositive_limit_returns_empty_without_advancing():
+    db = _sweeper_db(5)
+    sweeper = LazySweeper(db.table("t"), 3, ShardPlanner(2))
+    before = sweeper.shard_cursors()
+    assert sweeper.next_chunk(0) == []
+    assert sweeper.next_chunk(-7) == []
+    assert sweeper.shard_cursors() == before
+    assert sweeper.remaining == 5
+
+
+def test_sweeper_skips_rows_deleted_after_planning():
+    db = _sweeper_db(8)
+    sweeper = LazySweeper(db.table("t"), 3, ShardPlanner(2))
+    with Session(db) as s:
+        s.delete("t", (2,))
+        s.delete("t", (6,))
+    seen = [r.values["id"] for c in sweeper for r in c]
+    assert sorted(seen) == [0, 1, 3, 4, 5, 7]
+    assert sweeper.exhausted
+
+
+def test_sweeper_never_yields_an_empty_chunk_mid_scan():
+    """An empty ``next_chunk`` means true exhaustion, even when whole
+    shards were emptied by claims -- the drain loop must not surface
+    transient gaps (the populator regression, satellite 2's contract)."""
+    db = _sweeper_db(12)
+    sweeper = LazySweeper(db.table("t"), 2, ShardPlanner(3))
+    table = db.table("t")
+    for i in range(0, 12, 2):
+        sweeper.claim(table.get((i,)).rowid)
+    while True:
+        chunk = sweeper.next_chunk()
+        if not chunk:
+            assert sweeper.exhausted
+            break
+    assert sweeper.remaining == 0
+
+
+def test_sweeper_rejects_bad_chunk_size():
+    db = _sweeper_db(1)
+    with pytest.raises(ValueError):
+        LazySweeper(db.table("t"), 0, ShardPlanner(1))
+
+
+# ---------------------------------------------------------------------------
+# Miss hook wiring
+# ---------------------------------------------------------------------------
+
+
+def _step_into_populating(tf):
+    while tf.phase is not Phase.POPULATING:
+        tf.step(1)
+
+
+def test_lazy_read_migrates_the_record_just_in_time(foj_db):
+    load_foj_data(foj_db, n_r=30, n_s=6)
+    spec = foj_spec(foj_db)
+    tf = FojTransformation(
+        foj_db, spec,
+        options=TransformOptions(population_chunk=2,
+                                 population_mode="lazy"))
+    _step_into_populating(tf)
+    assert len(foj_db.access_hooks) == 1
+    # The last-inserted R row is far past the sweeper's cursor.
+    _read(foj_db, "R", (29,))
+    assert tf.stats["lazy_miss_migrations"] >= 1
+    target = tf.targets[spec.target_name]
+    migrated = [r.values for r in target.scan() if r.values["a"] == 29]
+    assert migrated, "accessed record must be in the target pre-sync"
+    r_rows, s_rows = values_of(foj_db, "R"), values_of(foj_db, "S")
+    tf.run()
+    assert foj_db.access_hooks == []  # hook removed once population ends
+    assert rows_equal(values_of(foj_db, "T"),
+                      full_outer_join(spec, r_rows, s_rows))
+
+
+def test_lazy_miss_is_idempotent_per_record(foj_db):
+    load_foj_data(foj_db, n_r=20, n_s=5)
+    tf = FojTransformation(
+        foj_db, foj_spec(foj_db),
+        options=TransformOptions(population_chunk=2,
+                                 population_mode="lazy"))
+    _step_into_populating(tf)
+    _read(foj_db, "R", (19,))
+    # The row plus (at most) its S join partner were migrated.
+    first = tf.stats["lazy_miss_migrations"]
+    assert 1 <= first <= 2
+    for _ in range(3):
+        _read(foj_db, "R", (19,))
+    assert tf.stats["lazy_miss_migrations"] == first  # re-reads are no-ops
+    tf.run()
+
+
+def test_lazy_update_also_triggers_migration(foj_db):
+    load_foj_data(foj_db, n_r=25, n_s=5)
+    spec = foj_spec(foj_db)
+    tf = FojTransformation(
+        foj_db, spec,
+        options=TransformOptions(population_chunk=2,
+                                 population_mode="lazy"))
+    _step_into_populating(tf)
+    with Session(foj_db) as s:
+        s.update("R", (24,), {"b": "touched"})
+    assert tf.stats["lazy_miss_migrations"] >= 1
+    tf.run()
+    row = next(r for r in values_of(foj_db, "T") if r["a"] == 24)
+    assert row["b"] == "touched"
+
+
+def test_lazy_hook_removed_on_abort(foj_db):
+    load_foj_data(foj_db, n_r=10, n_s=4)
+    tf = FojTransformation(
+        foj_db, foj_spec(foj_db),
+        options=TransformOptions(population_chunk=2,
+                                 population_mode="lazy"))
+    _step_into_populating(tf)
+    assert len(foj_db.access_hooks) == 1
+    tf.abort()
+    assert foj_db.access_hooks == []
+    assert tf.phase is Phase.ABORTED
+
+
+def test_lazy_sweep_and_miss_stats_partition_the_table(foj_db):
+    """Every source row is migrated by exactly one producer: the counts
+    of swept and missed rows partition the scanned row set."""
+    load_foj_data(foj_db, n_r=20, n_s=5)
+    tf = FojTransformation(
+        foj_db, foj_spec(foj_db),
+        options=TransformOptions(population_chunk=2,
+                                 population_mode="lazy"))
+    _step_into_populating(tf)
+    for key in (15, 16, 17):
+        _read(foj_db, "R", (key,))
+    misses = tf.stats["lazy_miss_migrations"]
+    assert misses >= 3  # the 3 reads (+ any S join partners)
+    n_source_rows = len(values_of(foj_db, "R")) + len(values_of(foj_db, "S"))
+    tf.run()
+    total_misses = tf.stats["lazy_miss_migrations"]
+    assert tf.stats["lazy_sweep_rows"] + total_misses == n_source_rows
+
+
+def test_eager_mode_installs_no_hooks(foj_db):
+    load_foj_data(foj_db, n_r=10, n_s=4)
+    tf = FojTransformation(foj_db, foj_spec(foj_db),
+                           options=TransformOptions(population_chunk=2))
+    _step_into_populating(tf)
+    assert foj_db.access_hooks == []
+    tf.run()
+    assert tf.stats["lazy_miss_migrations"] == 0
+
+
+def test_lazy_split_read_migrates_row_and_counter(split_db):
+    from tests.conftest import load_split_data
+    load_split_data(split_db, n=30, n_zip=4)
+    spec = split_spec(split_db)
+    tf = SplitTransformation(
+        split_db, spec,
+        options=TransformOptions(population_chunk=2,
+                                 population_mode="lazy"))
+    _step_into_populating(tf)
+    _read(split_db, "T", (29,))
+    assert tf.stats["lazy_miss_migrations"] == 1
+    t_rows = values_of(split_db, "T")
+    tf.run()
+    r_rows, s_rows, counters, _ = split(spec, t_rows)
+    assert rows_equal(values_of(split_db, "T_r"), r_rows)
+    assert rows_equal(values_of(split_db, "postal"), s_rows)
+    assert table_counters(split_db, "postal") == counters
+
+
+# ---------------------------------------------------------------------------
+# Property: lazy == eager for any history (reads included)
+# ---------------------------------------------------------------------------
+
+lazy_foj_op = st.tuples(
+    st.sampled_from([
+        "ins_r", "del_r", "upd_r_join", "upd_r_other",
+        "ins_s", "del_s", "upd_s_other",
+        "abort_ins_r", "abort_upd_r",
+        "read_r", "read_s",
+    ]),
+    st.integers(0, 39),       # key selector
+    st.integers(0, 9),        # join value selector
+    st.integers(1, 24),       # transformation step budget
+)
+
+
+def _apply_lazy_foj_op(db, kind, key, join_value, counter):
+    if kind == "read_r":
+        _read(db, "R", (key % 14,))
+    elif kind == "read_s":
+        _read(db, "S", (join_value,))
+    else:
+        apply_foj_op(db, kind, key, join_value, counter)
+
+
+def _run_lazy_foj_pipeline(script, mode, shards):
+    db = build_foj_db(script)
+    spec = FojSpec.derive(db.table("R").schema, db.table("S").schema,
+                          "T", "c", "c")
+    tf = FojTransformation(
+        db, spec,
+        options=TransformOptions(population_chunk=3, shards=shards,
+                                 population_mode=mode))
+    for i, (kind, key, join_value, budget) in enumerate(script):
+        _apply_lazy_foj_op(db, kind, key, join_value, i)
+        if not tf.done and tf.phase is not Phase.SYNCHRONIZING:
+            tf.step(budget)
+    r_rows, s_rows = values_of(db, "R"), values_of(db, "S")
+    tf.run()
+    return values_of(db, "T"), full_outer_join(spec, r_rows, s_rows)
+
+
+@given(st.lists(lazy_foj_op, min_size=0, max_size=40),
+       st.sampled_from([1, 3]))
+@settings(max_examples=30, deadline=None)
+def test_lazy_foj_identical_to_eager(script, shards):
+    """Lazy population (misses + sweeper, any interleaving) produces
+    row-for-row the same FOJ target as the eager fuzzy scan."""
+    eager_rows, eager_oracle = _run_lazy_foj_pipeline(script, "eager",
+                                                      shards)
+    lazy_rows, lazy_oracle = _run_lazy_foj_pipeline(script, "lazy", shards)
+    assert rows_equal(eager_oracle, lazy_oracle)  # same final sources
+    assert rows_equal(lazy_rows, eager_rows)
+    assert rows_equal(lazy_rows, lazy_oracle)
+
+
+lazy_split_op = st.tuples(
+    st.sampled_from(["ins", "del", "move", "upd_name", "abort_move",
+                     "read"]),
+    st.integers(0, 39),
+    st.integers(0, 5),
+    st.integers(1, 24),
+)
+
+
+def _run_lazy_split_pipeline(script, mode, shards):
+    db = Database()
+    db.create_table(TableSchema("T", ["id", "name", "zip", "city"],
+                                primary_key=["id"]))
+    city = {z: f"C{z}" for z in range(6)}
+    with Session(db) as s:
+        for i in range(12):
+            z = i % 6
+            s.insert("T", {"id": i, "name": i, "zip": z, "city": city[z]})
+    spec = SplitSpec.derive(db.table("T").schema, "Tr", "Ts", "zip",
+                            s_attrs=["city"])
+    tf = SplitTransformation(
+        db, spec,
+        options=TransformOptions(population_chunk=3, shards=shards,
+                                 population_mode=mode))
+    for i, (kind, key, z, budget) in enumerate(script):
+        try:
+            if kind == "ins":
+                with Session(db) as s:
+                    s.insert("T", {"id": 100 + i, "name": i, "zip": z,
+                                   "city": city[z]})
+            elif kind == "del":
+                with Session(db) as s:
+                    s.delete("T", (key % 12,))
+            elif kind == "move":
+                with Session(db) as s:
+                    s.update("T", (key % 12,), {"zip": z, "city": city[z]})
+            elif kind == "upd_name":
+                with Session(db) as s:
+                    s.update("T", (key % 12,), {"name": f"n{i}"})
+            elif kind == "abort_move":
+                txn = db.begin()
+                try:
+                    db.update(txn, "T", (key % 12,),
+                              {"zip": z, "city": city[z]})
+                finally:
+                    db.abort(txn)
+            elif kind == "read":
+                _read(db, "T", (key % 14,))
+        except (NoSuchRowError, DuplicateKeyError):
+            pass
+        if not tf.done and tf.phase is not Phase.SYNCHRONIZING:
+            tf.step(budget)
+    t_rows = values_of(db, "T")
+    tf.run()
+    return (values_of(db, "Tr"), values_of(db, "Ts"),
+            table_counters(db, "Ts"), t_rows)
+
+
+@given(st.lists(lazy_split_op, min_size=0, max_size=40),
+       st.sampled_from([1, 3]))
+@settings(max_examples=30, deadline=None)
+def test_lazy_split_identical_to_eager(script, shards):
+    """Same equivalence for the split pipeline, including the S-table
+    reference counters the LSN-guarded Rules 8--11 maintain."""
+    base_r, base_s, base_counters, base_t = \
+        _run_lazy_split_pipeline(script, "eager", shards)
+    lazy_r, lazy_s, lazy_counters, lazy_t = \
+        _run_lazy_split_pipeline(script, "lazy", shards)
+    assert rows_equal(base_t, lazy_t)  # same final sources
+    assert rows_equal(lazy_r, base_r)
+    assert rows_equal(lazy_s, base_s)
+    assert lazy_counters == base_counters

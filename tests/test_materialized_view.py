@@ -96,6 +96,68 @@ def test_drop_removes_view_only():
     view.drop()  # idempotent
 
 
+def test_drop_logs_a_retire_record():
+    db, spec = build()
+    view = MaterializedFojView(db, spec)
+    view.run()
+    view.drop()
+    retires = [r for r in db.log.scan() if r.kind == "transformretire"]
+    assert len(retires) == 1
+    view.drop()  # idempotent: no second record
+    assert len([r for r in db.log.scan()
+                if r.kind == "transformretire"]) == 1
+
+
+def test_drop_before_publication_logs_nothing():
+    db, spec = build()
+    view = MaterializedFojView(db, spec)
+    view.step(4)  # not yet published
+    view.drop()
+    assert all(r.kind != "transformretire" for r in db.log.scan())
+
+
+def test_dropped_view_stays_dropped_across_restart():
+    """Regression: restart used to replay the swap record unconditionally,
+    resurrecting a dropped view -- and its recovery propagator then
+    crashed on post-drop source changes it was never built to see (an S
+    insert with a NULL join value).  The retire record must suppress the
+    rebuild entirely."""
+    db, spec = build(seed=1, n_r=15, n_s=6)
+    view = MaterializedFojView(db, spec)
+    view.run()
+    view.drop()
+    with Session(db) as s:
+        s.insert("S", {"c": None, "d": "post-drop", "e": "x"})
+        s.update("R", (3,), {"b": "post-drop"})
+    recovered = restart(db.log)  # crash after the drop
+    assert sorted(recovered.catalog.table_names()) == ["R", "S"]
+    s_rows = values_of(recovered, "S")
+    assert any(r["d"] == "post-drop" for r in s_rows)
+    r_rows = values_of(recovered, "R")
+    assert next(r for r in r_rows if r["a"] == 3)["b"] == "post-drop"
+
+
+def test_restart_rebuilds_only_undropped_views():
+    """Two published views, one dropped: recovery rebuilds exactly the
+    surviving one, to the oracle join of the recovered sources."""
+    db, spec = build()
+    keep_spec = foj_spec(db, target="v_keep")
+    dropped = MaterializedFojView(db, spec)
+    dropped.run()
+    kept = MaterializedFojView(db, keep_spec)
+    kept.run()
+    assert sorted(db.catalog.table_names()) == ["R", "S", "v", "v_keep"]
+    dropped.drop()
+    with Session(db) as s:
+        s.update("R", (1,), {"b": "after-drop"})
+    recovered = restart(db.log)
+    assert sorted(recovered.catalog.table_names()) == ["R", "S", "v_keep"]
+    assert rows_equal(
+        values_of(recovered, "v_keep"),
+        full_outer_join(keep_spec, values_of(recovered, "R"),
+                        values_of(recovered, "S")))
+
+
 def test_sync_latch_is_brief():
     db, spec = build(n_r=40, n_s=15)
     view = MaterializedFojView(db, spec)

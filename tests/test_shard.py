@@ -90,6 +90,38 @@ def test_sharded_populator_interleaves_per_shard_chunks(foj_db):
     assert all(n > 0 for n in populator.rows_per_shard)
 
 
+def test_sharded_populator_never_yields_empty_chunk_mid_scan(foj_db):
+    """Regression: a shard chunk emptied by deletions surfaced as ``[]``
+    before true exhaustion, which population steps read as "done" and
+    stranded the remaining shards.  An empty return now always means the
+    scan is finished."""
+    load_foj_data(foj_db, n_r=24, n_s=5)
+    populator = ShardedPopulator(foj_db.table("R"), 3, ShardPlanner(4))
+    with Session(foj_db) as s:
+        for i in range(1, 24, 2):  # empty out whole per-shard chunks
+            s.delete("R", (i,))
+    seen = []
+    while True:
+        chunk = populator.next_chunk()
+        if not chunk:
+            assert populator.exhausted
+            break
+        seen.extend(chunk)
+    assert sorted(r.values["a"] for r in seen) == list(range(0, 24, 2))
+
+
+def test_sharded_populator_nonpositive_limit_is_a_noop(foj_db):
+    load_foj_data(foj_db, n_r=8, n_s=5)
+    populator = ShardedPopulator(foj_db.table("R"), 3, ShardPlanner(2))
+    assert populator.next_chunk(0) == []
+    assert populator.next_chunk(-4) == []
+    assert not populator.exhausted
+    seen = []
+    while not populator.exhausted:
+        seen.extend(populator.next_chunk())
+    assert len(seen) == 8
+
+
 def test_sharded_population_matches_sequential(foj_db):
     load_foj_data(foj_db, n_r=25, n_s=6)
     spec = foj_spec(foj_db)
