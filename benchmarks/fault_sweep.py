@@ -2,19 +2,26 @@
 
 Runs :func:`repro.faults.sweep.run_sweep` over every operator (full outer
 join, split) x synchronization strategy combination: for each injection
-site the scenario crosses, the system is killed there once, ARIES restart
-runs on the surviving log and the recovery invariants are checked
-(committed data preserved, transient targets discarded / published tables
-rebuilt, losers rolled back, no leaked latches or locks).
+site the scenario crosses, the system is killed there once, the log is
+salvaged from the simulated disk's crash image, ARIES restart runs on
+the surviving flushed prefix and the recovery invariants are checked
+(committed-and-flushed data preserved byte-for-byte, transient targets
+discarded / published tables rebuilt, losers rolled back, no leaked
+latches or locks).
+
+The summary includes a per-layer coverage table (sites registered vs
+sites actually crossed by some scenario).  A registered site the whole
+sweep never fires is dead crash-test surface: the sweep fails loudly on
+it, exactly like a violation.
 
 The full report lands in ``benchmarks/results/fault_sweep.json``; the
-stdout summary shows per-combo coverage and the violation count (which
-must be zero).
+stdout summary shows per-combo and per-layer coverage and the violation
+count (which must be zero).  For the seeded crash x disk-fault soak see
+``python -m benchmarks.chaos_soak``.
 """
 
 from __future__ import annotations
 
-import json
 import sys
 
 from benchmarks.harness import save_results_json
@@ -28,8 +35,11 @@ def main() -> int:
     print(f"injection sites registered : {summary['registered_sites']}")
     print(f"sites crash-tested         : {summary['covered_sites']}")
     print(f"crash/recovery runs        : {summary['crash_runs']}")
-    print(f"layers                     : "
-          f"{json.dumps(summary['layers'], sort_keys=True)}")
+    print("per-layer coverage (registered -> fired):")
+    for layer, cov in summary["layer_coverage"].items():
+        gap = "" if cov["covered"] == cov["registered"] else "  (GAP)"
+        print(f"  {layer:<12s} {cov['registered']:3d} registered  "
+              f"{cov['covered']:3d} fired{gap}")
     for combo in report["combos"]:
         bad = [s["site"] for s in combo["sites"]
                if s["outcome"] != "ok"]
@@ -37,8 +47,14 @@ def main() -> int:
         print(f"  {combo['operator']:>5s} / {combo['strategy']:<19s} "
               f"{combo['site_count']:3d} sites  {status}")
     print(f"violations                 : {summary['violations']}")
+    failed = summary["violations"] != 0
+    if summary["never_fired"]:
+        failed = True
+        print("FAILED: registered sites never fired by any scenario:")
+        for site in summary["never_fired"]:
+            print(f"  - {site}")
     print(f"full report written to {path}")
-    return 0 if summary["violations"] == 0 else 1
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ from repro.common.errors import (
     DuplicateKeyError,
     InconsistentDataError,
     LockWaitError,
+    LogCorruptionError,
     NoSuchRowError,
     NoSuchTableError,
     ReproError,
@@ -46,11 +47,14 @@ from repro.common.errors import (
 from repro.faults import (
     NULL_FAULTS,
     AbortFault,
+    BitFlipFault,
     CrashFault,
     DelayFault,
     FaultInjector,
     FaultPlan,
+    LostFlushFault,
     SITE_REGISTRY,
+    TornWriteFault,
     register_site,
     sites_by_layer,
 )
@@ -72,6 +76,7 @@ from repro.engine import (
     bulk_load,
     fuzzy_copy,
     restart,
+    restart_from_disk,
 )
 from repro.relational import (
     FojSpec,
@@ -111,6 +116,8 @@ from repro.wal import (
     FlushPolicy,
     GROUP_FLUSH,
     IMMEDIATE_FLUSH,
+    SalvageReport,
+    SimulatedDisk,
 )
 
 __version__ = "1.0.0"
@@ -118,6 +125,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AbortFault",
     "Attribute",
+    "BitFlipFault",
     "Counter",
     "CrashFault",
     "Database",
@@ -138,6 +146,8 @@ __all__ = [
     "Histogram",
     "InconsistentDataError",
     "LockWaitError",
+    "LogCorruptionError",
+    "LostFlushFault",
     "Many2ManyFojTransformation",
     "MaterializedFojView",
     "MergeSpec",
@@ -155,13 +165,16 @@ __all__ = [
     "ReproError",
     "SITE_REGISTRY",
     "SYNC_STRATEGIES",
+    "SalvageReport",
     "SchemaError",
     "Session",
     "SimulatedCrashError",
+    "SimulatedDisk",
     "SplitSpec",
     "SplitTransformation",
     "SyncStrategy",
     "TableSchema",
+    "TornWriteFault",
     "TraceEvent",
     "TransactionAbortedError",
     "TransformationAbortedError",
@@ -180,6 +193,7 @@ __all__ = [
     "render_report",
     "resolve_sync_strategy",
     "restart",
+    "restart_from_disk",
     "run_section",
     "rows_equal",
     "sites_by_layer",

@@ -41,6 +41,7 @@ from repro.engine import (
     bulk_load,
     fuzzy_copy,
     restart,
+    restart_from_disk,
 )
 
 # -- schemas and transformation specs ---------------------------------------
@@ -81,11 +82,13 @@ from repro.transform import (
     resolve_sync_strategy,
 )
 
-# -- WAL group commit --------------------------------------------------------
+# -- WAL group commit and durable storage ------------------------------------
 from repro.wal import (
     FlushPolicy,
     GROUP_FLUSH,
     IMMEDIATE_FLUSH,
+    SalvageReport,
+    SimulatedDisk,
 )
 
 # -- observability: metrics and run reports ---------------------------------
@@ -100,10 +103,13 @@ from repro.obs import (
 # -- fault injection ---------------------------------------------------------
 from repro.faults import (
     AbortFault,
+    BitFlipFault,
     CrashFault,
     DelayFault,
     FaultInjector,
     FaultPlan,
+    LostFlushFault,
+    TornWriteFault,
 )
 
 # -- errors callers are expected to catch -----------------------------------
@@ -112,6 +118,7 @@ from repro.common.errors import (
     DuplicateKeyError,
     InconsistentDataError,
     LockWaitError,
+    LogCorruptionError,
     NoSuchRowError,
     NoSuchTableError,
     ReproError,
@@ -131,6 +138,7 @@ __all__ = [
     "bulk_load",
     "fuzzy_copy",
     "restart",
+    "restart_from_disk",
     # schemas / specs
     "Attribute",
     "FojSpec",
@@ -161,10 +169,12 @@ __all__ = [
     "remove_attribute",
     "rename_attribute",
     "resolve_sync_strategy",
-    # WAL group commit
+    # WAL group commit + durable storage
     "FlushPolicy",
     "GROUP_FLUSH",
     "IMMEDIATE_FLUSH",
+    "SalvageReport",
+    "SimulatedDisk",
     # observability
     "Metrics",
     "NULL_METRICS",
@@ -173,15 +183,19 @@ __all__ = [
     "run_section",
     # fault injection
     "AbortFault",
+    "BitFlipFault",
     "CrashFault",
     "DelayFault",
     "FaultInjector",
     "FaultPlan",
+    "LostFlushFault",
+    "TornWriteFault",
     # errors
     "DeadlockError",
     "DuplicateKeyError",
     "InconsistentDataError",
     "LockWaitError",
+    "LogCorruptionError",
     "NoSuchRowError",
     "NoSuchTableError",
     "ReproError",

@@ -198,6 +198,39 @@ class RecoveryError(ReproError):
     """ARIES restart recovery could not complete."""
 
 
+class LogCorruptionError(RecoveryError):
+    """Salvage found corruption *inside* the durable log (not a torn tail).
+
+    A frame whose checksum fails while later frames are still present
+    means stable storage lied about previously-synced data (bit rot, a
+    mis-directed write).  Unlike a torn tail -- which is expected after a
+    crash and is silently truncated -- mid-log corruption cannot be
+    repaired by truncation without losing committed transactions, so the
+    log is *quarantined*: recovery refuses to proceed and the error
+    carries everything an operator (or a test oracle) needs to inspect
+    the damage.
+
+    Attributes:
+        frame_index: Zero-based index of the corrupt frame.
+        lsn: LSN the corrupt frame was expected to carry.
+        offset: Byte offset of the corrupt frame in the segment.
+        salvaged: Records decoded successfully before the corruption.
+    """
+
+    def __init__(self, reason: str, frame_index: int = -1,
+                 lsn: int = 0, offset: int = -1,
+                 salvaged: tuple = ()) -> None:
+        super().__init__(
+            f"log corruption at frame {frame_index} (lsn {lsn}, "
+            f"byte offset {offset}): {reason}; log quarantined with "
+            f"{len(salvaged)} salvaged records")
+        self.reason = reason
+        self.frame_index = frame_index
+        self.lsn = lsn
+        self.offset = offset
+        self.salvaged = tuple(salvaged)
+
+
 # ---------------------------------------------------------------------------
 # Fault-injection errors
 # ---------------------------------------------------------------------------

@@ -2,7 +2,11 @@
 
 from repro.engine.database import Database
 from repro.engine.fuzzy import FuzzyScan, apply_log_with_lsn_guard, fuzzy_copy
-from repro.engine.recovery import register_rebuilder, restart
+from repro.engine.recovery import (
+    register_rebuilder,
+    restart,
+    restart_from_disk,
+)
 from repro.engine.session import Session, bulk_load
 
 __all__ = [
@@ -14,4 +18,5 @@ __all__ = [
     "fuzzy_copy",
     "register_rebuilder",
     "restart",
+    "restart_from_disk",
 ]

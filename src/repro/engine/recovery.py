@@ -181,6 +181,24 @@ def restart(log: LogManager, metrics=None) -> Database:
     return db
 
 
+def restart_from_disk(disk, metrics=None,
+                      flush_policy=None) -> Database:
+    """Salvage the WAL from ``disk`` and run restart recovery on it.
+
+    The durable path's one-call recovery entry point: the disk's crash
+    image is salvaged with :meth:`LogManager.from_disk` (torn tails
+    truncated, mid-log corruption raising
+    :class:`~repro.common.errors.LogCorruptionError` before anything is
+    applied) and :func:`restart` replays the salvaged **flushed prefix**
+    -- never the pre-crash in-memory record list.  The returned database
+    shares the recovered log, whose later flushes continue the same disk
+    segment.
+    """
+    log = LogManager.from_disk(disk, metrics=metrics,
+                               flush_policy=flush_policy)
+    return restart(log, metrics=metrics)
+
+
 class _TxnAnalysis:
     """Per-transaction facts gathered by the analysis pass."""
 

@@ -7,12 +7,16 @@ See :mod:`repro.faults.injection` for the model and
 from repro.faults.injection import (
     NULL_FAULTS,
     AbortFault,
+    BitFlipFault,
     CrashFault,
     DelayFault,
+    DiskFault,
     Fault,
     FaultInjector,
     FaultPlan,
+    LostFlushFault,
     SITE_REGISTRY,
+    TornWriteFault,
     register_site,
     sites_by_layer,
 )
@@ -20,12 +24,16 @@ from repro.faults.injection import (
 __all__ = [
     "NULL_FAULTS",
     "AbortFault",
+    "BitFlipFault",
     "CrashFault",
     "DelayFault",
+    "DiskFault",
     "Fault",
     "FaultInjector",
     "FaultPlan",
+    "LostFlushFault",
     "SITE_REGISTRY",
+    "TornWriteFault",
     "register_site",
     "sites_by_layer",
 ]

@@ -1,0 +1,234 @@
+"""Seeded chaos runs: crash sites composed with disk faults.
+
+One :func:`chaos_run` draws a full experiment from a single seed -- the
+operator, synchronization strategy, group-commit flush policy, a
+randomized workload, a crash point (any injection site the scenario
+crosses, at a random crossing) and optionally one disk fault armed on
+the ``disk.sync`` site before the crash:
+
+* :class:`~repro.faults.TornWriteFault` -- the kill cuts the final
+  flush mid-frame; salvage must truncate the torn tail and recovery must
+  succeed on the remaining prefix;
+* :class:`~repro.faults.LostFlushFault` -- one or more fsyncs lie;
+  the crash loses a frame-aligned tail that the log *believed* was
+  flushed, and the durability-aware oracle must accept exactly the
+  commits whose records really reached the platter;
+* :class:`~repro.faults.BitFlipFault` -- a synced frame rots; salvage
+  must detect the checksum mismatch and either quarantine the log
+  (mid-log corruption) or truncate a corrupt final frame -- a flipped
+  bit must never be silently applied.
+
+Every run is fully reproducible from its integer seed; on a violation
+the returned report carries a one-line repro recipe.  The soak driver is
+``python -m benchmarks.chaos_soak``; a bounded slice runs in CI via
+``tests/fault_matrix.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.common.errors import LogCorruptionError, SimulatedCrashError
+from repro.engine.recovery import restart
+from repro.faults.injection import (
+    BitFlipFault,
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    LostFlushFault,
+    TornWriteFault,
+)
+from repro.faults.sweep import (
+    ALL_STRATEGIES,
+    SCENARIO_OPERATORS,
+    ScenarioRun,
+    check_completed,
+    check_recovered,
+    check_salvage,
+)
+from repro.wal.durable import SITE_DISK_SYNC, _frame_regions
+from repro.wal.frames import SEGMENT_HEADER, encode_frame
+from repro.wal.log import (
+    GROUP_FLUSH,
+    IMMEDIATE_FLUSH,
+    FlushPolicy,
+    LogManager,
+)
+
+#: Flush policies the chaos layer samples from: immediate (every commit
+#: durable at once), the stock group-commit policy, and a small-batch
+#: coalescer that trips its thresholds often.
+CHAOS_POLICIES = (
+    IMMEDIATE_FLUSH,
+    GROUP_FLUSH,
+    FlushPolicy(max_pending_requests=4, max_pending_records=16),
+)
+
+_FAULT_KINDS = ("none", "torn_write", "lost_flush", "bit_flip")
+
+
+def _policy_name(policy: FlushPolicy) -> str:
+    if policy.immediate:
+        return "immediate"
+    return (f"group({policy.max_pending_requests},"
+            f"{policy.max_pending_records})")
+
+
+def _byte_identity(run: ScenarioRun, log: LogManager) -> List[str]:
+    """The salvaged prefix must equal re-encoding the salvaged records."""
+    salvage = log.salvage
+    reencoded = SEGMENT_HEADER + b"".join(
+        encode_frame(record) for record in salvage.records)
+    surviving = run.disk.crash_image()[:salvage.byte_length]
+    if reencoded != surviving:
+        return ["salvaged prefix is not byte-identical under re-encode "
+                f"({len(surviving)} bytes on disk, "
+                f"{len(reencoded)} re-encoded)"]
+    return []
+
+
+def chaos_run(seed: int) -> Dict[str, object]:
+    """One seeded crash x disk-fault experiment; returns a report dict.
+
+    The report's ``violations`` list is empty iff every durability and
+    recovery invariant held; ``repro`` is a one-line recipe that re-runs
+    exactly this experiment.
+    """
+    rng = random.Random(seed)
+    operator = rng.choice(SCENARIO_OPERATORS)
+    strategy = rng.choice(ALL_STRATEGIES)
+    policy = rng.choice(CHAOS_POLICIES)
+    workload_seed = rng.randrange(1 << 16)
+
+    report: Dict[str, object] = {
+        "seed": seed,
+        "operator": operator,
+        "strategy": strategy.value,
+        "flush_policy": _policy_name(policy),
+        "workload_seed": workload_seed,
+        "repro": f"python -m benchmarks.chaos_soak --seed {seed}",
+        "violations": [],
+    }
+    violations: List[str] = report["violations"]
+
+    # Recording pass: learn which sites this configuration crosses.
+    recording = ScenarioRun(operator, strategy,
+                            FaultInjector(FaultPlan()),
+                            flush_policy=policy,
+                            workload_seed=workload_seed)
+    recording.execute()
+    # Snapshot before the baseline check: its drain crosses flush/disk
+    # sites once more, beyond what an armed pass can ever reach.
+    hits = dict(recording.faults.hits)
+    baseline = check_completed(recording)
+    if baseline:
+        report["outcome"] = "baseline_broken"
+        violations.extend(f"fault-free baseline: {b}" for b in baseline)
+        return report
+    crash_site = rng.choice(sorted(hits))
+    count = hits[crash_site]
+    # Bias the kill into the interesting part of the scenario rather
+    # than the first crossings (usually the bulk load).
+    crash_hit = rng.randint(max(1, count // 3), count)
+    fault_kind = rng.choice(_FAULT_KINDS)
+    sync_total = hits.get(SITE_DISK_SYNC, 0)
+
+    plan = FaultPlan()
+    disk_hit: Optional[int] = None
+    if fault_kind != "none" and sync_total:
+        hi = sync_total
+        if crash_site == SITE_DISK_SYNC:
+            # The injector fires one arming per crossing; keep the disk
+            # fault strictly before the crash so both take effect.
+            hi = crash_hit - 1
+        if hi >= 1:
+            disk_hit = rng.randint(1, hi)
+            if fault_kind == "torn_write":
+                plan.arm(SITE_DISK_SYNC, TornWriteFault(), hit=disk_hit)
+            elif fault_kind == "lost_flush":
+                plan.arm(SITE_DISK_SYNC, LostFlushFault(), hit=disk_hit,
+                         times=rng.randint(1, 3))
+            else:
+                plan.arm(SITE_DISK_SYNC,
+                         BitFlipFault(bit=rng.randrange(64)),
+                         hit=disk_hit)
+        else:
+            fault_kind = "none"
+    elif fault_kind != "none":
+        fault_kind = "none"
+    plan.arm(crash_site, CrashFault(), hit=crash_hit)
+    report.update(crash_site=crash_site, crash_hit=crash_hit,
+                  disk_fault=fault_kind, disk_fault_hit=disk_hit)
+
+    run = ScenarioRun(operator, strategy, FaultInjector(plan),
+                      flush_policy=policy, workload_seed=workload_seed)
+    try:
+        run.execute()
+    except SimulatedCrashError:
+        pass
+    else:
+        report["outcome"] = "not_hit"
+        violations.append(
+            f"armed crash at {crash_site} hit {crash_hit} never fired")
+        return report
+
+    fired_kinds = {kind for (_, _, kind) in run.faults.fired}
+    disk_fault_fired = fault_kind != "none" and fault_kind in fired_kinds
+    # Facts captured before salvage reopens (and thereby resets) the disk.
+    raw_durable = bytes(run.disk._buffer[:run.disk._durable_len])
+    durable_frames = len(_frame_regions(bytearray(raw_durable)))
+
+    try:
+        salvaged = LogManager.from_disk(run.disk)
+    except LogCorruptionError as exc:
+        if fault_kind == "bit_flip" and disk_fault_fired:
+            # The rotten frame was detected and the log quarantined with
+            # nothing applied -- the required outcome for mid-log rot.
+            report["outcome"] = "quarantined"
+            report["salvaged_records"] = len(exc.salvaged)
+        else:
+            report["outcome"] = "violation"
+            violations.append(
+                f"salvage quarantined a log with no bit rot: {exc}")
+        return report
+
+    salvage = salvaged.salvage
+    report["salvage"] = salvage.describe()
+    if fault_kind == "bit_flip" and disk_fault_fired:
+        if salvage.tail_corrupt:
+            # The flip landed in the only/final frame: truncated, never
+            # applied -- acceptable, and recovery must still succeed.
+            report["outcome"] = "tail_truncated"
+        elif durable_frames > 0:
+            report["outcome"] = "violation"
+            violations.append(
+                "a fired bit flip was neither quarantined nor truncated "
+                f"({durable_frames} durable frames, salvage "
+                f"{salvage.describe()})")
+            return report
+        else:
+            report["outcome"] = "recovered"
+    elif fault_kind == "torn_write" and disk_fault_fired:
+        # A tear at a frame boundary is a clean truncation; anything else
+        # must be reported as torn.  Either way, no quarantine.
+        report["outcome"] = "recovered"
+        violations.extend(_byte_identity(run, salvaged))
+    elif fault_kind == "lost_flush" and disk_fault_fired:
+        # Lying fsyncs lose a frame-aligned tail: the surviving prefix
+        # must be clean, even though the log believed it was flushed.
+        report["outcome"] = "recovered"
+        if salvage.torn or salvage.tail_corrupt:
+            violations.append(
+                f"lost flush left a non-aligned prefix: "
+                f"{salvage.describe()}")
+        violations.extend(_byte_identity(run, salvaged))
+    else:
+        report["outcome"] = "recovered"
+        violations.extend(check_salvage(run, salvaged))
+
+    recovered = restart(salvaged)
+    violations.extend(check_recovered(run, recovered, salvaged))
+    if violations:
+        report["outcome"] = "violation"
+    return report

@@ -125,6 +125,80 @@ class AbortFault(Fault):
         raise exc(f"{self.reason} (at site {site!r})")
 
 
+class DiskFault(Fault):
+    """Base class of the disk-misbehaviour species.
+
+    Disk faults never raise: firing returns the fault itself, and the
+    only consumer is :class:`repro.wal.durable.SimulatedDisk`, which
+    applies the corruption to its durable image (the same hand-off
+    pattern as :class:`DelayFault`).  They model the three classic ways
+    stable storage betrays a WAL: a crash cutting the last write
+    mid-frame (torn write), an fsync that reports success without
+    persisting (lost flush / lying fsync), and silent media corruption
+    (a flipped bit inside a previously-synced frame).
+    """
+
+    kind = "disk"
+
+    def trigger(self, site: str, ctx: Dict[str, object]) -> "DiskFault":
+        return self
+
+
+class TornWriteFault(DiskFault):
+    """The crash cuts the final flushed write mid-frame.
+
+    When armed on ``disk.sync`` and fired, the disk remembers a *pending
+    tear*: the crash image (what survives the simulated kill) loses the
+    last ``cut`` bytes of the final synced write -- by default half of
+    it, always at least one byte -- leaving a partially-written frame
+    for salvage to truncate.  ``cut`` may exceed the final write; the
+    tear is clamped so the segment header always survives.
+    """
+
+    kind = "torn_write"
+
+    def __init__(self, cut: Optional[int] = None) -> None:
+        if cut is not None and cut < 1:
+            raise ValueError("TornWriteFault cut must be >= 1")
+        self.cut = cut
+
+
+class LostFlushFault(DiskFault):
+    """A lying fsync: sync reports success, durability does not advance.
+
+    While the arming keeps firing (``times=N`` lies for N syncs), the
+    durable horizon of the disk is frozen; the written bytes stay in the
+    simulated page cache and a *later*, honest sync persists them.  A
+    crash while the horizon is frozen therefore loses exactly the
+    unflushed tail -- a clean, frame-aligned prefix survives.
+    """
+
+    kind = "lost_flush"
+
+
+class BitFlipFault(DiskFault):
+    """Silent media corruption: one bit flips inside a synced frame.
+
+    Applied to the crash image: frame ``frame_index`` (clamped to the
+    frames present; ``None`` picks a middle frame, preferring a
+    non-final one so the corruption is unambiguously *mid-log*) has bit
+    ``bit`` of its payload inverted.  Salvage must detect the mismatch
+    via the frame CRC and quarantine the log -- a flipped bit must never
+    be silently applied.
+    """
+
+    kind = "bit_flip"
+
+    def __init__(self, frame_index: Optional[int] = None,
+                 bit: int = 0) -> None:
+        if frame_index is not None and frame_index < 0:
+            raise ValueError("BitFlipFault frame_index must be >= 0")
+        if bit < 0:
+            raise ValueError("BitFlipFault bit must be >= 0")
+        self.frame_index = frame_index
+        self.bit = bit
+
+
 class DelayFault(Fault):
     """Starves the background process instead of failing it.
 

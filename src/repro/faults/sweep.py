@@ -9,38 +9,53 @@ each registered injection site is crossed.  The sweep then re-runs the
 identical scenario once per crossed site with a :class:`CrashFault` armed
 mid-scenario, catches the :class:`SimulatedCrashError`, abandons all
 volatile state (the simulated kill of Section 6) and reruns ARIES
-:func:`~repro.engine.recovery.restart` on the surviving log.
+:func:`~repro.engine.recovery.restart` -- on the log *salvaged from the
+simulated disk*, never on the pre-crash in-memory record list.  Every
+scenario writes through a :class:`~repro.wal.durable.SimulatedDisk`, so
+the crash sweep exercises the real durability boundary: what survives is
+exactly the flushed, frame-checksummed prefix.
 
 After every recovery the harness asserts the paper's crash invariants:
 
-* committed user data is preserved -- sources match a shadow copy of the
-  committed state before the swap, published tables match the relational
-  operator applied to that shadow state after the swap;
+* committed-and-flushed user data is preserved -- the oracle derives the
+  surviving transaction set from the commit records present in the
+  salvaged log (a commit whose record was deferred by a group-commit
+  :class:`~repro.wal.log.FlushPolicy` and never flushed may legitimately
+  have vanished), sources match that state before the swap, published
+  tables match the relational operator applied to it after the swap;
+* the salvaged prefix is byte-for-byte identical to re-encoding the
+  salvaged records, and a plain crash (no disk fault) never leaves a
+  torn or corrupt tail -- staged-but-unsynced bytes simply do not count;
 * transient transformation targets are discarded (crash before the
-  :class:`~repro.wal.records.TransformSwapRecord`) or deterministically
-  rebuilt (crash after it), cf. Section 6 "no actions performed by the
-  transformation need to be repeated [after the swap]";
+  :class:`~repro.wal.records.TransformSwapRecord` reached the disk) or
+  deterministically rebuilt (crash after it), cf. Section 6 "no actions
+  performed by the transformation need to be repeated [after the swap]";
 * loser transactions -- including transactions doomed by a non-blocking
-  synchronization -- are rolled back to completion (every begun
-  transaction has an end record, no active transactions survive);
+  synchronization and transactions whose commit record was lost with the
+  unflushed tail -- are rolled back to completion;
 * no latches, table blocks or propagated proxy locks leak into the
   recovered database: a fresh probe transaction can write to every
   visible table.
 
-The shadow copy resolves in-flight transactions exactly like recovery
-does: a transaction whose commit record made it into the log before the
-crash counts as committed; everything else is dropped.
+The expected catalog is likewise derived from the salvaged log (DDL
+replay mirroring recovery's redo pass): a ``CREATE TABLE`` whose record
+never reached the disk must not resurface after recovery.
+
+``workload_seed`` appends seeded random mutations to the scripted
+workload, so harnesses (the chaos layer, the soak benchmark) can sweep
+randomized FOJ/split/lazy workloads that are still perfectly
+reproducible from the seed.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.common.errors import SimulatedCrashError
+from repro.common.errors import LogCorruptionError, SimulatedCrashError
 from repro.engine.database import Database, Transaction
 from repro.engine.recovery import restart
 from repro.faults.injection import (
-    NULL_FAULTS,
     CrashFault,
     FaultInjector,
     FaultPlan,
@@ -59,10 +74,17 @@ from repro.transform.base import Phase, SyncStrategy, Transformation
 from repro.transform.foj import FojTransformation
 from repro.transform.options import TransformOptions
 from repro.transform.split import SplitTransformation
+from repro.wal.durable import SimulatedDisk
+from repro.wal.frames import SEGMENT_HEADER, encode_frame
+from repro.wal.log import IMMEDIATE_FLUSH, FlushPolicy, LogManager
 from repro.wal.records import (
     BeginRecord,
     CommitRecord,
+    CreateTableRecord,
+    DropTableRecord,
     EndRecord,
+    RenameTableRecord,
+    TransformRetireRecord,
     TransformSwapRecord,
 )
 
@@ -92,61 +114,103 @@ _MAX_STEPS = 3000
 
 
 # ---------------------------------------------------------------------------
-# Shadow copy of the committed state
+# Durability-aware shadow oracle
 # ---------------------------------------------------------------------------
 
 
 class _Shadow:
-    """Key-addressed copy of the committed user data, per table.
+    """Buffered workload script, resolved against a surviving log.
 
-    Operations are buffered per transaction and applied at commit; at a
-    crash, :meth:`resolve_crash` settles in-flight transactions the same
-    way recovery will -- committed iff the commit record reached the log.
+    Every operation is recorded per transaction and kept forever; nothing
+    is applied eagerly.  The committed state is *derived* on demand by
+    :meth:`resolve`: a transaction counts iff its commit record is present
+    in the given log, and transactions apply in commit-record (LSN) order.
+    The same buffered script therefore yields the right answer for the
+    fault-free run (every commit is in the log) and for durable salvage
+    (a group-commit-deferred commit whose record never reached the disk
+    has legitimately vanished, and so has every operation it buffered).
     """
 
     def __init__(self) -> None:
-        self.tables: Dict[str, Dict[Tuple, RowDict]] = {}
-        self.pending: Dict[int, List[Tuple]] = {}
+        self.ops: Dict[int, List[Tuple]] = {}
 
     def begin(self, txn_id: int) -> None:
-        self.pending[txn_id] = []
+        self.ops.setdefault(txn_id, [])
 
     def insert(self, txn_id: int, table: str, key: Tuple,
                values: RowDict) -> None:
-        self.pending[txn_id].append(("i", table, key, dict(values)))
+        self.ops.setdefault(txn_id, []).append(
+            ("i", table, key, dict(values)))
 
     def update(self, txn_id: int, table: str, key: Tuple,
                changes: RowDict) -> None:
-        self.pending[txn_id].append(("u", table, key, dict(changes)))
+        self.ops.setdefault(txn_id, []).append(
+            ("u", table, key, dict(changes)))
 
     def delete(self, txn_id: int, table: str, key: Tuple) -> None:
-        self.pending[txn_id].append(("d", table, key, None))
+        self.ops.setdefault(txn_id, []).append(("d", table, key, None))
 
-    def commit(self, txn_id: int) -> None:
-        for op, table, key, payload in self.pending.pop(txn_id):
-            rows = self.tables.setdefault(table, {})
-            if op == "i":
-                rows[key] = dict(payload)
-            elif op == "u":
-                rows[key].update(payload)
+    def resolve(self, log: LogManager) -> Dict[str, Dict[Tuple, RowDict]]:
+        """Committed state per table, as the surviving ``log`` defines it.
+
+        The commit sequence is read off the log's commit records -- LSN
+        order is commit order.  Because the flushed log is always an LSN
+        prefix, a transaction that reads another's writes can only be in
+        the salvaged log if its dependency is too.
+        """
+        tables: Dict[str, Dict[Tuple, RowDict]] = {}
+        for record in log.scan():
+            if not isinstance(record, CommitRecord):
+                continue
+            for op, table, key, payload in self.ops.get(record.txn_id, ()):
+                rows = tables.setdefault(table, {})
+                if op == "i":
+                    rows[key] = dict(payload)
+                elif op == "u":
+                    rows[key].update(payload)
+                else:
+                    del rows[key]
+        return tables
+
+
+def _visible_tables(log: LogManager) -> Set[str]:
+    """Tables recovery will leave visible, by DDL replay of ``log``.
+
+    Mirrors the redo pass of :func:`~repro.engine.recovery.restart`:
+    transient creates are discarded, renames follow the transient flag,
+    a swap (of a never-retired transformation) retires its sources --
+    zombies are dropped at the end of recovery -- and publishes its
+    targets.
+    """
+    retired_ids = {record.transform_id for record in log.scan()
+                   if isinstance(record, TransformRetireRecord)}
+    transient: Set[str] = set()
+    visible: Set[str] = set()
+    for record in log.scan():
+        if isinstance(record, CreateTableRecord):
+            if record.transient:
+                transient.add(record.schema.name)
             else:
-                del rows[key]
-
-    def drop(self, txn_id: int) -> None:
-        self.pending.pop(txn_id, None)
-
-    def resolve_crash(self, log) -> None:
-        """Settle in-flight transactions against the surviving log."""
-        committed = {r.txn_id for r in log.scan()
-                     if isinstance(r, CommitRecord)}
-        for txn_id in sorted(self.pending):
-            if txn_id in committed:
-                self.commit(txn_id)
+                visible.add(record.schema.name)
+        elif isinstance(record, DropTableRecord):
+            if record.table in transient:
+                transient.discard(record.table)
             else:
-                self.drop(txn_id)
-
-    def rows(self, table: str) -> List[RowDict]:
-        return [dict(v) for v in self.tables.get(table, {}).values()]
+                visible.discard(record.table)
+        elif isinstance(record, RenameTableRecord):
+            if record.old_name in transient:
+                transient.discard(record.old_name)
+                transient.add(record.new_name)
+            else:
+                visible.discard(record.old_name)
+                visible.add(record.new_name)
+        elif isinstance(record, TransformSwapRecord) and \
+                record.transform_id not in retired_ids:
+            visible.difference_update(record.retired)
+            for name in record.published:
+                transient.discard(name)
+                visible.add(name)
+    return visible
 
 
 # ---------------------------------------------------------------------------
@@ -160,11 +224,15 @@ class ScenarioRun:
     The same script runs for the recording pass and for every armed pass;
     an armed :class:`CrashFault` leaves the prefix bit-identical, so site
     crossing counts from the recording pass predict exactly where each
-    armed pass dies.
+    armed pass dies.  The log writes through a fresh
+    :class:`SimulatedDisk` under ``flush_policy`` (immediate by default);
+    ``workload_seed`` appends seeded random mutations to the script.
     """
 
     def __init__(self, operator: str, strategy: SyncStrategy,
-                 faults: Optional[FaultInjector] = None) -> None:
+                 faults: Optional[FaultInjector] = None,
+                 flush_policy: Optional[FlushPolicy] = None,
+                 workload_seed: Optional[int] = None) -> None:
         base, _, shard_suffix = operator.partition("@")
         shards = int(shard_suffix) if shard_suffix else 1
         base, _, mode = base.partition(":")
@@ -177,10 +245,15 @@ class ScenarioRun:
         self.shards = shards
         self.population_mode = mode
         self.strategy = strategy
+        self.flush_policy = flush_policy if flush_policy is not None \
+            else IMMEDIATE_FLUSH
+        self.workload_seed = workload_seed
         self.faults = faults if faults is not None else FaultInjector()
-        self.db = Database()
+        self.disk = SimulatedDisk()
+        self.log = LogManager(disk=self.disk,
+                              flush_policy=self.flush_policy)
+        self.db = Database(log=self.log)
         self.db.attach_faults(self.faults)
-        self.log = self.db.log
         self.shadow = _Shadow()
         self.tf: Optional[Transformation] = None
         self.spec = None
@@ -228,10 +301,8 @@ class ScenarioRun:
             self._apply(txn, op)
         if abort:
             self.db.abort(txn)
-            self.shadow.drop(txn.txn_id)
         else:
             self.db.commit(txn)
-            self.shadow.commit(txn.txn_id)
 
     # -- scenario scripts ------------------------------------------------
 
@@ -324,6 +395,84 @@ class ScenarioRun:
             ("postal", {"zip": 95002, "city": "probe"}),
         ]
 
+    def _random_mutations(self) -> List[Callable[[], None]]:
+        """Seeded extra mutations appended to the scripted workload.
+
+        Inserts use a key range (100+) disjoint from the script; updates
+        touch the name-like attribute of keys the script never deletes
+        and the long-lived transaction never locks (and, for split, never
+        the shared ``city`` attribute, which would wedge the consistency
+        checker's wait loop); deletes only remove rows this generator
+        itself committed.
+        """
+        if self.workload_seed is None:
+            return []
+        rng = random.Random(self.workload_seed)
+        if self.operator_base == "foj":
+            table, text_attr = "R", "b"
+            safe_keys = (1, 2, 3, 4, 6, 7, 8)
+
+            def new_row(i: int) -> RowDict:
+                return {"a": 100 + i, "b": f"r{i}",
+                        "c": rng.randint(0, 9)}
+        else:
+            table, text_attr = "T", "name"
+            safe_keys = (0, 2, 3, 5, 6, 7, 8)
+
+            def new_row(i: int) -> RowDict:
+                z = 7100 + rng.randint(0, 3)
+                return {"id": 100 + i, "name": f"r{i}", "zip": z,
+                        "city": f"C{z}"}
+
+        mutations: List[Callable[[], None]] = []
+        own_keys: List[int] = []
+        for i in range(rng.randint(2, 6)):
+            choice = rng.random()
+            if choice < 0.45 or not own_keys:
+                row = new_row(i)
+                abort = rng.random() < 0.2
+                if not abort:
+                    own_keys.append(100 + i)
+                mutations.append(
+                    lambda row=row, abort=abort: self._txn_do(
+                        [("i", table, row)], abort=abort))
+            elif choice < 0.8:
+                key = (rng.choice(safe_keys),)
+                mutations.append(
+                    lambda key=key, i=i: self._txn_do(
+                        [("u", table, key, {text_attr: f"z{i}"})]))
+            else:
+                key = (own_keys.pop(0),)
+                mutations.append(
+                    lambda key=key: self._txn_do([("d", table, key)]))
+        return mutations
+
+    def _abort_episode(self) -> None:
+        """Start a throwaway transformation, then abort it.
+
+        Crosses ``tf.abort`` and the zero-residue cleanup behind it
+        (target drops, unlatching, proxy-lock release), so the crash
+        matrix also proves an *aborted* transformation is recoverable:
+        a kill inside the cleanup must restore exactly the committed
+        source state, with the transient target discarded.
+        """
+        self.db.create_table(
+            TableSchema("A", ["k", "v"], primary_key=["k"]))
+        self.db.create_table(
+            TableSchema("B", ["v", "w"], primary_key=["v"]))
+        self._txn_do(
+            [("i", "A", {"k": i, "v": i % 2}) for i in range(3)] +
+            [("i", "B", {"v": 0, "w": "w0"})])
+        spec = FojSpec.derive(
+            self.db.table("A").schema, self.db.table("B").schema,
+            target_name="AB", join_attr_r="v", join_attr_s="v")
+        throwaway = FojTransformation(
+            self.db, spec,
+            options=TransformOptions(sync=self.strategy,
+                                     population_chunk=2))
+        throwaway.step(1)
+        throwaway.abort()
+
     # -- driving ---------------------------------------------------------
 
     def execute(self) -> None:
@@ -333,6 +482,8 @@ class ScenarioRun:
             self._setup_foj()
         else:
             self._setup_split()
+        self._abort_episode()
+        self._mutations.extend(self._random_mutations())
 
         # The long-lived transaction the synchronization strategies
         # disagree about: drained (blocking commit), doomed (non-blocking
@@ -360,7 +511,6 @@ class ScenarioRun:
             if l_active and (self._l_txn.doomed or
                              self._l_txn.is_finished):
                 # Non-blocking abort doomed and rolled back L.
-                self.shadow.drop(self._l_txn.txn_id)
                 l_active = False
             if report.done:
                 break
@@ -371,7 +521,6 @@ class ScenarioRun:
                     and self.tf.phase is Phase.SYNCHRONIZING:
                 # Let the drain finish: commit L.
                 self.db.commit(self._l_txn)
-                self.shadow.commit(self._l_txn.txn_id)
                 l_active = False
             if l_active and \
                     self.strategy is SyncStrategy.NONBLOCKING_COMMIT \
@@ -380,7 +529,6 @@ class ScenarioRun:
                 # the zombie namespace, then commit (ends the mirror).
                 self._apply(self._l_txn, self._l_zombie_op)
                 self.db.commit(self._l_txn)
-                self.shadow.commit(self._l_txn.txn_id)
                 l_active = False
         else:
             raise AssertionError(
@@ -395,26 +543,40 @@ class ScenarioRun:
 
     # -- expectations ----------------------------------------------------
 
-    def expected_tables(self, swapped: bool) -> Dict[str, List[RowDict]]:
-        """Committed state the database must show, from the shadow copy.
+    def expected_tables(self, log: LogManager) -> Dict[str, List[RowDict]]:
+        """State the database must show, derived from the surviving log.
 
-        Before the swap that is simply the shadow sources; after it, the
-        relational operator applied to the shadow sources plus any rows
-        committed directly into the published tables (probes).
+        The committed transaction set, the visible catalog and the swap
+        point all come from ``log`` -- for a fault-free run that is the
+        full log, after a crash it is the salvaged flushed prefix.
+        Before the swap the expectation is simply the resolved sources;
+        after it, the relational operator applied to the resolved sources
+        plus any rows committed directly into the published tables
+        (probes).
         """
+        state = self.shadow.resolve(log)
+
+        def rows(name: str) -> List[RowDict]:
+            return [dict(v) for v in state.get(name, {}).values()]
+
+        visible = _visible_tables(log)
+        swapped = any(isinstance(r, TransformSwapRecord)
+                      for r in log.scan())
         if not swapped:
-            return {name: self.shadow.rows(name)
-                    for name in self.source_names}
+            return {name: rows(name) for name in visible}
         if self.operator_base == "foj":
-            base = {"T": full_outer_join(self.spec, self.shadow.rows("R"),
-                                         self.shadow.rows("S"))}
+            base = {"T": full_outer_join(self.spec, rows("R"), rows("S"))}
         else:
-            r_rows, s_rows, _, _ = split(self.spec, self.shadow.rows("T"),
+            r_rows, s_rows, _, _ = split(self.spec, rows("T"),
                                          strict=False)
             base = {"T_r": r_rows, "postal": s_rows}
-        for name in self.published_names:
-            base[name] = list(base.get(name, [])) + self.shadow.rows(name)
-        return base
+        expected: Dict[str, List[RowDict]] = {}
+        for name in visible:
+            if name in self.published_names:
+                expected[name] = list(base.get(name, [])) + rows(name)
+            else:
+                expected[name] = rows(name)
+        return expected
 
 
 # ---------------------------------------------------------------------------
@@ -435,9 +597,9 @@ def _diff(name: str, actual: List[RowDict],
             f"expected={normalize_rows(expected)!r}")
 
 
-def _check_data(run: ScenarioRun, db: Database, swapped: bool,
+def _check_data(run: ScenarioRun, db: Database, log: LogManager,
                 violations: List[str]) -> None:
-    expected = run.expected_tables(swapped)
+    expected = run.expected_tables(log)
     names = sorted(db.catalog.table_names())
     if names != sorted(expected):
         violations.append(
@@ -472,12 +634,42 @@ def _probe_writes(db: Database, violations: List[str]) -> None:
                     pass
 
 
-def check_recovered(run: ScenarioRun, recovered: Database) -> List[str]:
-    """All crash invariants on a freshly recovered database."""
-    violations: List[str] = []
-    log = run.log
-    swapped = any(isinstance(r, TransformSwapRecord) for r in log.scan())
+def check_salvage(run: ScenarioRun, log: LogManager) -> List[str]:
+    """Durability invariants of a salvage performed without disk faults.
 
+    A plain process kill must leave a clean, frame-aligned prefix --
+    staged-but-unsynced bytes are simply absent, never torn -- and
+    re-encoding the salvaged records must reproduce the surviving bytes
+    exactly (the flushed prefix survives byte-for-byte).
+    """
+    violations: List[str] = []
+    salvage = log.salvage
+    if salvage is None:
+        return [f"recovered log has no salvage report"]
+    if salvage.torn or salvage.tail_corrupt or salvage.dropped_bytes:
+        violations.append(
+            f"clean crash left a damaged log: {salvage.describe()}")
+    reencoded = SEGMENT_HEADER + b"".join(
+        encode_frame(record) for record in salvage.records)
+    surviving = run.disk.crash_image()[:salvage.byte_length]
+    if reencoded != surviving:
+        violations.append(
+            "salvaged prefix is not byte-identical under re-encode "
+            f"({len(surviving)} bytes on disk, "
+            f"{len(reencoded)} re-encoded)")
+    return violations
+
+
+def check_recovered(run: ScenarioRun, recovered: Database,
+                    log: LogManager) -> List[str]:
+    """All crash invariants on a freshly recovered database.
+
+    ``log`` is the recovered database's log -- the salvaged flushed
+    prefix plus whatever recovery itself appended (CLRs, end records).
+    Every expectation is derived from it, never from the pre-crash
+    in-memory state.
+    """
+    violations: List[str] = []
     begun = {r.txn_id for r in log.scan() if isinstance(r, BeginRecord)}
     ended = {r.txn_id for r in log.scan() if isinstance(r, EndRecord)}
     unfinished = sorted(begun - ended)
@@ -499,12 +691,11 @@ def check_recovered(run: ScenarioRun, recovered: Database) -> List[str]:
             f"zombie tables survived recovery: "
             f"{recovered.catalog.zombie_names()}")
 
-    run.shadow.resolve_crash(log)
-    _check_data(run, recovered, swapped, violations)
+    _check_data(run, recovered, log, violations)
     _probe_writes(recovered, violations)
     if not violations:
         # The probe transactions rolled back; state must be unchanged.
-        _check_data(run, recovered, swapped, violations)
+        _check_data(run, recovered, log, violations)
     return violations
 
 
@@ -512,13 +703,18 @@ def check_completed(run: ScenarioRun) -> List[str]:
     """Sanity checks on a fault-free (recording) scenario execution."""
     violations: List[str] = []
     db = run.db
-    if run.shadow.pending:
+    if db.txns.active_txns():
         violations.append(
-            f"scenario left unresolved transactions: "
-            f"{sorted(run.shadow.pending)}")
+            f"scenario left active transactions: "
+            f"{sorted(t.txn_id for t in db.txns.active_txns())}")
     if db.locks._latches:
         violations.append(f"latches leaked: {db.locks._latches}")
-    _check_data(run, db, swapped=True, violations=violations)
+    run.log.drain_flushes()
+    if run.log.flushed_lsn != run.log.end_lsn:
+        violations.append(
+            f"drain left unflushed tail: flushed {run.log.flushed_lsn} "
+            f"< end {run.log.end_lsn}")
+    _check_data(run, db, run.log, violations)
     return violations
 
 
@@ -527,18 +723,29 @@ def check_completed(run: ScenarioRun) -> List[str]:
 # ---------------------------------------------------------------------------
 
 
-def sweep(operator: str, strategy: SyncStrategy) -> Dict[str, object]:
+def sweep(operator: str, strategy: SyncStrategy,
+          flush_policy: Optional[FlushPolicy] = None,
+          workload_seed: Optional[int] = None) -> Dict[str, object]:
     """Crash at every crossed injection site for one scenario.
 
     Returns a JSON-able report: per-site outcome (``ok`` / ``violation``
     / ``error`` / ``not_hit``) plus the recording pass's crossing counts.
     Each armed pass crashes at the *middle* crossing of its site, placing
     the kill inside the interesting part of the scenario rather than at
-    the very first crossing (often the bulk load).
+    the very first crossing (often the bulk load).  Recovery always goes
+    through the disk: the log is salvaged from the crash image, so only
+    the flushed prefix survives -- under a coalescing ``flush_policy``
+    that legitimately excludes deferred commits.
     """
     recording = ScenarioRun(operator, strategy,
-                            FaultInjector(FaultPlan()))
+                            FaultInjector(FaultPlan()),
+                            flush_policy=flush_policy,
+                            workload_seed=workload_seed)
     recording.execute()
+    # Snapshot before the baseline check: its drain crosses flush/disk
+    # sites one more time, and those post-scenario crossings are not
+    # reachable by an armed pass (it crashes or completes, never drains).
+    hits = dict(recording.faults.hits)
     baseline = check_completed(recording)
     if baseline:
         raise AssertionError(
@@ -546,11 +753,13 @@ def sweep(operator: str, strategy: SyncStrategy) -> Dict[str, object]:
             + "; ".join(baseline))
 
     sites: List[Dict[str, object]] = []
-    for site in sorted(recording.faults.hits):
-        count = recording.faults.hits[site]
+    for site in sorted(hits):
+        count = hits[site]
         hit_at = (count + 1) // 2
         plan = FaultPlan().arm(site, CrashFault(), hit=hit_at)
-        run = ScenarioRun(operator, strategy, FaultInjector(plan))
+        run = ScenarioRun(operator, strategy, FaultInjector(plan),
+                          flush_policy=flush_policy,
+                          workload_seed=workload_seed)
         entry: Dict[str, object] = {
             "site": site,
             "layer": SITE_REGISTRY[site][0],
@@ -562,9 +771,19 @@ def sweep(operator: str, strategy: SyncStrategy) -> Dict[str, object]:
             entry["outcome"] = "not_hit"
             entry["detail"] = ["armed crash fault never fired"]
         except SimulatedCrashError:
-            run.log.faults = NULL_FAULTS  # the log survives the crash
-            recovered = restart(run.log)
-            problems = check_recovered(run, recovered)
+            try:
+                salvaged = LogManager.from_disk(run.disk)
+            except LogCorruptionError as exc:
+                # No disk fault was armed: corruption means the write
+                # path itself produced bad bytes.
+                entry["outcome"] = "violation"
+                entry["detail"] = [f"salvage quarantined a clean-crash "
+                                   f"log: {exc}"]
+                sites.append(entry)
+                continue
+            problems = check_salvage(run, salvaged)
+            recovered = restart(salvaged)
+            problems += check_recovered(run, recovered, salvaged)
             entry["outcome"] = "ok" if not problems else "violation"
             entry["detail"] = problems
         except Exception as exc:  # noqa: BLE001 - report, don't die
@@ -576,6 +795,11 @@ def sweep(operator: str, strategy: SyncStrategy) -> Dict[str, object]:
     return {
         "operator": operator,
         "strategy": strategy.value,
+        "flush_policy": "immediate" if flush_policy is None
+        or flush_policy.immediate else
+        f"group({flush_policy.max_pending_requests},"
+        f"{flush_policy.max_pending_records})",
+        "workload_seed": workload_seed,
         "sites": sites,
         "site_count": len(sites),
         "violations": len(bad),
@@ -585,21 +809,38 @@ def sweep(operator: str, strategy: SyncStrategy) -> Dict[str, object]:
 def run_sweep(operators: Sequence[str] = SCENARIO_OPERATORS,
               strategies: Sequence[SyncStrategy] = ALL_STRATEGIES
               ) -> Dict[str, object]:
-    """Full sweep: every operator x strategy x crossed site."""
+    """Full sweep: every operator x strategy x crossed site.
+
+    The summary reports per-layer coverage as registered-vs-fired
+    counts and lists every registered site the whole sweep never
+    crossed (``never_fired``) -- a site that exists but cannot be
+    reached is dead crash-test surface and should fail loudly in the
+    benchmark harness.
+    """
     combos = [sweep(op, strategy)
               for op in operators for strategy in strategies]
     covered = sorted({s["site"] for c in combos for s in c["sites"]})
+    never_fired = sorted(set(SITE_REGISTRY) - set(covered))
     layers: Dict[str, int] = {}
     for site in covered:
         layer = SITE_REGISTRY[site][0]
         layers[layer] = layers.get(layer, 0) + 1
+    registered_layers: Dict[str, int] = {}
+    for layer, _ in SITE_REGISTRY.values():
+        registered_layers[layer] = registered_layers.get(layer, 0) + 1
+    layer_coverage = {
+        layer: {"registered": registered_layers[layer],
+                "covered": layers.get(layer, 0)}
+        for layer in sorted(registered_layers)}
     return {
         "combos": combos,
         "summary": {
             "registered_sites": len(SITE_REGISTRY),
             "covered_sites": len(covered),
             "covered": covered,
+            "never_fired": never_fired,
             "layers": layers,
+            "layer_coverage": layer_coverage,
             "crash_runs": sum(c["site_count"] for c in combos),
             "violations": sum(c["violations"] for c in combos),
         },

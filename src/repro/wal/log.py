@@ -7,8 +7,13 @@ design point, Section 1).  The manager therefore exposes, besides append,
 cheap sequential scans starting from an arbitrary LSN.
 
 The implementation keeps the whole log in memory (the reproduced prototype
-is a main-memory DBMS).  ``flush`` is tracked for API fidelity -- commit
-forces the log -- but is a no-op physically.
+is a main-memory DBMS).  Without a disk attached, ``flush`` is tracked for
+API fidelity -- commit forces the log -- but is a no-op physically.  With a
+:class:`~repro.wal.durable.SimulatedDisk` attached, every flush *writes*:
+the unflushed records are serialized into checksummed frames
+(:mod:`repro.wal.frames`), staged on the disk and synced before the
+durability horizon advances, and :meth:`LogManager.from_disk` rebuilds a
+log from the salvaged flushed prefix after a crash.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from typing import Callable, Iterator, List, Optional, Sequence
 
 from repro.faults import NULL_FAULTS, FaultInjector, register_site
 from repro.obs import NULL_METRICS, Metrics
+from repro.wal.frames import SEGMENT_HEADER, encode_frame
 from repro.wal.records import NULL_LSN, LogRecord
 
 #: First LSN ever assigned.  LSN 0 is reserved as the null LSN.
@@ -105,7 +111,8 @@ class LogManager:
 
     def __init__(self, metrics: Optional[Metrics] = None,
                  faults: Optional[FaultInjector] = None,
-                 flush_policy: Optional[FlushPolicy] = None) -> None:
+                 flush_policy: Optional[FlushPolicy] = None,
+                 disk: Optional["SimulatedDisk"] = None) -> None:
         self._records: List[LogRecord] = []
         self._flushed_lsn = NULL_LSN
         #: Group-commit policy applied by :meth:`request_flush`.
@@ -117,13 +124,113 @@ class LogManager:
         #: Observability registry (``wal.appends``, ``wal.flushes``,
         #: ``wal.tail_depth``); the shared no-op singleton by default.
         self.metrics = metrics if metrics is not None else NULL_METRICS
-        #: Fault injector; the shared no-op singleton by default.
+        #: Simulated stable storage; ``None`` keeps flush a physical no-op.
+        self._disk: Optional["SimulatedDisk"] = None
+        #: Highest LSN whose frame has been staged on the disk (so a
+        #: retried flush after a failed sync does not double-append).
+        self._disk_staged_lsn = NULL_LSN
+        #: :class:`~repro.wal.frames.SalvageReport` when this manager was
+        #: rebuilt by :meth:`from_disk`; ``None`` for a fresh log.
+        self.salvage: Optional["SalvageReport"] = None
+        #: Fault injector; the shared no-op singleton by default.  The
+        #: setter propagates the injector to the attached disk, so
+        #: ``log.faults = injector`` arms the disk sites too.
         self.faults = faults if faults is not None else NULL_FAULTS
         #: Observers called synchronously with each appended record.  Used
         #: by tests and by the simulator's accounting; the transformation
         #: framework deliberately does NOT use observers -- it polls the log
         #: like the paper's propagator.
         self.observers: List[Callable[[LogRecord], None]] = []
+        if disk is not None:
+            self.attach_disk(disk)
+
+    # -- durable storage ----------------------------------------------------
+
+    @property
+    def faults(self) -> FaultInjector:
+        """Fault injector shared with the attached disk (if any)."""
+        return self._faults
+
+    @faults.setter
+    def faults(self, injector: FaultInjector) -> None:
+        self._faults = injector
+        if self._disk is not None:
+            self._disk.faults = injector
+
+    @property
+    def disk(self) -> Optional["SimulatedDisk"]:
+        """The attached simulated disk, or ``None`` (volatile log)."""
+        return self._disk
+
+    def attach_disk(self, disk: "SimulatedDisk") -> None:
+        """Write flushed frames to ``disk`` from now on.
+
+        An empty disk gets the segment header immediately (staged and
+        synced -- creating the log file is not a user-visible durability
+        event, so no injection site is crossed for it).  Attaching a
+        disk mid-life is allowed: the next flush writes every record
+        from the log head up to the flush target.
+
+        Log and disk always share one injector afterwards.  A disk that
+        arrives with its own enabled injector keeps it (the log adopts
+        it) rather than having it silently replaced by the log's no-op
+        default; otherwise the log's injector propagates down.
+        """
+        self._disk = disk
+        if disk.faults.enabled and not self._faults.enabled:
+            self._faults = disk.faults
+        disk.faults = self._faults
+        if disk.size == 0:
+            disk.append(SEGMENT_HEADER)
+            disk.sync()
+
+    @classmethod
+    def from_disk(cls, disk: "SimulatedDisk",
+                  metrics: Optional[Metrics] = None,
+                  flush_policy: Optional[FlushPolicy] = None
+                  ) -> "LogManager":
+        """Rebuild a log from the disk's crash image (salvage recovery).
+
+        The image is salvaged with
+        :func:`repro.wal.frames.decode_segment`: a torn tail is
+        truncated; mid-log corruption raises
+        :class:`~repro.common.errors.LogCorruptionError` (the log is
+        quarantined, nothing is applied).  The returned manager holds
+        exactly the salvaged **flushed prefix** -- the records the
+        pre-crash system never flushed are gone, as they would be on
+        real hardware -- with ``flushed_lsn == end_lsn``, and the disk
+        is rebased on the salvaged image so post-recovery appends
+        continue the same segment.
+        """
+        from repro.wal.frames import decode_segment
+        image = disk.crash_image()
+        salvage = decode_segment(image)
+        log = cls(metrics=metrics, flush_policy=flush_policy)
+        log._records = list(salvage.records)
+        log._flushed_lsn = log.end_lsn
+        log.salvage = salvage
+        disk.reopen(image[:salvage.byte_length])
+        log._disk = disk
+        log._disk_staged_lsn = log.end_lsn
+        if disk.size == 0:
+            disk.append(SEGMENT_HEADER)
+            disk.sync()
+        return log
+
+    def _write_frames(self, up_to_lsn: int) -> None:
+        """Stage + sync frames for records up to ``up_to_lsn``."""
+        if self._disk is None or up_to_lsn <= self._disk_staged_lsn:
+            return
+        start = max(self._disk_staged_lsn, NULL_LSN) - FIRST_LSN + 1
+        stop = up_to_lsn - FIRST_LSN + 1
+        buf = bytearray()
+        for record in self._records[start:stop]:
+            buf.extend(encode_frame(record))
+        self._disk.append(bytes(buf))
+        self._disk_staged_lsn = up_to_lsn
+        self._disk.sync()
+        if self.metrics.enabled:
+            self.metrics.inc("wal.disk.bytes", len(buf))
 
     # -- append ------------------------------------------------------------
 
@@ -201,7 +308,9 @@ class LogManager:
         ``flushed_lsn`` is monotonic: a flush bounded below the current
         flushed position (a latecomer whose records a group flush already
         covered) is a no-op rather than moving the durability horizon
-        backwards.  Physically a no-op in this main-memory system.
+        backwards.  With a disk attached, the unflushed records are
+        framed, staged and synced *before* the horizon advances, so a
+        crash inside the write path leaves ``flushed_lsn`` honest.
         """
         if up_to_lsn is not None and up_to_lsn < 0:
             raise ValueError(f"negative lsn: {up_to_lsn}")
@@ -212,6 +321,7 @@ class LogManager:
             self.metrics.inc("wal.flushes")
             self.metrics.observe("wal.tail_depth",
                                  max(0, self.end_lsn - self._flushed_lsn))
+        self._write_frames(target)
         self._flushed_lsn = max(self._flushed_lsn, target)
         if self._flushed_lsn >= self._pending_target:
             self._pending_requests = 0
@@ -228,6 +338,8 @@ class LogManager:
         happens once either threshold trips.  Returns ``True`` iff a real
         flush happened.
         """
+        if up_to_lsn is not None and up_to_lsn < 0:
+            raise ValueError(f"negative lsn: {up_to_lsn}")
         target = self.end_lsn if up_to_lsn is None \
             else min(up_to_lsn, self.end_lsn)
         self._pending_requests += 1
@@ -362,7 +474,14 @@ class LogManager:
         return self._records[start:stop]
 
     def records_between(self, from_lsn: int, to_lsn: int) -> int:
-        """Number of records in the closed LSN interval (for analysis)."""
+        """Number of records in the closed LSN interval (for analysis).
+
+        Bounds follow the class-level LSN contract: negative LSNs raise
+        :class:`ValueError`; in-domain bounds clamp (an empty or inverted
+        interval counts zero).
+        """
+        if from_lsn < 0 or to_lsn < 0:
+            raise ValueError(f"negative lsn: {min(from_lsn, to_lsn)}")
         if to_lsn < from_lsn:
             return 0
         lo = max(FIRST_LSN, from_lsn)
@@ -370,8 +489,14 @@ class LogManager:
         return max(0, hi - lo + 1)
 
     def tail_length(self, after_lsn: int) -> int:
-        """Number of records appended after ``after_lsn`` (analysis helper)."""
-        return max(0, self.end_lsn - max(after_lsn, NULL_LSN))
+        """Number of records appended after ``after_lsn`` (analysis helper).
+
+        Negative LSNs raise :class:`ValueError` per the class-level LSN
+        contract; ``NULL_LSN`` counts the whole log.
+        """
+        if after_lsn < 0:
+            raise ValueError(f"negative lsn: {after_lsn}")
+        return max(0, self.end_lsn - after_lsn)
 
     def dump(self) -> str:
         """Multi-line human-readable rendering of the whole log."""

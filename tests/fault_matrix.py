@@ -3,18 +3,23 @@
 For each operator (full outer join, split) x synchronization strategy,
 :func:`repro.faults.sweep.sweep` records which injection sites the
 scenario crosses, then re-runs it once per site with a
-:class:`~repro.faults.CrashFault` armed mid-scenario, reruns ARIES
-restart on the surviving log and checks the recovery invariants
-(committed data preserved, transient targets discarded or published
-tables rebuilt, losers and doomed transactions rolled back, no leaked
-latches or blocks).  See ``python -m benchmarks.fault_sweep`` for the
-JSON report version of the same sweep.
+:class:`~repro.faults.CrashFault` armed mid-scenario, salvages the log
+from the simulated disk's crash image, reruns ARIES restart on the
+salvaged flushed prefix and checks the recovery invariants (committed
+*and flushed* data preserved byte-for-byte, transient targets discarded
+or published tables rebuilt, losers and doomed transactions rolled back,
+no leaked latches or blocks).  The ``disk`` layer composes those crash
+sites with disk faults -- torn writes, lying fsyncs, flipped bits -- via
+:mod:`repro.faults.chaos`.  See ``python -m benchmarks.fault_sweep`` for
+the JSON report version of the sweep and ``python -m
+benchmarks.chaos_soak`` for the seeded crash x disk-fault soak.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.faults.chaos import chaos_run
 from repro.faults.sweep import (
     ALL_STRATEGIES,
     SCENARIO_OPERATORS,
@@ -41,4 +46,17 @@ def test_sweep_coverage_spans_all_layers():
     assert summary["covered_sites"] >= 32
     assert set(summary["layers"]) >= {
         "wal", "storage", "engine", "transform", "sync", "consistency",
-        "shard", "lazy"}
+        "shard", "lazy", "disk"}
+    assert summary["never_fired"] == [], \
+        f"registered sites never crossed: {summary['never_fired']}"
+
+
+@pytest.mark.parametrize("seed", range(24))
+def test_chaos_crash_disk_fault_composition(seed):
+    """A bounded slice of the chaos soak: each seed composes a crash
+    site with a disk fault over a randomized workload and checks the
+    durability-aware recovery invariants."""
+    outcome = chaos_run(seed)
+    assert outcome["violations"] == [], (
+        f"chaos seed {seed} violated recovery invariants: "
+        f"{outcome['violations']}; repro: {outcome['repro']}")

@@ -16,7 +16,7 @@ import repro.api as api
 API_SURFACE = sorted([
     # engine
     "Database", "FuzzyScan", "Session", "bulk_load", "fuzzy_copy",
-    "restart",
+    "restart", "restart_from_disk",
     # schemas / specs / oracles
     "Attribute", "FojSpec", "FunctionalDependency", "SplitSpec",
     "TableSchema", "full_outer_join", "rows_equal", "split",
@@ -29,17 +29,19 @@ API_SURFACE = sorted([
     "SYNC_STRATEGIES", "SyncStrategy", "TransformOptions",
     "TransformationSupervisor", "add_attribute", "remove_attribute",
     "rename_attribute", "resolve_sync_strategy",
-    # WAL group commit
-    "FlushPolicy", "GROUP_FLUSH", "IMMEDIATE_FLUSH",
+    # WAL group commit + durable storage
+    "FlushPolicy", "GROUP_FLUSH", "IMMEDIATE_FLUSH", "SalvageReport",
+    "SimulatedDisk",
     # observability
     "Metrics", "NULL_METRICS", "build_run_report", "render_report",
     "run_section",
     # fault injection
-    "AbortFault", "CrashFault", "DelayFault", "FaultInjector",
-    "FaultPlan",
+    "AbortFault", "BitFlipFault", "CrashFault", "DelayFault",
+    "FaultInjector", "FaultPlan", "LostFlushFault", "TornWriteFault",
     # errors
     "DeadlockError", "DuplicateKeyError", "InconsistentDataError",
-    "LockWaitError", "NoSuchRowError", "NoSuchTableError", "ReproError",
+    "LockWaitError", "LogCorruptionError", "NoSuchRowError",
+    "NoSuchTableError", "ReproError",
     "SchemaError", "SimulatedCrashError", "TransactionAbortedError",
     "TransformationAbortedError", "TransformationError",
     "TransformationStarvedError",

@@ -1,0 +1,322 @@
+"""Durability tests: the simulated disk, disk faults and salvage recovery.
+
+Covers the write path (frames staged then synced, the durable horizon
+honest at every step), the three disk faults (torn write, lying fsync,
+bit flip), :meth:`LogManager.from_disk` salvage, and the satellite
+properties: under EVERY flush policy, recovery from the flushed prefix
+preserves exactly the committed-and-flushed transactions, and every
+drain / coalescing-window exit leaves ``flushed_lsn == end_lsn``.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import LogCorruptionError
+from repro.engine import Database, Session, restart, restart_from_disk
+from repro.faults import (
+    BitFlipFault,
+    FaultInjector,
+    FaultPlan,
+    LostFlushFault,
+    TornWriteFault,
+)
+from repro.storage import TableSchema
+from repro.wal import (
+    GROUP_FLUSH,
+    IMMEDIATE_FLUSH,
+    BeginRecord,
+    CommitRecord,
+    FlushPolicy,
+    InsertRecord,
+    LogManager,
+    SEGMENT_HEADER,
+    SimulatedDisk,
+    encode_frame,
+)
+from repro.wal.durable import SITE_DISK_SYNC
+
+#: Every flush policy the durability properties must hold under.
+ALL_POLICIES = [
+    IMMEDIATE_FLUSH,
+    GROUP_FLUSH,
+    FlushPolicy(max_pending_requests=3, max_pending_records=8),
+]
+_POLICY_IDS = ["immediate", "group_default", "group_small"]
+
+
+def _records(n, txn_id=1):
+    out = [BeginRecord(txn_id=txn_id)]
+    out += [InsertRecord(txn_id=txn_id, table="t", key=(i,),
+                         values={"k": i}) for i in range(n - 2)]
+    out.append(CommitRecord(txn_id=txn_id))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# SimulatedDisk semantics
+# ---------------------------------------------------------------------------
+
+
+def test_staged_bytes_are_not_durable():
+    disk = SimulatedDisk()
+    disk.append(b"abc")
+    assert disk.size == 3
+    assert disk.durable_size == 0
+    assert disk.pending_bytes == 3
+    assert disk.crash_image() == b""  # a crash now loses everything staged
+
+
+def test_sync_advances_durable_horizon():
+    disk = SimulatedDisk()
+    disk.append(b"abc")
+    assert disk.sync() is True
+    assert disk.durable_size == 3
+    assert disk.crash_image() == b"abc"
+    assert disk.sync() is False  # nothing staged
+
+
+def test_lying_fsync_freezes_horizon_until_honest_sync():
+    plan = FaultPlan()
+    plan.arm(SITE_DISK_SYNC, LostFlushFault(), hit=1)
+    disk = SimulatedDisk(faults=FaultInjector(plan))
+    disk.append(b"abc")
+    assert disk.sync() is False  # the lie: no exception, no durability
+    assert disk.durable_size == 0
+    assert disk.lost_syncs == 1
+    # The page cache survived; a later honest sync persists it.
+    disk.append(b"def")
+    assert disk.sync() is True
+    assert disk.crash_image() == b"abcdef"
+
+
+def test_attach_disk_writes_segment_header():
+    disk = SimulatedDisk()
+    LogManager(disk=disk)
+    assert disk.crash_image() == SEGMENT_HEADER
+
+
+def test_flush_writes_frames_and_sync_makes_them_durable():
+    disk = SimulatedDisk()
+    log = LogManager(disk=disk)
+    records = _records(4)
+    for record in records:
+        log.append(record)
+    assert disk.crash_image() == SEGMENT_HEADER  # appended, not flushed
+    log.flush()
+    expected = SEGMENT_HEADER + b"".join(encode_frame(r) for r in records)
+    assert disk.crash_image() == expected
+    # Flushing again must not double-append the same frames.
+    log.flush()
+    assert disk.crash_image() == expected
+
+
+def test_torn_write_cuts_last_flush_mid_frame():
+    plan = FaultPlan()
+    disk = SimulatedDisk()
+    log = LogManager(disk=disk)
+    for record in _records(3):
+        log.append(record)
+    log.flush()
+    clean_len = disk.durable_size
+    plan.arm(SITE_DISK_SYNC, TornWriteFault(cut=5))
+    disk.faults = FaultInjector(plan)
+    log.append(BeginRecord(txn_id=2))
+    log.flush()
+    image = disk.crash_image()
+    # The tear cut the *last* flush: earlier frames intact, tail short.
+    assert len(image) == disk.durable_size - 5
+    assert len(image) > clean_len - 5
+    salvaged = LogManager.from_disk(SimulatedDisk_from(image))
+    assert salvaged.salvage.torn
+    assert salvaged.end_lsn == 3  # the torn BeginRecord is gone
+
+
+def test_bit_flip_corrupts_exactly_one_bit():
+    plan = FaultPlan()
+    plan.arm(SITE_DISK_SYNC, BitFlipFault(frame_index=0, bit=9))
+    disk = SimulatedDisk(faults=FaultInjector(plan))
+    log = LogManager()
+    log.attach_disk(disk)
+    for record in _records(3):
+        log.append(record)
+    log.flush()
+    clean = SEGMENT_HEADER + b"".join(
+        encode_frame(r) for r in log.scan())
+    image = disk.crash_image()
+    assert len(image) == len(clean)
+    diff = [(i, a ^ b) for i, (a, b) in enumerate(zip(image, clean))
+            if a != b]
+    assert len(diff) == 1
+    assert bin(diff[0][1]).count("1") == 1
+
+
+def SimulatedDisk_from(image):
+    disk = SimulatedDisk()
+    disk.append(image)
+    disk.sync()
+    return disk
+
+
+# ---------------------------------------------------------------------------
+# from_disk salvage + restart
+# ---------------------------------------------------------------------------
+
+
+def test_from_disk_round_trips_flushed_records():
+    disk = SimulatedDisk()
+    log = LogManager(disk=disk)
+    for record in _records(5):
+        log.append(record)
+    log.flush()
+    log.append(BeginRecord(txn_id=9))  # never flushed
+    salvaged = LogManager.from_disk(disk)
+    assert salvaged.end_lsn == 5
+    assert salvaged.flushed_lsn == 5
+    assert [type(r).__name__ for r in salvaged.scan()] == \
+        [type(r).__name__ for r in log.scan(to_lsn=5)]
+
+
+def test_from_disk_continues_the_segment():
+    disk = SimulatedDisk()
+    log = LogManager(disk=disk)
+    for record in _records(3):
+        log.append(record)
+    log.flush()
+    salvaged = LogManager.from_disk(disk)
+    salvaged.append(BeginRecord(txn_id=2))
+    salvaged.flush()
+    again = LogManager.from_disk(disk)
+    assert again.end_lsn == 4
+    assert not again.salvage.torn and not again.salvage.tail_corrupt
+
+
+def test_from_disk_quarantines_midlog_corruption():
+    disk = SimulatedDisk()
+    log = LogManager(disk=disk)
+    for record in _records(6):
+        log.append(record)
+    log.flush()
+    # Corrupt a synced, non-final frame directly on the platter.
+    disk._buffer[len(SEGMENT_HEADER) + 20] ^= 0x10
+    with pytest.raises(LogCorruptionError) as excinfo:
+        LogManager.from_disk(disk)
+    assert excinfo.value.salvaged is not None
+
+
+def test_restart_from_disk_recovers_committed_data():
+    disk = SimulatedDisk()
+    log = LogManager(disk=disk)
+    db = Database(log=log)
+    db.create_table(TableSchema("T", ["id", "v"], primary_key=["id"]))
+    with Session(db) as s:
+        s.insert("T", {"id": 1, "v": "a"})
+        s.insert("T", {"id": 2, "v": "b"})
+    recovered = restart_from_disk(disk)
+    rows = sorted(r.values["id"] for r in recovered.table("T").scan())
+    assert rows == [1, 2]
+
+
+def test_restart_from_disk_drops_unflushed_commit():
+    disk = SimulatedDisk()
+    log = LogManager(disk=disk, flush_policy=FlushPolicy(
+        max_pending_requests=100, max_pending_records=1000))
+    db = Database(log=log)
+    db.create_table(TableSchema("T", ["id", "v"], primary_key=["id"]))
+    with Session(db) as s:
+        s.insert("T", {"id": 1, "v": "a"})
+    log.flush()  # the create + first commit are durable now
+    with Session(db) as s:
+        s.insert("T", {"id": 2, "v": "b"})  # commit deferred, never synced
+    assert log.flushed_lsn < log.end_lsn
+    recovered = restart_from_disk(disk)
+    rows = sorted(r.values["id"] for r in recovered.table("T").scan())
+    assert rows == [1]  # the unflushed commit legitimately vanished
+
+
+# ---------------------------------------------------------------------------
+# Satellite properties: flushed-prefix recovery under every policy
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=_POLICY_IDS)
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_recovery_preserves_exactly_committed_and_flushed(policy, data):
+    """For any sequence of small transactions and any crash point, the
+    recovered state contains exactly the transactions whose commit
+    record made it into the salvaged flushed prefix."""
+    txn_count = data.draw(st.integers(1, 8), label="txns")
+    disk = SimulatedDisk()
+    log = LogManager(disk=disk, flush_policy=policy)
+    db = Database(log=log)
+    db.create_table(TableSchema("T", ["id", "v"], primary_key=["id"]))
+    log.flush()  # pin the DDL; the property is about the data txns
+    for i in range(txn_count):
+        with Session(db) as s:
+            s.insert("T", {"id": i, "v": f"v{i}"})
+    salvaged = LogManager.from_disk(disk)
+    flushed_commits = {r.txn_id for r in salvaged.scan()
+                      if isinstance(r, CommitRecord)}
+    survivors = {r.txn_id for r in salvaged.scan()
+                 if isinstance(r, InsertRecord)
+                 and r.txn_id in flushed_commits}
+    recovered = restart(salvaged)
+    rows = sorted(r.values["id"] for r in recovered.table("T").scan())
+    expected = sorted(i for i in range(txn_count)
+                      if any(r.txn_id in flushed_commits and
+                             isinstance(r, InsertRecord) and
+                             r.key == (i,) for r in salvaged.scan()))
+    assert rows == expected
+    # Sanity: under IMMEDIATE_FLUSH nothing may vanish.
+    if policy.immediate:
+        assert rows == list(range(txn_count))
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=_POLICY_IDS)
+@settings(max_examples=25, deadline=None)
+@given(script=st.lists(st.sampled_from(["append", "request"]),
+                       min_size=1, max_size=30))
+def test_drain_always_reaches_end_lsn(policy, script):
+    """After any append/request interleaving, a trailing request plus
+    :meth:`drain_flushes` leaves ``flushed_lsn == end_lsn`` -- deferred
+    requests can delay durability but never strand it."""
+    log = LogManager(disk=SimulatedDisk(), flush_policy=policy)
+    txn = 1
+    for op in script:
+        if op == "append":
+            log.append(BeginRecord(txn_id=txn))
+            txn += 1
+        else:
+            log.request_flush()
+    log.request_flush()
+    log.drain_flushes()
+    assert log.flushed_lsn == log.end_lsn
+    assert log._pending_requests == 0
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=_POLICY_IDS)
+@settings(max_examples=25, deadline=None)
+@given(script=st.lists(st.sampled_from(["append", "request"]),
+                       min_size=1, max_size=20))
+def test_coalescing_window_exit_reaches_end_lsn(policy, script):
+    """Inside a coalescing window nothing flushes; the exit drains to
+    the full horizon requested, which commit-style usage (a trailing
+    full-horizon request) makes ``end_lsn``."""
+    disk = SimulatedDisk()
+    log = LogManager(disk=disk, flush_policy=policy)
+    txn = 1
+    with log.coalescing():
+        for op in script:
+            if op == "append":
+                log.append(BeginRecord(txn_id=txn))
+                txn += 1
+            else:
+                log.request_flush()
+        log.request_flush()
+        flushed_inside = log.flushed_lsn
+    assert flushed_inside == 0  # the window deferred every request
+    assert log.flushed_lsn == log.end_lsn
+    # And the disk agrees byte-for-byte.
+    expected = SEGMENT_HEADER + b"".join(
+        encode_frame(r) for r in log.scan())
+    assert disk.crash_image() == expected

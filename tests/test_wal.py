@@ -136,6 +136,40 @@ def test_negative_lsns_rejected():
         list(log.scan(to_lsn=-2))
 
 
+def test_records_between_rejects_negative_lsns():
+    log = LogManager()
+    log.append(BeginRecord(txn_id=1))
+    with pytest.raises(ValueError):
+        log.records_between(-1, log.end_lsn)
+    with pytest.raises(ValueError):
+        log.records_between(FIRST_LSN, -3)
+
+
+def test_tail_length_rejects_negative_lsn():
+    log = LogManager()
+    log.append(BeginRecord(txn_id=1))
+    with pytest.raises(ValueError):
+        log.tail_length(-1)
+    # NULL_LSN (0) stays valid: the whole log is the tail.
+    assert log.tail_length(NULL_LSN) == 1
+
+
+def test_tail_length_beyond_end_is_zero():
+    log = LogManager()
+    log.append(BeginRecord(txn_id=1))
+    assert log.tail_length(log.end_lsn + 10) == 0
+
+
+def test_request_flush_rejects_negative_lsn():
+    log = LogManager()
+    log.append(BeginRecord(txn_id=1))
+    with pytest.raises(ValueError):
+        log.request_flush(-1)
+    # The log must be untouched by the rejected request.
+    assert log.flushed_lsn == NULL_LSN
+    assert log._pending_requests == 0
+
+
 def test_scan_from_beyond_end_is_empty():
     log = LogManager()
     log.append(BeginRecord(txn_id=1))
