@@ -15,6 +15,7 @@ from repro.api import Phase
 from benchmarks.harness import (
     averaged_relative,
     foj_builder,
+    merge_bench_blame,
     n_max_for,
     print_series,
     run_benchmark,
@@ -54,9 +55,19 @@ def bench_foj_interference(benchmark, capsys):
             rows, capsys)
         all_lines.extend(lines)
     save_results("foj_interference", all_lines)
-    save_bench_report("foj_interference", foj_builder(0.2),
-                      meta={"comparison": "foj vs split",
-                            "priority": PRIORITY})
+    report = save_bench_report("foj_interference", foj_builder(0.2),
+                               meta={"comparison": "foj vs split",
+                                     "priority": PRIORITY})
+    # Per-phase interference attribution of the observed FOJ run: who the
+    # user transactions actually waited on (user vs. sync vs. latched
+    # window ...), next to the aggregate ratios in BENCH_interference.json.
+    blame = report.get("blame")
+    merge_bench_blame(blame, "foj_interference.observed")
+    if blame is not None:
+        total = blame["total_wait_ms"]
+        assert abs(sum(blame["by_role"].values()) - total) <= \
+            max(0.01 * total, 1e-9), \
+            "blame breakdown diverged from aggregate wait time"
 
     foj = {pct: thr for pct, thr, _ in series["foj"]}
     split_ = {pct: thr for pct, thr, _ in series["split"]}

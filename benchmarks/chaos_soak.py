@@ -17,8 +17,11 @@ Usage::
 Every experiment is fully reproducible from its seed.  On a violation
 the soak prints a one-line repro recipe, writes the full failing report
 (the fault plan, salvage description and violation list) to
-``benchmarks/results/chaos_failures.json`` for artifact upload, and
-exits non-zero.
+``benchmarks/results/chaos_failures.json``, replays the seed *observed*
+(spans, trace events, blame edges, fault firings) and dumps the
+resulting postmortem bundle to
+``benchmarks/results/postmortem_chaos_seed<seed>.json`` for artifact
+upload, then exits non-zero.
 """
 
 from __future__ import annotations
@@ -27,10 +30,28 @@ import argparse
 import json
 import sys
 from collections import Counter
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from benchmarks.harness import save_results_json
 from repro.faults.chaos import chaos_run
+from repro.obs.flight import FlightRecorder, postmortem_bundle
+from repro.obs.metrics import Metrics
+
+
+def dump_postmortem(seed: int) -> Tuple[Dict[str, object], str]:
+    """Replay a violating seed observed; write its postmortem bundle.
+
+    Chaos runs are deterministic in the seed, so the replay reproduces
+    the violation exactly -- this time with a live registry attached to
+    the armed pass, so the bundle carries the final spans, the blame
+    edges and every fault firing next to the violation list.
+    """
+    metrics = Metrics()
+    flight = FlightRecorder(metrics)
+    report = chaos_run(seed, metrics=metrics, flight=flight)
+    bundle = postmortem_bundle(report, metrics, recorder=flight)
+    path = save_results_json(f"postmortem_chaos_seed{seed}", bundle)
+    return bundle, path
 
 
 def soak(start: int, runs: int, verbose: bool = False) -> Dict[str, object]:
@@ -46,6 +67,8 @@ def soak(start: int, runs: int, verbose: bool = False) -> Dict[str, object]:
             failures.append(report)
             print(f"VIOLATION at seed {seed}: {report['violations']}")
             print(f"  repro: {report['repro']}")
+            _, bundle_path = dump_postmortem(seed)
+            print(f"  postmortem bundle: {bundle_path}")
         elif verbose:
             print(f"seed {seed:4d}  {report['outcome']:<14s} "
                   f"{report['operator']}/{report['strategy']} "
@@ -76,7 +99,11 @@ def main(argv: List[str] = None) -> int:
     if args.seed is not None:
         report = chaos_run(args.seed)
         print(json.dumps(report, indent=2, sort_keys=True, default=str))
-        return 1 if report["violations"] else 0
+        if report["violations"]:
+            _, bundle_path = dump_postmortem(args.seed)
+            print(f"postmortem bundle: {bundle_path}")
+            return 1
+        return 0
 
     summary = soak(args.start, args.runs, verbose=args.verbose)
     path = save_results_json("chaos_soak", summary)

@@ -23,9 +23,56 @@ count (which must be zero).  For the seeded crash x disk-fault soak see
 from __future__ import annotations
 
 import sys
+from typing import Dict, Optional
 
 from benchmarks.harness import save_results_json
 from repro.faults.sweep import run_sweep
+
+
+def dump_postmortem(report: Dict[str, object]) -> Optional[str]:
+    """Replay the first violating crash site observed; dump its bundle.
+
+    The sweep is deterministic, so re-arming the same site at the same
+    crossing reproduces the failing run -- now with a live registry, so
+    the bundle written to
+    ``benchmarks/results/postmortem_fault_sweep.json`` carries the
+    failing run's spans, blame edges and fault firings next to the
+    sweep's own violation detail.
+    """
+    from repro.common.errors import SimulatedCrashError
+    from repro.faults.injection import CrashFault, FaultInjector, FaultPlan
+    from repro.faults.sweep import ScenarioRun
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.metrics import Metrics
+    from repro.transform.base import SyncStrategy
+
+    target = next(
+        ((combo, entry) for combo in report["combos"]
+         for entry in combo["sites"] if entry["outcome"] != "ok"),
+        None)
+    if target is None:
+        return None
+    combo, entry = target
+    plan = FaultPlan().arm(entry["site"], CrashFault(),
+                           hit=entry["crash_at_hit"])
+    metrics = Metrics()
+    flight = FlightRecorder(metrics)
+    injector = FaultInjector(plan)
+    injector.on_fire = flight.note_fault
+    run = ScenarioRun(combo["operator"], SyncStrategy(combo["strategy"]),
+                      injector, metrics=metrics)
+    try:
+        run.execute()
+    except SimulatedCrashError:
+        pass
+    except Exception as exc:  # noqa: BLE001 - the bundle still helps
+        flight.note("replay.error", error=repr(exc))
+    bundle = flight.bundle(
+        "fault_sweep.violation",
+        operator=combo["operator"], strategy=combo["strategy"],
+        site=entry["site"], crash_at_hit=entry["crash_at_hit"],
+        outcome=entry["outcome"], detail=list(entry.get("detail") or ()))
+    return save_results_json("postmortem_fault_sweep", bundle)
 
 
 def main() -> int:
@@ -54,6 +101,10 @@ def main() -> int:
         for site in summary["never_fired"]:
             print(f"  - {site}")
     print(f"full report written to {path}")
+    if failed:
+        bundle_path = dump_postmortem(report)
+        if bundle_path:
+            print(f"postmortem bundle written to {bundle_path}")
     return 1 if failed else 0
 
 

@@ -198,6 +198,48 @@ def save_run_report(name: str, report: Dict[str, object]) -> pathlib.Path:
     return path
 
 
+def blame_breakdown(run) -> Optional[Dict[str, object]]:
+    """Per-phase wait attribution of an observed run.
+
+    Pulls the :mod:`repro.obs.blame` snapshot out of
+    ``RunResult.info["blame"]``: total user wait (virtual ms), the
+    per-role split (user / populate / propagate / sync / latched-window /
+    lazy-miss / sweeper / recovery) and the edge accounting.  The split
+    is exact by construction -- ``by_role`` sums to ``total_wait_ms`` --
+    which downstream checks assert within 1%.
+    """
+    blame = (run.info or {}).get("blame")
+    if not blame:
+        return None
+    return {
+        "total_wait_ms": blame["total_wait_ms"],
+        "by_role": dict(blame["by_role"]),
+        "by_txn_count": len(blame.get("by_txn") or {}),
+        "edges": dict(blame.get("edges") or {}),
+    }
+
+
+def merge_bench_blame(breakdown: Optional[Dict[str, object]], source: str,
+                      path: Optional[pathlib.Path] = None) -> None:
+    """Merge one run's blame breakdown into ``BENCH_interference.json``.
+
+    The file is owned by :func:`interference_probe` (which rewrites it
+    wholesale); benches contribute their own per-phase attribution under
+    ``payload["blame"][source]`` without clobbering the probe's ratios.
+    """
+    if breakdown is None:
+        return
+    path = path if path is not None else REPO_ROOT / "BENCH_interference.json"
+    payload: Dict[str, object] = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            payload = {}
+    payload.setdefault("blame", {})[source] = breakdown
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 def observed_run_section(name: str, run,
                          meta: Optional[Dict[str, object]] = None
                          ) -> Dict[str, object]:
@@ -244,6 +286,9 @@ def save_bench_report(name: str, builder: Callable, *,
                                "seed": settings.seed})
     report = build_run_report(name, [section], meta=dict(meta or {}),
                               interference=interference)
+    breakdown = blame_breakdown(run)
+    if breakdown is not None:
+        report["blame"] = breakdown
     save_run_report(f"{name}.report", report)
     return report
 
@@ -291,6 +336,8 @@ def interference_probe(rows: int = 600, n_clients: int = 8, seed: int = 0,
                       "aborted": treat.aborted,
                       "completion_time": treat.completion_time,
                       "blocked_time": treat.blocked_time},
+        "blame": {"interference_probe.treatment":
+                  blame_breakdown(treat)},
     }
     path = out_path if out_path is not None \
         else REPO_ROOT / "BENCH_interference.json"
@@ -397,6 +444,7 @@ def observability_smoke(rows: int = 400,
             "latched_window": snapshot["histograms"].get(
                 "sync.latched_window"),
             "latch_hold_time": snapshot["histograms"].get("latch.hold_time"),
+            "blame": snapshot["blame"],
             "metrics": snapshot,
         }
 
@@ -404,6 +452,11 @@ def observability_smoke(rows: int = 400,
         "benchmark": "observability_smoke",
         "rows": rows,
         "strategies": strategies,
+        # CI's blame-smoke gate: an interference-exercising run that
+        # records zero wait edges means the attribution hooks fell off.
+        "blame_edges_recorded": sum(
+            data["blame"]["edges"]["recorded"]
+            for data in strategies.values()),
         "run_report": build_run_report("observability_smoke", sections,
                                        meta={"rows": rows}),
     }

@@ -126,6 +126,7 @@ class LockManager:
             self._check_deadlock(txn_id, resource)
             self.wait_count += 1
             self.metrics.inc("lock.waits")
+            self._blame_begin(txn_id, resource, state, upgraded, origin)
             raise LockWaitError(resource, txn_id)
 
         waiter = state.waiting_for(txn_id)
@@ -153,7 +154,29 @@ class LockManager:
             raise
         self.wait_count += 1
         self.metrics.inc("lock.waits")
+        self._blame_begin(txn_id, resource, state, mode, origin)
         raise LockWaitError(resource, txn_id)
+
+    def _blame_begin(self, txn_id: int, resource: tuple,
+                     state: _ResourceState, mode: LockMode,
+                     origin: LockOrigin) -> None:
+        """Open a blame wait edge against the owners standing in the way.
+
+        Holders are the incompatible granted owners at enqueue time; when
+        the block is purely FIFO fairness (a conflicting waiter queued
+        ahead), that waiter is the blocker instead.  Idempotent per
+        (waiter, resource) -- retries never restart the clock.
+        """
+        if not self.metrics.enabled:
+            return
+        holders = [g.txn_id for g in state.granted
+                   if g.txn_id != txn_id
+                   and not compatible(g.mode, g.origin, mode, origin)]
+        if not holders:
+            holders = [w.txn_id for w in state.waiting
+                       if w.txn_id != txn_id
+                       and not compatible(w.mode, w.origin, mode, origin)]
+        self.metrics.blame.begin_wait(txn_id, resource, holders, "lock")
 
     def try_acquire(self, txn_id: int, resource: tuple, mode: LockMode,
                     origin: LockOrigin = LockOrigin.NATIVE) -> bool:
@@ -243,6 +266,8 @@ class LockManager:
         else:
             self._withdraw(state, txn_id)
             self._forget_waiting(txn_id, resource)
+            self.metrics.blame.end_wait(txn_id, resource,
+                                        outcome="abandoned")
         held = self._txn_resources.get(txn_id)
         if held is not None:
             held.discard(resource)
@@ -259,6 +284,12 @@ class LockManager:
         """
         resources = self._txn_resources.pop(txn_id, set())
         resources |= self._txn_waiting.pop(txn_id, set())
+        # Any wait this transaction still had open (lock, latch or
+        # blocked-table) ends here as abandoned: strict 2PL release is
+        # the common exit of commit, abort and deadlock-victim paths.
+        # Scoped roles (a lazy-miss marking) die with the transaction.
+        self.metrics.blame.abandon_waits(txn_id)
+        self.metrics.blame.clear_role(txn_id)
         woken: List[int] = []
         for resource in list(resources):
             state = self._resources.get(resource)
@@ -292,6 +323,7 @@ class LockManager:
                         waiter.granted = True
                         state.granted.append(waiter)
                         self._remember(waiter.txn_id, resource)
+                    self.metrics.blame.end_wait(waiter.txn_id, resource)
                     woken.append(waiter.txn_id)
                     changed = True
                 else:
@@ -392,7 +424,10 @@ class LockManager:
                 self.metrics.observe("latch.hold_time", held)
                 self.metrics.trace("latch.release", table=table,
                                    owner=owner, held=held)
-        return self._latch_waiters.pop(table, [])
+        waiters = self._latch_waiters.pop(table, [])
+        for waiter in waiters:
+            self.metrics.blame.end_wait(waiter, ("latch", table))
+        return waiters
 
     def is_latched(self, table: str) -> bool:
         """Whether the table is currently latched."""
@@ -406,4 +441,6 @@ class LockManager:
                 waiters.append(txn_id)
             self.wait_count += 1
             self.metrics.inc("latch.waits")
+            self.metrics.blame.begin_wait(
+                txn_id, ("latch", table), (self._latches[table],), "latch")
             raise LockWaitError(("latch", table), txn_id)

@@ -355,6 +355,12 @@ class Database:
                 waiters = self._blocked_waiters.setdefault(name, [])
                 if txn.txn_id not in waiters:
                     waiters.append(txn.txn_id)
+                # The blocker is the sync strategy that blocked the
+                # table; the board's ("blocked", name) owner defaults to
+                # the sync role unless a strategy registered otherwise.
+                self.metrics.blame.begin_wait(
+                    txn.txn_id, ("blocked", name), (("blocked", name),),
+                    "blocked")
                 raise LockWaitError(("blocked", name), txn.txn_id)
             return self.catalog.get(name)
         if self.catalog.is_zombie(name) and name in txn.tables_touched:
@@ -366,7 +372,10 @@ class Database:
         self.catalog.unblock(names)
         woken: List[int] = []
         for name in names:
-            woken.extend(self._blocked_waiters.pop(name, []))
+            parked = self._blocked_waiters.pop(name, [])
+            for waiter in parked:
+                self.metrics.blame.end_wait(waiter, ("blocked", name))
+            woken.extend(parked)
         self._notify_woken(woken)
 
     def latch_table(self, table: Table, owner: str) -> None:

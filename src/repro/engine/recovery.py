@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.common.errors import RecoveryError
 from repro.concurrency.transactions import Transaction, TxnState
 from repro.engine.database import Database
+from repro.obs.blame import ROLE_RECOVERY
 from repro.storage.table import Table
 from repro.wal.log import LogManager
 from repro.wal.records import (
@@ -163,6 +164,11 @@ def restart(log: LogManager, metrics=None) -> Database:
                 txn.state = TxnState.ACTIVE
                 db.txns._txns[txn_id] = txn
                 undo_from = log.end_lsn
+                # Blame: the rollback acts on recovery's behalf, not the
+                # dead user's.  Restart is offline today, so this only
+                # matters if a workload is ever admitted mid-undo -- but
+                # the attribution must already be right when that lands.
+                obs.blame.set_role(txn_id, ROLE_RECOVERY)
                 db.abort(txn)
                 # Feed the freshly written CLRs to any live propagator so
                 # aborted old transactions also converge in the published

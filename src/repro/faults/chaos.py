@@ -88,12 +88,22 @@ def _byte_identity(run: ScenarioRun, log: LogManager) -> List[str]:
     return []
 
 
-def chaos_run(seed: int) -> Dict[str, object]:
+def chaos_run(seed: int, metrics=None,
+              flight=None) -> Dict[str, object]:
     """One seeded crash x disk-fault experiment; returns a report dict.
 
     The report's ``violations`` list is empty iff every durability and
     recovery invariant held; ``repro`` is a one-line recipe that re-runs
     exactly this experiment.
+
+    When a :class:`~repro.obs.metrics.Metrics` registry is passed, the
+    *armed* pass runs observed -- spans, trace events and blame edges
+    accumulate in it, so a violating seed can be dumped as a postmortem
+    bundle (:func:`repro.obs.flight.postmortem_bundle`) carrying the
+    run's final spans and blame edges next to the violation list.  A
+    :class:`~repro.obs.flight.FlightRecorder` passed as ``flight``
+    additionally captures every fault firing as a moment *before* the
+    fault acts (a crash fault never returns control).
     """
     rng = random.Random(seed)
     operator = rng.choice(SCENARIO_OPERATORS)
@@ -161,8 +171,13 @@ def chaos_run(seed: int) -> Dict[str, object]:
     report.update(crash_site=crash_site, crash_hit=crash_hit,
                   disk_fault=fault_kind, disk_fault_hit=disk_hit)
 
+    if flight is not None and metrics is None:
+        metrics = flight.metrics
     run = ScenarioRun(operator, strategy, FaultInjector(plan),
-                      flush_policy=policy, workload_seed=workload_seed)
+                      flush_policy=policy, workload_seed=workload_seed,
+                      metrics=metrics)
+    if flight is not None:
+        run.faults.on_fire = flight.note_fault
     try:
         run.execute()
     except SimulatedCrashError:
@@ -227,7 +242,9 @@ def chaos_run(seed: int) -> Dict[str, object]:
         report["outcome"] = "recovered"
         violations.extend(check_salvage(run, salvaged))
 
-    recovered = restart(salvaged)
+    # Recovery runs on the same registry, so the postmortem's span tree
+    # shows the analysis/redo/undo passes that followed the crash.
+    recovered = restart(salvaged, metrics=metrics)
     violations.extend(check_recovered(run, recovered, salvaged))
     if violations:
         report["outcome"] = "violation"

@@ -31,7 +31,7 @@ Three fault species cover the paper's failure model:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import (
     SimulatedCrashError,
@@ -281,7 +281,11 @@ class FaultInjector:
     counts the crossing, checks whether an arming matches, and either
     triggers the fault (which may raise) or returns ``None``.  ``hits``
     and ``fired`` expose what actually happened for assertions and for
-    the sweep harness's site-discovery pass.
+    the sweep harness's site-discovery pass.  ``on_fire`` (when set) is
+    called as ``on_fire(site, crossing, kind)`` the moment a fault
+    triggers -- **before** the fault acts, since a crash fault never
+    returns -- which is how the flight recorder captures firings into a
+    postmortem even when the firing kills the run.
     """
 
     enabled = True
@@ -292,6 +296,8 @@ class FaultInjector:
         self.hits: Dict[str, int] = {}
         #: chronological (site, crossing#, fault kind) firing log.
         self.fired: List[Tuple[str, int, str]] = []
+        #: optional firing observer (e.g. FlightRecorder.note_fault).
+        self.on_fire: Optional[Callable[[str, int, str], None]] = None
 
     def fire(self, site: str, **ctx: object) -> Optional[Fault]:
         """Record a crossing of ``site``; trigger any matching fault."""
@@ -303,6 +309,8 @@ class FaultInjector:
             if count >= arming.hit:
                 arming.fired += 1
                 self.fired.append((site, count, arming.fault.kind))
+                if self.on_fire is not None:
+                    self.on_fire(site, count, arming.fault.kind)
                 return arming.fault.trigger(site, ctx)
         return None
 

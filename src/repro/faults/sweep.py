@@ -232,7 +232,8 @@ class ScenarioRun:
     def __init__(self, operator: str, strategy: SyncStrategy,
                  faults: Optional[FaultInjector] = None,
                  flush_policy: Optional[FlushPolicy] = None,
-                 workload_seed: Optional[int] = None) -> None:
+                 workload_seed: Optional[int] = None,
+                 metrics=None) -> None:
         base, _, shard_suffix = operator.partition("@")
         shards = int(shard_suffix) if shard_suffix else 1
         base, _, mode = base.partition(":")
@@ -252,7 +253,9 @@ class ScenarioRun:
         self.disk = SimulatedDisk()
         self.log = LogManager(disk=self.disk,
                               flush_policy=self.flush_policy)
-        self.db = Database(log=self.log)
+        # An observed run (chaos postmortems, interference probes) passes
+        # a Metrics registry; the stock sweep stays on the null registry.
+        self.db = Database(log=self.log, metrics=metrics)
         self.db.attach_faults(self.faults)
         self.shadow = _Shadow()
         self.tf: Optional[Transformation] = None

@@ -1,0 +1,261 @@
+"""Machine-ingestible exporters over the observability registry.
+
+``run_report.json`` is good for humans with the renderer; CI dashboards
+and external tooling want standard formats.  Two are provided:
+
+* :func:`prometheus_exposition` -- render a :meth:`Metrics.snapshot`
+  (or a raw snapshot dict) into the Prometheus text exposition format
+  (version 0.0.4): counters as ``counter``, gauges as ``gauge``,
+  histograms as native Prometheus histograms with cumulative ``le``
+  buckets built from the exact bucket counts, plus ``_sum``/``_count``
+  series and quantile gauges from the sample-ring percentiles.  Blame is
+  exported as ``repro_blame_wait_ms_total{role=...}``.
+  :func:`parse_exposition` is the matching (subset) parser, used by the
+  round-trip test and available to harness assertions.
+* :func:`spans_to_jsonl` / :func:`events_to_jsonl` -- one JSON object
+  per line, OTLP-shaped: spans carry ``traceId``/``spanId``/
+  ``parentSpanId``/``name``/``startTimeUnixNano``/``endTimeUnixNano``/
+  ``attributes`` in the OpenTelemetry key-value list form, so any OTLP
+  file ingester (or ``jq``) takes them as-is.  Events become span-event
+  shaped records on the same trace id.
+
+The exporters are pure functions over snapshot data: nothing here holds
+state, so they can run after the fact on persisted benchmark artifacts
+just as well as on a live registry.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Trace id used when a run does not provide one: the exporters are
+#: single-trace (one run = one trace), 32 hex chars per OTLP.
+DEFAULT_TRACE_ID = "0" * 31 + "1"
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    """Dotted instrument name to a legal Prometheus metric name."""
+    return "repro_" + _NAME_RE.sub("_", name) + suffix
+
+
+def _fmt(value: float) -> str:
+    """Canonical float rendering (integers without trailing .0)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_exposition(snapshot: Dict[str, object]) -> str:
+    """Render a metrics snapshot as Prometheus text exposition.
+
+    Accepts the dict :meth:`repro.obs.metrics.Metrics.snapshot` returns
+    (``counters``/``histograms``/``gauges`` and optionally ``blame``).
+    Output ends with a newline, as the format requires.
+    """
+    lines: List[str] = []
+
+    for name, value in sorted(
+            dict(snapshot.get("counters") or {}).items()):
+        metric = _metric_name(name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, gauge in sorted(dict(snapshot.get("gauges") or {}).items()):
+        metric = _metric_name(name)
+        value = gauge.get("value", 0.0) if isinstance(gauge, dict) else gauge
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for name, hist in sorted(
+            dict(snapshot.get("histograms") or {}).items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        buckets = hist.get("buckets") or {}
+        bounds = list(buckets.get("bounds") or [])
+        counts = list(buckets.get("counts") or [])
+        cumulative = 0
+        for bound, count in zip(bounds, counts):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{_fmt(bound)}"}} '
+                         f"{cumulative}")
+        lines.append(f'{metric}_bucket{{le="+Inf"}} '
+                     f"{_fmt(hist.get('count', 0))}")
+        lines.append(f"{metric}_sum {_fmt(hist.get('total', 0.0))}")
+        lines.append(f"{metric}_count {_fmt(hist.get('count', 0))}")
+        for quantile in ("p50", "p95", "p99", "p999"):
+            if quantile in hist:
+                q = {"p50": "0.5", "p95": "0.95",
+                     "p99": "0.99", "p999": "0.999"}[quantile]
+                lines.append(f'{metric}_quantile{{quantile="{q}"}} '
+                             f"{_fmt(hist[quantile])}")
+
+    blame = snapshot.get("blame")
+    if isinstance(blame, dict):
+        metric = "repro_blame_wait_ms_total"
+        lines.append(f"# TYPE {metric} counter")
+        for role, value in sorted(
+                dict(blame.get("by_role") or {}).items()):
+            lines.append(f'{metric}{{role="{role}"}} {_fmt(value)}')
+        lines.append("# TYPE repro_blame_wait_edges_total counter")
+        edges = blame.get("edges") or {}
+        lines.append("repro_blame_wait_edges_total "
+                     f"{_fmt(edges.get('recorded', 0))}")
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[Tuple, float]]:
+    """Parse (the subset of) Prometheus text exposition we emit.
+
+    Returns ``{metric_name: {labels_tuple: value}}`` where
+    ``labels_tuple`` is a sorted tuple of ``(label, value)`` pairs (empty
+    for unlabelled series).  Raises :class:`ValueError` on any line that
+    is neither a comment nor a well-formed sample -- the round-trip test
+    relies on the strictness.
+    """
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"          # metric name
+        r"(?:\{([^}]*)\})?"                     # optional label set
+        r"\s+(-?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|\+?Inf|NaN))$")
+    label_re = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+    series: Dict[str, Dict[Tuple, float]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = sample_re.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {raw!r}")
+        name, labels_raw, value = match.groups()
+        labels: Tuple = ()
+        if labels_raw:
+            labels = tuple(sorted(label_re.findall(labels_raw)))
+        series.setdefault(name, {})[labels] = float(value)
+    return series
+
+
+# ---------------------------------------------------------------------------
+# OTLP-shaped JSONL span / event export
+# ---------------------------------------------------------------------------
+
+
+def _otlp_value(value: object) -> Dict[str, object]:
+    """One OTLP ``AnyValue``."""
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _otlp_attrs(attrs: Dict[str, object]) -> List[Dict[str, object]]:
+    return [{"key": key, "value": _otlp_value(value)}
+            for key, value in attrs.items()]
+
+
+def _span_id(span_id: Optional[int]) -> str:
+    """Numeric tracker span id to the 16-hex-char OTLP form."""
+    return "" if span_id is None else format(int(span_id) & (2**64 - 1),
+                                             "016x")
+
+
+def span_to_otlp(span: Dict[str, object],
+                 trace_id: str = DEFAULT_TRACE_ID) -> Dict[str, object]:
+    """One flat span dict (:meth:`Span.as_dict` shape) to an OTLP span.
+
+    The registry clock is milliseconds (virtual in the simulator), so
+    timestamps are exported as integer nanoseconds at a 1 ms = 1e6 ns
+    scale; an open span exports ``endTimeUnixNano`` equal to its start.
+    """
+    start = float(span.get("start") or 0.0)
+    end = span.get("end")
+    end = start if end is None else float(end)
+    otlp: Dict[str, object] = {
+        "traceId": trace_id,
+        "spanId": _span_id(span.get("span_id")),
+        "name": span.get("name", ""),
+        "startTimeUnixNano": str(int(start * 1_000_000)),
+        "endTimeUnixNano": str(int(end * 1_000_000)),
+        "attributes": _otlp_attrs(dict(span.get("attrs") or {})),
+    }
+    parent = span.get("parent_id")
+    if parent is not None:
+        otlp["parentSpanId"] = _span_id(parent)
+    if span.get("error"):
+        otlp["status"] = {"code": 2, "message": str(span["error"])}
+    return otlp
+
+
+def _flatten(nodes: Iterable[Dict[str, object]]
+             ) -> List[Dict[str, object]]:
+    flat: List[Dict[str, object]] = []
+    for node in nodes:
+        flat.append(node)
+        flat.extend(_flatten(node.get("children") or ()))
+    return flat
+
+
+def spans_to_jsonl(spans: Iterable[Dict[str, object]],
+                   trace_id: str = DEFAULT_TRACE_ID) -> str:
+    """Span dicts (flat, or the nested ``tree()`` shape) to OTLP JSONL."""
+    flat = _flatten(spans)
+    return "".join(json.dumps(span_to_otlp(span, trace_id),
+                              sort_keys=True) + "\n"
+                   for span in flat)
+
+
+def events_to_jsonl(events: Iterable[Dict[str, object]],
+                    trace_id: str = DEFAULT_TRACE_ID) -> str:
+    """Trace-event dicts (``{ts, kind, **fields}``) to OTLP-shaped JSONL.
+
+    Events export as zero-duration spans named after their kind with the
+    payload as attributes -- the representation OTLP file ingesters
+    accept without a custom schema.
+    """
+    lines = []
+    for index, event in enumerate(events):
+        payload = dict(event)
+        ts = float(payload.pop("ts", 0.0))
+        kind = str(payload.pop("kind", "event"))
+        nanos = str(int(ts * 1_000_000))
+        lines.append(json.dumps({
+            "traceId": trace_id,
+            "spanId": format((index + 1) & (2**64 - 1), "016x"),
+            "name": "event." + kind,
+            "startTimeUnixNano": nanos,
+            "endTimeUnixNano": nanos,
+            "attributes": _otlp_attrs(payload),
+        }, sort_keys=True) + "\n")
+    return "".join(lines)
+
+
+def write_exports(base_path: str, snapshot: Dict[str, object],
+                  spans: Optional[Iterable[Dict[str, object]]] = None,
+                  events: Optional[Iterable[Dict[str, object]]] = None
+                  ) -> List[str]:
+    """Write ``<base>.prom`` (+ ``<base>.spans.jsonl`` /
+    ``<base>.events.jsonl`` when data is given); returns written paths."""
+    paths: List[str] = []
+    prom_path = base_path + ".prom"
+    with open(prom_path, "w", encoding="utf-8") as fh:
+        fh.write(prometheus_exposition(snapshot))
+    paths.append(prom_path)
+    if spans is not None:
+        span_path = base_path + ".spans.jsonl"
+        with open(span_path, "w", encoding="utf-8") as fh:
+            fh.write(spans_to_jsonl(spans))
+        paths.append(span_path)
+    if events is not None:
+        event_path = base_path + ".events.jsonl"
+        with open(event_path, "w", encoding="utf-8") as fh:
+            fh.write(events_to_jsonl(events))
+        paths.append(event_path)
+    return paths

@@ -57,11 +57,21 @@ class Counter:
 class Histogram:
     """Distribution summary: exact moments + a bounded sample ring.
 
-    ``count``/``total``/``min``/``max`` are exact over every observation;
-    percentiles are computed from the most recent ``sample_cap`` samples.
+    ``count``/``total``/``min``/``max`` and the fixed-bound bucket counts
+    are exact over every observation; percentiles are computed from the
+    most recent ``sample_cap`` samples.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_samples")
+    #: Fixed upper bounds of the exact bucket counts (the last bucket is
+    #: the +Inf overflow).  Chosen for millisecond-scale latencies; the
+    #: bounds are exposed in :meth:`as_dict` so consumers (the Prometheus
+    #: exporter, regression gates) never have to hard-code them.
+    BUCKET_BOUNDS: Tuple[float, ...] = (
+        0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+        1000.0, 2500.0)
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples",
+                 "bucket_counts")
 
     def __init__(self, name: str, sample_cap: int = 512) -> None:
         self.name = name
@@ -70,6 +80,9 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._samples: Deque[float] = deque(maxlen=sample_cap)
+        #: Per-bucket observation counts; one slot past the bounds for
+        #: the overflow bucket.
+        self.bucket_counts: List[int] = [0] * (len(self.BUCKET_BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -80,6 +93,12 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
         self._samples.append(value)
+        for i, bound in enumerate(self.BUCKET_BOUNDS):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -100,6 +119,11 @@ class Histogram:
                     max(0, int(round(pct / 100.0 * (len(ordered) - 1)))))
         return ordered[index]
 
+    @property
+    def p999(self) -> float:
+        """The 99.9th percentile over the retained samples (0.0 empty)."""
+        return self.percentile(99.9)
+
     def as_dict(self) -> Dict[str, float]:
         """JSON-friendly summary."""
         return {
@@ -111,6 +135,11 @@ class Histogram:
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
+            "p999": self.p999,
+            "buckets": {
+                "bounds": list(self.BUCKET_BOUNDS),
+                "counts": list(self.bucket_counts),
+            },
         }
 
     #: Alias: the dict rendering is the histogram's summary.
@@ -160,6 +189,7 @@ class Metrics:
         span_capacity: Span retention bound (earliest kept, see
             :class:`~repro.obs.spans.SpanTracker`).
         gauge_series_cap: Per-gauge history retention.
+        blame_edge_capacity: Wait-edge retention on the blame board.
     """
 
     def __init__(self, enabled: bool = True,
@@ -167,7 +197,8 @@ class Metrics:
                  trace_capacity: int = 1024,
                  sample_cap: int = 512,
                  span_capacity: int = 8192,
-                 gauge_series_cap: int = 1024) -> None:
+                 gauge_series_cap: int = 1024,
+                 blame_edge_capacity: int = 4096) -> None:
         self.enabled = enabled
         self._clock = clock if clock is not None else time.perf_counter
         self._sample_cap = sample_cap
@@ -178,6 +209,11 @@ class Metrics:
         self.ring = EventRing(trace_capacity)
         #: Hierarchical span tracker sharing this registry's clock.
         self.spans = SpanTracker(self._clock, span_capacity)
+        # Deferred import: repro.obs.blame reuses Histogram from this
+        # module, so the board is bound at construction time instead.
+        from repro.obs.blame import BlameBoard
+        #: Interference attribution board sharing this registry's clock.
+        self.blame = BlameBoard(self._clock, blame_edge_capacity)
 
     # -- instruments --------------------------------------------------------
 
@@ -282,15 +318,17 @@ class Metrics:
                 "dropped": self.ring.dropped,
             },
             "spans": self.spans.summary(),
+            "blame": self.blame.snapshot(),
         }
 
     def reset(self) -> None:
-        """Drop all instruments, trace events and spans."""
+        """Drop all instruments, trace events, spans and blame edges."""
         self._counters.clear()
         self._histograms.clear()
         self._gauges.clear()
         self.ring = EventRing(self.ring.capacity)
         self.spans = SpanTracker(self._clock, self.spans.capacity)
+        self.blame.reset()
 
 
 class _NullMetrics(Metrics):
@@ -302,8 +340,10 @@ class _NullMetrics(Metrics):
     """
 
     def __init__(self) -> None:
-        super().__init__(enabled=False, trace_capacity=1, span_capacity=1)
-        self.spans = NULL_SPAN_TRACKER
+        super().__init__(enabled=False, trace_capacity=1, span_capacity=1,
+                         blame_edge_capacity=1)
+        from repro.obs.blame import NULL_BLAME
+        self.blame = NULL_BLAME
 
     def inc(self, name: str, n: float = 1) -> None:  # noqa: D102
         pass

@@ -233,6 +233,22 @@ def _render_convergence(series: List[Dict[str, object]],
             decision=last.get("decision")))
 
 
+def _render_blame(blame: Optional[Dict[str, object]],
+                  lines: List[str]) -> None:
+    """One line of per-role wait attribution, nonzero roles only."""
+    if not blame or not blame.get("total_wait_ms"):
+        return
+    parts = ", ".join(
+        f"{role}={ms:.2f}"
+        for role, ms in sorted((blame.get("by_role") or {}).items(),
+                               key=lambda kv: -kv[1])
+        if ms > 0)
+    edges = blame.get("edges") or {}
+    lines.append(
+        f"  blame: total wait {blame['total_wait_ms']:.2f} ms "
+        f"over {edges.get('recorded', 0)} edges ({parts})")
+
+
 def render_report(report: Dict[str, object], top: int = 10) -> str:
     """Human-readable rendering of a run report (the CLI output)."""
     lines: List[str] = []
@@ -265,7 +281,10 @@ def render_report(report: Dict[str, object], top: int = 10) -> str:
         series = list(run.get("convergence") or [])
         if series:
             _render_convergence(series, lines)
+        else:
+            lines.append("  (no convergence series recorded)")
         snapshot = run.get("metrics") or {}
+        _render_blame(snapshot.get("blame"), lines)
         spans_meta = snapshot.get("spans") or {}
         trace_meta = snapshot.get("trace") or {}
         if spans_meta or trace_meta:
@@ -281,20 +300,30 @@ def render_report(report: Dict[str, object], top: int = 10) -> str:
     return "\n".join(lines)
 
 
-def _coerce_report(payload: Dict[str, object]) -> Dict[str, object]:
-    """Accept either a full report or a bare run section."""
-    if "runs" in payload:
+def _coerce_report(payload: object) -> Dict[str, object]:
+    """Accept a full report, a bare run section, or any JSON dict.
+
+    A report missing ``spans``/``convergence`` (or any recognizable
+    section at all) still renders -- the renderer prints explicit
+    "(no spans recorded)" / "(no convergence series recorded)" lines --
+    so a partially produced artifact never crashes the CLI.  Only
+    *malformed JSON* is an error, handled in :func:`main`.
+    """
+    if isinstance(payload, dict) and "runs" in payload:
         return payload
-    if "spans" in payload or "convergence" in payload:
+    if isinstance(payload, dict):
         return build_run_report(str(payload.get("name", "run")),
                                 [payload])
-    raise ValueError(
-        "not a run report: expected a 'runs' list or a bare section with "
-        "'spans'/'convergence'")
+    return build_run_report("run", [])
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point: render a report file to stdout."""
+    """CLI entry point: render a report file to stdout.
+
+    Exits nonzero only when the input cannot be read or is not valid
+    JSON; structurally incomplete reports render with explicit
+    placeholder lines instead.
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description="Render a run-report JSON into a phase timeline, the "
@@ -303,8 +332,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--top", type=int, default=10,
                         help="slowest spans to list per run (default 10)")
     args = parser.parse_args(argv)
-    with open(args.file) as handle:
-        payload = json.load(handle)
+    try:
+        with open(args.file) as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.file} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
     print(render_report(_coerce_report(payload), top=args.top))
     return 0
 

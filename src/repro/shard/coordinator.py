@@ -126,7 +126,8 @@ class ShardCoordinator:
         self.tf.faults.fire(SITE_SHARD_PLAN, table=table.name,
                             shards=self.n_shards)
         sweeper = LazySweeper(table, self.tf.population_chunk,
-                              self.planner, faults=self.tf.faults)
+                              self.planner, faults=self.tf.faults,
+                              metrics=self.tf.metrics)
         self.populators[table.name] = sweeper
         return sweeper
 

@@ -47,13 +47,17 @@ class LazySweeper:
     """
 
     def __init__(self, table: Table, chunk_size: int,
-                 planner: ShardPlanner, faults=None) -> None:
+                 planner: ShardPlanner, faults=None, metrics=None) -> None:
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         self.table = table
         self.chunk_size = chunk_size
         self.planner = planner
         self.faults = faults if faults is not None else NULL_FAULTS
+        from repro.obs import NULL_METRICS
+        #: Observability registry; ``lazy.sweep.*`` counters tell the
+        #: miss-vs-sweep producer race apart in blame investigations.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._rowids: List[List[int]] = planner.partition_rowids(table)
         #: Per-shard high-water cursors: position in the shard's rowid
         #: list below which every row is migrated or dead.
@@ -79,6 +83,7 @@ class LazySweeper:
             return False
         self._claimed.add(rowid)
         self.miss_claims += 1
+        self.metrics.inc("lazy.sweep.miss_claims")
         return True
 
     # -- scan surface ------------------------------------------------------

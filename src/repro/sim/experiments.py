@@ -330,6 +330,11 @@ def run_once(scenario_builder: Callable[[int], Scenario],
             "lock_deadlocks": scenario.db.locks.deadlock_count,
             "wal_records": len(scenario.db.log),
             "obs": None if obs is None else obs.snapshot(),
+            # Per-phase interference attribution: who user transactions
+            # waited on, in virtual ms (see repro.obs.blame).  The split
+            # is exact -- by_role sums to total_wait_ms -- so consumers
+            # can assert the breakdown against the aggregate.
+            "blame": None if obs is None else obs.blame.snapshot(),
             "spans": None if obs is None else obs.spans.tree(),
             "convergence": None if getattr(tf, "convergence", None) is None
             else tf.convergence.series(),

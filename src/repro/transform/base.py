@@ -494,6 +494,18 @@ class Transformation:
         metrics = getattr(self, "metrics", None)
         if metrics is None or not metrics.enabled:
             return
+        # Blame: keep the transformation's holder id mapped to the role
+        # matching its current phase, so any resource held under the
+        # transform id (latches, for one) is attributed to the phase that
+        # held it.  Population and log propagation hold no engine
+        # resources by construction (fuzzy reads, invisible targets) --
+        # nonzero blame in those buckets is itself a red flag.
+        from repro.obs.blame import PHASE_ROLES
+        role = PHASE_ROLES.get(new.value)
+        if role is not None:
+            metrics.blame.set_role(self.transform_id, role)
+        else:
+            metrics.blame.clear_role(self.transform_id)
         if self._phase_span is not None:
             metrics.end_span(self._phase_span)
             self._phase_span = None
@@ -633,7 +645,8 @@ class Transformation:
         if self._coordinator is not None:
             return self._coordinator.make_sweeper(table)
         return LazySweeper(table, self.population_chunk,
-                           ShardPlanner(1), faults=self.faults)
+                           ShardPlanner(1), faults=self.faults,
+                           metrics=self.metrics)
 
     def _install_lazy_hook(self) -> None:
         from repro.transform.lazy import LazyMigrator
@@ -681,17 +694,21 @@ class Transformation:
         met the end of their key lists (access-triggered migrations are
         ``claim``-ed and skipped by the cursors, never double-applied).
         """
+        from repro.obs.blame import ROLE_SWEEPER
         units = 0
-        for name in self.source_tables:
-            sweeper = self._scans[name]
-            while units < budget:
-                chunk = sweeper.next_chunk(budget - units)
-                if not chunk:
-                    break
-                for row in chunk:
-                    self._migrate_row(name, row)
-                units += len(chunk)
-                self.stats["lazy_sweep_rows"] += len(chunk)
+        # Blame: while the drain runs, anything held under the transform
+        # id is the sweeper's doing, not generic population.
+        with self.metrics.blame.role(self.transform_id, ROLE_SWEEPER):
+            for name in self.source_tables:
+                sweeper = self._scans[name]
+                while units < budget:
+                    chunk = sweeper.next_chunk(budget - units)
+                    if not chunk:
+                        break
+                    for row in chunk:
+                        self._migrate_row(name, row)
+                    units += len(chunk)
+                    self.stats["lazy_sweep_rows"] += len(chunk)
         finished = all(self._scans[name].exhausted
                        for name in self.source_tables)
         return units, finished

@@ -52,6 +52,15 @@ class LazyMigrator:
             return
         if table_name not in tf.source_tables:
             return
+        # Blame: the accessing transaction is now doing the
+        # transformation's work; locks it holds while (and after) the
+        # just-in-time migration blame ``lazy-miss``, not ``user``.  The
+        # marking sticks for the remainder of the transaction -- strict
+        # 2PL keeps the migration's locks until txn end, so waits behind
+        # them remain migration-induced -- and is cleared by the lock
+        # manager's release_all.
+        from repro.obs.blame import ROLE_LAZY_MISS
+        db.metrics.blame.set_role(txn.txn_id, ROLE_LAZY_MISS)
         self._migrate_key(db, table_name, tuple(key))
 
     def _migrate_key(self, db, table_name: str, key: Tuple) -> None:

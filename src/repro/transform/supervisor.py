@@ -34,6 +34,7 @@ from repro.common.errors import (
     TransformationStarvedError,
 )
 from repro.engine.database import Database
+from repro.obs.flight import FlightRecorder, SloMonitor, SloPolicy
 from repro.transform.base import Phase, Transformation
 from repro.transform.options import TransformOptions, non_default_fields
 
@@ -68,6 +69,15 @@ class TransformationSupervisor:
             strategy, ...) override the factory's; defaulted fields keep
             the factory's setting.  ``None`` leaves the configuration
             untouched.
+        slo: Optional :class:`~repro.obs.flight.SloPolicy`: the driver
+            feeds every step's convergence observation (estimated
+            remaining records + the stalled flag) and, on retries, a
+            metrics snapshot to an :class:`~repro.obs.flight.SloMonitor`,
+            exposed as :attr:`slo_monitor`.  Trips land as moments on
+            ``flight`` (when given), so a starving or stalled run leaves
+            a postmortem trail instead of only an exception.
+        flight: Optional :class:`~repro.obs.flight.FlightRecorder` the
+            SLO monitor records trips into.
         shards: Deprecated -- use ``options=TransformOptions(shards=N)``.
     """
 
@@ -83,6 +93,8 @@ class TransformationSupervisor:
                  max_steps_per_attempt: int = 1_000_000,
                  on_wait: Optional[Callable[[float], None]] = None,
                  options: Optional[TransformOptions] = None,
+                 slo: Optional[SloPolicy] = None,
+                 flight: Optional[FlightRecorder] = None,
                  shards: Optional[int] = None) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -104,6 +116,11 @@ class TransformationSupervisor:
         self.max_steps_per_attempt = max_steps_per_attempt
         self.on_wait = on_wait
         self.options = options
+        self.flight = flight
+        #: Trips at most once per objective; inspect ``.trips`` after
+        #: :meth:`run` (or pass ``flight`` to get them as moments).
+        self.slo_monitor: Optional[SloMonitor] = \
+            SloMonitor(slo, recorder=flight) if slo is not None else None
         #: The database's registry: the retry loop is part of the observed
         #: pipeline, so attempts show up as spans under ``supervisor`` and
         #: retries/backoffs/escalations as trace events.
@@ -149,6 +166,10 @@ class TransformationSupervisor:
                     self.history.append({"budget": budget,
                                          "outcome": "done"})
                     self._attempt_over(span, attempt, budget, "done")
+                    if self.slo_monitor is not None and \
+                            self.metrics.enabled:
+                        self.slo_monitor.observe_snapshot(
+                            self.metrics.snapshot())
                     return tf
                 except TransformationStarvedError as exc:
                     last_error = exc
@@ -176,6 +197,13 @@ class TransformationSupervisor:
                     self._ensure_aborted(tf)
                     self._attempt_over(span, attempt, budget, "aborted")
                 if attempt < self.max_attempts:
+                    if self.slo_monitor is not None and \
+                            self.metrics.enabled:
+                        # A retry boundary is the natural latency
+                        # checkpoint: the failed attempt's histograms are
+                        # complete, the next attempt has not diluted them.
+                        self.slo_monitor.observe_snapshot(
+                            self.metrics.snapshot())
                     if self.metrics.enabled:
                         self.metrics.inc("supervisor.retries")
                         self.metrics.observe("supervisor.backoff_wait", wait)
@@ -203,6 +231,12 @@ class TransformationSupervisor:
         """One attempt: step until done; abort + raise on stall."""
         for _ in range(self.max_steps_per_attempt):
             report = tf.step(budget)
+            if self.slo_monitor is not None:
+                remaining = report.info.get("remaining")
+                if remaining is not None or report.stalled:
+                    self.slo_monitor.observe_convergence(
+                        float(remaining if remaining is not None else 1),
+                        starving=report.stalled)
             if report.done:
                 return
             if report.stalled:

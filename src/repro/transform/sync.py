@@ -39,6 +39,7 @@ from repro.concurrency.locks import LockMode, LockOrigin, record_resource
 from repro.concurrency.transactions import Transaction
 from repro.engine.database import Database
 from repro.faults import register_site
+from repro.obs.blame import ROLE_LATCHED_WINDOW, ROLE_SYNC
 from repro.storage.table import Table
 from repro.transform.base import (
     Phase,
@@ -151,6 +152,10 @@ class _SyncExecutor:
     def _latch_sources(self) -> None:
         self.faults.fire(SITE_SYNC_LATCH, transform=self.tf.transform_id)
         self._open_window()
+        # Blame: latch waits parked behind this owner are charged to the
+        # latched window, not to generic sync work.
+        self.metrics.blame.set_role(self.tf.transform_id,
+                                    ROLE_LATCHED_WINDOW)
         for table in self._source_objects():
             # Engine-level latch entry point, symmetric with
             # _unlatch_sources below -- both halves of the latched window
@@ -237,6 +242,10 @@ class _SyncExecutor:
         source_uids = {t.uid: t.name for t in self._source_objects()}
         for txn in txns:
             owner = proxy_owner(txn.txn_id)
+            # Blame: waits behind materialized proxy locks are the sync
+            # strategy's doing (explicit registration of the negative-id
+            # default, so a later re-mapping cannot silently drift).
+            self.metrics.blame.set_role(owner, ROLE_SYNC)
             # (a) write locks recorded by the propagator
             for resource in self.tf.locks_held.resources_of(txn.txn_id):
                 self.db.locks.grant_direct(owner, resource, LockMode.X,
@@ -344,6 +353,10 @@ class BlockingCommitSync(_SyncExecutor):
         if self.state == "start":
             self.faults.fire(SITE_SYNC_BLOCK, transform=self.tf.transform_id)
             self.db.catalog.block(self.tf.source_tables)
+            # Blame: newcomers parked on the blocked tables wait on the
+            # synchronization strategy.
+            for name in self.tf.source_tables:
+                self.metrics.blame.set_role(("blocked", name), ROLE_SYNC)
             self.state = "drain"
             return 1
         if self.state == "drain":

@@ -1,0 +1,153 @@
+"""Tests for the machine-ingestible exporters (:mod:`repro.obs.export`):
+Prometheus text exposition with its round-trip parser, and the
+OTLP-shaped JSONL span/event writers."""
+
+import json
+
+import pytest
+
+from repro import Metrics
+from repro.obs import (
+    events_to_jsonl,
+    parse_exposition,
+    prometheus_exposition,
+    spans_to_jsonl,
+    write_exports,
+)
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def populated_metrics():
+    clock = _Clock()
+    metrics = Metrics(clock=clock)
+    metrics.inc("txn.commit", 5)
+    metrics.set_gauge("propagate.backlog", 42.0)
+    for value in (1.0, 2.0, 4.0, 250.0):
+        metrics.observe("txn.response_time", value)
+    metrics.blame.begin_wait(1, ("rec", "x"), holders=[-2],
+                             channel="lock")
+    clock.t = 6.0
+    metrics.blame.end_wait(1, ("rec", "x"))
+    with metrics.span("transform", phase="populating") as root:
+        clock.t = 8.0
+        with metrics.span("batch", parent=root):
+            clock.t = 9.0
+    metrics.trace("latch.acquire", table="T", owner="split#1")
+    return metrics, clock
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition + round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_exposition_round_trips_through_the_parser():
+    metrics, _ = populated_metrics()
+    snapshot = metrics.snapshot()
+    series = parse_exposition(prometheus_exposition(snapshot))
+
+    assert series["repro_txn_commit_total"][()] == 5.0
+    assert series["repro_propagate_backlog"][()] == 42.0
+
+    hist = snapshot["histograms"]["txn.response_time"]
+    assert series["repro_txn_response_time_count"][()] == hist["count"]
+    assert series["repro_txn_response_time_sum"][()] == hist["total"]
+    assert series["repro_txn_response_time_quantile"][
+        (("quantile", "0.99"),)] == hist["p99"]
+    assert series["repro_txn_response_time_quantile"][
+        (("quantile", "0.999"),)] == hist["p999"]
+
+    # Blame lands as labelled per-role counters plus the edge count.
+    assert series["repro_blame_wait_ms_total"][(("role", "sync"),)] == 6.0
+    assert series["repro_blame_wait_edges_total"][()] == 1.0
+
+
+def test_exposition_buckets_are_cumulative_and_capped_by_inf():
+    metrics, _ = populated_metrics()
+    snapshot = metrics.snapshot()
+    series = parse_exposition(prometheus_exposition(snapshot))
+    hist = snapshot["histograms"]["txn.response_time"]
+    buckets = series["repro_txn_response_time_bucket"]
+    ordered = sorted(
+        ((float(dict(labels)["le"]), count)
+         for labels, count in buckets.items()
+         if dict(labels)["le"] != "+Inf"))
+    counts = [count for _, count in ordered]
+    assert counts == sorted(counts)  # cumulative, monotone
+    assert buckets[(("le", "+Inf"),)] == hist["count"]
+    assert counts[-1] <= hist["count"]
+
+
+def test_exposition_of_empty_snapshot_is_valid():
+    text = prometheus_exposition({})
+    assert text.endswith("\n")
+    assert parse_exposition(text) == {}
+
+
+def test_parser_rejects_malformed_lines():
+    with pytest.raises(ValueError):
+        parse_exposition("this is not exposition\n")
+    with pytest.raises(ValueError):
+        parse_exposition('repro_x{unclosed="y" 1\n')
+
+
+# ---------------------------------------------------------------------------
+# OTLP-shaped JSONL spans / events
+# ---------------------------------------------------------------------------
+
+
+def test_spans_jsonl_is_otlp_shaped_and_preserves_hierarchy():
+    metrics, _ = populated_metrics()
+    lines = [json.loads(line) for line in
+             spans_to_jsonl(metrics.spans.tree()).splitlines()]
+    assert len(lines) == 2
+    by_name = {span["name"]: span for span in lines}
+    root, child = by_name["transform"], by_name["batch"]
+    for span in lines:
+        assert len(span["traceId"]) == 32
+        assert len(span["spanId"]) == 16
+        assert int(span["endTimeUnixNano"]) >= int(
+            span["startTimeUnixNano"])
+    assert "parentSpanId" not in root
+    assert child["parentSpanId"] == root["spanId"]
+    attrs = {kv["key"]: kv["value"] for kv in root["attributes"]}
+    assert attrs["phase"] == {"stringValue": "populating"}
+    # Registry clock is milliseconds; export is nanoseconds (1e6 scale):
+    # the root opened at t=6ms and closed at t=9ms.
+    assert int(root["endTimeUnixNano"]) - \
+        int(root["startTimeUnixNano"]) == 3_000_000
+
+
+def test_events_jsonl_exports_zero_duration_spans():
+    metrics, _ = populated_metrics()
+    events = [e.as_dict() for e in metrics.events()]
+    lines = [json.loads(line) for line in
+             events_to_jsonl(events).splitlines()]
+    (event,) = [l for l in lines if l["name"] == "event.latch.acquire"]
+    assert event["startTimeUnixNano"] == event["endTimeUnixNano"]
+    attrs = {kv["key"]: kv["value"] for kv in event["attributes"]}
+    assert attrs["table"] == {"stringValue": "T"}
+    assert attrs["owner"] == {"stringValue": "split#1"}
+
+
+def test_write_exports_produces_parseable_files(tmp_path):
+    metrics, _ = populated_metrics()
+    base = str(tmp_path / "run")
+    paths = write_exports(base, metrics.snapshot(),
+                          spans=metrics.spans.tree(),
+                          events=[e.as_dict() for e in metrics.events()])
+    assert paths == [base + ".prom", base + ".spans.jsonl",
+                     base + ".events.jsonl"]
+    with open(paths[0], encoding="utf-8") as fh:
+        assert "repro_txn_commit_total" in parse_exposition(fh.read())
+    for path in paths[1:]:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                assert json.loads(line)["traceId"]

@@ -169,14 +169,42 @@ def test_render_report_empty_section():
     assert "(no spans recorded)" in text
 
 
-def test_coerce_report_accepts_bare_section_and_rejects_garbage():
+def test_coerce_report_accepts_bare_sections_and_partial_dicts():
     bare = run_section("solo", spans=[], convergence=[])
     coerced = _coerce_report(bare)
     assert coerced["runs"][0]["name"] == "solo"
     full = build_run_report("f", [])
     assert _coerce_report(full) is full
-    with pytest.raises(ValueError):
-        _coerce_report({"name": "nope"})
+    # A dict with no recognizable section still renders -- one run with
+    # explicit placeholder lines -- rather than crashing the CLI.
+    partial = _coerce_report({"name": "nope"})
+    assert partial["runs"][0]["name"] == "nope"
+    text = render_report(partial)
+    assert "(no spans recorded)" in text
+    assert "(no convergence series recorded)" in text
+
+
+def test_report_cli_handles_missing_sections(tmp_path, capsys):
+    """A report without convergence/spans renders with placeholders and
+    exits zero -- only malformed JSON is an error."""
+    path = tmp_path / "partial.json"
+    path.write_text(json.dumps(
+        {"name": "partial", "runs": [{"name": "r1", "meta": {}}]}))
+    assert report_main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "run report: partial" in out
+    assert "(no spans recorded)" in out
+    assert "(no convergence series recorded)" in out
+
+
+def test_report_cli_malformed_json_is_a_clear_nonzero_error(tmp_path,
+                                                            capsys):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    assert report_main([str(path)]) == 1
+    captured = capsys.readouterr()
+    assert "not valid JSON" in captured.err
+    assert captured.out == ""
 
 
 def test_report_cli_renders_file(tmp_path, capsys):

@@ -244,11 +244,51 @@ def test_metrics_gauge_uses_registry_clock():
 
 def test_histogram_empty_percentiles_are_zero():
     h = Histogram("empty")
-    for pct in (0, 50, 99, 100):
+    for pct in (0, 50, 99, 99.9, 100):
         assert h.percentile(pct) == 0.0
+    assert h.p999 == 0.0
     d = h.as_dict()
     assert d == {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0,
-                 "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+                 "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                 "p999": 0.0,
+                 "buckets": {"bounds": list(Histogram.BUCKET_BOUNDS),
+                             "counts": [0] * (len(Histogram.BUCKET_BOUNDS)
+                                              + 1)}}
+
+
+def test_histogram_p999_and_bucket_bounds():
+    h = Histogram("hist")
+    for v in range(1, 1001):
+        h.observe(float(v))
+    d = h.as_dict()
+    # p999 sits between p99 and the max, and equals the property.
+    assert d["p99"] <= d["p999"] <= d["max"]
+    assert d["p999"] == h.p999 == h.percentile(99.9)
+    # Exact bucket accounting: one count per observation, cumulative
+    # counts consistent with the published bounds.
+    buckets = d["buckets"]
+    assert buckets["bounds"] == list(Histogram.BUCKET_BOUNDS)
+    assert len(buckets["counts"]) == len(buckets["bounds"]) + 1
+    assert sum(buckets["counts"]) == 1000
+    # Values 1..1000: bound 1.0 catches value 1, bound 2500 (last real
+    # bucket) catches everything above 1000's predecessor bounds.
+    assert buckets["counts"][0] == 0          # nothing <= 0.5
+    assert buckets["counts"][1] == 1          # value 1.0
+    assert buckets["counts"][-1] == 0         # nothing beyond 2500
+    h.observe(10_000.0)
+    assert h.as_dict()["buckets"]["counts"][-1] == 1  # overflow bucket
+
+
+def test_span_tracker_dropped_counter_accumulates():
+    clock = ticking_clock()
+    tracker = SpanTracker(clock, 2)
+    for i in range(5):
+        tracker.end(tracker.begin(f"s{i}"))
+    summary = tracker.summary()
+    assert summary["started"] == 5
+    assert summary["retained"] == 2
+    assert summary["dropped"] == 3  # earliest-kept: silently shed spans
+    assert summary["open"] == 0
 
 
 def test_histogram_p99_in_summary():
