@@ -88,6 +88,7 @@ from repro.relational import (
 from repro.storage import (
     Attribute,
     FunctionalDependency,
+    SnapshotHandle,
     TableSchema,
 )
 from repro.transform import (
@@ -103,10 +104,12 @@ from repro.transform import (
     POPULATION_MODES,
     RemainingRecordsPolicy,
     SplitTransformation,
+    STORAGE_BACKENDS,
     SYNC_STRATEGIES,
     SyncStrategy,
     TransformationSupervisor,
     TransformOptions,
+    VersionFlipSync,
     add_attribute,
     remove_attribute,
     rename_attribute,
@@ -164,12 +167,14 @@ __all__ = [
     "RemainingRecordsPolicy",
     "ReproError",
     "SITE_REGISTRY",
+    "STORAGE_BACKENDS",
     "SYNC_STRATEGIES",
     "SalvageReport",
     "SchemaError",
     "Session",
     "SimulatedCrashError",
     "SimulatedDisk",
+    "SnapshotHandle",
     "SplitSpec",
     "SplitTransformation",
     "SyncStrategy",
@@ -182,6 +187,7 @@ __all__ = [
     "TransformOptions",
     "TransformationStarvedError",
     "TransformationSupervisor",
+    "VersionFlipSync",
     "add_attribute",
     "build_run_report",
     "bulk_load",

@@ -48,6 +48,7 @@ from repro.engine import (
 from repro.storage import (
     Attribute,
     FunctionalDependency,
+    SnapshotHandle,
     TableSchema,
 )
 from repro.relational import (
@@ -72,10 +73,12 @@ from repro.transform import (
     POPULATION_MODES,
     RemainingRecordsPolicy,
     SplitTransformation,
+    STORAGE_BACKENDS,
     SYNC_STRATEGIES,
     SyncStrategy,
     TransformationSupervisor,
     TransformOptions,
+    VersionFlipSync,
     add_attribute,
     remove_attribute,
     rename_attribute,
@@ -143,6 +146,7 @@ __all__ = [
     "Attribute",
     "FojSpec",
     "FunctionalDependency",
+    "SnapshotHandle",
     "SplitSpec",
     "TableSchema",
     "full_outer_join",
@@ -161,10 +165,12 @@ __all__ = [
     "POPULATION_MODES",
     "RemainingRecordsPolicy",
     "SplitTransformation",
+    "STORAGE_BACKENDS",
     "SYNC_STRATEGIES",
     "SyncStrategy",
     "TransformOptions",
     "TransformationSupervisor",
+    "VersionFlipSync",
     "add_attribute",
     "remove_attribute",
     "rename_attribute",

@@ -40,7 +40,7 @@ class Transaction:
 
     __slots__ = (
         "txn_id", "state", "first_lsn", "last_lsn", "tables_touched",
-        "doomed", "doom_reason", "start_time",
+        "doomed", "doom_reason", "start_time", "snapshot",
     )
 
     def __init__(self, txn_id: int, start_time: float = 0.0) -> None:
@@ -52,6 +52,10 @@ class Transaction:
         self.doomed = False
         self.doom_reason = ""
         self.start_time = start_time
+        #: MVCC snapshot pin (:class:`repro.storage.mvcc.SnapshotHandle`)
+        #: when the database runs with the multi-version overlay enabled;
+        #: ``None`` under the default latch-based storage.
+        self.snapshot = None
 
     @property
     def is_active(self) -> bool:

@@ -47,6 +47,7 @@ from repro.concurrency.transactions import (
 from repro.faults import NULL_FAULTS, FaultInjector, register_site
 from repro.obs import NULL_METRICS, Metrics
 from repro.storage.catalog import Catalog
+from repro.storage.mvcc import TOMBSTONE, MvccManager
 from repro.storage.schema import TableSchema
 from repro.storage.table import Table
 from repro.wal.log import FlushPolicy, LogManager
@@ -118,6 +119,10 @@ class Database:
         self.access_hooks: List[object] = []
         self._triggers: Dict[str, List[TriggerFn]] = {}
         self._blocked_waiters: Dict[str, List[int]] = {}
+        #: Multi-version overlay (:class:`repro.storage.mvcc.MvccManager`)
+        #: once :meth:`enable_mvcc` has been called; ``None`` under the
+        #: default latch-based storage.
+        self.mvcc: Optional[MvccManager] = None
         #: Callback invoked with the ids of transactions woken by a lock
         #: release / unlatch / unblock; set by the simulator.
         self.on_wake: Optional[Callable[[List[int]], None]] = None
@@ -148,6 +153,22 @@ class Database:
         self.faults = faults
         self.catalog.attach_faults(faults)
         self.log.faults = faults
+        if self.mvcc is not None:
+            self.mvcc.faults = faults
+
+    def enable_mvcc(self) -> MvccManager:
+        """Switch on the multi-version overlay; idempotent.
+
+        From here on every :meth:`begin` pins a snapshot, every commit
+        stamps the transaction's final images at its commit LSN, and
+        table names resolve through the pinned catalog epoch for
+        transactions that began before a version flip.  The physical
+        heap, logging, locking and recovery are unchanged -- the overlay
+        only *remembers* superseded committed images.
+        """
+        if self.mvcc is None:
+            self.mvcc = MvccManager(self)
+        return self.mvcc
 
     # ------------------------------------------------------------------
     # DDL
@@ -203,6 +224,8 @@ class Database:
         txn = self.txns.begin(start_time)
         lsn = self.log.append(BeginRecord(txn_id=txn.txn_id))
         txn.note_record(lsn)
+        if self.mvcc is not None:
+            self.mvcc.on_begin(txn)
         return txn
 
     def commit(self, txn: Transaction) -> None:
@@ -217,6 +240,11 @@ class Database:
         self.log.request_flush()
         self.faults.fire(SITE_TXN_COMMIT_LOGGED, txn_id=txn.txn_id)
         txn.state = TxnState.COMMITTED
+        if self.mvcc is not None:
+            # Stamp the transaction's final images at its commit LSN
+            # before the X locks drop: the next writer's chain seed must
+            # observe post-commit state.
+            self.mvcc.on_commit(txn, lsn)
         self.stats["commit"] += 1
         self._release_locks(txn)
 
@@ -237,6 +265,10 @@ class Database:
                         prev_lsn=txn.last_lsn)
         self.log.request_flush()
         txn.state = TxnState.ABORTED
+        if self.mvcc is not None:
+            # Pending images never reached a chain; the CLR chain above
+            # already restored the heap to committed state.
+            self.mvcc.on_abort(txn)
         self.stats["abort"] += 1
         self._release_locks(txn)
 
@@ -327,15 +359,23 @@ class Database:
     # Table resolution and admission control
     # ------------------------------------------------------------------
 
-    def _resolve(self, txn: Transaction, name: str) -> Table:
+    def _resolve(self, txn: Transaction, name: str,
+                 for_write: bool = False) -> Table:
         """Resolve a table name for a transaction.
 
         Old transactions (those that touched a source table before a
         non-blocking swap) keep seeing their table under its original name
         through the zombie namespace; everyone else sees the public catalog.
         Blocked tables (blocking-commit synchronization) park transactions
-        that have not already accessed them.
+        that have not already accessed them.  Under MVCC, a transaction
+        whose snapshot pinned an older catalog epoch resolves through the
+        frozen pre-flip mapping instead (snapshot isolation for schema:
+        the flip is invisible until the transaction finishes).
         """
+        if self.mvcc is not None:
+            pinned = self._resolve_pinned_epoch(txn, name, for_write)
+            if pinned is not None:
+                return pinned
         if self.catalog.exists(name):
             if self.catalog.is_blocked(name) and \
                     name not in txn.tables_touched:
@@ -366,6 +406,35 @@ class Database:
         if self.catalog.is_zombie(name) and name in txn.tables_touched:
             return self.catalog.get_any(name)
         raise NoSuchTableError(name)
+
+    def _resolve_pinned_epoch(self, txn: Transaction, name: str,
+                              for_write: bool) -> Optional[Table]:
+        """Resolve through a pinned pre-flip catalog epoch, if any.
+
+        ``None`` means the transaction reads the current epoch (no pin,
+        pinned at the current version, or the name maps to the same
+        table object in both) and the caller should resolve normally.
+        A name that only exists post-flip raises
+        :class:`NoSuchTableError` -- a reader pinned before the flip
+        never observes the new schema.  Writes to a retired table are
+        only allowed for the in-flight transactions whose locks the flip
+        materialized (``mvcc.write_through``); anyone else is doomed,
+        mirroring the first-updater-wins rule of snapshot databases.
+        """
+        mapping = self.mvcc.names_for(txn)
+        if mapping is None:
+            return None
+        table = mapping.get(name)
+        if table is None:
+            raise NoSuchTableError(name)
+        if self.catalog.exists(name) and self.catalog.get(name) is table:
+            return None
+        if for_write and txn.txn_id not in self.mvcc.write_through:
+            txn.doom(f"table {name!r} changed schema version after this "
+                     "transaction's snapshot was pinned")
+            self.abort(txn)
+            raise TransactionAbortedError(txn.txn_id, txn.doom_reason)
+        return table
 
     def unblock_tables(self, names: Sequence[str]) -> None:
         """Lift blocking-commit blocks and wake parked transactions."""
@@ -429,7 +498,7 @@ class Database:
         record, a table X lock blocks everything.
         """
         self._require_active(txn)
-        table = self._resolve(txn, table_name)
+        table = self._resolve(txn, table_name, for_write=mode.is_write)
         self.locks.check_latch(table.uid, txn.txn_id)
         self.locks.acquire(txn.txn_id, table_resource(table.uid), mode)
         txn.tables_touched.add(table.name)
@@ -455,7 +524,7 @@ class Database:
         record with the full row image, applies it, and fires triggers.
         """
         self._require_active(txn)
-        table = self._resolve(txn, table_name)
+        table = self._resolve(txn, table_name, for_write=True)
         normalized = table.schema.normalize(values)
         key = table.schema.key_of(normalized)
         self._lock_record(txn, table, key, LockMode.X)
@@ -464,6 +533,8 @@ class Database:
         lsn = self.log.append(record, prev_lsn=txn.last_lsn)
         txn.note_record(lsn)
         table.insert_row(normalized, lsn=lsn)
+        if self.mvcc is not None:
+            self.mvcc.note_write(txn, table, None, dict(normalized))
         txn.tables_touched.add(table.name)
         self.stats["insert"] += 1
         self._fire_triggers(table.name, txn, record)
@@ -472,7 +543,7 @@ class Database:
     def delete(self, txn: Transaction, table_name: str, key: Tuple) -> None:
         """Delete the row with the given primary key."""
         self._require_active(txn)
-        table = self._resolve(txn, table_name)
+        table = self._resolve(txn, table_name, for_write=True)
         key = tuple(key)
         self._lock_record(txn, table, key, LockMode.X)
         row = table.get(key)
@@ -482,6 +553,9 @@ class Database:
                               old_values=dict(row.values))
         lsn = self.log.append(record, prev_lsn=txn.last_lsn)
         txn.note_record(lsn)
+        if self.mvcc is not None:
+            self.mvcc.note_write(txn, table, dict(row.values), TOMBSTONE,
+                                 before_lsn=row.lsn)
         table.delete_rowid(row.rowid)
         txn.tables_touched.add(table.name)
         self.stats["delete"] += 1
@@ -495,7 +569,7 @@ class Database:
         values for undo), matching the paper's update-record contents.
         """
         self._require_active(txn)
-        table = self._resolve(txn, table_name)
+        table = self._resolve(txn, table_name, for_write=True)
         table.schema.validate_changes(changes)
         key = tuple(key)
         self._lock_record(txn, table, key, LockMode.X)
@@ -504,11 +578,16 @@ class Database:
         if row is None:
             raise NoSuchRowError(table.name, key)
         old_values = {attr: row.values[attr] for attr in changes}
+        before = None if self.mvcc is None else dict(row.values)
+        before_lsn = row.lsn
         record = UpdateRecord(txn_id=txn.txn_id, table=table.name, key=key,
                               changes=dict(changes), old_values=old_values)
         lsn = self.log.append(record, prev_lsn=txn.last_lsn)
         txn.note_record(lsn)
         table.update_rowid(row.rowid, dict(changes), lsn=lsn)
+        if self.mvcc is not None:
+            self.mvcc.note_write(txn, table, before, dict(row.values),
+                                 before_lsn=before_lsn)
         txn.tables_touched.add(table.name)
         self.stats["update"] += 1
         self._fire_triggers(table.name, txn, record)

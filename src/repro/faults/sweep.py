@@ -102,11 +102,13 @@ RowDict = Dict[str, object]
 SCENARIO_OPERATORS: Tuple[str, ...] = (
     "foj", "split", "foj@2", "split@3", "foj:lazy", "split:lazy@3")
 
-#: All three synchronization strategies (Section 3.4).
+#: The paper's three synchronization strategies (Section 3.4) plus the
+#: MVCC version flip (snapshot storage, no latched window anywhere).
 ALL_STRATEGIES: Tuple[SyncStrategy, ...] = (
     SyncStrategy.BLOCKING_COMMIT,
     SyncStrategy.NONBLOCKING_ABORT,
     SyncStrategy.NONBLOCKING_COMMIT,
+    SyncStrategy.VERSION_FLIP,
 )
 
 _STEP_BUDGET = 24
@@ -271,10 +273,15 @@ class ScenarioRun:
 
     def _tf_options(self) -> TransformOptions:
         return TransformOptions(
-            sync=self.strategy,
+            sync=self.strategy, storage=self._storage(),
             policy=RemainingRecordsPolicy(max_remaining=2, patience=200),
             population_chunk=4, shards=self.shards,
             population_mode=self.population_mode)
+
+    def _storage(self) -> str:
+        """Storage backend matching the strategy (version flip needs MVCC)."""
+        return "mvcc" if self.strategy is SyncStrategy.VERSION_FLIP \
+            else "latch"
 
     # -- committed-state bookkeeping ------------------------------------
 
@@ -472,6 +479,7 @@ class ScenarioRun:
         throwaway = FojTransformation(
             self.db, spec,
             options=TransformOptions(sync=self.strategy,
+                                     storage=self._storage(),
                                      population_chunk=2))
         throwaway.step(1)
         throwaway.abort()
@@ -525,11 +533,14 @@ class ScenarioRun:
                 # Let the drain finish: commit L.
                 self.db.commit(self._l_txn)
                 l_active = False
-            if l_active and \
-                    self.strategy is SyncStrategy.NONBLOCKING_COMMIT \
+            if l_active and self.strategy in (
+                    SyncStrategy.NONBLOCKING_COMMIT,
+                    SyncStrategy.VERSION_FLIP) \
                     and self.tf.phase is Phase.BACKGROUND:
                 # L lives on as an old transaction: one more write through
-                # the zombie namespace, then commit (ends the mirror).
+                # the zombie namespace (non-blocking commit) or its pinned
+                # pre-flip epoch (version flip), then commit (ends the
+                # mirror).
                 self._apply(self._l_txn, self._l_zombie_op)
                 self.db.commit(self._l_txn)
                 l_active = False

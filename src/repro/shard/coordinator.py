@@ -109,7 +109,8 @@ class ShardCoordinator:
         self.tf.faults.fire(SITE_SHARD_PLAN, table=table.name,
                             shards=self.n_shards)
         populator = ShardedPopulator(table, self.tf.population_chunk,
-                                     self.planner, faults=self.tf.faults)
+                                     self.planner, faults=self.tf.faults,
+                                     scan_factory=self.tf._make_scan)
         self.populators[table.name] = populator
         return populator
 
@@ -164,6 +165,7 @@ class ShardCoordinator:
         if finished:
             tf.faults.fire(SITE_TF_POPULATE_DONE, transform=tf.transform_id)
             tf._uninstall_lazy_hook()
+            tf._release_population_snapshot()
             tf.db.log.append(FuzzyMarkRecord(
                 transform_id=tf.transform_id, phase="cycle"))
             tf.phase = Phase.PROPAGATING

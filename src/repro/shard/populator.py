@@ -41,13 +41,20 @@ class ShardedPopulator:
     """
 
     def __init__(self, table: Table, chunk_size: int,
-                 planner: ShardPlanner, faults=None) -> None:
+                 planner: ShardPlanner, faults=None,
+                 scan_factory=None) -> None:
         self.table = table
         self.chunk_size = chunk_size
         self.planner = planner
         self.faults = faults if faults is not None else NULL_FAULTS
+        if scan_factory is None:
+            def scan_factory(table, rowids):
+                return FuzzyScan(table, chunk_size, rowids=rowids)
+        #: ``scan_factory(table, rowids)`` builds one shard's restricted
+        #: scan; the MVCC storage backend injects snapshot scans here so
+        #: sharded population reads one consistent version everywhere.
         self.shard_scans: List[FuzzyScan] = [
-            FuzzyScan(table, chunk_size, rowids=rowids)
+            scan_factory(table, rowids)
             for rowids in planner.partition_rowids(table)
         ]
         #: Rows handed out per shard (the coordinator reads this to

@@ -320,6 +320,7 @@ def run_once(scenario_builder: Callable[[int], Scenario],
         blocked_time=state["blocked"],
         info={
             "max_response": metrics.percentile_response(100),
+            "p99_response": metrics.percentile_response(99),
             "phase": None if tf is None else tf.phase.value,
             "priority": settings.priority,
             "n_clients": settings.n_clients,

@@ -1,7 +1,15 @@
-"""Storage layer: schemas, rows, hash indexes, heap tables and the catalog."""
+"""Storage layer: schemas, rows, hash indexes, heap tables, the catalog
+and the MVCC version-chain overlay."""
 
 from repro.storage.catalog import Catalog
 from repro.storage.index import HashIndex, index_key
+from repro.storage.mvcc import (
+    MvccManager,
+    SnapshotHandle,
+    SnapshotScan,
+    TOMBSTONE,
+    VersionedTable,
+)
 from repro.storage.row import Row
 from repro.storage.schema import Attribute, FunctionalDependency, TableSchema
 from repro.storage.table import PRIMARY_INDEX, Table
@@ -11,9 +19,14 @@ __all__ = [
     "Catalog",
     "FunctionalDependency",
     "HashIndex",
+    "MvccManager",
     "PRIMARY_INDEX",
     "Row",
+    "SnapshotHandle",
+    "SnapshotScan",
+    "TOMBSTONE",
     "Table",
     "TableSchema",
+    "VersionedTable",
     "index_key",
 ]

@@ -11,7 +11,15 @@ synchronization step of the transformation framework needs (Section 3.4):
   the swap.  Their tables are moved to a hidden *zombie* namespace that only
   those old transactions can still resolve;
 * **blocked tables** -- the *blocking commit* strategy blocks new
-  transactions from the involved tables while draining old ones.
+  transactions from the involved tables while draining old ones;
+* **versioned epochs** -- the MVCC version-flip strategy installs a
+  schema change as a versioned catalog write: :meth:`Catalog.flip`
+  snapshots the current name -> table mapping as a frozen *epoch*, then
+  performs the swap and bumps :attr:`Catalog.version`.  A transaction
+  whose snapshot pinned an older epoch keeps resolving names through
+  :meth:`names_at` -- it reads the pre-flip schema until it finishes,
+  with no latched window anywhere.  Epochs are reclaimed by MVCC GC once
+  no pinned snapshot can still resolve through them.
 """
 
 from __future__ import annotations
@@ -35,6 +43,11 @@ class Catalog:
         self._tables: Dict[str, Table] = {}
         self._zombies: Dict[str, Table] = {}
         self._blocked: Set[str] = set()
+        #: Current schema version; bumped only by :meth:`flip`.
+        self._version = 0
+        #: Frozen name -> table mappings of superseded epochs, by the
+        #: version number they were current under.
+        self._epochs: Dict[int, Dict[str, Table]] = {}
         #: Fault injector stamped onto every table registered here.
         self.faults = NULL_FAULTS
 
@@ -174,6 +187,62 @@ class Catalog:
     def drop_zombie(self, name: str) -> None:
         """Discard a zombie table once no old transaction can touch it."""
         self._zombies.pop(name, None)
+
+    # -- versioned epochs (MVCC version flip) --------------------------------
+
+    @property
+    def version(self) -> int:
+        """The current schema version (0 until the first flip)."""
+        return self._version
+
+    def flip(self, retire: Iterable[str], publish: Dict[str, Table],
+             keep_zombies: bool = True) -> int:
+        """Install a schema change as a versioned catalog write.
+
+        Freezes the current visible mapping as the epoch for
+        :attr:`version`, performs the same atomic retire/publish as
+        :meth:`swap`, then bumps the version.  New transactions resolve
+        names through the bumped mapping; transactions pinned at the old
+        version keep resolving through the frozen epoch (the retired
+        table objects stay alive there even after their zombies are
+        dropped).  Returns the new version.
+        """
+        published = {id(t) for t in publish.values()}
+        # The frozen epoch is the pre-flip *user* schema: transient target
+        # tables already registered under their working (or public) names
+        # are excluded, so a reader pinned before the flip can never
+        # resolve the new schema -- not even its half-built precursor.
+        self._epochs[self._version] = {
+            name: t for name, t in self._tables.items()
+            if id(t) not in published}
+        self.swap(retire, publish, keep_zombies)
+        self._version += 1
+        return self._version
+
+    def names_at(self, version: int) -> Optional[Dict[str, Table]]:
+        """The frozen name -> table mapping of a superseded epoch.
+
+        ``None`` for the current version (resolve normally) and for
+        epochs already reclaimed by :meth:`trim_epochs`.
+        """
+        if version >= self._version:
+            return None
+        return self._epochs.get(version)
+
+    def trim_epochs(self, oldest_pinned: Optional[int]) -> int:
+        """Reclaim epochs no pinned snapshot can still resolve through.
+
+        ``oldest_pinned=None`` means nothing is pinned: every frozen
+        epoch goes.  Returns the number of epochs dropped.
+        """
+        if oldest_pinned is None:
+            dropped = len(self._epochs)
+            self._epochs.clear()
+            return dropped
+        stale = [v for v in self._epochs if v < oldest_pinned]
+        for v in stale:
+            del self._epochs[v]
+        return len(stale)
 
     def __repr__(self) -> str:
         names = ", ".join(self.table_names())

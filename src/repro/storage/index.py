@@ -57,10 +57,16 @@ class HashIndex:
         # (every S-side change probes all matching T rows); caching the
         # sorted rowid tuple amortizes the sort.  Writes invalidate only
         # the keys they touch, so a hit is always exact.
-        self._probe_cache: "OrderedDict[Tuple, Tuple[int, ...]]" \
+        # Each cached entry carries the key's version stamp at probe
+        # time; a stamp mismatch at lookup means a row version changed
+        # under the key through a path that skips index maintenance
+        # (MVCC commit stamping, version GC) and the entry is stale.
+        self._probe_cache: "OrderedDict[Tuple, Tuple[int, Tuple[int, ...]]]" \
             = OrderedDict()
         self._probe_cache_size = max(0, probe_cache_size)
-        self.probe_stats = {"hits": 0, "misses": 0, "invalidations": 0}
+        self._version_stamps: Dict[Tuple, int] = {}
+        self.probe_stats = {"hits": 0, "misses": 0, "invalidations": 0,
+                            "stale": 0}
 
     # -- maintenance ---------------------------------------------------------
 
@@ -106,11 +112,27 @@ class HashIndex:
         """Drop all entries."""
         self._map.clear()
         self._probe_cache.clear()
+        self._version_stamps.clear()
 
     def _invalidate(self, key: Tuple) -> None:
         """Drop the cached probe result for a key a write touched."""
+        self._version_stamps[key] = self._version_stamps.get(key, 0) + 1
         if self._probe_cache.pop(key, None) is not None:
             self.probe_stats["invalidations"] += 1
+
+    def note_version_change(self, key: Tuple) -> None:
+        """Version-aware invalidation for out-of-band version changes.
+
+        The index maintenance hooks (:meth:`insert` / :meth:`remove` /
+        :meth:`update`) only run when a write goes through the table's
+        index bookkeeping.  MVCC commit stamping and version GC change
+        which row version is current for a key *without* touching the
+        index -- and the indexed-attrs-disjoint fast path in
+        ``Table.update_rowid`` skips the hooks entirely.  Bumping the
+        key's version stamp here guarantees any probe cached against the
+        superseded version can never be served again.
+        """
+        self._invalidate(tuple(key))
 
     # -- lookup ---------------------------------------------------------------
 
@@ -120,16 +142,23 @@ class HashIndex:
             return []
         key = tuple(key)
         cache = self._probe_cache
+        stamp = self._version_stamps.get(key, 0)
         cached = cache.get(key)
         if cached is not None:
-            cache.move_to_end(key)
-            self.probe_stats["hits"] += 1
-            return list(cached)
+            cached_stamp, rowids = cached
+            if cached_stamp == stamp:
+                cache.move_to_end(key)
+                self.probe_stats["hits"] += 1
+                return list(rowids)
+            # A version changed under this key since the probe was
+            # cached; the entry may describe a superseded row version.
+            del cache[key]
+            self.probe_stats["stale"] += 1
         self.probe_stats["misses"] += 1
         bucket = self._map.get(key)
         result = sorted(bucket) if bucket else []
         if self._probe_cache_size:
-            cache[key] = tuple(result)
+            cache[key] = (stamp, tuple(result))
             if len(cache) > self._probe_cache_size:
                 cache.popitem(last=False)
         return result

@@ -32,6 +32,7 @@ from repro.transform.consistency import ConsistencyChecker
 from repro.transform.lazy import LazyMigrator
 from repro.transform.options import (
     POPULATION_MODES,
+    STORAGE_BACKENDS,
     SYNC_STRATEGIES,
     TransformOptions,
     resolve_sync_strategy,
@@ -70,7 +71,11 @@ from repro.transform.split import (
     populate_split_targets,
 )
 from repro.transform.supervisor import TransformationSupervisor
-from repro.transform.sync import LockMirror, build_sync_executor
+from repro.transform.sync import (
+    LockMirror,
+    VersionFlipSync,
+    build_sync_executor,
+)
 from repro.transform.view import MaterializedFojView, PublishKeepSync
 from repro.wal.records import TransformSwapRecord, data_change_of
 
@@ -188,11 +193,13 @@ __all__ = [
     "PublishKeepSync",
     "RemainingRecordsPolicy",
     "RuleEngine",
+    "STORAGE_BACKENDS",
     "SplitRuleEngine",
     "SplitTransformation",
     "SYNC_STRATEGIES",
     "StepReport",
     "SyncStrategy",
+    "VersionFlipSync",
     "TransformOptions",
     "Transformation",
     "TransformationSupervisor",

@@ -380,6 +380,16 @@ class Transformation:
         #: ``"eager"`` (fuzzy snapshot scan) or ``"lazy"``
         #: (migrate-on-read + budgeted background sweeper).
         self.population_mode = str(self.options.population_mode)
+        #: ``"latch"`` (the paper's design: dirty fuzzy reads repaired by
+        #: LSN-guarded propagation, latched sync windows) or ``"mvcc"``
+        #: (snapshot-isolation reads over the version overlay; enables the
+        #: ``version_flip`` synchronization strategy).
+        self.storage = str(self.options.storage)
+        if self.storage == "mvcc":
+            db.enable_mvcc()
+        #: Snapshot pinned for the whole initial population under the
+        #: MVCC backend; ``None`` before population and under latch mode.
+        self._population_snapshot = None
         if self.options.metrics is not None:
             db.attach_metrics(self.options.metrics)
         if self.options.faults is not None:
@@ -462,6 +472,9 @@ class Transformation:
         self.propagation_batch = int(options.propagation_batch)
         self.shards = int(options.shards)
         self.population_mode = str(options.population_mode)
+        self.storage = str(options.storage)
+        if self.storage == "mvcc":
+            self.db.enable_mvcc()
         if options.transform_id:
             self.transform_id = options.transform_id
             self.convergence = ConvergenceMonitor(self.metrics,
@@ -634,10 +647,41 @@ class Transformation:
             elif self._coordinator is not None:
                 self._scans[name] = self._coordinator.make_populator(table)
             else:
-                self._scans[name] = FuzzyScan(table, self.population_chunk)
+                self._scans[name] = self._make_scan(table)
         if lazy:
             self._install_lazy_hook()
         self.phase = Phase.POPULATING
+
+    def _make_scan(self, table: Table, rowids=None):
+        """Build one population scan over a source table.
+
+        Latch mode returns the paper's :class:`FuzzyScan` (a dirty read
+        repaired later by LSN-guarded propagation).  MVCC mode pins one
+        snapshot for the whole population (first call) and returns a
+        :class:`~repro.storage.mvcc.SnapshotScan` over the version
+        overlay, so every chunk of every source reads the same committed
+        state -- no lock-ignoring dirty reads.  Sharded population calls
+        this once per shard with that shard's ``rowids``.
+        """
+        if self.storage == "mvcc":
+            from repro.storage.mvcc import SnapshotScan
+            mvcc = self.db.mvcc
+            assert mvcc is not None
+            if self._population_snapshot is None:
+                self._population_snapshot = mvcc.pin(owner=self.transform_id)
+            return SnapshotScan(mvcc.versioned(table),
+                                self._population_snapshot,
+                                self.population_chunk, rowids=rowids,
+                                faults=self.faults)
+        return FuzzyScan(table, self.population_chunk, rowids=rowids)
+
+    def _release_population_snapshot(self) -> None:
+        """Unpin the population snapshot (population done, or abort)."""
+        if self._population_snapshot is None:
+            return
+        assert self.db.mvcc is not None
+        self.db.mvcc.release(self._population_snapshot)
+        self._population_snapshot = None
 
     def _make_sweeper(self, table: Table):
         """Build the lazy-mode sweeper for one source table."""
@@ -991,6 +1035,7 @@ class Transformation:
                 self.faults.fire(SITE_TF_POPULATE_DONE,
                                  transform=self.transform_id)
                 self._uninstall_lazy_hook()
+                self._release_population_snapshot()
                 self.db.log.append(FuzzyMarkRecord(
                     transform_id=self.transform_id, phase="cycle"))
                 self.phase = Phase.PROPAGATING
@@ -1153,6 +1198,7 @@ class Transformation:
         self.faults.fire(SITE_TF_ABORT, transform=self.transform_id,
                          phase=self.phase.value)
         self._uninstall_lazy_hook()
+        self._release_population_snapshot()
         if self._sync_executor is not None:
             self._sync_executor.cleanup()
         for name, table in list(self.targets.items()):

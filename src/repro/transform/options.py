@@ -28,11 +28,15 @@ from repro.wal.log import FlushPolicy
 
 
 class SyncStrategy(Enum):
-    """The three synchronization strategies of Section 3.4."""
+    """The three synchronization strategies of Section 3.4, plus the
+    MVCC version flip (VLDB 2023): the schema change is installed as a
+    versioned catalog write with no latched window -- requires
+    ``storage="mvcc"``."""
 
     BLOCKING_COMMIT = "blocking_commit"
     NONBLOCKING_ABORT = "nonblocking_abort"
     NONBLOCKING_COMMIT = "nonblocking_commit"
+    VERSION_FLIP = "version_flip"
 
 
 #: Registry of synchronization strategies addressable by string.  The
@@ -50,6 +54,13 @@ DEFAULT_PROPAGATION_BATCH = 32
 #: background sweeper drains the remainder -- the SLSM-style
 #: migrate-on-read variant (see docs/paper_mapping.md).
 POPULATION_MODES = ("eager", "lazy")
+
+#: Storage backends: ``"latch"`` is the paper's design (dirty fuzzy
+#: scans, latched synchronization windows); ``"mvcc"`` enables the
+#: multi-version overlay (:mod:`repro.storage.mvcc`) -- snapshot
+#: population pins a read LSN instead of reading dirty, and the
+#: ``version_flip`` sync strategy becomes available.
+STORAGE_BACKENDS = ("latch", "mvcc")
 
 
 def resolve_sync_strategy(
@@ -101,6 +112,10 @@ class TransformOptions:
             ``"lazy"`` (access-triggered migrate-on-read with a budgeted
             background sweeper; row-identical to eager, only the
             population *order* differs).
+        storage: ``"latch"`` (the paper's design) or ``"mvcc"`` (the
+            multi-version overlay: committed version chains + pinned
+            snapshot reads for population; required by -- and implied
+            behaviour of -- the ``version_flip`` sync strategy).
     """
 
     sync: Union[SyncStrategy, str] = SyncStrategy.NONBLOCKING_ABORT
@@ -114,6 +129,7 @@ class TransformOptions:
     policy: Optional[PropagationPolicy] = None
     transform_id: Optional[str] = None
     population_mode: str = "eager"
+    storage: str = "latch"
 
     def __post_init__(self) -> None:
         # Validate eagerly so a bad option surfaces at construction, not
@@ -142,6 +158,15 @@ class TransformOptions:
             raise ValueError(
                 f"unknown population_mode {self.population_mode!r}; "
                 f"available: {list(POPULATION_MODES)}")
+        if self.storage not in STORAGE_BACKENDS:
+            raise ValueError(
+                f"unknown storage backend {self.storage!r}; "
+                f"available: {list(STORAGE_BACKENDS)}")
+        if self.sync_strategy is SyncStrategy.VERSION_FLIP \
+                and self.storage != "mvcc":
+            raise ValueError(
+                'sync="version_flip" requires storage="mvcc" (the flip '
+                "relies on pinned snapshots and the versioned catalog)")
 
     @property
     def sync_strategy(self) -> SyncStrategy:

@@ -60,6 +60,7 @@ from repro.wal.records import (
     NULL_LSN,
     AbortRecord,
     BeginRecord,
+    CatalogFlipRecord,
     CCBeginRecord,
     CCOkRecord,
     CheckpointRecord,
@@ -116,6 +117,7 @@ RECORD_CODES: Dict[Type[LogRecord], int] = {
     TransformSwapRecord: 15,
     TransformRetireRecord: 16,
     CheckpointRecord: 17,
+    CatalogFlipRecord: 18,
 }
 
 _RECORD_BY_CODE: Dict[int, Type[LogRecord]] = {

@@ -341,6 +341,32 @@ class CheckpointRecord(LogRecord):
     active_txns: Dict[int, int] = field(default_factory=dict)
 
 
+@dataclass
+class CatalogFlipRecord(LogRecord):
+    """The versioned catalog write of an MVCC version-flip sync.
+
+    Written right after the :class:`TransformSwapRecord` of a
+    ``version_flip`` synchronization: the schema change was installed by
+    atomically bumping the catalog version instead of closing a latched
+    window.  Restart recovery rebuilds the published tables from the
+    swap record as usual; this marker additionally makes the flip --
+    the epoch boundary -- durable and auditable in the log.  (Snapshot
+    pins and frozen epochs are volatile by design: no transaction
+    survives a crash, so no pre-flip reader can exist after restart.)
+
+    Attributes:
+        transform_id: Identifier of the flipping transformation.
+        version: The catalog version the flip installed.
+        retired: Names retired from the visible namespace.
+        published: Public names the flip made visible.
+    """
+
+    transform_id: str = ""
+    version: int = 0
+    retired: Tuple[str, ...] = ()
+    published: Tuple[str, ...] = ()
+
+
 #: Record kinds whose payload describes a data change (directly or, for
 #: CLRs, through the embedded compensating action).
 DATA_CHANGE_KINDS = ("insert", "delete", "update", "cl")

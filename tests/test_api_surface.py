@@ -18,16 +18,18 @@ API_SURFACE = sorted([
     "Database", "FuzzyScan", "Session", "bulk_load", "fuzzy_copy",
     "restart", "restart_from_disk",
     # schemas / specs / oracles
-    "Attribute", "FojSpec", "FunctionalDependency", "SplitSpec",
+    "Attribute", "FojSpec", "FunctionalDependency", "SnapshotHandle",
+    "SplitSpec",
     "TableSchema", "full_outer_join", "rows_equal", "split",
     # transformations + configuration
     "FixedIterationsPolicy", "FojTransformation",
     "Many2ManyFojTransformation", "MaterializedFojView", "MergeSpec",
     "MergeTransformation", "PartitionSpec", "PartitionTransformation",
     "Phase", "POPULATION_MODES", "RemainingRecordsPolicy",
-    "SplitTransformation",
+    "SplitTransformation", "STORAGE_BACKENDS",
     "SYNC_STRATEGIES", "SyncStrategy", "TransformOptions",
-    "TransformationSupervisor", "add_attribute", "remove_attribute",
+    "TransformationSupervisor", "VersionFlipSync",
+    "add_attribute", "remove_attribute",
     "rename_attribute", "resolve_sync_strategy",
     # WAL group commit + durable storage
     "FlushPolicy", "GROUP_FLUSH", "IMMEDIATE_FLUSH", "SalvageReport",

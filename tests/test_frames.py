@@ -20,6 +20,7 @@ from repro.wal import (
     SEGMENT_HEADER,
     AbortRecord,
     BeginRecord,
+    CatalogFlipRecord,
     CCBeginRecord,
     CCOkRecord,
     CheckpointRecord,
@@ -57,7 +58,7 @@ _SPLIT_SPEC = SplitSpec(
     r_attrs=("id", "name", "zip"), s_attrs=("zip", "city"),
     r_key=("id",))
 
-#: One representative instance per record kind (all 17 codes).
+#: One representative instance per record kind (all 18 codes).
 SAMPLE_RECORDS = [
     BeginRecord(txn_id=3),
     CommitRecord(txn_id=3),
@@ -92,6 +93,8 @@ SAMPLE_RECORDS = [
                         params={"spec": _SPLIT_SPEC},
                         doomed_txns=()),
     TransformRetireRecord(txn_id=0, transform_id="tf-1"),
+    CatalogFlipRecord(txn_id=0, transform_id="tf-1", version=2,
+                      retired=("R", "S"), published=("T",)),
     CheckpointRecord(txn_id=0, active_txns={3: 17, 4: 19}),
 ]
 

@@ -313,3 +313,44 @@ def test_probe_cache_cleared_with_index():
     idx.clear()
     assert idx.lookup((1,)) == []
     assert len(idx._probe_cache) <= 1
+
+
+# ---------------------------------------------------------------------------
+# Version-aware probe-cache invalidation (MVCC)
+# ---------------------------------------------------------------------------
+
+
+def test_probe_cache_stale_on_out_of_band_version_change():
+    """``note_version_change`` must kill a cached probe even though no
+    index-maintenance hook ran for the key."""
+    idx = HashIndex("i", ("a",), unique=False)
+    idx.insert({"a": 1}, 10)
+    assert idx.lookup((1,)) == [10]               # miss: fills the cache
+    idx.note_version_change((1,))                 # e.g. MVCC commit stamp
+    assert idx.lookup((1,)) == [10]               # correct, but re-probed
+    assert idx.probe_stats["invalidations"] == 1
+    assert idx.probe_stats["misses"] == 2
+    assert idx.probe_stats["hits"] == 0
+
+
+def test_probe_cache_not_served_across_mvcc_disjoint_update():
+    """A disjoint-attr update takes the index-skipping fast path; the MVCC
+    commit stamp must still bump the primary probe-cache version stamp."""
+    from repro.engine import Database, Session
+    from repro.storage.table import PRIMARY_INDEX
+
+    db = Database()
+    db.enable_mvcc()
+    db.create_table(TableSchema("T", ["id", "x"], primary_key=["id"]))
+    with Session(db) as s:
+        s.insert("T", {"id": 1, "x": "old"})
+    primary = db.table("T").indexes[PRIMARY_INDEX]
+    assert primary.lookup((1,)) == [0] or primary.lookup((1,))  # fill cache
+    before = dict(primary.probe_stats)
+    with Session(db) as s:
+        s.update("T", (1,), {"x": "new"})         # disjoint from the pk
+    # The commit stamped a new version for key (1,) without touching the
+    # index; a subsequent probe must not be served from the stale entry.
+    primary.lookup((1,))
+    assert primary.probe_stats["invalidations"] > before["invalidations"]
+    assert primary.probe_stats["misses"] > before["misses"]

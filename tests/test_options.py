@@ -82,7 +82,8 @@ def test_evolve_revalidates():
 
 def test_sync_selectable_by_registry_string():
     assert set(SYNC_STRATEGIES) == {
-        "blocking_commit", "nonblocking_abort", "nonblocking_commit"}
+        "blocking_commit", "nonblocking_abort", "nonblocking_commit",
+        "version_flip"}
     opts = TransformOptions(sync="nonblocking_commit")
     assert opts.sync_strategy is SyncStrategy.NONBLOCKING_COMMIT
     assert resolve_sync_strategy(SyncStrategy.BLOCKING_COMMIT) \

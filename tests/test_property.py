@@ -350,17 +350,21 @@ def test_merge_converges_for_any_history(script):
 # ---------------------------------------------------------------------------
 
 
-def _run_foj_pipeline(script, shards, batch=None):
+def _run_foj_pipeline(script, shards, batch=None, storage="latch"):
     """Drive one FOJ pipeline over ``script``; returns (T rows, oracle).
 
     The op sequence and step budgets are fixed by the script, so two
     pipelines run over the same script see identical workloads -- the
-    only degrees of freedom are the shard count and propagation batch.
+    only degrees of freedom are the shard count, propagation batch and
+    storage backend (``storage="mvcc"`` selects snapshot population plus
+    the version-flip synchronization).
     """
     db = build_foj_db(script)
     spec = FojSpec.derive(db.table("R").schema, db.table("S").schema,
                           "T", "c", "c")
     options = TransformOptions(population_chunk=3, shards=shards)
+    if storage == "mvcc":
+        options = options.evolve(sync="version_flip", storage="mvcc")
     if batch is not None:
         options = options.evolve(propagation_batch=batch)
     tf = FojTransformation(db, spec, options=options)
@@ -386,7 +390,7 @@ def test_sharded_foj_identical_to_sequential(script, shards):
     assert rows_equal(sharded_rows, sharded_oracle)
 
 
-def _run_split_pipeline(script, shards, batch=None):
+def _run_split_pipeline(script, shards, batch=None, storage="latch"):
     """Drive one split pipeline over ``script``; returns
     (Tr rows, Ts rows, Ts counters, final T rows)."""
     db = Database()
@@ -400,6 +404,8 @@ def _run_split_pipeline(script, shards, batch=None):
     spec = SplitSpec.derive(db.table("T").schema, "Tr", "Ts", "zip",
                             s_attrs=["city"])
     options = TransformOptions(population_chunk=3, shards=shards)
+    if storage == "mvcc":
+        options = options.evolve(sync="version_flip", storage="mvcc")
     if batch is not None:
         options = options.evolve(propagation_batch=batch)
     tf = SplitTransformation(db, spec, options=options)
@@ -512,3 +518,85 @@ def test_batched_split_identical_to_record_at_a_time(script, batch, shards):
     assert rows_equal(fast_r, base_r)
     assert rows_equal(fast_s, base_s)
     assert fast_counters == base_counters
+
+
+# ---------------------------------------------------------------------------
+# MVCC snapshot backend equivalence (repro.storage.mvcc)
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(op_strategy, min_size=0, max_size=40),
+       st.sampled_from([1, 3]))
+@settings(max_examples=30, deadline=None)
+def test_snapshot_foj_identical_to_latch(script, shards):
+    """The MVCC snapshot backend (snapshot population + version-flip
+    synchronization) converges to row-for-row the same FOJ target as the
+    latch design under any concurrent history, sequential and sharded."""
+    latch_rows, latch_oracle = _run_foj_pipeline(
+        script, shards=shards, storage="latch")
+    mvcc_rows, mvcc_oracle = _run_foj_pipeline(
+        script, shards=shards, storage="mvcc")
+    assert rows_equal(latch_oracle, mvcc_oracle)  # same final sources
+    assert rows_equal(mvcc_rows, latch_rows)
+    assert rows_equal(mvcc_rows, mvcc_oracle)
+
+
+@given(st.lists(split_op_strategy, min_size=0, max_size=40),
+       st.sampled_from([1, 3]))
+@settings(max_examples=30, deadline=None)
+def test_snapshot_split_identical_to_latch(script, shards):
+    """Same equivalence for the split pipeline, including the S-table
+    reference counters."""
+    latch_r, latch_s, latch_counters, latch_t = \
+        _run_split_pipeline(script, shards=shards, storage="latch")
+    mvcc_r, mvcc_s, mvcc_counters, mvcc_t = \
+        _run_split_pipeline(script, shards=shards, storage="mvcc")
+    assert rows_equal(latch_t, mvcc_t)  # same final sources
+    assert rows_equal(mvcc_r, latch_r)
+    assert rows_equal(mvcc_s, latch_s)
+    assert mvcc_counters == latch_counters
+
+
+@given(st.lists(op_strategy, min_size=0, max_size=25))
+@settings(max_examples=30, deadline=None)
+def test_reader_pinned_before_flip_never_observes_new_schema(script):
+    """A transaction whose snapshot was pinned before the version flip
+    resolves names through the frozen catalog epoch: it keeps reading the
+    retired source schema and can never see the published target -- for
+    any workload history around the flip."""
+    from repro.common.errors import NoSuchTableError
+    db = build_foj_db(script)
+    spec = FojSpec.derive(db.table("R").schema, db.table("S").schema,
+                          "T", "c", "c")
+    tf = FojTransformation(db, spec, options=TransformOptions(
+        population_chunk=3, sync="version_flip", storage="mvcc"))
+    for i, (kind, key, join_value, budget) in enumerate(script):
+        apply_foj_op(db, kind, key, join_value, i)
+        if not tf.done and tf.phase is not Phase.SYNCHRONIZING:
+            tf.step(budget)
+    # Pin a reader before the flip completes the transformation.
+    reader = db.begin()
+    assert db.catalog.version == 0
+    r_keys = [dict(v) for v in values_of(db, "R")]
+    tf.run()
+    assert db.catalog.version == 1
+    # The pinned reader still resolves the retired pre-flip schema ...
+    for values in r_keys[:3]:
+        got = db.read(reader, "R", (values["a"],))
+        assert got is not None
+    # ... and can never observe the new schema, not even by name.
+    try:
+        db.read(reader, "T", (0,))
+        assert False, "pinned reader observed the post-flip schema"
+    except NoSuchTableError:
+        pass
+    db.abort(reader)
+    # A transaction begun after the flip sees exactly the new schema.
+    fresh = db.begin()
+    try:
+        db.read(fresh, "R", (0,))
+        assert False, "fresh reader observed the retired schema"
+    except NoSuchTableError:
+        pass
+    finally:
+        db.abort(fresh)

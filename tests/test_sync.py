@@ -305,7 +305,14 @@ def test_latched_window_accounting(foj_db, strategy):
     must be reported consistently and stay a small fraction of the total
     work for every strategy."""
     load_foj_data(foj_db, n_r=30, n_s=10)
-    tf = FojTransformation(foj_db, foj_spec(foj_db), sync_strategy=strategy)
+    if strategy is SyncStrategy.VERSION_FLIP:
+        from repro.api import TransformOptions
+        tf = FojTransformation(foj_db, foj_spec(foj_db),
+                               options=TransformOptions(
+                                   sync=strategy, storage="mvcc"))
+    else:
+        tf = FojTransformation(foj_db, foj_spec(foj_db),
+                               sync_strategy=strategy)
     tf.run()
     assert tf.done
     executor = tf._sync_executor
