@@ -5,12 +5,14 @@ A faithful, self-contained reproduction of Løland & Hvasshovd,
 main-memory relational engine with ARIES-style logging and strict 2PL,
 and on top of it the paper's log-redo-based framework for performing
 full outer join and vertical split schema transformations without
-blocking concurrent user transactions.
+blocking concurrent user transactions -- plus the companion operators
+(explode, horizontal partition/merge, retype) and a declarative,
+crash-resumable migration-plan API chaining them.
 
 Quickstart::
 
     from repro import Database, Session, TableSchema
-    from repro import FojSpec, FojTransformation
+    from repro import MigrationPlan, run_plan
 
     db = Database()
     db.create_table(TableSchema("R", ["a", "b", "c"], primary_key=["a"]))
@@ -19,10 +21,11 @@ Quickstart::
         s.insert("R", {"a": 1, "b": "x", "c": 10})
         s.insert("S", {"c": 10, "d": "d1", "e": "e1"})
 
-    spec = FojSpec.derive(db.table("R").schema, db.table("S").schema,
-                          target_name="T", join_attr_r="c", join_attr_s="c")
-    FojTransformation(db, spec).run()
-    print(db.table("T").row_count)
+    plan = MigrationPlan.single("quickstart", "foj", {
+        "r_name": "R", "s_name": "S", "target_name": "T",
+        "join_attr_r": "c", "join_attr_s": "c"})
+    report = run_plan(db, plan)
+    print(report["steps"][0]["published"])   # {'T': 1}
 
 See ``examples/`` for concurrent-workload scenarios and ``benchmarks/``
 for the reproduction of the paper's evaluation (Figure 4).
@@ -79,11 +82,28 @@ from repro.engine import (
     restart_from_disk,
 )
 from repro.relational import (
+    ExplodeSpec,
     FojSpec,
+    RETYPE_CASTS,
+    RetypeSpec,
     SplitSpec,
+    explode,
     full_outer_join,
+    retype,
     rows_equal,
     split,
+)
+from repro.plan import (
+    CORPUS,
+    CorpusScenario,
+    MigrationPlan,
+    MigrationStep,
+    PLAN_OPERATORS,
+    PlanExecutor,
+    PlanStepper,
+    PlanValidationError,
+    PlanValidator,
+    run_plan,
 )
 from repro.storage import (
     Attribute,
@@ -92,7 +112,10 @@ from repro.storage import (
     TableSchema,
 )
 from repro.transform import (
+    AttrPredicate,
+    ExplodeTransformation,
     FixedIterationsPolicy,
+    RetypeTransformation,
     FojTransformation,
     Many2ManyFojTransformation,
     MaterializedFojView,
@@ -127,11 +150,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AbortFault",
+    "AttrPredicate",
     "Attribute",
     "BitFlipFault",
+    "CORPUS",
+    "CorpusScenario",
     "Counter",
     "CrashFault",
     "Database",
+    "ExplodeSpec",
+    "ExplodeTransformation",
     "DeadlockError",
     "DelayFault",
     "DuplicateKeyError",
@@ -156,16 +184,26 @@ __all__ = [
     "MergeSpec",
     "MergeTransformation",
     "Metrics",
+    "MigrationPlan",
+    "MigrationStep",
     "NULL_FAULTS",
     "NULL_METRICS",
     "NoSuchRowError",
     "NoSuchTableError",
+    "PLAN_OPERATORS",
     "PartitionSpec",
     "PartitionTransformation",
     "Phase",
+    "PlanExecutor",
+    "PlanStepper",
+    "PlanValidationError",
+    "PlanValidator",
     "POPULATION_MODES",
+    "RETYPE_CASTS",
     "RemainingRecordsPolicy",
     "ReproError",
+    "RetypeSpec",
+    "RetypeTransformation",
     "SITE_REGISTRY",
     "STORAGE_BACKENDS",
     "SYNC_STRATEGIES",
@@ -191,6 +229,7 @@ __all__ = [
     "add_attribute",
     "build_run_report",
     "bulk_load",
+    "explode",
     "full_outer_join",
     "fuzzy_copy",
     "register_site",
@@ -200,6 +239,8 @@ __all__ = [
     "resolve_sync_strategy",
     "restart",
     "restart_from_disk",
+    "retype",
+    "run_plan",
     "run_section",
     "rows_equal",
     "sites_by_layer",

@@ -26,9 +26,13 @@ Configuration goes through :class:`TransformOptions` -- a frozen
 dataclass bundling the synchronization strategy (selectable by registry
 string, e.g. ``sync="nonblocking_commit"``), shard count, population and
 propagation batch sizes, the group-commit :class:`FlushPolicy`,
-simulator priority, and observability/fault attachments.  The legacy
-per-call kwargs (``sync_strategy=``, ``shards=``, ...) still work but
-emit :class:`DeprecationWarning`.
+simulator priority, and observability/fault attachments.
+
+Multi-step schema changes go through the declarative plan API
+(:mod:`repro.plan`): build a :class:`MigrationPlan` (or decode one from
+JSON), and :func:`run_plan` validates it eagerly, compiles each step
+into a supervised transformation, and executes the chain online --
+resumable after a crash via ``run_plan(db, plan, resume=True)``.
 """
 
 from __future__ import annotations
@@ -52,15 +56,36 @@ from repro.storage import (
     TableSchema,
 )
 from repro.relational import (
+    ExplodeSpec,
     FojSpec,
+    RETYPE_CASTS,
+    RetypeSpec,
     SplitSpec,
+    explode,
     full_outer_join,
+    retype,
     rows_equal,
     split,
 )
 
+# -- declarative migration plans ---------------------------------------------
+from repro.plan import (
+    CORPUS,
+    CorpusScenario,
+    MigrationPlan,
+    MigrationStep,
+    PLAN_OPERATORS,
+    PlanExecutor,
+    PlanStepper,
+    PlanValidationError,
+    PlanValidator,
+    run_plan,
+)
+
 # -- transformations and their configuration --------------------------------
 from repro.transform import (
+    AttrPredicate,
+    ExplodeTransformation,
     FixedIterationsPolicy,
     FojTransformation,
     Many2ManyFojTransformation,
@@ -69,6 +94,7 @@ from repro.transform import (
     MergeTransformation,
     PartitionSpec,
     PartitionTransformation,
+    RetypeTransformation,
     Phase,
     POPULATION_MODES,
     RemainingRecordsPolicy,
@@ -144,15 +170,33 @@ __all__ = [
     "restart_from_disk",
     # schemas / specs
     "Attribute",
+    "ExplodeSpec",
     "FojSpec",
     "FunctionalDependency",
+    "RETYPE_CASTS",
+    "RetypeSpec",
     "SnapshotHandle",
     "SplitSpec",
     "TableSchema",
+    "explode",
     "full_outer_join",
+    "retype",
     "rows_equal",
     "split",
+    # declarative migration plans
+    "CORPUS",
+    "CorpusScenario",
+    "MigrationPlan",
+    "MigrationStep",
+    "PLAN_OPERATORS",
+    "PlanExecutor",
+    "PlanStepper",
+    "PlanValidationError",
+    "PlanValidator",
+    "run_plan",
     # transformations + configuration
+    "AttrPredicate",
+    "ExplodeTransformation",
     "FixedIterationsPolicy",
     "FojTransformation",
     "Many2ManyFojTransformation",
@@ -162,6 +206,7 @@ __all__ = [
     "PartitionSpec",
     "PartitionTransformation",
     "Phase",
+    "RetypeTransformation",
     "POPULATION_MODES",
     "RemainingRecordsPolicy",
     "SplitTransformation",

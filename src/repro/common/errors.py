@@ -172,6 +172,25 @@ class TransformationStateError(TransformationError):
     """A transformation step was invoked in the wrong phase."""
 
 
+class PlanValidationError(TransformationError):
+    """A declarative migration plan failed eager validation.
+
+    Raised by :class:`repro.plan.PlanValidator` *before* any table is
+    created or populated: unknown operators, dangling table/attribute
+    references, duplicate step ids, ill-formed options and incompatible
+    operator/option combinations (e.g. lazy population on an eager-only
+    engine) are all collected into :attr:`problems` and reported at once.
+    """
+
+    def __init__(self, plan_id: str, problems) -> None:
+        self.plan_id = plan_id
+        self.problems = list(problems)
+        joined = "\n  - ".join(self.problems)
+        super().__init__(
+            f"migration plan {plan_id!r} failed validation with "
+            f"{len(self.problems)} problem(s):\n  - {joined}")
+
+
 class InconsistentDataError(TransformationError):
     """A split transformation found a functional-dependency violation.
 

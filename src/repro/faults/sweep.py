@@ -3,7 +3,9 @@
 The harness runs a deterministic concurrent-workload scenario (bulk load,
 interleaved user transactions, a long-lived "old" transaction, an aborted
 transaction and post-swap probes) around one online transformation --
-full outer join or split -- under one synchronization strategy.  A first
+full outer join, split, or one of the migration-plan corpus operators
+(explode, horizontal partition/merge, retype) -- under one
+synchronization strategy.  A first
 *recording* pass executes the scenario fault-free and counts how often
 each registered injection site is crossed.  The sweep then re-runs the
 identical scenario once per crossed site with a :class:`CrashFault` armed
@@ -62,17 +64,30 @@ from repro.faults.injection import (
     SITE_REGISTRY,
 )
 from repro.relational.operators import (
+    explode,
     full_outer_join,
     normalize_rows,
+    retype,
     rows_equal,
     split,
 )
-from repro.relational.spec import FojSpec, SplitSpec
+from repro.relational.spec import ExplodeSpec, FojSpec, RetypeSpec, SplitSpec
 from repro.storage.schema import TableSchema
 from repro.transform.analysis import RemainingRecordsPolicy
 from repro.transform.base import Phase, SyncStrategy, Transformation
+from repro.transform.explode import ExplodeTransformation
 from repro.transform.foj import FojTransformation
 from repro.transform.options import TransformOptions
+from repro.transform.partition import (
+    AttrPredicate,
+    MergeSpec,
+    MergeTransformation,
+    PartitionSpec,
+    PartitionTransformation,
+    merge_rows,
+    partition_rows,
+)
+from repro.transform.retype import RetypeTransformation
 from repro.transform.split import SplitTransformation
 from repro.wal.durable import SimulatedDisk
 from repro.wal.frames import SEGMENT_HEADER, encode_frame
@@ -101,6 +116,21 @@ RowDict = Dict[str, object]
 #: notations compose (``split:lazy@3``).
 SCENARIO_OPERATORS: Tuple[str, ...] = (
     "foj", "split", "foj@2", "split@3", "foj:lazy", "split:lazy@3")
+
+#: The migration-plan corpus operators (explode, horizontal partition
+#: and merge, column retype), swept with the same notations.  The
+#: partition and merge engines are eager-only, so only explode and
+#: retype carry ``:lazy`` variants.
+CORPUS_OPERATORS: Tuple[str, ...] = (
+    "explode", "partition", "merge", "retype",
+    "explode:lazy@2", "retype:lazy")
+
+#: Every operator the sweep knows how to script.
+ALL_OPERATORS: Tuple[str, ...] = SCENARIO_OPERATORS + CORPUS_OPERATORS
+
+_OPERATOR_BASES = ("foj", "split", "explode", "partition", "merge",
+                   "retype")
+_EAGER_ONLY_BASES = ("partition", "merge")
 
 #: The paper's three synchronization strategies (Section 3.4) plus the
 #: MVCC version flip (snapshot storage, no latched window anywhere).
@@ -240,9 +270,13 @@ class ScenarioRun:
         shards = int(shard_suffix) if shard_suffix else 1
         base, _, mode = base.partition(":")
         mode = mode or "eager"
-        if base not in ("foj", "split") or shards < 1 or \
+        if base not in _OPERATOR_BASES or shards < 1 or \
                 mode not in ("eager", "lazy"):
             raise ValueError(f"unknown sweep operator {operator!r}")
+        if mode == "lazy" and base in _EAGER_ONLY_BASES:
+            raise ValueError(
+                f"operator {base!r} is eager-only; {operator!r} cannot "
+                "run with lazy population")
         self.operator = operator
         self.operator_base = base
         self.shards = shards
@@ -405,6 +439,157 @@ class ScenarioRun:
             ("postal", {"zip": 95002, "city": "probe"}),
         ]
 
+    def _setup_explode(self) -> None:
+        self.db.create_table(TableSchema(
+            "doc", ["id", "title", "tags"], primary_key=["id"]))
+        self.spec = ExplodeSpec.derive(
+            self.db.table("doc").schema, target_name="doc_tag",
+            list_attr="tags", value_attr="tag")
+        # Names before the bulk load (see _setup_foj).
+        self.source_names = ("doc",)
+        self.published_names = ("doc_tag",)
+        tags = ["x,y", "y", None, "x,z,w", "z", "x,y", None, "w,q",
+                "q", "x"]
+        self._txn_do(
+            [("i", "doc", {"id": i, "title": f"t{i}", "tags": tags[i]})
+             for i in range(10)])
+        self.tf = ExplodeTransformation(
+            self.db, self.spec, options=self._tf_options())
+        self._l_op = ("u", "doc", (0,), {"title": "L0"})
+        self._l_zombie_op = ("u", "doc", (0,), {"title": "Lz"})
+        self._lazy_reads = [("doc", (1,)), ("doc", (4,)), ("doc", (7,))]
+        self._mutations = [
+            # Sibling-group reconcile: one element survives (y), one
+            # vanishes (x), one appears (v).
+            lambda: self._txn_do([("u", "doc", (5,), {"tags": "y,v"})]),
+            lambda: self._txn_do(
+                [("i", "doc", {"id": 20, "title": "t20",
+                               "tags": "q,x"})]),
+            lambda: self._txn_do([("d", "doc", (3,))]),
+            lambda: self._txn_do([("u", "doc", (2,), {"title": "mX"})],
+                                 abort=True),
+            # Kept-attribute change fanned out to all children.
+            lambda: self._txn_do([("u", "doc", (7,), {"title": "tX"})]),
+            # NULL list rewritten to elements, and vice versa.
+            lambda: self._txn_do([("u", "doc", (6,), {"tags": "n1,n2"})]),
+            lambda: self._txn_do([("u", "doc", (8,), {"tags": None})]),
+        ]
+        self._probes = [
+            ("doc_tag", {"id": 95001, "title": "probe", "tag": "p"})]
+
+    def _setup_partition(self) -> None:
+        self.db.create_table(TableSchema(
+            "orders", ["id", "region", "qty"], primary_key=["id"]))
+        self.spec = PartitionSpec(
+            "orders", "orders_eu", "orders_row",
+            predicate=AttrPredicate("region", "==", "eu"))
+        # Names before the bulk load (see _setup_foj).
+        self.source_names = ("orders",)
+        self.published_names = ("orders_eu", "orders_row")
+        regions = ["eu", "us", "eu", "ap", "eu", "us", "ap", "eu",
+                   "us", "eu"]
+        self._txn_do(
+            [("i", "orders", {"id": i, "region": regions[i], "qty": i})
+             for i in range(10)])
+        self.tf = PartitionTransformation(
+            self.db, self.spec, options=self._tf_options())
+        self._l_op = ("u", "orders", (0,), {"qty": 100})
+        self._l_zombie_op = ("u", "orders", (0,), {"qty": 101})
+        self._lazy_reads = []
+        self._mutations = [
+            # Predicate verdict flips: the row moves between sides.
+            lambda: self._txn_do([("u", "orders", (1,),
+                                   {"region": "eu"})]),
+            lambda: self._txn_do(
+                [("i", "orders", {"id": 20, "region": "eu",
+                                  "qty": 20})]),
+            lambda: self._txn_do([("d", "orders", (3,))]),
+            lambda: self._txn_do([("u", "orders", (5,), {"qty": 55})],
+                                 abort=True),
+            lambda: self._txn_do([("u", "orders", (2,),
+                                   {"region": "us"})]),
+            lambda: self._txn_do(
+                [("i", "orders", {"id": 21, "region": "ap",
+                                  "qty": 21})]),
+        ]
+        self._probes = [
+            ("orders_eu", {"id": 95001, "region": "eu", "qty": 1}),
+            ("orders_row", {"id": 95002, "region": "us", "qty": 2}),
+        ]
+
+    def _setup_merge(self) -> None:
+        self.db.create_table(TableSchema(
+            "evt_a", ["id", "payload"], primary_key=["id"]))
+        self.db.create_table(TableSchema(
+            "evt_b", ["id", "payload"], primary_key=["id"]))
+        self.spec = MergeSpec("evt_a", "evt_b", "evt")
+        # Names before the bulk load (see _setup_foj).
+        self.source_names = ("evt_a", "evt_b")
+        self.published_names = ("evt",)
+        self._txn_do(
+            [("i", "evt_a", {"id": i, "payload": f"a{i}"})
+             for i in range(0, 10, 2)] +
+            [("i", "evt_b", {"id": i, "payload": f"b{i}"})
+             for i in range(1, 10, 2)])
+        self.tf = MergeTransformation(
+            self.db, self.spec, options=self._tf_options())
+        self._l_op = ("u", "evt_a", (0,), {"payload": "L0"})
+        self._l_zombie_op = ("u", "evt_a", (0,), {"payload": "Lz"})
+        self._lazy_reads = []
+        self._mutations = [
+            lambda: self._txn_do([("u", "evt_b", (1,),
+                                   {"payload": "bX"})]),
+            lambda: self._txn_do(
+                [("i", "evt_a", {"id": 20, "payload": "a20"})]),
+            lambda: self._txn_do([("d", "evt_b", (3,))]),
+            lambda: self._txn_do([("u", "evt_a", (2,),
+                                   {"payload": "mX"})], abort=True),
+            lambda: self._txn_do(
+                [("i", "evt_b", {"id": 21, "payload": "b21"})]),
+            lambda: self._txn_do([("d", "evt_a", (4,))]),
+        ]
+        self._probes = [("evt", {"id": 95001, "payload": "probe"})]
+
+    def _setup_retype(self) -> None:
+        self.db.create_table(TableSchema(
+            "reading", ["rid", "label", "value"], primary_key=["rid"]))
+        self.spec = RetypeSpec.derive(
+            self.db.table("reading").schema, target_name="reading_v2",
+            attr="value", cast="int", default=0)
+        # Names before the bulk load (see _setup_foj).
+        self.source_names = ("reading",)
+        self.published_names = ("reading_v2",)
+        values = ["3", "14", None, "-7", "0", None, "8", "21", "5", "9"]
+        self._txn_do(
+            [("i", "reading", {"rid": i, "label": f"l{i}",
+                               "value": values[i]})
+             for i in range(10)])
+        self.tf = RetypeTransformation(
+            self.db, self.spec, options=self._tf_options())
+        self._l_op = ("u", "reading", (0,), {"label": "L0"})
+        self._l_zombie_op = ("u", "reading", (0,), {"label": "Lz"})
+        self._lazy_reads = [("reading", (1,)), ("reading", (4,)),
+                            ("reading", (7,))]
+        self._mutations = [
+            # Retyped-column change: the rule must cast it in flight.
+            lambda: self._txn_do([("u", "reading", (1,),
+                                   {"value": "41"})]),
+            lambda: self._txn_do(
+                [("i", "reading", {"rid": 20, "label": "l20",
+                                   "value": "99"})]),
+            lambda: self._txn_do([("d", "reading", (3,))]),
+            lambda: self._txn_do([("u", "reading", (2,),
+                                   {"label": "mX"})], abort=True),
+            lambda: self._txn_do([("u", "reading", (6,),
+                                   {"value": None})]),
+            lambda: self._txn_do(
+                [("i", "reading", {"rid": 21, "label": "l21",
+                                   "value": None})]),
+        ]
+        self._probes = [
+            ("reading_v2", {"rid": 95001, "label": "probe",
+                            "value": 95001})]
+
     def _random_mutations(self) -> List[Callable[[], None]]:
         """Seeded extra mutations appended to the scripted workload.
 
@@ -425,7 +610,7 @@ class ScenarioRun:
             def new_row(i: int) -> RowDict:
                 return {"a": 100 + i, "b": f"r{i}",
                         "c": rng.randint(0, 9)}
-        else:
+        elif self.operator_base == "split":
             table, text_attr = "T", "name"
             safe_keys = (0, 2, 3, 5, 6, 7, 8)
 
@@ -433,6 +618,34 @@ class ScenarioRun:
                 z = 7100 + rng.randint(0, 3)
                 return {"id": 100 + i, "name": f"r{i}", "zip": z,
                         "city": f"C{z}"}
+        elif self.operator_base == "explode":
+            table, text_attr = "doc", "title"
+            safe_keys = (1, 2, 4, 5, 6, 7, 8, 9)
+
+            def new_row(i: int) -> RowDict:
+                tags = rng.choice(["x", "x,y", None, "p,q", "y,z,w"])
+                return {"id": 100 + i, "title": f"r{i}", "tags": tags}
+        elif self.operator_base == "partition":
+            table, text_attr = "orders", "qty"
+            safe_keys = (1, 2, 4, 6, 7, 8, 9)
+
+            def new_row(i: int) -> RowDict:
+                return {"id": 100 + i,
+                        "region": rng.choice(["eu", "us", "ap"]),
+                        "qty": i}
+        elif self.operator_base == "merge":
+            table, text_attr = "evt_a", "payload"
+            safe_keys = (2, 6, 8)
+
+            def new_row(i: int) -> RowDict:
+                return {"id": 100 + i, "payload": f"r{i}"}
+        else:
+            table, text_attr = "reading", "label"
+            safe_keys = (1, 2, 4, 5, 6, 7, 8, 9)
+
+            def new_row(i: int) -> RowDict:
+                return {"rid": 100 + i, "label": f"r{i}",
+                        "value": str(rng.randint(0, 99))}
 
         mutations: List[Callable[[], None]] = []
         own_keys: List[int] = []
@@ -489,10 +702,15 @@ class ScenarioRun:
     def execute(self) -> None:
         """Run the full scenario; raises :class:`SimulatedCrashError`
         when an armed crash fault fires."""
-        if self.operator_base == "foj":
-            self._setup_foj()
-        else:
-            self._setup_split()
+        setup = {
+            "foj": self._setup_foj,
+            "split": self._setup_split,
+            "explode": self._setup_explode,
+            "partition": self._setup_partition,
+            "merge": self._setup_merge,
+            "retype": self._setup_retype,
+        }
+        setup[self.operator_base]()
         self._abort_episode()
         self._mutations.extend(self._random_mutations())
 
@@ -580,10 +798,21 @@ class ScenarioRun:
             return {name: rows(name) for name in visible}
         if self.operator_base == "foj":
             base = {"T": full_outer_join(self.spec, rows("R"), rows("S"))}
-        else:
+        elif self.operator_base == "split":
             r_rows, s_rows, _, _ = split(self.spec, rows("T"),
                                          strict=False)
             base = {"T_r": r_rows, "postal": s_rows}
+        elif self.operator_base == "explode":
+            base = {"doc_tag": explode(self.spec, rows("doc"))}
+        elif self.operator_base == "partition":
+            a_rows, b_rows = partition_rows(self.spec, rows("orders"))
+            base = {"orders_eu": a_rows, "orders_row": b_rows}
+        elif self.operator_base == "merge":
+            base = {"evt": merge_rows(
+                rows("evt_a"), rows("evt_b"),
+                lambda values: (values["id"],))}
+        else:
+            base = {"reading_v2": retype(self.spec, rows("reading"))}
         expected: Dict[str, List[RowDict]] = {}
         for name in visible:
             if name in self.published_names:
@@ -820,7 +1049,7 @@ def sweep(operator: str, strategy: SyncStrategy,
     }
 
 
-def run_sweep(operators: Sequence[str] = SCENARIO_OPERATORS,
+def run_sweep(operators: Sequence[str] = ALL_OPERATORS,
               strategies: Sequence[SyncStrategy] = ALL_STRATEGIES
               ) -> Dict[str, object]:
     """Full sweep: every operator x strategy x crossed site.

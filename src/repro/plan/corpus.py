@@ -1,0 +1,335 @@
+"""A fault-swept corpus of migration plans over common schema changes.
+
+Each :class:`CorpusScenario` pairs a seeded source database, a
+declarative :class:`~repro.plan.spec.MigrationPlan`, and an offline
+oracle of the expected final tables.  The scenarios are drawn from the
+schema-evolution *Challenge Problems* checklist (Edwards, Petricek &
+van der Storm, arXiv:2309.11406) -- the recurring migrations every
+schema-evolution tool is asked to handle -- mapped onto this repo's
+online operators:
+
+==========================  =============================================
+scenario                    challenge row
+==========================  =============================================
+``denormalize-foj``         inline / denormalize an association into one
+                            table (full outer join, paper Section 4)
+``normalize-split``         normalize a denormalized table (vertical
+                            split, paper Section 5)
+``chain-foj-split``         a multi-step change: denormalize, then
+                            re-normalize along a different dependency
+``tags-explode``            turn a scalar field into a collection (one
+                            row per element)
+``archive-partition``       partition rows by a predicate into hot/cold
+                            tables
+``reunify-merge``           reunify a previously partitioned pair
+``retype-default``          change a field's type and its NULL default
+==========================  =============================================
+
+The corpus is executable documentation *and* test fodder: each plan is
+JSON-round-trippable, runs end-to-end under :func:`repro.plan.run_plan`,
+and is swept by ``python -m benchmarks.plan_corpus`` (the ``plan-corpus``
+CI job), which also crash-resumes each plan mid-chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.engine.database import Database
+from repro.relational.operators import (
+    explode,
+    full_outer_join,
+    normalize_rows,
+    retype,
+    split,
+)
+from repro.relational.spec import ExplodeSpec, FojSpec, RetypeSpec, SplitSpec
+from repro.plan.spec import MigrationPlan, MigrationStep
+from repro.storage.schema import TableSchema
+from repro.transform.partition import (
+    AttrPredicate,
+    PartitionSpec,
+    merge_rows,
+    partition_rows,
+)
+
+Rows = List[Dict[str, object]]
+
+
+@dataclass(frozen=True)
+class CorpusScenario:
+    """One challenge-problem migration: seed, plan, and oracle.
+
+    Attributes:
+        name: Corpus key (see the module docstring's table).
+        challenge: The checklist row the scenario reproduces.
+        seeds: Source schemas with their initial rows.
+        plan: The declarative migration to run.
+        expected: Offline oracle: published table name -> expected rows
+            (computed from the seeds by the reference operators, never by
+            the online machinery under test).
+    """
+
+    name: str
+    challenge: str
+    seeds: Tuple[Tuple[TableSchema, Tuple[Dict[str, object], ...]], ...]
+    plan: MigrationPlan
+    expected: Callable[[], Dict[str, Rows]]
+
+    def build(self, db: Database) -> None:
+        """Create and populate the scenario's source tables."""
+        for schema, rows in self.seeds:
+            db.create_table(schema)
+            txn = db.begin()
+            for values in rows:
+                db.insert(txn, schema.name, dict(values))
+            db.commit(txn)
+
+    def verify(self, db: Database) -> List[str]:
+        """Compare the database against the oracle; returns mismatches."""
+        problems: List[str] = []
+        for name, want in sorted(self.expected().items()):
+            if not db.catalog.exists(name):
+                problems.append(f"{self.name}: table {name!r} missing")
+                continue
+            got = [dict(r.values) for r in db.catalog.get_any(name).scan()]
+            if normalize_rows(got) != normalize_rows(want):
+                problems.append(
+                    f"{self.name}: table {name!r} has {len(got)} row(s), "
+                    f"expected {len(want)}; content differs")
+        return problems
+
+
+# -- seeds -------------------------------------------------------------------
+
+_BOOK = TableSchema("book", ["bid", "title", "pub_id"],
+                    primary_key=("bid",))
+_PUB = TableSchema("pub", ["pid", "pname", "city"], primary_key=("pid",))
+_BOOK_ROWS = (
+    {"bid": 1, "title": "WAL Design", "pub_id": "p1"},
+    {"bid": 2, "title": "Fuzzy Scans", "pub_id": "p1"},
+    {"bid": 3, "title": "Log Rules", "pub_id": "p2"},
+    {"bid": 4, "title": "Latches", "pub_id": "p9"},   # dangling reference
+    {"bid": 5, "title": "Snapshots", "pub_id": "p2"},
+)
+_PUB_ROWS = (
+    {"pid": "p1", "pname": "Acme Press", "city": "Oslo"},
+    {"pid": "p2", "pname": "EDBT House", "city": "Munich"},
+    {"pid": "p3", "pname": "Idle Books", "city": "Bergen"},  # unmatched
+)
+
+_TRACK = TableSchema("track", ["tid", "title", "album", "artist"],
+                     primary_key=("tid",))
+_TRACK_ROWS = (
+    {"tid": 1, "title": "Prepare", "album": "Phases", "artist": "The Scans"},
+    {"tid": 2, "title": "Populate", "album": "Phases", "artist": "The Scans"},
+    {"tid": 3, "title": "Propagate", "album": "Phases",
+     "artist": "The Scans"},
+    {"tid": 4, "title": "Sync", "album": "Locks", "artist": "Latch Choir"},
+    {"tid": 5, "title": "Swap", "album": "Locks", "artist": "Latch Choir"},
+)
+
+_EMP = TableSchema("emp", ["eid", "ename", "dept_id"], primary_key=("eid",))
+_DEPT = TableSchema("dept", ["did", "dname", "floor"], primary_key=("did",))
+_EMP_ROWS = (
+    {"eid": 1, "ename": "ada", "dept_id": "d1"},
+    {"eid": 2, "ename": "bob", "dept_id": "d1"},
+    {"eid": 3, "ename": "cyn", "dept_id": "d2"},
+    {"eid": 4, "ename": "dee", "dept_id": "d9"},   # dangling department
+    {"eid": 5, "ename": "eli", "dept_id": "d2"},
+)
+_DEPT_ROWS = (
+    {"did": "d1", "dname": "storage", "floor": 2},
+    {"did": "d2", "dname": "recovery", "floor": 3},
+)
+
+_DOC = TableSchema("doc", ["id", "title", "tags"], primary_key=("id",))
+_DOC_ROWS = (
+    {"id": 1, "title": "intro", "tags": "wal,log"},
+    {"id": 2, "title": "design", "tags": "schema"},
+    {"id": 3, "title": "eval", "tags": None},        # null-padded child
+    {"id": 4, "title": "relwork", "tags": "wal,schema,log"},
+    {"id": 5, "title": "appendix", "tags": "log,log"},  # deduplicated
+)
+
+_ORDERS = TableSchema("orders", ["oid", "region", "qty"],
+                      primary_key=("oid",))
+_ORDERS_ROWS = (
+    {"oid": 1, "region": "eu", "qty": 3},
+    {"oid": 2, "region": "us", "qty": 1},
+    {"oid": 3, "region": "eu", "qty": 7},
+    {"oid": 4, "region": "ap", "qty": 2},
+    {"oid": 5, "region": None, "qty": 5},            # NULL compares false
+    {"oid": 6, "region": "eu", "qty": 4},
+)
+
+_EVT_A = TableSchema("evt_a", ["eid", "payload"], primary_key=("eid",))
+_EVT_B = TableSchema("evt_b", ["eid", "payload"], primary_key=("eid",))
+_EVT_A_ROWS = tuple({"eid": i, "payload": f"a{i}"} for i in (2, 4, 6, 8))
+_EVT_B_ROWS = tuple({"eid": i, "payload": f"b{i}"} for i in (1, 3, 5, 7))
+
+_READING = TableSchema("reading", ["rid", "label", "value"],
+                       primary_key=("rid",))
+_READING_ROWS = (
+    {"rid": 1, "label": "t0", "value": "17"},
+    {"rid": 2, "label": "t1", "value": " 42 "},      # cast strips blanks
+    {"rid": 3, "label": "t2", "value": None},        # takes the new default
+    {"rid": 4, "label": "t3", "value": "0"},
+    {"rid": 5, "label": "t4", "value": "-3"},
+)
+
+
+# -- oracles -----------------------------------------------------------------
+
+
+def _expected_book_pub() -> Dict[str, Rows]:
+    spec = FojSpec.derive(_BOOK, _PUB, "book_pub", "pub_id", "pid")
+    return {"book_pub": full_outer_join(
+        spec, [dict(r) for r in _BOOK_ROWS], [dict(r) for r in _PUB_ROWS])}
+
+
+def _expected_track_split() -> Dict[str, Rows]:
+    spec = SplitSpec.derive(_TRACK, "track_base", "album", "album",
+                            s_attrs=("artist",))
+    r_rows, s_rows, _, _ = split(spec, [dict(r) for r in _TRACK_ROWS])
+    return {"track_base": r_rows, "album": s_rows}
+
+
+def _expected_emp_chain() -> Dict[str, Rows]:
+    foj_spec = FojSpec.derive(_EMP, _DEPT, "emp_dept", "dept_id", "did")
+    t_rows = full_outer_join(
+        foj_spec, [dict(r) for r in _EMP_ROWS], [dict(r) for r in _DEPT_ROWS])
+    split_spec = SplitSpec.derive(foj_spec.target_schema(), "staff",
+                                  "dept_info", "dept_id",
+                                  s_attrs=("dname", "floor"))
+    r_rows, s_rows, _, _ = split(split_spec, t_rows)
+    return {"staff": r_rows, "dept_info": s_rows}
+
+
+def _expected_doc_tags() -> Dict[str, Rows]:
+    spec = ExplodeSpec.derive(_DOC, "doc_tag", "tags", "tag")
+    return {"doc_tag": explode(spec, [dict(r) for r in _DOC_ROWS])}
+
+
+def _expected_orders_partition() -> Dict[str, Rows]:
+    spec = PartitionSpec("orders", "orders_eu", "orders_intl",
+                         predicate=AttrPredicate("region", "==", "eu"))
+    a_rows, b_rows = partition_rows(spec, [dict(r) for r in _ORDERS_ROWS])
+    return {"orders_eu": a_rows, "orders_intl": b_rows}
+
+
+def _expected_evt_merge() -> Dict[str, Rows]:
+    return {"evt": merge_rows([dict(r) for r in _EVT_A_ROWS],
+                              [dict(r) for r in _EVT_B_ROWS],
+                              lambda values: (values["eid"],))}
+
+
+def _expected_reading_retype() -> Dict[str, Rows]:
+    spec = RetypeSpec.derive(_READING, "reading_v2", "value",
+                             cast="int", default=0)
+    return {"reading_v2": retype(spec, [dict(r) for r in _READING_ROWS])}
+
+
+# -- the corpus ---------------------------------------------------------------
+
+CORPUS: Tuple[CorpusScenario, ...] = (
+    CorpusScenario(
+        name="denormalize-foj",
+        challenge="inline an association: denormalize two tables into one",
+        seeds=((_BOOK, _BOOK_ROWS), (_PUB, _PUB_ROWS)),
+        plan=MigrationPlan.single(
+            "corpus.denormalize-foj", "foj",
+            {"r_name": "book", "s_name": "pub", "target_name": "book_pub",
+             "join_attr_r": "pub_id", "join_attr_s": "pid"},
+            description="denormalize book/pub into one joined table"),
+        expected=_expected_book_pub),
+    CorpusScenario(
+        name="normalize-split",
+        challenge="normalize a denormalized table (extract a dependency)",
+        seeds=((_TRACK, _TRACK_ROWS),),
+        plan=MigrationPlan.single(
+            "corpus.normalize-split", "split",
+            {"source_name": "track", "r_name": "track_base",
+             "s_name": "album", "split_attr": "album",
+             "s_attrs": ["artist"]},
+            description="extract album/artist out of the track table"),
+        expected=_expected_track_split),
+    CorpusScenario(
+        name="chain-foj-split",
+        challenge="a multi-step change: denormalize, then re-normalize "
+                  "along a different functional dependency",
+        seeds=((_EMP, _EMP_ROWS), (_DEPT, _DEPT_ROWS)),
+        plan=MigrationPlan(
+            plan_id="corpus.chain-foj-split",
+            steps=(
+                MigrationStep(
+                    step_id="join", operator="foj",
+                    params={"r_name": "emp", "s_name": "dept",
+                            "target_name": "emp_dept",
+                            "join_attr_r": "dept_id",
+                            "join_attr_s": "did"}),
+                MigrationStep(
+                    step_id="split", operator="split",
+                    params={"source_name": "emp_dept", "r_name": "staff",
+                            "s_name": "dept_info",
+                            "split_attr": "dept_id",
+                            "s_attrs": ["dname", "floor"]}),
+            ),
+            description="join emp+dept, then split the result into "
+                        "staff+dept_info"),
+        expected=_expected_emp_chain),
+    CorpusScenario(
+        name="tags-explode",
+        challenge="turn a scalar field into a collection "
+                  "(one row per element)",
+        seeds=((_DOC, _DOC_ROWS),),
+        plan=MigrationPlan.single(
+            "corpus.tags-explode", "explode",
+            {"source_name": "doc", "target_name": "doc_tag",
+             "list_attr": "tags", "value_attr": "tag"},
+            description="explode the comma-joined tags column"),
+        expected=_expected_doc_tags),
+    CorpusScenario(
+        name="archive-partition",
+        challenge="partition rows by a predicate into hot/cold tables",
+        seeds=((_ORDERS, _ORDERS_ROWS),),
+        plan=MigrationPlan.single(
+            "corpus.archive-partition", "partition",
+            {"source_name": "orders", "a_name": "orders_eu",
+             "b_name": "orders_intl",
+             "predicate": {"attr": "region", "op": "==", "value": "eu"}},
+            description="partition orders by region"),
+        expected=_expected_orders_partition),
+    CorpusScenario(
+        name="reunify-merge",
+        challenge="reunify a previously partitioned pair of tables",
+        seeds=((_EVT_A, _EVT_A_ROWS), (_EVT_B, _EVT_B_ROWS)),
+        plan=MigrationPlan.single(
+            "corpus.reunify-merge", "merge",
+            {"a_name": "evt_a", "b_name": "evt_b", "target_name": "evt"},
+            description="merge the two event shards back into one table"),
+        expected=_expected_evt_merge),
+    CorpusScenario(
+        name="retype-default",
+        challenge="change a field's type and its NULL default",
+        seeds=((_READING, _READING_ROWS),),
+        plan=MigrationPlan.single(
+            "corpus.retype-default", "retype",
+            {"source_name": "reading", "target_name": "reading_v2",
+             "attr": "value", "cast": "int", "default": 0},
+            description="retype reading.value from string to int, "
+                        "NULLs become 0"),
+        expected=_expected_reading_retype),
+)
+
+CORPUS_BY_NAME: Dict[str, CorpusScenario] = {s.name: s for s in CORPUS}
+
+
+def get_scenario(name: str) -> CorpusScenario:
+    """Look up one corpus scenario, enumerating the corpus on a miss."""
+    try:
+        return CORPUS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown corpus scenario {name!r}; available: "
+                       f"{sorted(CORPUS_BY_NAME)}") from None

@@ -1,0 +1,318 @@
+"""The operator registry behind the declarative migration plan API.
+
+Each entry of :data:`PLAN_OPERATORS` adapts one relational transformation
+to the plan machinery with two callables:
+
+* ``derive(schemas, params)`` -- given a *simulated catalog* (a mapping
+  of table name to :class:`~repro.storage.schema.TableSchema`) and the
+  step's params, return ``(published, retired)``: the schemas the step
+  publishes and the source tables it retires.  It raises
+  :class:`~repro.common.errors.SchemaError` on dangling table or
+  attribute references.  The validator threads the simulated catalog
+  through a plan's steps (``schemas - retired + published``), which is
+  how a step may legally reference a table *created by an earlier step*
+  that does not exist in the live database yet.
+* ``build(db, params, options)`` -- construct the concrete
+  :class:`~repro.transform.base.Transformation` against the live
+  database.  Called by the executor at the start of each supervisor
+  attempt, so a retried step re-derives its spec from the then-current
+  catalog.
+
+The registry is data the validator iterates over: ``required`` /
+``optional`` param names yield key-enumerating errors for missing or
+unknown params, and ``supports_lazy`` lets ``population_mode="lazy"`` on
+an eager-only operator (e.g. the many-to-many join) fail at validation
+time rather than deep inside ``Transformation._begin_population``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.common.errors import SchemaError
+from repro.engine.database import Database
+from repro.relational.spec import ExplodeSpec, FojSpec, RetypeSpec, SplitSpec
+from repro.storage.schema import TableSchema
+from repro.transform.base import Transformation
+from repro.transform.explode import ExplodeTransformation
+from repro.transform.foj import FojTransformation
+from repro.transform.foj_m2m import Many2ManyFojTransformation
+from repro.transform.options import TransformOptions
+from repro.transform.partition import (
+    AttrPredicate,
+    MergeSpec,
+    MergeTransformation,
+    PartitionSpec,
+    PartitionTransformation,
+)
+from repro.transform.retype import RetypeTransformation
+from repro.transform.split import SplitTransformation
+
+Schemas = Dict[str, TableSchema]
+Derived = Tuple[Dict[str, TableSchema], Tuple[str, ...]]
+
+
+@dataclass(frozen=True)
+class PlanOperator:
+    """One relational operator as seen by the plan machinery.
+
+    Attributes:
+        name: Registry key, the ``operator`` string of a plan step.
+        supports_lazy: Whether the operator's rule engine can serve
+            migrate-on-read (``population_mode="lazy"``).
+        required: Param names every step using this operator must set.
+        optional: Param names a step may set.
+        derive: Schema-level dry run; see the module docstring.
+        build: Live transformation factory; see the module docstring.
+    """
+
+    name: str
+    supports_lazy: bool
+    required: Tuple[str, ...]
+    optional: Tuple[str, ...]
+    derive: Callable[[Schemas, Dict[str, object]], Derived]
+    build: Callable[[Database, Dict[str, object], TransformOptions],
+                    Transformation]
+
+    @property
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(self.required) + tuple(self.optional)
+
+
+def _schema_of(schemas: Schemas, name: object) -> TableSchema:
+    """Look up one table in the simulated catalog, enumerating on miss."""
+    if name not in schemas:
+        raise SchemaError(
+            f"unknown table {name!r}; available: {sorted(schemas)}")
+    return schemas[name]
+
+
+def _predicate_of(params: Dict[str, object]) -> AttrPredicate:
+    """Decode a partition step's ``predicate`` param into an AttrPredicate.
+
+    Plans are JSON documents, so the predicate arrives as a dict --
+    ``{"attr": ..., "op": ..., "value": ...}`` -- never as a callable.
+    """
+    raw = params["predicate"]
+    if isinstance(raw, AttrPredicate):
+        return raw
+    if not isinstance(raw, dict):
+        raise SchemaError(
+            f"predicate must be a dict with keys 'attr', 'op' and "
+            f"optionally 'value', got {type(raw).__name__}")
+    unknown = sorted(set(raw) - {"attr", "op", "value"})
+    if unknown:
+        raise SchemaError(
+            f"unknown predicate field(s) {unknown}; available: "
+            "['attr', 'op', 'value']")
+    missing = sorted({"attr", "op"} - set(raw))
+    if missing:
+        raise SchemaError(f"predicate is missing field(s) {missing}")
+    return AttrPredicate(attr=raw["attr"], op=raw["op"],
+                         value=raw.get("value"))
+
+
+# -- full outer join ----------------------------------------------------------
+
+
+def _foj_spec(schemas: Schemas, params: Dict[str, object],
+              many_to_many: bool) -> FojSpec:
+    r_schema = _schema_of(schemas, params["r_name"])
+    s_schema = _schema_of(schemas, params["s_name"])
+    return FojSpec.derive(
+        r_schema, s_schema, params["target_name"],
+        params["join_attr_r"], params["join_attr_s"],
+        r_attrs=params.get("r_attrs"), s_attrs=params.get("s_attrs"),
+        many_to_many=many_to_many)
+
+
+def _derive_foj(schemas: Schemas, params: Dict[str, object]) -> Derived:
+    spec = _foj_spec(schemas, params, many_to_many=False)
+    return ({spec.target_name: spec.target_schema()},
+            (spec.r_name, spec.s_name))
+
+
+def _build_foj(db: Database, params: Dict[str, object],
+               options: TransformOptions) -> Transformation:
+    schemas = {n: db.catalog.get(n).schema for n in db.catalog.table_names()}
+    spec = _foj_spec(schemas, params, many_to_many=False)
+    return FojTransformation(db, spec, options=options)
+
+
+def _derive_foj_m2m(schemas: Schemas, params: Dict[str, object]) -> Derived:
+    spec = _foj_spec(schemas, params, many_to_many=True)
+    return ({spec.target_name: spec.target_schema()},
+            (spec.r_name, spec.s_name))
+
+
+def _build_foj_m2m(db: Database, params: Dict[str, object],
+                   options: TransformOptions) -> Transformation:
+    schemas = {n: db.catalog.get(n).schema for n in db.catalog.table_names()}
+    spec = _foj_spec(schemas, params, many_to_many=True)
+    return Many2ManyFojTransformation(db, spec, options=options)
+
+
+# -- vertical split -----------------------------------------------------------
+
+
+def _split_spec(schemas: Schemas, params: Dict[str, object]) -> SplitSpec:
+    t_schema = _schema_of(schemas, params["source_name"])
+    return SplitSpec.derive(
+        t_schema, params["r_name"], params["s_name"],
+        params["split_attr"], params["s_attrs"],
+        r_attrs=params.get("r_attrs"))
+
+
+def _derive_split(schemas: Schemas, params: Dict[str, object]) -> Derived:
+    spec = _split_spec(schemas, params)
+    return ({spec.r_name: spec.r_schema(), spec.s_name: spec.s_schema()},
+            (spec.source_name,))
+
+
+def _build_split(db: Database, params: Dict[str, object],
+                 options: TransformOptions) -> Transformation:
+    schemas = {n: db.catalog.get(n).schema for n in db.catalog.table_names()}
+    spec = _split_spec(schemas, params)
+    return SplitTransformation(
+        db, spec,
+        check_consistency=bool(params.get("check_consistency", False)),
+        on_inconsistent=params.get("on_inconsistent", "raise"),
+        materialize_r=bool(params.get("materialize_r", True)),
+        options=options)
+
+
+# -- multi-value explode ------------------------------------------------------
+
+
+def _explode_spec(schemas: Schemas,
+                  params: Dict[str, object]) -> ExplodeSpec:
+    source_schema = _schema_of(schemas, params["source_name"])
+    return ExplodeSpec.derive(
+        source_schema, params["target_name"],
+        params["list_attr"], params["value_attr"],
+        keep_attrs=params.get("keep_attrs"),
+        separator=params.get("separator", ","))
+
+
+def _derive_explode(schemas: Schemas, params: Dict[str, object]) -> Derived:
+    spec = _explode_spec(schemas, params)
+    return {spec.target_name: spec.target_schema()}, (spec.source_name,)
+
+
+def _build_explode(db: Database, params: Dict[str, object],
+                   options: TransformOptions) -> Transformation:
+    schemas = {n: db.catalog.get(n).schema for n in db.catalog.table_names()}
+    spec = _explode_spec(schemas, params)
+    return ExplodeTransformation(db, spec, options=options)
+
+
+# -- horizontal partition / merge --------------------------------------------
+
+
+def _derive_partition(schemas: Schemas,
+                      params: Dict[str, object]) -> Derived:
+    source_schema = _schema_of(schemas, params["source_name"])
+    predicate = _predicate_of(params)
+    if not source_schema.has_attribute(predicate.attr):
+        raise SchemaError(
+            f"predicate references unknown attribute {predicate.attr!r}; "
+            f"available: {sorted(source_schema.attribute_names)}")
+    return ({params["a_name"]: source_schema.rename(params["a_name"]),
+             params["b_name"]: source_schema.rename(params["b_name"])},
+            (source_schema.name,))
+
+
+def _build_partition(db: Database, params: Dict[str, object],
+                     options: TransformOptions) -> Transformation:
+    spec = PartitionSpec(
+        source_name=params["source_name"], a_name=params["a_name"],
+        b_name=params["b_name"], predicate=_predicate_of(params))
+    return PartitionTransformation(db, spec, options=options)
+
+
+def _derive_merge(schemas: Schemas, params: Dict[str, object]) -> Derived:
+    a_schema = _schema_of(schemas, params["a_name"])
+    b_schema = _schema_of(schemas, params["b_name"])
+    if a_schema.attribute_names != b_schema.attribute_names or \
+            a_schema.primary_key != b_schema.primary_key:
+        raise SchemaError(
+            f"{params['a_name']!r} and {params['b_name']!r} are not "
+            "union-compatible")
+    target = params["target_name"]
+    return ({target: a_schema.rename(target)},
+            (a_schema.name, b_schema.name))
+
+
+def _build_merge(db: Database, params: Dict[str, object],
+                 options: TransformOptions) -> Transformation:
+    spec = MergeSpec(a_name=params["a_name"], b_name=params["b_name"],
+                     target_name=params["target_name"])
+    return MergeTransformation(db, spec, options=options)
+
+
+# -- column retype ------------------------------------------------------------
+
+
+def _retype_spec(schemas: Schemas, params: Dict[str, object]) -> RetypeSpec:
+    source_schema = _schema_of(schemas, params["source_name"])
+    return RetypeSpec.derive(
+        source_schema, params["target_name"], params["attr"],
+        cast=params.get("cast", "str"), default=params.get("default"))
+
+
+def _derive_retype(schemas: Schemas, params: Dict[str, object]) -> Derived:
+    source_schema = _schema_of(schemas, params["source_name"])
+    spec = _retype_spec(schemas, params)
+    return ({spec.target_name: spec.target_schema(source_schema)},
+            (spec.source_name,))
+
+
+def _build_retype(db: Database, params: Dict[str, object],
+                  options: TransformOptions) -> Transformation:
+    schemas = {n: db.catalog.get(n).schema for n in db.catalog.table_names()}
+    spec = _retype_spec(schemas, params)
+    return RetypeTransformation(db, spec, options=options)
+
+
+PLAN_OPERATORS: Dict[str, PlanOperator] = {op.name: op for op in (
+    PlanOperator(
+        name="foj", supports_lazy=True,
+        required=("r_name", "s_name", "target_name",
+                  "join_attr_r", "join_attr_s"),
+        optional=("r_attrs", "s_attrs"),
+        derive=_derive_foj, build=_build_foj),
+    PlanOperator(
+        name="foj_m2m", supports_lazy=False,
+        required=("r_name", "s_name", "target_name",
+                  "join_attr_r", "join_attr_s"),
+        optional=("r_attrs", "s_attrs"),
+        derive=_derive_foj_m2m, build=_build_foj_m2m),
+    PlanOperator(
+        name="split", supports_lazy=True,
+        required=("source_name", "r_name", "s_name", "split_attr",
+                  "s_attrs"),
+        optional=("r_attrs", "check_consistency", "on_inconsistent",
+                  "materialize_r"),
+        derive=_derive_split, build=_build_split),
+    PlanOperator(
+        name="explode", supports_lazy=True,
+        required=("source_name", "target_name", "list_attr", "value_attr"),
+        optional=("keep_attrs", "separator"),
+        derive=_derive_explode, build=_build_explode),
+    PlanOperator(
+        name="partition", supports_lazy=False,
+        required=("source_name", "a_name", "b_name", "predicate"),
+        optional=(),
+        derive=_derive_partition, build=_build_partition),
+    PlanOperator(
+        name="merge", supports_lazy=False,
+        required=("a_name", "b_name", "target_name"),
+        optional=(),
+        derive=_derive_merge, build=_build_merge),
+    PlanOperator(
+        name="retype", supports_lazy=True,
+        required=("source_name", "target_name", "attr"),
+        optional=("cast", "default"),
+        derive=_derive_retype, build=_build_retype),
+)}

@@ -1,18 +1,31 @@
 """Relational operator specifications and oracle evaluations."""
 
 from repro.relational.operators import (
+    explode,
     full_outer_join,
     normalize_rows,
+    retype,
     rows_equal,
     split,
 )
-from repro.relational.spec import FojSpec, SplitSpec
+from repro.relational.spec import (
+    RETYPE_CASTS,
+    ExplodeSpec,
+    FojSpec,
+    RetypeSpec,
+    SplitSpec,
+)
 
 __all__ = [
+    "ExplodeSpec",
     "FojSpec",
+    "RETYPE_CASTS",
+    "RetypeSpec",
     "SplitSpec",
+    "explode",
     "full_outer_join",
     "normalize_rows",
+    "retype",
     "rows_equal",
     "split",
 ]

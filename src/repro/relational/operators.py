@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Tuple
 
 from repro.common.errors import InconsistentDataError
-from repro.relational.spec import FojSpec, SplitSpec
+from repro.relational.spec import ExplodeSpec, FojSpec, RetypeSpec, SplitSpec
 
 RowDict = Dict[str, object]
 
@@ -114,6 +114,38 @@ def split(spec: SplitSpec, t_rows: Iterable[RowDict],
     if strict and inconsistent:
         raise InconsistentDataError(tuple(sorted(inconsistent)))
     return r_rows, list(s_by_value.values()), counters, inconsistent
+
+
+def explode(spec: ExplodeSpec,
+            source_rows: Iterable[RowDict]) -> List[RowDict]:
+    """Explode a row collection per ``spec`` (one row per list element).
+
+    A row with a NULL or element-free list yields one null-element child
+    (the outer-explode analogue of the FOJ's null-padded records), so the
+    result always carries every source row.
+    """
+    result: List[RowDict] = []
+    for values in source_rows:
+        for element in spec.elements(values):
+            result.append(spec.child_values(values, element))
+    return result
+
+
+def retype(spec: RetypeSpec,
+           source_rows: Iterable[RowDict]) -> List[RowDict]:
+    """Retype a row collection per ``spec``.
+
+    A value the named cast cannot parse raises
+    :class:`InconsistentDataError` carrying the offending row's retyped
+    column value -- the retype analogue of the paper's Example 1.
+    """
+    result: List[RowDict] = []
+    for values in source_rows:
+        try:
+            result.append(spec.retype_row(values))
+        except (TypeError, ValueError):
+            raise InconsistentDataError((values.get(spec.attr),))
+    return result
 
 
 def normalize_rows(rows: Iterable[RowDict]) -> List[Tuple]:

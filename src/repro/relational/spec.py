@@ -1,4 +1,4 @@
-"""Declarative specifications of the FOJ and split operators.
+"""Declarative specifications of the relational transformation operators.
 
 A spec captures everything needed to (a) derive the transformed tables'
 schemas, (b) evaluate the operator on consistent data (the oracle in
@@ -11,12 +11,19 @@ transforms source tables *R* and *S* into *T* on a join attribute; a split
 transforms *T* into *R* and *S* on a split attribute.  The join/split
 attribute appears **once** in the joined table, named after R's join
 attribute (as in the paper's Figure 1, where R.c joins S.c into T.c).
+
+Beyond the paper's pair, the corpus operators follow the same shape: an
+**explode** (:class:`ExplodeSpec`) unnests a multi-value column into one
+row per element (the inverse-cardinality cousin of the split), and a
+**retype** (:class:`RetypeSpec`) rewrites one column through a named cast
+with a new NULL default.  Both stay declarative -- plain data, no
+callables -- so they survive the WAL frame codec and the JSON plan codec.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import SchemaError
 from repro.storage.schema import TableSchema
@@ -273,3 +280,212 @@ class SplitSpec:
     def split_value(self, values: Dict[str, object]) -> Tuple:
         """The split-attribute key tuple of a row image."""
         return (values.get(self.split_attr),)
+
+
+@dataclass(frozen=True)
+class ExplodeSpec:
+    """Specification of a multi-value column explode (corpus operator).
+
+    One source row whose ``list_attr`` holds a separator-joined list of
+    values becomes N target rows, one per distinct element -- the
+    inverse-cardinality cousin of the vertical split (which maps N rows
+    to 1 shared S record).  A row whose list is NULL or empty explodes to
+    exactly one child with a NULL element, the explode analogue of the
+    FOJ's null-padded records: every source row stays represented, so
+    "no children" always means "no source row" to the propagation rules.
+
+    Attributes:
+        source_name: The table being exploded.
+        target_name: The exploded table (one row per element).
+        list_attr: The multi-value column (a separator-joined string).
+        value_attr: Name of the element column in the target.
+        keep_attrs: Source attributes carried onto every child (must
+            include the source key; never includes ``list_attr``).
+        source_key: The source table's primary key.
+        separator: Element separator within ``list_attr``.
+    """
+
+    source_name: str
+    target_name: str
+    list_attr: str
+    value_attr: str
+    keep_attrs: Tuple[str, ...]
+    source_key: Tuple[str, ...]
+    separator: str = ","
+
+    @property
+    def target_key(self) -> Tuple[str, ...]:
+        """Target key: the source key plus the exploded element."""
+        return tuple(self.source_key) + (self.value_attr,)
+
+    @staticmethod
+    def derive(source_schema: TableSchema, target_name: str,
+               list_attr: str, value_attr: str,
+               keep_attrs: Optional[Sequence[str]] = None,
+               separator: str = ",") -> "ExplodeSpec":
+        """Build a spec from the source schema with sensible defaults.
+
+        ``keep_attrs`` defaults to every source attribute except the
+        list column itself; it must cover the source key so each child
+        remains addressable by its origin row.
+        """
+        if not source_schema.has_attribute(list_attr):
+            raise SchemaError(f"{source_schema.name!r} has no {list_attr!r}")
+        if list_attr in source_schema.primary_key:
+            raise SchemaError(
+                f"cannot explode key attribute {list_attr!r} of "
+                f"{source_schema.name!r}")
+        keep = tuple(keep_attrs) if keep_attrs is not None else tuple(
+            a for a in source_schema.attribute_names if a != list_attr)
+        if list_attr in keep:
+            raise SchemaError(
+                f"the exploded column {list_attr!r} cannot also be kept")
+        for col in keep:
+            if not source_schema.has_attribute(col):
+                raise SchemaError(f"{source_schema.name!r} has no {col!r}")
+        for col in source_schema.primary_key:
+            if col not in keep:
+                raise SchemaError(
+                    f"the target must keep the source key attribute "
+                    f"{col!r} (Section 3.1)")
+        if value_attr in keep:
+            raise SchemaError(
+                f"element column {value_attr!r} collides with a kept "
+                "source attribute")
+        if not separator:
+            raise SchemaError("separator must be a non-empty string")
+        return ExplodeSpec(
+            source_name=source_schema.name,
+            target_name=target_name,
+            list_attr=list_attr,
+            value_attr=value_attr,
+            keep_attrs=keep,
+            source_key=source_schema.primary_key,
+            separator=separator,
+        )
+
+    def target_schema(self) -> TableSchema:
+        """Schema of the exploded table."""
+        return TableSchema(self.target_name,
+                           list(self.keep_attrs) + [self.value_attr],
+                           primary_key=self.target_key)
+
+    # -- row plumbing -------------------------------------------------------------
+
+    def elements(self, values: Dict[str, object]) -> List[Optional[str]]:
+        """Distinct elements of a source row's list, in first-seen order.
+
+        NULL or element-free lists yield ``[None]`` -- the null-padded
+        child keeping the row represented in the target.
+        """
+        raw = values.get(self.list_attr)
+        if raw is None:
+            return [None]
+        parts = [p.strip() for p in str(raw).split(self.separator)]
+        seen: Dict[str, None] = dict.fromkeys(p for p in parts if p)
+        return list(seen) if seen else [None]
+
+    def parent_key(self, values: Dict[str, object]) -> Tuple:
+        """The source-key tuple of a row image."""
+        return tuple(values.get(a) for a in self.source_key)
+
+    def child_key(self, values: Dict[str, object],
+                  element: Optional[str]) -> Tuple:
+        """Target key of the child for one element."""
+        return self.parent_key(values) + (element,)
+
+    def child_values(self, values: Dict[str, object],
+                     element: Optional[str]) -> Dict[str, object]:
+        """The child row for one element of a source row image."""
+        child = {a: values.get(a) for a in self.keep_attrs}
+        child[self.value_attr] = element
+        return child
+
+    def kept_changes(self, changes: Dict[str, object]) -> Dict[str, object]:
+        """Project an update's changes onto the kept columns."""
+        return {k: v for k, v in changes.items() if k in self.keep_attrs}
+
+
+#: Named casts for :class:`RetypeSpec` -- strings, not callables, so a
+#: retype spec stays JSON- and WAL-frame-codable.  Each cast is applied
+#: to non-NULL values only (NULLs take the spec's ``default``).
+RETYPE_CASTS: Dict[str, Callable[[object], object]] = {
+    "int": lambda v: int(str(v).strip()),
+    "float": lambda v: float(str(v).strip()),
+    "str": str,
+    "bool": lambda v: bool(v) if not isinstance(v, str)
+        else v.strip().lower() not in ("", "0", "false", "no"),
+}
+
+
+@dataclass(frozen=True)
+class RetypeSpec:
+    """Specification of a column retype / default change (corpus operator).
+
+    The target table has the source's schema and key; one non-key column
+    is rewritten through a named cast from :data:`RETYPE_CASTS`, and NULL
+    values are replaced by a new default.  A value the cast cannot parse
+    is the retype analogue of the paper's Example 1 dirty data: the
+    transformation surfaces it as
+    :class:`~repro.common.errors.InconsistentDataError` instead of
+    guessing.
+
+    Attributes:
+        source_name: The table being retyped.
+        target_name: The retyped copy.
+        attr: The column rewritten (must not be part of the key).
+        cast: A key of :data:`RETYPE_CASTS`.
+        default: Replacement for NULL values (the default-change half;
+            ``None`` keeps NULLs).
+    """
+
+    source_name: str
+    target_name: str
+    attr: str
+    cast: str = "str"
+    default: Optional[object] = None
+
+    @staticmethod
+    def derive(source_schema: TableSchema, target_name: str, attr: str,
+               cast: str = "str",
+               default: Optional[object] = None) -> "RetypeSpec":
+        """Build a spec from the source schema, validating eagerly."""
+        if not source_schema.has_attribute(attr):
+            raise SchemaError(f"{source_schema.name!r} has no {attr!r}")
+        if attr in source_schema.primary_key:
+            raise SchemaError(
+                f"cannot retype key attribute {attr!r} of "
+                f"{source_schema.name!r} (the cast would rewrite row "
+                "identity)")
+        if cast not in RETYPE_CASTS:
+            raise SchemaError(
+                f"unknown cast {cast!r}; available: "
+                f"{sorted(RETYPE_CASTS)}")
+        return RetypeSpec(source_name=source_schema.name,
+                          target_name=target_name, attr=attr, cast=cast,
+                          default=default)
+
+    def target_schema(self, source_schema: TableSchema) -> TableSchema:
+        """Schema of the retyped table (source schema, new name)."""
+        return source_schema.rename(self.target_name)
+
+    # -- row plumbing -------------------------------------------------------------
+
+    def cast_value(self, value: object) -> object:
+        """Cast one value (NULL takes the new default)."""
+        if value is None:
+            return self.default
+        return RETYPE_CASTS[self.cast](value)
+
+    def retype_row(self, values: Dict[str, object]) -> Dict[str, object]:
+        """A source row image with the retyped column rewritten."""
+        out = dict(values)
+        out[self.attr] = self.cast_value(values.get(self.attr))
+        return out
+
+    def retype_changes(self, changes: Dict[str, object]) -> Dict[str, object]:
+        """An update's changes with the retyped column rewritten."""
+        out = dict(changes)
+        if self.attr in out:
+            out[self.attr] = self.cast_value(out[self.attr])
+        return out

@@ -11,6 +11,7 @@ from repro.sim.experiments import (
     RunSettings,
     Scenario,
     build_foj_scenario,
+    build_plan_scenario,
     build_split_scenario,
     calibrate_max_workload,
     clients_for_workload,
@@ -38,6 +39,7 @@ __all__ = [
     "UpdateTarget",
     "Workload",
     "build_foj_scenario",
+    "build_plan_scenario",
     "build_split_scenario",
     "calibrate_max_workload",
     "clients_for_workload",

@@ -115,6 +115,84 @@ def build_split_scenario(seed: int = 0, source_fraction: float = 0.2,
     return Scenario(db, workload, factory, ("T",))
 
 
+def build_plan_scenario(seed: int = 0, source_fraction: float = 0.2,
+                        n_emp: Optional[int] = None,
+                        n_dept: Optional[int] = None,
+                        dummy_rows: Optional[int] = None,
+                        defaults: Optional[dict] = None) -> Scenario:
+    """A chained migration plan (FOJ then split) under a live workload.
+
+    The background work is a whole :class:`~repro.plan.MigrationPlan`
+    adapted through :class:`~repro.plan.PlanStepper`: ``emp`` and
+    ``dept`` are joined into ``emp_dept``, which is then split into
+    ``staff`` and ``dept_info`` -- so the simulated server crosses *two*
+    synchronization points in one run.  Update targets fall back along
+    the chain as each swap retires their table.
+    """
+    from repro.plan import MigrationPlan, MigrationStep, PlanStepper
+
+    scale = scale_factor()
+    n_emp = n_emp if n_emp is not None else max(200, int(20_000 * scale))
+    n_dept = n_dept if n_dept is not None else max(20, int(n_emp * 0.1))
+    dummy_rows = dummy_rows if dummy_rows is not None \
+        else max(200, int(20_000 * scale))
+    rng = random.Random(seed)
+
+    db = Database()
+    db.create_table(TableSchema("emp", ["eid", "ename", "dept_id"],
+                                primary_key=["eid"]))
+    db.create_table(TableSchema("dept", ["did", "dname", "floor"],
+                                primary_key=["did"]))
+    bulk_load(db, "emp", [
+        {"eid": i, "ename": float(i),
+         "dept_id": rng.randrange(int(n_dept * 1.2))}
+        for i in range(n_emp)
+    ])
+    bulk_load(db, "dept", [
+        {"did": d, "dname": f"d{d}", "floor": float(d)}
+        for d in range(n_dept)
+    ])
+    dummy = _build_dummy(db, dummy_rows)
+    plan = MigrationPlan(
+        plan_id=f"sim.chain.{seed}",
+        steps=(
+            MigrationStep(step_id="join", operator="foj",
+                          params={"r_name": "emp", "s_name": "dept",
+                                  "target_name": "emp_dept",
+                                  "join_attr_r": "dept_id",
+                                  "join_attr_s": "did"}),
+            MigrationStep(step_id="split", operator="split",
+                          params={"source_name": "emp_dept",
+                                  "r_name": "staff", "s_name": "dept_info",
+                                  "split_attr": "dept_id",
+                                  "s_attrs": ["dname", "floor"]}),
+        ),
+        defaults=dict(defaults or {}))
+
+    emp_keys = [(i,) for i in range(n_emp)]
+    dept_keys = [(d,) for d in range(n_dept)]
+    # ``ename`` stays an R-side attribute through both steps, so it is a
+    # safe update column in every intermediate schema; ``floor`` is only
+    # written through ``dept`` (keeping the dept_id -> floor dependency
+    # consistent for the split) and falls back to the R side after.
+    staff_t = UpdateTarget("staff", emp_keys, "ename")
+    emp_target = UpdateTarget(
+        "emp", emp_keys, "ename",
+        fallback=UpdateTarget("emp_dept", emp_keys, "ename",
+                              fallback=staff_t))
+    dept_target = UpdateTarget(
+        "dept", dept_keys, "floor",
+        fallback=UpdateTarget("emp_dept", emp_keys, "ename",
+                              fallback=staff_t))
+    workload = Workload([emp_target, dept_target], dummy,
+                        source_fraction=source_fraction)
+
+    def factory() -> PlanStepper:
+        return PlanStepper(db, plan)
+
+    return Scenario(db, workload, factory, ("emp", "dept", "emp_dept"))
+
+
 def build_foj_scenario(seed: int = 0, source_fraction: float = 0.2,
                        n_r: Optional[int] = None,
                        n_s: Optional[int] = None,

@@ -1,9 +1,10 @@
 """The non-blocking schema transformation framework.
 
-Importing this package also registers the recovery rebuilders for the
-``"foj"``, ``"foj_m2m"`` and ``"split"`` transformation kinds, so ARIES
-restart can recompute published tables at a completed swap point (see
-:mod:`repro.engine.recovery`).
+Importing this package also registers the recovery rebuilders for every
+transformation kind (``"foj"``, ``"foj_m2m"``, ``"split"``,
+``"partition"``, ``"merge"``, ``"explode"``, ``"retype"``, ``"mv_foj"``),
+so ARIES restart can recompute published tables at a completed swap point
+(see :mod:`repro.engine.recovery`).
 """
 
 from typing import Dict, Tuple
@@ -49,13 +50,26 @@ from repro.transform.foj_m2m import (
     Many2ManyFojTransformation,
     build_m2m_table,
 )
+from repro.transform.explode import (
+    ExplodeRuleEngine,
+    ExplodeTransformation,
+    build_explode_table,
+    populate_explode_target,
+)
+from repro.transform.retype import (
+    RetypeRuleEngine,
+    RetypeTransformation,
+    upsert_retyped_row,
+)
 from repro.transform.partition import (
+    AttrPredicate,
     MergeRuleEngine,
     MergeSpec,
     MergeTransformation,
     PartitionRuleEngine,
     PartitionSpec,
     PartitionTransformation,
+    PREDICATE_OPS,
     merge_rows,
     partition_rows,
 )
@@ -160,17 +174,46 @@ def _rebuild_merge(db: Database, record: TransformSwapRecord
     return {spec.target_name: target}, _RecoveryPropagator(engine)
 
 
+def _rebuild_explode(db: Database, record: TransformSwapRecord
+                     ) -> Tuple[Dict[str, Table], _RecoveryPropagator]:
+    spec = record.params["spec"]
+    source = db.catalog.get(spec.source_name)
+    rows = [r for r in source.scan()]
+    table = build_explode_table(spec)
+    populate_explode_target(table, spec,
+                            [dict(r.values) for r in rows],
+                            [r.lsn for r in rows])
+    engine = ExplodeRuleEngine(db, spec, table)
+    return {spec.target_name: table}, _RecoveryPropagator(engine)
+
+
+def _rebuild_retype(db: Database, record: TransformSwapRecord
+                    ) -> Tuple[Dict[str, Table], _RecoveryPropagator]:
+    spec = record.params["spec"]
+    source = db.catalog.get(spec.source_name)
+    table = Table(spec.target_schema(source.schema))
+    for row in source.scan():
+        upsert_retyped_row(table, spec, dict(row.values), row.lsn)
+    engine = RetypeRuleEngine(db, spec, table)
+    return {spec.target_name: table}, _RecoveryPropagator(engine)
+
+
 register_rebuilder("foj", _rebuild_foj)
 register_rebuilder("foj_m2m", _rebuild_foj_m2m)
 register_rebuilder("split", _rebuild_split)
 register_rebuilder("partition", _rebuild_partition)
 register_rebuilder("merge", _rebuild_merge)
+register_rebuilder("explode", _rebuild_explode)
+register_rebuilder("retype", _rebuild_retype)
 register_rebuilder("mv_foj", _rebuild_foj)  # the view rebuilds like a join
 
 __all__ = [
+    "AttrPredicate",
     "ConsistencyChecker",
     "Decision",
     "EstimatedTimePolicy",
+    "ExplodeRuleEngine",
+    "ExplodeTransformation",
     "FixedIterationsPolicy",
     "FojRuleEngine",
     "FojTransformation",
@@ -187,11 +230,14 @@ __all__ = [
     "PartitionSpec",
     "PartitionTransformation",
     "POPULATION_MODES",
+    "PREDICATE_OPS",
     "Phase",
     "PropagatedLockTable",
     "PropagationPolicy",
     "PublishKeepSync",
     "RemainingRecordsPolicy",
+    "RetypeRuleEngine",
+    "RetypeTransformation",
     "RuleEngine",
     "STORAGE_BACKENDS",
     "SplitRuleEngine",

@@ -33,7 +33,6 @@ it to completion for single-threaded use.
 from __future__ import annotations
 
 import itertools
-import warnings
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -54,14 +53,9 @@ from repro.storage.table import Table
 from repro.transform.analysis import (
     Decision,
     IterationReport,
-    PropagationPolicy,
     RemainingRecordsPolicy,
 )
-from repro.transform.options import (
-    SyncStrategy,
-    TransformOptions,
-    resolve_sync_strategy,
-)
+from repro.transform.options import SyncStrategy, TransformOptions
 from repro.wal.records import (
     NULL_LSN,
     CLRecord,
@@ -306,21 +300,12 @@ class Transformation:
         db: The database to transform.
         options: A :class:`~repro.transform.options.TransformOptions`
             carrying every knob (sync strategy, shards, batch sizes,
-            flush policy, metrics, faults, analysis policy, id).  The
-            per-knob keyword arguments below are the deprecated legacy
-            surface; passing any of them emits :class:`DeprecationWarning`
-            and folds the value into ``options``.
-        transform_id: Deprecated -- use ``options.transform_id``.
-        policy: Deprecated -- use ``options.policy``.
-        sync_strategy: Deprecated -- use ``options.sync`` (enum member or
-            registry string).
-        population_chunk: Deprecated -- use ``options.population_chunk``.
-        shards: Deprecated -- use ``options.shards``.  ``N > 1``
-            delegates population and propagation to a
-            :class:`~repro.shard.coordinator.ShardCoordinator`, which
-            merges back to a single cursor before synchronization, so the
-            Section 3.4 strategies and the lock mirroring are identical
-            either way.
+            flush policy, metrics, faults, analysis policy, id).
+            ``options.shards > 1`` delegates population and propagation
+            to a :class:`~repro.shard.coordinator.ShardCoordinator`,
+            which merges back to a single cursor before synchronization,
+            so the Section 3.4 strategies and the lock mirroring are
+            identical either way.
 
     Subclass contract -- implement:
 
@@ -335,37 +320,8 @@ class Transformation:
     #: Transformation kind registered with recovery (e.g. ``"foj"``).
     kind: str = ""
 
-    #: Legacy constructor kwargs and the TransformOptions field each maps
-    #: to (the deprecation shim below folds them in).
-    _LEGACY_OPTION_KWARGS = {
-        "transform_id": "transform_id",
-        "policy": "policy",
-        "sync_strategy": "sync",
-        "population_chunk": "population_chunk",
-        "shards": "shards",
-    }
-
     def __init__(self, db: Database,
-                 options: Optional[TransformOptions] = None,
-                 transform_id: Optional[str] = None,
-                 policy: Optional[PropagationPolicy] = None,
-                 sync_strategy: Optional[SyncStrategy] = None,
-                 population_chunk: Optional[int] = None,
-                 shards: Optional[int] = None) -> None:
-        legacy = {name: value for name, value in (
-            ("transform_id", transform_id), ("policy", policy),
-            ("sync_strategy", sync_strategy),
-            ("population_chunk", population_chunk), ("shards", shards),
-        ) if value is not None}
-        if legacy:
-            warnings.warn(
-                f"per-call transformation kwargs "
-                f"({', '.join(sorted(legacy))}) are deprecated; pass a "
-                f"repro.api.TransformOptions instead",
-                DeprecationWarning, stacklevel=3)
-            folded = {self._LEGACY_OPTION_KWARGS[k]: v
-                      for k, v in legacy.items()}
-            options = (options or TransformOptions()).evolve(**folded)
+                 options: Optional[TransformOptions] = None) -> None:
         self.options = options if options is not None else TransformOptions()
         self.db = db
         self.transform_id = self.options.transform_id or \

@@ -1,0 +1,294 @@
+"""Multi-value column explode transformation (corpus operator).
+
+One source row whose multi-value column holds N separator-joined
+elements becomes N target rows -- the *inverse-cardinality cousin* of
+the vertical split: where the split's Rules 8-11 merge N source rows
+into one shared S record (duplicate counters, max-LSN images), the
+explode fans one source row out into N children and must keep the whole
+sibling group consistent under concurrent inserts, deletes and list
+rewrites.
+
+The rules are LSN-guarded per child, like the split's (whole source
+rows are the unit of change, so the record LSN is a valid state
+identifier):
+
+* insert: one child per element, each inserted only if absent (replay
+  and fuzzy-population races resolve by the usual skip-if-newer);
+* delete: every child of the source key is removed if older than the
+  delete;
+* update: kept-attribute changes apply to all children; a rewrite of
+  the list column reconciles the sibling group -- new elements inserted,
+  surviving elements updated, vanished elements deleted -- all under the
+  same LSN guard.
+
+A source row with a NULL or element-free list explodes to exactly one
+child with a NULL element (the FOJ's null-padding transplanted, see
+:class:`~repro.relational.spec.ExplodeSpec`), which keeps every source
+row represented: the rules can safely read "no children" as "no source
+row", with no counter machinery needed.
+
+Because one source key owns its whole sibling group and nothing else,
+records route by source key under hash-sharded propagation, and
+:meth:`ExplodeRuleEngine.migrate_row` gives lazy (migrate-on-read)
+population the same idempotent upsert that eager population streams
+through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.database import Database
+from repro.relational.spec import ExplodeSpec
+from repro.storage.row import Row
+from repro.storage.table import Table
+from repro.transform.base import RuleEngine, Transformation
+from repro.wal.records import (
+    NULL_LSN,
+    DeleteRecord,
+    InsertRecord,
+    LogRecord,
+    UpdateRecord,
+)
+
+#: Index on the target's source-key columns: the rules look up a source
+#: row's whole sibling group ("children") without scanning the target.
+PARENT_INDEX = "__explode_parent__"
+
+
+def build_explode_table(spec: ExplodeSpec) -> Table:
+    """Build a detached, empty exploded table (recovery helper)."""
+    table = Table(spec.target_schema())
+    table.create_index(PARENT_INDEX, spec.source_key)
+    return table
+
+
+def create_explode_target(db: Database, spec: ExplodeSpec,
+                          transient: bool = True) -> Dict[str, Table]:
+    """Preparation step: create the exploded table and its parent index."""
+    target = db.create_table(spec.target_schema(), transient=transient)
+    target.create_index(PARENT_INDEX, spec.source_key)
+    return {spec.target_name: target}
+
+
+def upsert_exploded_row(target: Table, spec: ExplodeSpec,
+                        values: Dict[str, object], lsn: int) -> List[Tuple]:
+    """Insert one source row's children if absent (population upsert).
+
+    Shared by eager population and :meth:`ExplodeRuleEngine.migrate_row`;
+    idempotent, and children are stamped with the source row's LSN so the
+    propagation rules guard later replay exactly as over an eager image.
+    """
+    touched: List[Tuple] = []
+    for element in spec.elements(values):
+        key = spec.child_key(values, element)
+        if target.get(key) is None:
+            target.insert_row(spec.child_values(values, element), lsn=lsn)
+            touched.append(key)
+    return touched
+
+
+def populate_explode_target(target: Table, spec: ExplodeSpec,
+                            rows: List[Dict[str, object]],
+                            lsns: Optional[List[int]] = None) -> None:
+    """Insert the explosion of a row buffer (rebuild/baseline helper)."""
+    if lsns is None:
+        lsns = [0] * len(rows)
+    for values, lsn in zip(rows, lsns):
+        upsert_exploded_row(target, spec, values, lsn)
+
+
+class ExplodeRuleEngine(RuleEngine):
+    """LSN-guarded, sibling-group propagation rules for an explode."""
+
+    supports_lazy = True
+    marker_classes: Tuple[type, ...] = ()
+
+    def __init__(self, db: Database, spec: ExplodeSpec,
+                 target: Table) -> None:
+        self.db = db
+        self.spec = spec
+        self.target = target
+        self.source_tables = (spec.source_name,)
+
+    def _children(self, parent_key: Tuple) -> List[Row]:
+        return self.target.lookup(PARENT_INDEX, tuple(parent_key))
+
+    # -- sharding -------------------------------------------------------------
+
+    def shard_route(self, change: LogRecord):
+        """Route by source key: one key owns its whole sibling group."""
+        return tuple(change.key)
+
+    # -- rules ----------------------------------------------------------------
+
+    def apply(self, change: LogRecord,
+              lsn: int) -> List[Tuple[Table, Tuple]]:
+        """Apply one logged source operation to the sibling group."""
+        touched: List[Tuple[Table, Tuple]] = []
+        if change.table != self.spec.source_name:
+            return touched
+        if isinstance(change, InsertRecord):
+            self._rule_insert(change, lsn, touched)
+        elif isinstance(change, DeleteRecord):
+            self._rule_delete(change, lsn, touched)
+        elif isinstance(change, UpdateRecord):
+            self._rule_update(change, lsn, touched)
+        return touched
+
+    def _rule_insert(self, change: InsertRecord, lsn: int,
+                     touched: List[Tuple[Table, Tuple]]) -> None:
+        """One child per element, each guarded per-child.
+
+        A child already present with a higher LSN came from a newer
+        source image (fuzzy population, or lazy migration) and wins; a
+        stale extra child this insert resurrects is deleted again when
+        the newer update/delete record reaches it in LSN order.
+        """
+        for element in self.spec.elements(change.values):
+            key = self.spec.child_key(change.values, element)
+            child = self.target.get(key)
+            if child is None:
+                self.target.insert_row(
+                    self.spec.child_values(change.values, element), lsn=lsn)
+                touched.append((self.target, key))
+            elif child.lsn < lsn:
+                self.target.update_rowid(
+                    child.rowid,
+                    self.spec.child_values(change.values, element), lsn=lsn)
+                touched.append((self.target, key))
+
+    def _rule_delete(self, change: DeleteRecord, lsn: int,
+                     touched: List[Tuple[Table, Tuple]]) -> None:
+        """Remove every child of the source key not newer than the delete."""
+        for child in list(self._children(change.key)):
+            if child.lsn < lsn:
+                key = self.target.schema.key_of(child.values)
+                self.target.delete_rowid(child.rowid)
+                touched.append((self.target, key))
+
+    def _rule_update(self, change: UpdateRecord, lsn: int,
+                     touched: List[Tuple[Table, Tuple]]) -> None:
+        """Apply kept changes to all children; reconcile a list rewrite.
+
+        With the null-padding invariant a live source row always has at
+        least one child, so an empty sibling group means the row is gone
+        (a newer delete already applied) and the update is ignored --
+        the same "absent or newer" guard as the split's Rule 10.
+        """
+        children = list(self._children(change.key))
+        if not children:
+            return
+        kept = self.spec.kept_changes(change.changes)
+        if self.spec.list_attr not in change.changes:
+            if not kept:
+                return
+            for child in children:
+                if child.lsn < lsn:
+                    key = self.target.schema.key_of(child.values)
+                    self.target.update_rowid(child.rowid, dict(kept),
+                                             lsn=lsn)
+                    touched.append((self.target, key))
+            return
+        # List rewrite: rebuild the source image from any child's kept
+        # columns + the update's changes, then reconcile the group.
+        base = {a: children[0].values.get(a) for a in self.spec.keep_attrs}
+        base.update(kept)
+        base[self.spec.list_attr] = change.changes[self.spec.list_attr]
+        new_elements = self.spec.elements(base)
+        wanted = set(new_elements)
+        for child in children:
+            element = child.values.get(self.spec.value_attr)
+            key = self.target.schema.key_of(child.values)
+            if child.lsn >= lsn:
+                continue
+            if element in wanted:
+                self.target.update_rowid(
+                    child.rowid, self.spec.child_values(base, element),
+                    lsn=lsn)
+            else:
+                self.target.delete_rowid(child.rowid)
+            touched.append((self.target, key))
+        have = {c.values.get(self.spec.value_attr)
+                for c in self._children(change.key)}
+        for element in new_elements:
+            if element not in have:
+                key = self.spec.child_key(base, element)
+                self.target.insert_row(
+                    self.spec.child_values(base, element), lsn=lsn)
+                touched.append((self.target, key))
+
+    # -- lazy (migrate-on-read) population -----------------------------------
+
+    def migrate_row(self, table_name: str, values: Dict[str, object],
+                    lsn: int = NULL_LSN) -> List[Tuple[Table, Tuple]]:
+        """Migrate one source-row snapshot into its sibling group."""
+        if table_name != self.spec.source_name:
+            return []
+        keys = upsert_exploded_row(self.target, self.spec, dict(values),
+                                   lsn)
+        return [(self.target, key) for key in keys]
+
+    # -- lock mapping (synchronization support) -------------------------------
+
+    def targets_of_source_lock(self, table_name: str,
+                               key: Tuple) -> List[Tuple[Table, Tuple]]:
+        if table_name != self.spec.source_name:
+            return []
+        return [(self.target, self.target.schema.key_of(child.values))
+                for child in self._children(tuple(key))]
+
+    def sources_of_target_lock(self, table_name: str,
+                               key: Tuple) -> List[Tuple[Table, Tuple]]:
+        if table_name != self.target.name:
+            return []
+        source = self.db.catalog.get_any(self.spec.source_name)
+        return [(source, tuple(key)[:-1])]
+
+
+class ExplodeTransformation(Transformation):
+    """Online, non-blocking explode of a multi-value column.
+
+    Example::
+
+        spec = ExplodeSpec.derive(db.table("article").schema,
+                                  target_name="article_tag",
+                                  list_attr="tags", value_attr="tag")
+        ExplodeTransformation(db, spec).run()
+
+    Args:
+        db: The database.
+        spec: The explode specification.
+        options: Forwarded to :class:`Transformation`.
+    """
+
+    kind = "explode"
+
+    def __init__(self, db: Database, spec: ExplodeSpec, **kwargs) -> None:
+        super().__init__(db, **kwargs)
+        self.spec = spec
+
+    @property
+    def source_tables(self) -> Tuple[str, ...]:
+        return (self.spec.source_name,)
+
+    def _create_targets(self) -> Dict[str, Table]:
+        return create_explode_target(self.db, self.spec)
+
+    def _build_rule_engine(self) -> ExplodeRuleEngine:
+        return ExplodeRuleEngine(self.db, self.spec,
+                                 self.targets[self.spec.target_name])
+
+    def _swap_params(self) -> Dict[str, object]:
+        return {"spec": self.spec}
+
+    def _population_step(self, budget: int) -> Tuple[int, bool]:
+        units = 0
+        target = self.targets[self.spec.target_name]
+        scan = self._source_scan(self.spec.source_name)
+        while units < budget and not scan.exhausted:
+            for row in scan.next_chunk(budget - units):
+                upsert_exploded_row(target, self.spec, dict(row.values),
+                                    row.lsn)
+                units += 1
+        return units, scan.exhausted

@@ -6,8 +6,7 @@ split transformations), by
 :class:`~repro.transform.supervisor.TransformationSupervisor`, and by the
 simulator's scenario builders.  It replaces the per-call kwargs that used
 to be scattered across constructors (``sync_strategy=``, ``shards=``,
-``population_chunk=``, ...); those still work through a shim that emits
-:class:`DeprecationWarning`.
+``population_chunk=``, ...), which have been removed from the API.
 
 Synchronization strategies are selectable by *registry string* as well as
 by enum member -- ``TransformOptions(sync="nonblocking_commit")`` -- so

@@ -52,6 +52,67 @@ from repro.wal.records import (
 #: Must be deterministic and depend only on the row's values.
 RowPredicate = Callable[[Dict[str, object]], bool]
 
+#: Comparison operators an :class:`AttrPredicate` may name.  NULL operands
+#: follow SQL semantics: every comparison with NULL is false (use the
+#: dedicated ``is_null`` / ``not_null`` forms to test for NULL itself).
+PREDICATE_OPS: Dict[str, Callable[[object, object], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class AttrPredicate:
+    """A declarative one-attribute row predicate.
+
+    Unlike a bare lambda, an ``AttrPredicate`` is a plain frozen
+    dataclass, so a :class:`PartitionSpec` built from one survives the
+    WAL frame codec: the swap record can be replayed by restart recovery
+    and a declarative migration plan that partitions a table stays
+    JSON-serializable.  It is callable with a row's value mapping, like
+    any :data:`RowPredicate`.
+
+    Attributes:
+        attr: The attribute the predicate examines.
+        op: One of :data:`PREDICATE_OPS` (``==``, ``!=``, ``<``, ``<=``,
+            ``>``, ``>=``) or the NULL tests ``is_null`` / ``not_null``.
+        value: The right-hand operand (ignored by the NULL tests).
+    """
+
+    attr: str
+    op: str
+    value: object = None
+
+    def __post_init__(self) -> None:
+        if self.op not in PREDICATE_OPS and \
+                self.op not in ("is_null", "not_null"):
+            raise SchemaError(
+                f"unknown predicate op {self.op!r}; available: "
+                f"{sorted(PREDICATE_OPS) + ['is_null', 'not_null']}")
+
+    def __call__(self, values: Dict[str, object]) -> bool:
+        operand = values.get(self.attr)
+        if self.op == "is_null":
+            return operand is None
+        if self.op == "not_null":
+            return operand is not None
+        if operand is None or self.value is None:
+            return False
+        try:
+            return bool(PREDICATE_OPS[self.op](operand, self.value))
+        except TypeError:
+            return False
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``"region == 'eu'"``."""
+        if self.op in ("is_null", "not_null"):
+            return f"{self.attr} {self.op}"
+        return f"{self.attr} {self.op} {self.value!r}"
+
 
 @dataclass(frozen=True)
 class PartitionSpec:
@@ -62,8 +123,13 @@ class PartitionSpec:
         a_name: Target receiving rows satisfying the predicate.
         b_name: Target receiving the rest.
         predicate: The row predicate (deterministic over row values).
+            Use an :class:`AttrPredicate` (rather than a lambda) when the
+            spec must survive the WAL frame codec -- crash recovery of a
+            completed partition and declarative migration plans both
+            require it.
         predicate_desc: Human-readable predicate description, recorded in
-            the swap log record.
+            the swap log record.  Defaults to
+            :meth:`AttrPredicate.describe` when the predicate is one.
     """
 
     source_name: str
@@ -71,6 +137,12 @@ class PartitionSpec:
     b_name: str
     predicate: RowPredicate
     predicate_desc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.predicate_desc and \
+                isinstance(self.predicate, AttrPredicate):
+            object.__setattr__(self, "predicate_desc",
+                               self.predicate.describe())
 
 
 @dataclass(frozen=True)

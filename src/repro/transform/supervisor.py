@@ -26,7 +26,6 @@ simulated time.
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import (
@@ -78,7 +77,6 @@ class TransformationSupervisor:
             a postmortem trail instead of only an exception.
         flight: Optional :class:`~repro.obs.flight.FlightRecorder` the
             SLO monitor records trips into.
-        shards: Deprecated -- use ``options=TransformOptions(shards=N)``.
     """
 
     def __init__(self, db: Database,
@@ -94,16 +92,9 @@ class TransformationSupervisor:
                  on_wait: Optional[Callable[[float], None]] = None,
                  options: Optional[TransformOptions] = None,
                  slo: Optional[SloPolicy] = None,
-                 flight: Optional[FlightRecorder] = None,
-                 shards: Optional[int] = None) -> None:
+                 flight: Optional[FlightRecorder] = None) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
-        if shards is not None:
-            warnings.warn(
-                "the shards= supervisor kwarg is deprecated; pass "
-                "options=TransformOptions(shards=N) instead",
-                DeprecationWarning, stacklevel=2)
-            options = (options or TransformOptions()).evolve(shards=shards)
         self.db = db
         self.factory = factory
         self.budget = budget

@@ -166,11 +166,19 @@ def _register_spec_dataclasses() -> None:
     # Imported lazily so repro.wal does not drag the relational layer in
     # at import time (and to keep the dependency direction one-way for
     # everything but this registration).
-    from repro.relational.spec import FojSpec, SplitSpec
-    from repro.transform.partition import MergeSpec
+    from repro.relational.spec import (ExplodeSpec, FojSpec, RetypeSpec,
+                                       SplitSpec)
+    from repro.transform.partition import (AttrPredicate, MergeSpec,
+                                           PartitionSpec)
     register_payload_dataclass(FojSpec)
     register_payload_dataclass(SplitSpec)
     register_payload_dataclass(MergeSpec)
+    register_payload_dataclass(ExplodeSpec)
+    register_payload_dataclass(RetypeSpec)
+    register_payload_dataclass(AttrPredicate)
+    # Frame-codable only when its predicate is an AttrPredicate; a spec
+    # holding a bare callable still raises FrameCodecError at encode time.
+    register_payload_dataclass(PartitionSpec)
 
 
 # ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 """Crash-point matrix: kill the system at every registered injection site.
 
-For each operator (full outer join, split) x synchronization strategy,
+For each operator (full outer join, split, and the migration-plan corpus
+operators: explode, partition, merge, retype) x synchronization strategy,
 :func:`repro.faults.sweep.sweep` records which injection sites the
 scenario crosses, then re-runs it once per site with a
 :class:`~repro.faults.CrashFault` armed mid-scenario, salvages the log
@@ -21,8 +22,8 @@ import pytest
 
 from repro.faults.chaos import chaos_run
 from repro.faults.sweep import (
+    ALL_OPERATORS,
     ALL_STRATEGIES,
-    SCENARIO_OPERATORS,
     run_sweep,
     sweep,
 )
@@ -30,7 +31,7 @@ from repro.faults.sweep import (
 
 @pytest.mark.parametrize("strategy", ALL_STRATEGIES,
                          ids=lambda s: s.value)
-@pytest.mark.parametrize("operator", SCENARIO_OPERATORS)
+@pytest.mark.parametrize("operator", ALL_OPERATORS)
 def test_crash_at_every_site(operator, strategy):
     report = sweep(operator, strategy)
     bad = [s for s in report["sites"] if s["outcome"] != "ok"]

@@ -18,15 +18,21 @@ API_SURFACE = sorted([
     "Database", "FuzzyScan", "Session", "bulk_load", "fuzzy_copy",
     "restart", "restart_from_disk",
     # schemas / specs / oracles
-    "Attribute", "FojSpec", "FunctionalDependency", "SnapshotHandle",
-    "SplitSpec",
-    "TableSchema", "full_outer_join", "rows_equal", "split",
+    "Attribute", "ExplodeSpec", "FojSpec", "FunctionalDependency",
+    "RETYPE_CASTS", "RetypeSpec", "SnapshotHandle", "SplitSpec",
+    "TableSchema", "explode", "full_outer_join", "retype", "rows_equal",
+    "split",
+    # declarative migration plans
+    "CORPUS", "CorpusScenario", "MigrationPlan", "MigrationStep",
+    "PLAN_OPERATORS", "PlanExecutor", "PlanStepper",
+    "PlanValidationError", "PlanValidator", "run_plan",
     # transformations + configuration
+    "AttrPredicate", "ExplodeTransformation",
     "FixedIterationsPolicy", "FojTransformation",
     "Many2ManyFojTransformation", "MaterializedFojView", "MergeSpec",
     "MergeTransformation", "PartitionSpec", "PartitionTransformation",
     "Phase", "POPULATION_MODES", "RemainingRecordsPolicy",
-    "SplitTransformation", "STORAGE_BACKENDS",
+    "RetypeTransformation", "SplitTransformation", "STORAGE_BACKENDS",
     "SYNC_STRATEGIES", "SyncStrategy", "TransformOptions",
     "TransformationSupervisor", "VersionFlipSync",
     "add_attribute", "remove_attribute",

@@ -39,6 +39,7 @@ from tests.conftest import (
     load_foj_data,
     values_of,
 )
+from repro.api import TransformOptions
 
 ALL_STRATEGIES = (SyncStrategy.BLOCKING_COMMIT,
                   SyncStrategy.NONBLOCKING_ABORT,
@@ -152,7 +153,7 @@ def test_abort_fault_aborts_transformation_cleanly():
     db = make_foj_db()
     db.attach_faults(FaultInjector(
         FaultPlan().arm("tf.populate.chunk", AbortFault(), hit=2)))
-    tf = FojTransformation(db, foj_spec(db), population_chunk=4)
+    tf = FojTransformation(db, foj_spec(db), options=TransformOptions(population_chunk=4))
     tf.step(8)
     with pytest.raises(TransformationAbortedError):
         for _ in range(100):
@@ -185,7 +186,7 @@ def test_delay_fault_starves_propagator_into_stall():
                         times=10 ** 9)))
     tf = FojTransformation(
         db, foj_spec(db),
-        policy=RemainingRecordsPolicy(max_remaining=0, patience=2))
+        options=TransformOptions(policy=RemainingRecordsPolicy(max_remaining=0, patience=2)))
     stalled = False
     next_key = 100
     for _ in range(2000):
@@ -220,7 +221,7 @@ def test_sync_failure_releases_latches_and_blocks(strategy):
     db = make_foj_db()
     db.attach_faults(FaultInjector(
         FaultPlan().arm("sync.final_propagation", AbortFault())))
-    tf = FojTransformation(db, foj_spec(db), sync_strategy=strategy)
+    tf = FojTransformation(db, foj_spec(db), options=TransformOptions(sync=strategy))
     with pytest.raises(TransformationAbortedError):
         for _ in range(100000):
             tf.step(4096)
@@ -233,7 +234,7 @@ def test_sync_failure_releases_latches_and_blocks(strategy):
     # And after the abort a fresh transformation completes end to end.
     tf.abort()
     expected = oracle(db)
-    FojTransformation(db, foj_spec(db), sync_strategy=strategy).run(
+    FojTransformation(db, foj_spec(db), options=TransformOptions(sync=strategy)).run(
         budget=4096)
     assert rows_equal(values_of(db, "T"), expected)
 
@@ -244,7 +245,7 @@ def test_crash_inside_latched_window_cleans_up_live_state(strategy):
     db = make_foj_db()
     db.attach_faults(FaultInjector(
         FaultPlan().arm("sync.final_propagation", CrashFault())))
-    tf = FojTransformation(db, foj_spec(db), sync_strategy=strategy)
+    tf = FojTransformation(db, foj_spec(db), options=TransformOptions(sync=strategy))
     with pytest.raises(SimulatedCrashError):
         for _ in range(100000):
             tf.step(4096)
@@ -274,8 +275,7 @@ def _drive_until(tf, phase, budget=4, limit=100000):
 def test_abort_leaves_zero_residue(phase):
     db = make_foj_db()
     tf = FojTransformation(db, foj_spec(db),
-                           sync_strategy=SyncStrategy.BLOCKING_COMMIT,
-                           population_chunk=4)
+                           options=TransformOptions(sync=SyncStrategy.BLOCKING_COMMIT, population_chunk=4))
     held = None
     if phase is Phase.PREPARED:
         tf.prepare()
@@ -328,7 +328,7 @@ def test_supervisor_escalates_priority_after_starvation():
 
     def factory():
         policy = policies.pop(0) if policies else RemainingRecordsPolicy()
-        return FojTransformation(db, foj_spec(db), policy=policy)
+        return FojTransformation(db, foj_spec(db), options=TransformOptions(policy=policy))
 
     sup = TransformationSupervisor(
         db, factory, budget=64, escalation_factor=4, backoff_base=1.0,

@@ -21,6 +21,7 @@ from repro.common.errors import (
 from repro.relational import full_outer_join, rows_equal
 
 from tests.conftest import foj_spec, load_foj_data, values_of
+from repro.api import TransformOptions
 
 
 def build(seed=1, n_r=15, n_s=6):
@@ -169,7 +170,7 @@ def test_sync_latch_is_brief():
 def test_interleaved_build_and_maintenance(seed):
     rng = random.Random(seed)
     db, spec = build(seed=seed, n_r=25, n_s=10)
-    view = MaterializedFojView(db, spec, population_chunk=4)
+    view = MaterializedFojView(db, spec, options=TransformOptions(population_chunk=4))
     next_a = [500]
 
     def churn():

@@ -3,6 +3,7 @@ through the engine, WAL, lock manager and transformation pipeline."""
 
 import pytest
 
+from repro.api import TransformOptions
 from repro import (
     NULL_METRICS,
     Database,
@@ -196,12 +197,10 @@ def test_transformation_metrics_per_strategy(strategy):
     db = _small_db(metrics=m, n=30)
     spec = split_spec(db)
     if strategy is SyncStrategy.VERSION_FLIP:
-        from repro.api import TransformOptions
         tf = SplitTransformation(db, spec, options=TransformOptions(
             sync=strategy, storage="mvcc", population_chunk=8))
     else:
-        tf = SplitTransformation(db, spec, sync_strategy=strategy,
-                                 population_chunk=8)
+        tf = SplitTransformation(db, spec, options=TransformOptions(sync=strategy, population_chunk=8))
     tf.run()
     assert tf.done
     assert m.counter_value("tf.steps") > 0

@@ -1,5 +1,5 @@
-"""TransformOptions: validation, registry strings, the deprecation shim,
-and how options thread through transformations and the supervisor."""
+"""TransformOptions: validation, registry strings, and how options thread
+through transformations and the supervisor."""
 
 import warnings
 
@@ -92,6 +92,17 @@ def test_sync_selectable_by_registry_string():
         resolve_sync_strategy("eventual")
 
 
+def test_unknown_sync_strategy_error_enumerates_registry():
+    """Regression: the error must teach every registered strategy, so a
+    typo'd config never strands the caller guessing at valid names."""
+    with pytest.raises(ValueError) as err:
+        resolve_sync_strategy("zzz")
+    message = str(err.value)
+    assert "unknown sync strategy 'zzz'" in message
+    for key in SYNC_STRATEGIES:
+        assert key in message
+
+
 def test_registry_string_drives_transformation():
     db = build_db()
     tf = FojTransformation(db, foj_spec(db), options=TransformOptions(
@@ -101,46 +112,25 @@ def test_registry_string_drives_transformation():
     assert db.table("T").row_count > 0
 
 
-# -- deprecation shim --------------------------------------------------------
+# -- the legacy per-call kwargs are gone -------------------------------------
 
 
-def test_legacy_kwargs_warn_and_fold_into_options():
+def test_legacy_per_call_kwargs_rejected():
+    """The pre-TransformOptions shim (sync_strategy=, shards=, ...) was
+    removed: transformations take exactly (db, spec, options) plus their
+    genuinely per-operator kwargs."""
     db = build_db()
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        tf = FojTransformation(
-            db, foj_spec(db), population_chunk=5, shards=2,
-            sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
-    assert tf.options.population_chunk == 5
-    assert tf.options.shards == 2
-    assert tf.options.sync_strategy is SyncStrategy.NONBLOCKING_COMMIT
-    assert tf.population_chunk == 5
-    assert tf.shards == 2
+    for bad in ({"sync_strategy": SyncStrategy.NONBLOCKING_COMMIT},
+                {"shards": 2}, {"population_chunk": 5},
+                {"transform_id": "tf-x"}):
+        with pytest.raises(TypeError):
+            FojTransformation(db, foj_spec(db), **bad)
 
 
-def test_legacy_kwargs_round_trip_equivalent_to_options():
-    """The shim must configure the transformation identically to passing
-    TransformOptions directly."""
-    db1, db2 = build_db(), build_db()
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        legacy = SplitTransformation(
-            db1, SplitSpec.derive(db1.table("R").schema, "Rr", "Rs", "c",
-                                  s_attrs=[]),
-            population_chunk=4, shards=3)
-    modern = SplitTransformation(
-        db2, SplitSpec.derive(db2.table("R").schema, "Rr", "Rs", "c",
-                              s_attrs=[]),
-        options=TransformOptions(population_chunk=4, shards=3))
-    for field in ("population_chunk", "shards", "propagation_batch"):
-        assert getattr(legacy.options, field) == \
-            getattr(modern.options, field)
-    assert legacy.sync_strategy is modern.sync_strategy
-
-
-def test_options_free_construction_does_not_warn():
+def test_construction_emits_no_warnings():
     db = build_db()
     with warnings.catch_warnings():
-        warnings.simplefilter("error", DeprecationWarning)
+        warnings.simplefilter("error")
         FojTransformation(db, foj_spec(db),
                           options=TransformOptions(population_chunk=5))
 
@@ -197,12 +187,10 @@ def test_supervisor_merges_options_over_factory():
     assert tf.sync_strategy is SyncStrategy.NONBLOCKING_COMMIT
 
 
-def test_supervisor_shards_kwarg_deprecated():
+def test_supervisor_shards_kwarg_removed():
     db = build_db()
-    with pytest.warns(DeprecationWarning, match="shards"):
-        sup = TransformationSupervisor(db, lambda: None, shards=2)
+    with pytest.raises(TypeError):
+        TransformationSupervisor(db, lambda: None, shards=2)
+    sup = TransformationSupervisor(db, lambda: None,
+                                   options=TransformOptions(shards=2))
     assert sup.options.shards == 2
-    with pytest.raises(ValueError):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            TransformationSupervisor(db, lambda: None, shards=0)

@@ -24,6 +24,7 @@ from repro.relational import rows_equal
 from repro.transform.partition import merge_rows, partition_rows
 
 from tests.conftest import values_of
+from repro.api import TransformOptions
 
 SCHEMA = TableSchema("orders", ["oid", "region", "amount"],
                      primary_key=["oid"])
@@ -76,7 +77,7 @@ def test_partition_update_moves_row_between_sides():
     db = make_db(n=4)
     spec = spec_for(db)
     tf = PartitionTransformation(db, spec,
-                                 sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+                                 options=TransformOptions(sync=SyncStrategy.NONBLOCKING_ABORT))
     # Populate + first propagation.
     while tf.phase is not Phase.PROPAGATING:
         tf.step(4096)
@@ -94,7 +95,7 @@ def test_partition_interleaved_converges(seed):
     rng = random.Random(seed)
     db = make_db(n=25, seed=seed)
     spec = spec_for(db)
-    tf = PartitionTransformation(db, spec, population_chunk=4)
+    tf = PartitionTransformation(db, spec, options=TransformOptions(population_chunk=4))
     next_id = [100]
     for _ in range(100):
         try:
@@ -190,7 +191,7 @@ def test_merge_interleaved_converges(seed):
     rng = random.Random(seed)
     db = make_merge_db(seed=seed)
     spec = MergeSpec("a", "b", "merged")
-    tf = MergeTransformation(db, spec, population_chunk=3)
+    tf = MergeTransformation(db, spec, options=TransformOptions(population_chunk=3))
     next_a, next_b = [50], [150]
     for _ in range(80):
         try:

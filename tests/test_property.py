@@ -11,6 +11,7 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
+from repro.api import TransformOptions
 from repro import (
     Database,
     FojSpec,
@@ -104,7 +105,7 @@ def test_foj_converges_for_any_history(script):
     db = build_foj_db(script)
     spec = FojSpec.derive(db.table("R").schema, db.table("S").schema,
                           "T", "c", "c")
-    tf = FojTransformation(db, spec, population_chunk=3)
+    tf = FojTransformation(db, spec, options=TransformOptions(population_chunk=3))
     for i, (kind, key, join_value, budget) in enumerate(script):
         apply_foj_op(db, kind, key, join_value, i)
         if not tf.done and tf.phase is not Phase.SYNCHRONIZING:
@@ -136,7 +137,7 @@ def test_split_converges_for_any_fd_consistent_history(script):
             s.insert("T", {"id": i, "name": i, "zip": z, "city": city[z]})
     spec = SplitSpec.derive(db.table("T").schema, "Tr", "Ts", "zip",
                             s_attrs=["city"])
-    tf = SplitTransformation(db, spec, population_chunk=3)
+    tf = SplitTransformation(db, spec, options=TransformOptions(population_chunk=3))
     for i, (kind, key, z, budget) in enumerate(script):
         try:
             if kind == "ins":
@@ -273,7 +274,7 @@ def test_partition_converges_for_any_history(script):
     spec = PartitionSpec("T", "A", "B",
                          predicate=lambda r: r["grp"] == 0,
                          predicate_desc="grp == 0")
-    tf = PartitionTransformation(db, spec, population_chunk=3)
+    tf = PartitionTransformation(db, spec, options=TransformOptions(population_chunk=3))
     for i, (kind, key, grp, budget) in enumerate(script):
         try:
             if kind == "ins":
@@ -317,7 +318,7 @@ def test_merge_converges_for_any_history(script):
             s.insert("A", {"k": i, "v": f"a{i}"})
             s.insert("B", {"k": 100 + i, "v": f"b{i}"})
     tf = MergeTransformation(db, MergeSpec("A", "B", "M"),
-                             population_chunk=3)
+                             options=TransformOptions(population_chunk=3))
     next_a, next_b = [20], [120]
     for i, (kind, key, budget) in enumerate(script):
         try:
@@ -467,7 +468,7 @@ def test_materialized_view_converges_for_any_history(script):
     db = build_foj_db(script)
     spec = FojSpec.derive(db.table("R").schema, db.table("S").schema,
                           "V", "c", "c")
-    view = MaterializedFojView(db, spec, population_chunk=3)
+    view = MaterializedFojView(db, spec, options=TransformOptions(population_chunk=3))
     half = len(script) // 2
     for i, (kind, key, join_value, budget) in enumerate(script[:half]):
         apply_foj_op(db, kind, key, join_value, i)

@@ -171,7 +171,7 @@ def test_loser_on_zombie_source_undone_and_propagated(foj_db):
     old = foj_db.begin()
     foj_db.update(old, "R", (0,), {"b": "old-txn-dirty"})
     tf = FojTransformation(foj_db, spec,
-                           sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+                           options=TransformOptions(sync=SyncStrategy.NONBLOCKING_COMMIT))
     # Drive to the background phase (old txn still alive).
     while tf.phase.value != "background":
         tf.step(4096)
@@ -195,6 +195,7 @@ from repro.faults import (  # noqa: E402
     FaultInjector,
     FaultPlan,
 )
+from repro.api import TransformOptions
 
 SYNC_STRATEGIES = (SyncStrategy.BLOCKING_COMMIT,
                    SyncStrategy.NONBLOCKING_ABORT,
@@ -224,7 +225,7 @@ def test_crash_inside_latched_window_discards_transformation(
     foj_db.attach_faults(FaultInjector(
         FaultPlan().arm("sync.final_propagation", CrashFault())))
     tf = FojTransformation(foj_db, foj_spec(foj_db),
-                           sync_strategy=strategy)
+                           options=TransformOptions(sync=strategy))
     _crash_transformation(foj_db, tf)
     assert not any(isinstance(r, TransformSwapRecord)
                    for r in foj_db.log.scan())
@@ -236,7 +237,7 @@ def test_crash_inside_latched_window_discards_transformation(
     assert not recovered.locks._latches
     # The recovered database can run the transformation again, fault-free.
     FojTransformation(recovered, foj_spec(recovered),
-                      sync_strategy=strategy).run(budget=4096)
+                      options=TransformOptions(sync=strategy)).run(budget=4096)
     assert rows_equal(values_of(recovered, "T"),
                       full_outer_join(foj_spec(foj_db), r_before, s_before))
 
@@ -253,7 +254,7 @@ def test_crash_just_after_swap_record_rebuilds_target(foj_db, strategy):
                                values_of(foj_db, "S"))
     foj_db.attach_faults(FaultInjector(
         FaultPlan().arm("sync.swap.logged", CrashFault())))
-    tf = FojTransformation(foj_db, spec, sync_strategy=strategy)
+    tf = FojTransformation(foj_db, spec, options=TransformOptions(sync=strategy))
     _crash_transformation(foj_db, tf)
     assert any(isinstance(r, TransformSwapRecord)
                for r in foj_db.log.scan())
@@ -280,7 +281,7 @@ def test_crash_after_swap_with_doomed_txn_compensates(foj_db):
     foj_db.attach_faults(FaultInjector(
         FaultPlan().arm("sync.swap.logged", CrashFault())))
     tf = FojTransformation(foj_db, spec,
-                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+                           options=TransformOptions(sync=SyncStrategy.NONBLOCKING_ABORT))
     _crash_transformation(foj_db, tf)
     recovered = restart(foj_db.log)
     # The doomed transaction never committed: its update is compensated

@@ -34,6 +34,7 @@ from tests.conftest import (
     load_foj_data,
     values_of,
 )
+from repro.api import TransformOptions
 
 
 def ticking_clock():
@@ -251,7 +252,7 @@ def test_supervisor_retries_and_escalations_are_observable():
 
     def factory():
         policy = policies.pop(0) if policies else RemainingRecordsPolicy()
-        return FojTransformation(db, foj_spec(db), policy=policy)
+        return FojTransformation(db, foj_spec(db), options=TransformOptions(policy=policy))
 
     sup = TransformationSupervisor(
         db, factory, budget=64, escalation_factor=4, backoff_base=1.0,

@@ -36,6 +36,7 @@ from tests.conftest import (
     split_spec,
     values_of,
 )
+from repro.api import TransformOptions
 
 
 # ---------------------------------------------------------------------------
@@ -125,7 +126,7 @@ def test_sharded_populator_nonpositive_limit_is_a_noop(foj_db):
 def test_sharded_population_matches_sequential(foj_db):
     load_foj_data(foj_db, n_r=25, n_s=6)
     spec = foj_spec(foj_db)
-    tf = FojTransformation(foj_db, spec, shards=3, population_chunk=4)
+    tf = FojTransformation(foj_db, spec, options=TransformOptions(shards=3, population_chunk=4))
     tf.run()
     assert rows_equal(
         values_of(foj_db, "T"),
@@ -149,7 +150,7 @@ def _foj_source_rows():
 
 def test_shards_1_never_builds_a_coordinator(split_db):
     load_split_data(split_db, n=15)
-    tf = SplitTransformation(split_db, split_spec(split_db), shards=1)
+    tf = SplitTransformation(split_db, split_spec(split_db), options=TransformOptions(shards=1))
     tf.run()
     assert tf._coordinator is None
     assert tf.shard_summary() == []
@@ -159,9 +160,9 @@ def test_shards_1_never_builds_a_coordinator(split_db):
 def test_shards_validation(split_db):
     load_split_data(split_db, n=5)
     with pytest.raises(ValueError):
-        SplitTransformation(split_db, split_spec(split_db), shards=0)
+        SplitTransformation(split_db, split_spec(split_db), options=TransformOptions(shards=0))
     with pytest.raises(ValueError):
-        TransformationSupervisor(split_db, lambda: None, shards=0)
+        TransformationSupervisor(split_db, lambda: None, options=TransformOptions(shards=0))
 
 
 def test_coordinator_rejects_single_shard(split_db):
@@ -176,9 +177,9 @@ def test_supervisor_shards_knob_overrides_factory(split_db):
 
     def factory():
         return SplitTransformation(split_db, split_spec(split_db),
-                                   population_chunk=4)
+                                   options=TransformOptions(population_chunk=4))
 
-    sup = TransformationSupervisor(split_db, factory, budget=32, shards=2)
+    sup = TransformationSupervisor(split_db, factory, budget=32, options=TransformOptions(shards=2))
     tf = sup.run()
     assert tf.done
     assert tf.shards == 2
@@ -211,8 +212,7 @@ def _drive_with_workload(db, tf, ops, budget=12, max_steps=2000):
 def test_foj_s_records_resolve_as_barriers(foj_db):
     load_foj_data(foj_db, n_r=30, n_s=6)
     spec = foj_spec(foj_db)
-    tf = FojTransformation(foj_db, spec, shards=2, population_chunk=4,
-                           policy=FixedIterationsPolicy(4))
+    tf = FojTransformation(foj_db, spec, options=TransformOptions(shards=2, population_chunk=4, policy=FixedIterationsPolicy(4)))
     s_key = next(iter(values_of(foj_db, "S")))["c"]
 
     def update_s():
@@ -227,9 +227,7 @@ def test_foj_s_records_resolve_as_barriers(foj_db):
 
 def test_split_updates_route_without_barriers(split_db):
     load_split_data(split_db, n=30, n_zip=5)
-    tf = SplitTransformation(split_db, split_spec(split_db), shards=2,
-                             population_chunk=4,
-                             policy=FixedIterationsPolicy(3))
+    tf = SplitTransformation(split_db, split_spec(split_db), options=TransformOptions(shards=2, population_chunk=4, policy=FixedIterationsPolicy(3)))
 
     def update_t(i):
         def run():
@@ -250,8 +248,7 @@ def test_split_updates_route_without_barriers(split_db):
 
 def test_merge_hands_over_to_unchanged_sync(split_db):
     load_split_data(split_db, n=25)
-    tf = SplitTransformation(split_db, split_spec(split_db), shards=4,
-                             population_chunk=4)
+    tf = SplitTransformation(split_db, split_spec(split_db), options=TransformOptions(shards=4, population_chunk=4))
     tf.run()
     co = tf._coordinator
     assert co.merged
@@ -274,8 +271,7 @@ def _committed_split_rows(n):
 
 def test_sharded_run_reports_per_shard_convergence(split_db):
     load_split_data(split_db, n=25)
-    tf = SplitTransformation(split_db, split_spec(split_db), shards=2,
-                             population_chunk=4)
+    tf = SplitTransformation(split_db, split_spec(split_db), options=TransformOptions(shards=2, population_chunk=4))
     tf.run()
     series = tf.shard_convergence()
     assert set(series) == {"shard0", "shard1"}
@@ -289,9 +285,7 @@ def test_idle_shards_still_run_policy_analysis(split_db):
     """A caught-up sharded pipeline must keep feeding its policies empty
     windows, or a fixed-iterations policy would never release it."""
     load_split_data(split_db, n=12)
-    tf = SplitTransformation(split_db, split_spec(split_db), shards=2,
-                             population_chunk=6,
-                             policy=FixedIterationsPolicy(5))
+    tf = SplitTransformation(split_db, split_spec(split_db), options=TransformOptions(shards=2, population_chunk=6, policy=FixedIterationsPolicy(5)))
     tf.run()  # would spin forever if idle windows were not forced
     assert tf.done
 
@@ -320,8 +314,7 @@ def test_crash_mid_shard_recovers_committed_state(site, hit):
             s.insert("T", {"id": i, "name": f"n{i}", "zip": z,
                            "city": f"C{z}"})
     committed = values_of(db, "T")
-    tf = SplitTransformation(db, split_spec(db), shards=2,
-                             population_chunk=3)
+    tf = SplitTransformation(db, split_spec(db), options=TransformOptions(shards=2, population_chunk=3))
 
     def mutate(i):
         def run():

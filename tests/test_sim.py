@@ -19,6 +19,7 @@ from repro.sim import (
 )
 from repro.sim.server import Job, Server
 from repro.transform.base import Phase
+from repro.api import TransformOptions
 
 
 # ---------------------------------------------------------------------------
@@ -272,7 +273,8 @@ def test_nonblocking_commit_strategy_in_simulator():
     def builder(seed):
         return build_split_scenario(
             seed, rows=400, dummy_rows=200, n_split_values=80,
-            tf_kwargs={"sync_strategy": SyncStrategy.NONBLOCKING_COMMIT})
+            tf_kwargs={"options": TransformOptions(
+                sync=SyncStrategy.NONBLOCKING_COMMIT)})
 
     result = run_once(builder, RunSettings(
         n_clients=8, warmup_ms=5.0, window_ms=10**18, priority=0.3,
@@ -291,7 +293,8 @@ def test_blocking_commit_strategy_in_simulator():
     def builder(seed):
         return build_split_scenario(
             seed, rows=400, dummy_rows=200, n_split_values=80,
-            tf_kwargs={"sync_strategy": SyncStrategy.BLOCKING_COMMIT})
+            tf_kwargs={"options": TransformOptions(
+                sync=SyncStrategy.BLOCKING_COMMIT)})
 
     result = run_once(builder, RunSettings(
         n_clients=8, warmup_ms=5.0, window_ms=10**18, priority=0.3,

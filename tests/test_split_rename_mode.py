@@ -9,6 +9,7 @@ import random
 
 import pytest
 
+from repro.api import TransformOptions
 from repro import (
     Database,
     Session,
@@ -42,10 +43,12 @@ def make_spec(db):
                             s_attrs=["city"])
 
 
-def make_tf(db, spec, **kw):
+def make_tf(db, spec, check_consistency=False, **option_overrides):
+    options = TransformOptions(sync=SyncStrategy.BLOCKING_COMMIT,
+                               **option_overrides)
     return SplitTransformation(db, spec, materialize_r=False,
-                               sync_strategy=SyncStrategy.BLOCKING_COMMIT,
-                               **kw)
+                               check_consistency=check_consistency,
+                               options=options)
 
 
 def test_requires_blocking_commit():
@@ -55,7 +58,7 @@ def test_requires_blocking_commit():
     with pytest.raises(TransformationError):
         SplitTransformation(
             db, make_spec(db), materialize_r=False,
-            sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+            options=TransformOptions(sync=SyncStrategy.NONBLOCKING_COMMIT))
 
 
 def test_quiescent_result_matches_oracle():

@@ -3,6 +3,7 @@ lock transfer machinery of Section 4.3."""
 
 import pytest
 
+from repro.api import TransformOptions
 from repro import (
     Database,
     FojTransformation,
@@ -47,7 +48,7 @@ def drive_to(tf, phase, budget=4096, limit=100000):
 def test_blocking_commit_waits_for_drain(foj_db):
     load_foj_data(foj_db, n_r=10, n_s=5)
     tf = FojTransformation(foj_db, foj_spec(foj_db),
-                           sync_strategy=SyncStrategy.BLOCKING_COMMIT)
+                           options=TransformOptions(sync=SyncStrategy.BLOCKING_COMMIT))
     old = foj_db.begin()
     foj_db.update(old, "R", (1,), {"b": "held"})
     drive_to(tf, Phase.SYNCHRONIZING)
@@ -74,7 +75,7 @@ def test_blocking_commit_consistent_result(foj_db):
     spec = foj_spec(foj_db)
     r_rows, s_rows = values_of(foj_db, "R"), values_of(foj_db, "S")
     FojTransformation(foj_db, spec,
-                      sync_strategy=SyncStrategy.BLOCKING_COMMIT).run()
+                      options=TransformOptions(sync=SyncStrategy.BLOCKING_COMMIT)).run()
     assert rows_equal(values_of(foj_db, "T"),
                       full_outer_join(spec, r_rows, s_rows))
 
@@ -87,7 +88,7 @@ def test_blocking_commit_consistent_result(foj_db):
 def test_nonblocking_abort_forces_old_transactions(foj_db):
     load_foj_data(foj_db, n_r=10, n_s=5)
     tf = FojTransformation(foj_db, foj_spec(foj_db),
-                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+                           options=TransformOptions(sync=SyncStrategy.NONBLOCKING_ABORT))
     old = foj_db.begin()
     foj_db.update(old, "R", (1,), {"b": "doomed-write"})
     tf.run()
@@ -106,7 +107,7 @@ def test_nonblocking_abort_nonconflicting_txn_also_aborted(foj_db):
     source tables is aborted, conflicting or not."""
     load_foj_data(foj_db, n_r=10, n_s=5)
     tf = FojTransformation(foj_db, foj_spec(foj_db),
-                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+                           options=TransformOptions(sync=SyncStrategy.NONBLOCKING_ABORT))
     reader = foj_db.begin()
     foj_db.read(reader, "R", (3,))  # merely reading
     tf.run()
@@ -119,7 +120,7 @@ def test_nonblocking_abort_keeps_unrelated_txns(foj_db):
     with Session(foj_db) as s:
         s.insert("other", {"id": 1})
     tf = FojTransformation(foj_db, foj_spec(foj_db),
-                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+                           options=TransformOptions(sync=SyncStrategy.NONBLOCKING_ABORT))
     bystander = foj_db.begin()
     foj_db.read(bystander, "other", (1,))
     tf.run()
@@ -134,7 +135,7 @@ def test_nonblocking_abort_result_reflects_aborted_txn_rollback(foj_db):
     foj_db.update(old, "R", (2,), {"b": "dirty"})
     snapshot_b = None
     tf = FojTransformation(foj_db, spec,
-                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+                           options=TransformOptions(sync=SyncStrategy.NONBLOCKING_ABORT))
     tf.run()
     r_rows = values_of(foj_db, "R") if foj_db.catalog.exists("R") else None
     # Sources dropped; T must equal the join of the *rolled back* state.
@@ -147,7 +148,7 @@ def test_nonblocking_abort_sync_is_brief(foj_db):
     final propagation under latch must be a handful of records."""
     load_foj_data(foj_db, n_r=30, n_s=10)
     tf = FojTransformation(foj_db, foj_spec(foj_db),
-                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+                           options=TransformOptions(sync=SyncStrategy.NONBLOCKING_ABORT))
     tf.run()
     assert tf.stats["sync_latch_units"] < 50
 
@@ -161,7 +162,7 @@ def test_nonblocking_commit_old_txn_continues_and_commits(foj_db):
     load_foj_data(foj_db, n_r=10, n_s=5)
     spec = foj_spec(foj_db)
     tf = FojTransformation(foj_db, spec,
-                           sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+                           options=TransformOptions(sync=SyncStrategy.NONBLOCKING_COMMIT))
     old = foj_db.begin()
     foj_db.update(old, "R", (1,), {"b": "pre-swap"})
     drive_to(tf, Phase.BACKGROUND)
@@ -180,7 +181,7 @@ def test_nonblocking_commit_locks_block_new_txns_until_propagated(foj_db):
     load_foj_data(foj_db, n_r=10, n_s=5)
     spec = foj_spec(foj_db)
     tf = FojTransformation(foj_db, spec,
-                           sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+                           options=TransformOptions(sync=SyncStrategy.NONBLOCKING_COMMIT))
     old = foj_db.begin()
     foj_db.update(old, "R", (1,), {"b": "old-write"})
     drive_to(tf, Phase.BACKGROUND)
@@ -203,7 +204,7 @@ def test_nonblocking_commit_mirror_transfers_new_source_locks(foj_db):
     load_foj_data(foj_db, n_r=10, n_s=5)
     spec = foj_spec(foj_db)
     tf = FojTransformation(foj_db, spec,
-                           sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+                           options=TransformOptions(sync=SyncStrategy.NONBLOCKING_COMMIT))
     old = foj_db.begin()
     foj_db.read(old, "R", (1,))  # keeps `old` alive on the sources
     drive_to(tf, Phase.BACKGROUND)
@@ -222,7 +223,7 @@ def test_nonblocking_commit_new_txn_locks_mirror_to_sources(foj_db):
     load_foj_data(foj_db, n_r=10, n_s=5)
     spec = foj_spec(foj_db)
     tf = FojTransformation(foj_db, spec,
-                           sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+                           options=TransformOptions(sync=SyncStrategy.NONBLOCKING_COMMIT))
     old = foj_db.begin()
     foj_db.read(old, "R", (1,))
     drive_to(tf, Phase.BACKGROUND)
@@ -246,7 +247,7 @@ def test_nonblocking_commit_two_source_writers_coexist_in_t():
         s.insert("S", {"c": 10, "d": "d", "e": "e"})
     spec = foj_spec(db)
     tf = FojTransformation(db, spec,
-                           sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+                           options=TransformOptions(sync=SyncStrategy.NONBLOCKING_COMMIT))
     txn_r = db.begin()
     txn_s = db.begin()
     db.update(txn_r, "R", (1,), {"b": "from-r"})
@@ -273,7 +274,7 @@ def test_split_nonblocking_commit_end_to_end(split_db):
     load_split_data(split_db, n=15)
     spec = split_spec(split_db)
     tf = SplitTransformation(split_db, spec,
-                             sync_strategy=SyncStrategy.NONBLOCKING_COMMIT)
+                             options=TransformOptions(sync=SyncStrategy.NONBLOCKING_COMMIT))
     old = split_db.begin()
     split_db.update(old, "T", (1,), {"name": "pre"})
     drive_to(tf, Phase.BACKGROUND)
@@ -286,7 +287,7 @@ def test_split_nonblocking_commit_end_to_end(split_db):
 def test_split_nonblocking_abort_dooms_old(split_db):
     load_split_data(split_db, n=15)
     tf = SplitTransformation(split_db, split_spec(split_db),
-                             sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+                             options=TransformOptions(sync=SyncStrategy.NONBLOCKING_ABORT))
     old = split_db.begin()
     split_db.update(old, "T", (1,), {"name": "dirty"})
     tf.run()
@@ -306,13 +307,12 @@ def test_latched_window_accounting(foj_db, strategy):
     work for every strategy."""
     load_foj_data(foj_db, n_r=30, n_s=10)
     if strategy is SyncStrategy.VERSION_FLIP:
-        from repro.api import TransformOptions
         tf = FojTransformation(foj_db, foj_spec(foj_db),
                                options=TransformOptions(
                                    sync=strategy, storage="mvcc"))
     else:
         tf = FojTransformation(foj_db, foj_spec(foj_db),
-                               sync_strategy=strategy)
+                               options=TransformOptions(sync=strategy))
     tf.run()
     assert tf.done
     executor = tf._sync_executor
@@ -330,7 +330,7 @@ def test_latched_window_counts_concurrent_tail(foj_db):
     propagated inside the latch and must be charged to the window."""
     load_foj_data(foj_db, n_r=20, n_s=5)
     tf = FojTransformation(foj_db, foj_spec(foj_db),
-                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+                           options=TransformOptions(sync=SyncStrategy.NONBLOCKING_ABORT))
     drive_to(tf, Phase.PROPAGATING)
     with Session(foj_db) as s:  # tail work the sync must replay
         for i in range(5):
@@ -359,7 +359,7 @@ def test_latch_calls_are_symmetric(foj_db, monkeypatch):
 
     load_foj_data(foj_db, n_r=10, n_s=5)
     tf = FojTransformation(foj_db, foj_spec(foj_db),
-                           sync_strategy=SyncStrategy.NONBLOCKING_ABORT)
+                           options=TransformOptions(sync=SyncStrategy.NONBLOCKING_ABORT))
     tf.run()
     assert tf.done
     assert sorted(latched) == sorted(unlatched)
@@ -376,7 +376,7 @@ def test_blocking_commit_aborts_lock_holding_newcomers(foj_db):
     with Session(foj_db) as s:
         s.insert("other", {"id": 1})
     tf = FojTransformation(foj_db, foj_spec(foj_db),
-                           sync_strategy=SyncStrategy.BLOCKING_COMMIT)
+                           options=TransformOptions(sync=SyncStrategy.BLOCKING_COMMIT))
     old = foj_db.begin()
     foj_db.read(old, "R", (1,))           # drain must wait for `old`
     drive_to(tf, Phase.SYNCHRONIZING)
@@ -401,7 +401,7 @@ def test_blocking_commit_drain_survives_lock_chain(foj_db):
     with Session(foj_db) as s:
         s.insert("other", {"id": 1})
     tf = FojTransformation(foj_db, foj_spec(foj_db),
-                           sync_strategy=SyncStrategy.BLOCKING_COMMIT)
+                           options=TransformOptions(sync=SyncStrategy.BLOCKING_COMMIT))
     old = foj_db.begin()
     foj_db.update(old, "R", (1,), {"b": "drain-me"})
     drive_to(tf, Phase.SYNCHRONIZING)
@@ -457,7 +457,7 @@ def test_split_crash_in_latched_window_leaves_no_residue(split_db,
     split_db.attach_faults(FaultInjector(
         FaultPlan().arm("sync.final_propagation", CrashFault())))
     tf = SplitTransformation(split_db, split_spec(split_db),
-                             sync_strategy=strategy)
+                             options=TransformOptions(sync=strategy))
     _crash(split_db, tf)
     # Exception safety on the dying process: the window is closed.
     assert not split_db.locks._latches
@@ -477,7 +477,7 @@ def test_split_crash_after_swap_record_publishes_both_tables(split_db,
     r_exp, s_exp, _, _ = split_oracle(spec, values_of(split_db, "T"))
     split_db.attach_faults(FaultInjector(
         FaultPlan().arm("sync.swap.logged", CrashFault())))
-    tf = SplitTransformation(split_db, spec, sync_strategy=strategy)
+    tf = SplitTransformation(split_db, spec, options=TransformOptions(sync=strategy))
     _crash(split_db, tf)
     recovered = restart(split_db.log)
     assert sorted(recovered.catalog.table_names()) == ["T_r", "postal"]

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.api import TransformOptions
 from repro import (
     Database,
     FixedIterationsPolicy,
@@ -81,7 +82,7 @@ def test_stepwise_driving_with_small_budgets(foj_db):
     load_foj_data(foj_db)
     spec = foj_spec(foj_db)
     r_rows, s_rows = values_of(foj_db, "R"), values_of(foj_db, "S")
-    tf = FojTransformation(foj_db, spec, population_chunk=3)
+    tf = FojTransformation(foj_db, spec, options=TransformOptions(population_chunk=3))
     steps = 0
     while not tf.step(2).done:
         steps += 1
@@ -97,7 +98,7 @@ def test_interleaved_workload_converges(foj_db):
     rng = random.Random(7)
     load_foj_data(foj_db, n_r=30, n_s=10)
     spec = foj_spec(foj_db)
-    tf = FojTransformation(foj_db, spec, population_chunk=5)
+    tf = FojTransformation(foj_db, spec, options=TransformOptions(population_chunk=5))
     next_a = [1000]
 
     def one_txn():
@@ -147,7 +148,7 @@ def test_propagated_lock_table_tracks_active_txns(foj_db):
     load_foj_data(foj_db, n_r=10, n_s=5)
     spec = foj_spec(foj_db)
     tf = FojTransformation(foj_db, spec,
-                           policy=FixedIterationsPolicy(10**9))
+                           options=TransformOptions(policy=FixedIterationsPolicy(10**9)))
     # Population first.
     while tf.phase is not Phase.PROPAGATING:
         tf.step(4096)
@@ -190,7 +191,7 @@ def test_run_detects_stall():
         def decide(self, report: IterationReport) -> Decision:
             return Decision.STALLED
 
-    tf = FojTransformation(db, foj_spec(db), policy=AlwaysStalled())
+    tf = FojTransformation(db, foj_spec(db), options=TransformOptions(policy=AlwaysStalled()))
     with pytest.raises(TransformationAbortedError):
         tf.run()
     assert tf.phase is Phase.ABORTED
@@ -245,7 +246,7 @@ def test_m2m_requires_m2m_spec():
 def test_m2m_interleaved_converges(seed):
     db, spec = make_m2m_db(seed=seed)
     rng = random.Random(seed + 50)
-    tf = Many2ManyFojTransformation(db, spec, population_chunk=4)
+    tf = Many2ManyFojTransformation(db, spec, options=TransformOptions(population_chunk=4))
     next_a, next_k = [1000], [1000]
 
     def one_txn():

@@ -5,6 +5,7 @@ import random
 
 import pytest
 
+from repro.api import TransformOptions
 from repro import (
     Database,
     InconsistentDataError,
@@ -44,7 +45,7 @@ def test_counter_invariant_after_interleaving(split_db):
     rng = random.Random(11)
     load_split_data(split_db, n=30, n_zip=4)
     spec = split_spec(split_db)
-    tf = SplitTransformation(split_db, spec, population_chunk=5)
+    tf = SplitTransformation(split_db, spec, options=TransformOptions(population_chunk=5))
     next_id = [1000]
     for _ in range(120):
         try:
@@ -124,7 +125,7 @@ def test_cc_detects_population_fuzz_and_repairs(split_db):
     load_split_data(split_db, n=10, n_zip=2)
     spec = split_spec(split_db)
     tf = SplitTransformation(split_db, spec, check_consistency=True,
-                             population_chunk=2)
+                             options=TransformOptions(population_chunk=2))
     # During population, rename a whole city (consistently).
     while tf.phase is not Phase.POPULATING:
         tf.step(1)
@@ -207,7 +208,7 @@ def test_interleaved_split_converges(split_db, seed):
     rng = random.Random(seed)
     load_split_data(split_db, n=25, n_zip=5, seed=seed)
     spec = split_spec(split_db)
-    tf = SplitTransformation(split_db, spec, population_chunk=4)
+    tf = SplitTransformation(split_db, spec, options=TransformOptions(population_chunk=4))
     current_city = {7000 + i: f"C{7000 + i}" for i in range(5)}
     next_id = [1000]
 
